@@ -1,0 +1,260 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation.
+// Each benchmark runs the corresponding experiment (internal/experiments)
+// and reports the headline quantity as a custom metric, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the full evaluation. DESIGN.md §3 maps benchmarks to paper
+// artifacts; EXPERIMENTS.md records paper-vs-measured values. Use
+// cmd/experiments for the full formatted tables.
+package puppies_test
+
+import (
+	"testing"
+
+	"puppies/internal/experiments"
+)
+
+// benchCfg keeps benchmark iterations affordable; cmd/experiments -full
+// runs paper-scale corpora.
+var benchCfg = experiments.Config{Seed: 1, PascalN: 4, InriaN: 1, CaltechN: 3}
+
+func BenchmarkTable1Capabilities(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Table1(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pup := rows[len(rows)-1]
+		if !pup.Scaling || !pup.Cropping || !pup.Compression || !pup.Rotation {
+			b.Fatal("PuPPIeS capability regression")
+		}
+	}
+}
+
+func BenchmarkTable2PerturbedSize(b *testing.B) {
+	var last []experiments.Table2Row
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Table2(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rows
+	}
+	if len(last) == 3 {
+		b.ReportMetric(last[0].Summary.Mean, "B-mean-ratio")
+		b.ReportMetric(last[1].Summary.Mean, "C-mean-ratio")
+		b.ReportMetric(last[2].Summary.Mean, "Z-mean-ratio")
+	}
+}
+
+func BenchmarkTable5EncDecTime(b *testing.B) {
+	var last []experiments.Table5Row
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Table5(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rows
+	}
+	if len(last) == 2 {
+		b.ReportMetric(last[0].Millis.Mean, "inria-ms")
+		b.ReportMetric(last[1].Millis.Mean, "pascal-ms")
+	}
+}
+
+func BenchmarkFig2RetrievalUsability(b *testing.B) {
+	var last *experiments.Fig2Result
+	for i := 0; i < b.N; i++ {
+		res, _, err := experiments.Fig2(experiments.Config{Seed: 1, PascalN: 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	if last != nil {
+		b.ReportMetric(last.PartialOverlap10.Mean, "partial-overlap10")
+		b.ReportMetric(last.FullOverlap10.Mean, "full-overlap10")
+	}
+}
+
+func BenchmarkFig4ScalingRecovery(b *testing.B) {
+	var last *experiments.Fig4Result
+	for i := 0; i < b.N; i++ {
+		res, _, err := experiments.Fig4(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	if last != nil {
+		b.ReportMetric(last.PuppiesPSNR.Mean, "puppies-psnr-dB")
+		b.ReportMetric(last.P3PSNR.Mean, "p3-psnr-dB")
+	}
+}
+
+func BenchmarkFig11PrivatePartSize(b *testing.B) {
+	var last *experiments.Fig11Result
+	for i := 0; i < b.N; i++ {
+		res, _, err := experiments.Fig11(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	if last != nil {
+		b.ReportMetric(last.P3PascalMean, "p3-pascal-bytes")
+		b.ReportMetric(last.P3InriaMean, "p3-inria-bytes")
+		b.ReportMetric(float64(last.CrossoverPascal), "crossover-matrices")
+	}
+}
+
+func BenchmarkFig16ScaleRoundTrip(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, _, err := experiments.Fig16(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.RotationExact != res.N || res.ScalingExact != res.N {
+			b.Fatal("round trip regression")
+		}
+	}
+}
+
+func BenchmarkFig17PrivacyVsSize(b *testing.B) {
+	var last []experiments.Fig17Row
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Fig17(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rows
+	}
+	for _, r := range last {
+		if r.Corpus == "pascal" && r.Scheme == "PuPPIeS-Zero" {
+			b.ReportMetric(r.Summary.Mean, "pascal-Z-"+string(r.Level)+"-ratio")
+		}
+	}
+}
+
+func BenchmarkFig18PublicVsROI(b *testing.B) {
+	var last []experiments.Fig18Row
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Fig18(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rows
+	}
+	for _, r := range last {
+		if r.Scheme == "PuPPIeS-Zero" && (r.ROIPct == 20 || r.ROIPct == 100) {
+			b.ReportMetric(r.Summary.Mean, "Z-roi"+itoa(r.ROIPct)+"-ratio")
+		}
+	}
+}
+
+func BenchmarkFig20SIFTAttack(b *testing.B) {
+	var last *experiments.Fig20Result
+	for i := 0; i < b.N; i++ {
+		res, _, err := experiments.Fig20(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	if last != nil {
+		b.ReportMetric(last.MeanOriginalFeatures, "orig-features")
+		b.ReportMetric(last.MeanMatchesPuppies, "puppies-matches")
+		b.ReportMetric(last.MeanMatchesP3, "p3-matches")
+	}
+}
+
+func BenchmarkFig21EdgeAttack(b *testing.B) {
+	var last *experiments.Fig21Result
+	for i := 0; i < b.N; i++ {
+		res, _, err := experiments.Fig21(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	if last != nil && len(last.OverlapCDFPuppies) > 0 {
+		b.ReportMetric(last.OverlapCDFPuppies[len(last.OverlapCDFPuppies)-1].X, "puppies-max-edge-overlap")
+	}
+}
+
+func BenchmarkFig22FaceRecognition(b *testing.B) {
+	var last *experiments.Fig22Result
+	for i := 0; i < b.N; i++ {
+		res, _, err := experiments.Fig22(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	if last != nil && len(last.RatioPuppies) >= 10 {
+		b.ReportMetric(last.RatioPuppies[9], "puppies-rank10-ratio")
+		b.ReportMetric(last.RatioP3[9], "p3-rank10-ratio")
+		b.ReportMetric(last.RatioClean[9], "clean-rank10-ratio")
+	}
+}
+
+func BenchmarkFig23CorrelationAttacks(b *testing.B) {
+	var last []experiments.Fig23Result
+	for i := 0; i < b.N; i++ {
+		res, _, err := experiments.Fig23(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	for _, r := range last {
+		if r.Attack == "matrix inference" {
+			b.ReportMetric(r.PSNR, "matrix-inference-psnr-dB")
+		}
+	}
+}
+
+func BenchmarkFigFaceDetectionAttack(b *testing.B) {
+	var last *experiments.FaceDetectionResult
+	for i := 0; i < b.N; i++ {
+		res, _, err := experiments.FaceDetection(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	if last != nil {
+		b.ReportMetric(float64(last.DetectedOriginal), "faces-original")
+		b.ReportMetric(float64(last.DetectedPuppiesZ), "faces-puppiesZ")
+		b.ReportMetric(float64(last.DetectedP3), "faces-p3")
+	}
+}
+
+func BenchmarkROIDetection(b *testing.B) {
+	var last *experiments.ROITimingResult
+	for i := 0; i < b.N; i++ {
+		res, _, err := experiments.ROITiming(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	if last != nil {
+		b.ReportMetric(last.TotalMillis.Mean, "recommend-ms")
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,142 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation and prints them as formatted tables.
+//
+//	experiments                # laptop-scale corpora (minutes)
+//	experiments -full          # paper-scale corpora (hours)
+//	experiments -only fig4     # a single experiment
+//	experiments -seed 7 -pascal 40 -inria 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"puppies/internal/experiments"
+	"puppies/internal/stats"
+)
+
+type runner struct {
+	id  string
+	run func(experiments.Config) (*stats.Table, error)
+}
+
+func main() {
+	seed := flag.Int64("seed", 1, "corpus generation seed")
+	full := flag.Bool("full", false, "paper-scale corpus sizes (slow)")
+	pascal := flag.Int("pascal", 0, "override PASCAL-like image count")
+	inria := flag.Int("inria", 0, "override INRIA-like image count")
+	feret := flag.Int("feret", 0, "override FERET-like image count")
+	caltech := flag.Int("caltech", 0, "override Caltech-like image count")
+	quality := flag.Int("quality", 0, "override corpus JPEG quality")
+	only := flag.String("only", "", "run a single experiment (comma-separated ids)")
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Seed: *seed, Full: *full,
+		PascalN: *pascal, InriaN: *inria, FeretN: *feret, CaltechN: *caltech,
+		Quality: *quality,
+	}
+
+	runners := []runner{
+		{"table1", func(c experiments.Config) (*stats.Table, error) {
+			_, tbl, err := experiments.Table1(c)
+			return tbl, err
+		}},
+		{"table2", func(c experiments.Config) (*stats.Table, error) {
+			_, tbl, err := experiments.Table2(c)
+			return tbl, err
+		}},
+		{"table4", func(experiments.Config) (*stats.Table, error) {
+			_, tbl, err := experiments.Table4()
+			return tbl, err
+		}},
+		{"table5", func(c experiments.Config) (*stats.Table, error) {
+			_, tbl, err := experiments.Table5(c)
+			return tbl, err
+		}},
+		{"fig2", func(c experiments.Config) (*stats.Table, error) {
+			_, tbl, err := experiments.Fig2(c)
+			return tbl, err
+		}},
+		{"fig4", func(c experiments.Config) (*stats.Table, error) {
+			_, tbl, err := experiments.Fig4(c)
+			return tbl, err
+		}},
+		{"fig11", func(c experiments.Config) (*stats.Table, error) {
+			_, tbl, err := experiments.Fig11(c)
+			return tbl, err
+		}},
+		{"fig16", func(c experiments.Config) (*stats.Table, error) {
+			_, tbl, err := experiments.Fig16(c)
+			return tbl, err
+		}},
+		{"fig17", func(c experiments.Config) (*stats.Table, error) {
+			_, tbl, err := experiments.Fig17(c)
+			return tbl, err
+		}},
+		{"fig18", func(c experiments.Config) (*stats.Table, error) {
+			_, tbl, err := experiments.Fig18(c)
+			return tbl, err
+		}},
+		{"fig19", func(c experiments.Config) (*stats.Table, error) {
+			_, tbl, err := experiments.Fig19(c)
+			return tbl, err
+		}},
+		{"fig20", func(c experiments.Config) (*stats.Table, error) {
+			_, tbl, err := experiments.Fig20(c)
+			return tbl, err
+		}},
+		{"fig21", func(c experiments.Config) (*stats.Table, error) {
+			_, tbl, err := experiments.Fig21(c)
+			return tbl, err
+		}},
+		{"fig22", func(c experiments.Config) (*stats.Table, error) {
+			_, tbl, err := experiments.Fig22(c)
+			return tbl, err
+		}},
+		{"fig23", func(c experiments.Config) (*stats.Table, error) {
+			_, tbl, err := experiments.Fig23(c)
+			return tbl, err
+		}},
+		{"facedetect", func(c experiments.Config) (*stats.Table, error) {
+			_, tbl, err := experiments.FaceDetection(c)
+			return tbl, err
+		}},
+		{"bruteforce", func(experiments.Config) (*stats.Table, error) {
+			_, tbl, err := experiments.BruteForceTable()
+			return tbl, err
+		}},
+		{"roitiming", func(c experiments.Config) (*stats.Table, error) {
+			_, tbl, err := experiments.ROITiming(c)
+			return tbl, err
+		}},
+	}
+
+	selected := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			selected[strings.TrimSpace(id)] = true
+		}
+	}
+
+	failed := 0
+	for _, r := range runners {
+		if len(selected) > 0 && !selected[r.id] {
+			continue
+		}
+		start := time.Now()
+		tbl, err := r.run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", r.id, err)
+			failed++
+			continue
+		}
+		fmt.Printf("# %s (%.1fs)\n%s\n", r.id, time.Since(start).Seconds(), tbl.String())
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,39 @@
+// Command pspd runs the Photo Sharing Platform simulator: an HTTP service
+// that stores perturbed images with their public parameters and transforms
+// them on request, with no knowledge of PuPPIeS (paper Fig. 5).
+//
+//	pspd -addr :8754
+//
+// API (see internal/psp):
+//
+//	POST /v1/images                          upload {image, params} -> {id}
+//	GET  /v1/images/{id}                     stored JPEG
+//	GET  /v1/images/{id}/params              public parameters
+//	GET  /v1/images/{id}/transformed?spec=J  transformed JPEG
+//	GET  /v1/images/{id}/pixels?spec=J       transformed lossless pixels
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"puppies/internal/psp"
+)
+
+func main() {
+	addr := flag.String("addr", ":8754", "listen address")
+	flag.Parse()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           psp.NewServer().Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Printf("pspd listening on %s\n", *addr)
+	if err := srv.ListenAndServe(); err != nil {
+		log.Fatal(err)
+	}
+}

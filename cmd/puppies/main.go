@@ -1,0 +1,284 @@
+// Command puppies is the command-line interface to the PuPPIeS library:
+//
+//	puppies keygen  -out alice.key
+//	puppies detect  -in photo.jpg
+//	puppies protect -in photo.jpg -out prot.jpg -params prot.json \
+//	                -keys keys.bin [-region x,y,w,h ...] [-variant puppies-z]
+//	                [-lossless]   # perturb the input's own coefficients
+//	puppies unprotect -in prot.jpg -params prot.json -keys keys.bin -out rec.png
+//
+// Protected JPEGs are ordinary baseline JPEGs; params files are the public
+// parameter JSON; keys files hold the serialized private matrix pairs
+// (keep them secret).
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"image"
+	"image/jpeg"
+	"image/png"
+	"os"
+	"strconv"
+	"strings"
+
+	"puppies"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "puppies:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: puppies <keygen|detect|protect|unprotect> [flags]")
+	}
+	switch args[0] {
+	case "keygen":
+		return cmdKeygen(args[1:])
+	case "detect":
+		return cmdDetect(args[1:])
+	case "protect":
+		return cmdProtect(args[1:])
+	case "unprotect":
+		return cmdUnprotect(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func loadImage(path string) (image.Image, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	img, _, err := image.Decode(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("decode %s: %w", path, err)
+	}
+	return img, nil
+}
+
+func init() {
+	// Register decoders for loadImage.
+	image.RegisterFormat("jpeg", "\xff\xd8", jpeg.Decode, jpeg.DecodeConfig)
+	image.RegisterFormat("png", "\x89PNG", png.Decode, png.DecodeConfig)
+}
+
+// keysFile serializes pairs by concatenating their binary forms.
+func writeKeys(path string, pairs []*puppies.KeyPair) error {
+	var buf bytes.Buffer
+	for _, p := range pairs {
+		b, err := p.MarshalBinary()
+		if err != nil {
+			return err
+		}
+		buf.Write(b)
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o600)
+}
+
+func readKeys(path string) ([]*puppies.KeyPair, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	const wire = 16 + 4*64
+	if len(data)%wire != 0 {
+		return nil, fmt.Errorf("%s: not a keys file (length %d)", path, len(data))
+	}
+	var pairs []*puppies.KeyPair
+	for off := 0; off < len(data); off += wire {
+		var p puppies.KeyPair
+		if err := p.UnmarshalBinary(data[off : off+wire]); err != nil {
+			return nil, err
+		}
+		pairs = append(pairs, &p)
+	}
+	return pairs, nil
+}
+
+func cmdKeygen(args []string) error {
+	fs := flag.NewFlagSet("keygen", flag.ContinueOnError)
+	out := fs.String("out", "puppies.key", "output keys file")
+	n := fs.Int("n", 1, "number of key pairs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var pairs []*puppies.KeyPair
+	for i := 0; i < *n; i++ {
+		p, err := puppies.GenerateKeyPair()
+		if err != nil {
+			return err
+		}
+		pairs = append(pairs, p)
+		fmt.Println("generated key pair", p.ID)
+	}
+	return writeKeys(*out, pairs)
+}
+
+func cmdDetect(args []string) error {
+	fs := flag.NewFlagSet("detect", flag.ContinueOnError)
+	in := fs.String("in", "", "input image (jpeg or png)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	img, err := loadImage(*in)
+	if err != nil {
+		return err
+	}
+	regions := puppies.DetectRegions(img)
+	if len(regions) == 0 {
+		fmt.Println("no sensitive regions detected")
+		return nil
+	}
+	for _, r := range regions {
+		fmt.Printf("region %d,%d,%d,%d\n", r.X, r.Y, r.W, r.H)
+	}
+	return nil
+}
+
+func parseRegions(specs []string) ([]puppies.Rect, error) {
+	var out []puppies.Rect
+	for _, s := range specs {
+		parts := strings.Split(s, ",")
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("region %q: want x,y,w,h", s)
+		}
+		var vals [4]int
+		for i, p := range parts {
+			v, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil {
+				return nil, fmt.Errorf("region %q: %w", s, err)
+			}
+			vals[i] = v
+		}
+		out = append(out, puppies.Rect{X: vals[0], Y: vals[1], W: vals[2], H: vals[3]})
+	}
+	return out, nil
+}
+
+type regionFlags []string
+
+// String implements flag.Value.
+func (r *regionFlags) String() string { return strings.Join(*r, ";") }
+
+// Set implements flag.Value by accumulating repeated -region flags.
+func (r *regionFlags) Set(v string) error { *r = append(*r, v); return nil }
+
+func cmdProtect(args []string) error {
+	fs := flag.NewFlagSet("protect", flag.ContinueOnError)
+	in := fs.String("in", "", "input image")
+	out := fs.String("out", "protected.jpg", "output protected JPEG")
+	params := fs.String("params", "protected.json", "output public parameters")
+	keysOut := fs.String("keys", "protected.key", "output private keys file")
+	variant := fs.String("variant", string(puppies.VariantZ), "scheme variant (puppies-n/-b/-c/-z)")
+	level := fs.String("level", string(puppies.LevelMedium), "privacy level (low/medium/high)")
+	quality := fs.Int("quality", 0, "JPEG quality (0 = default 75)")
+	transformSupport := fs.Bool("transform-support", false, "emit extra params for pixel-transform recovery")
+	lossless := fs.Bool("lossless", false, "protect the input JPEG's coefficients directly (no pixel re-encode)")
+	var regions regionFlags
+	fs.Var(&regions, "region", "x,y,w,h region to protect (repeatable; omit to auto-detect)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	rects, err := parseRegions(regions)
+	if err != nil {
+		return err
+	}
+	var rectsOpt []puppies.Rect
+	if len(rects) > 0 {
+		rectsOpt = rects
+	}
+	opts := puppies.ProtectOptions{
+		Variant:          puppies.Variant(*variant),
+		Level:            puppies.PrivacyLevel(*level),
+		Regions:          rectsOpt,
+		Quality:          *quality,
+		TransformSupport: *transformSupport,
+	}
+	var prot *puppies.Protected
+	if *lossless {
+		data, err := os.ReadFile(*in)
+		if err != nil {
+			return err
+		}
+		if prot, err = puppies.ProtectJPEG(data, opts); err != nil {
+			return err
+		}
+	} else {
+		img, err := loadImage(*in)
+		if err != nil {
+			return err
+		}
+		if prot, err = puppies.Protect(img, opts); err != nil {
+			return err
+		}
+	}
+	if err := os.WriteFile(*out, prot.JPEG, 0o644); err != nil {
+		return err
+	}
+	if err := os.WriteFile(*params, prot.Params, 0o644); err != nil {
+		return err
+	}
+	if err := writeKeys(*keysOut, prot.Keys); err != nil {
+		return err
+	}
+	for i, r := range prot.Regions {
+		fmt.Printf("protected region %d: %d,%d,%d,%d key %s\n", i, r.X, r.Y, r.W, r.H, prot.Keys[i].ID)
+	}
+	fmt.Printf("wrote %s (%d bytes), %s, %s\n", *out, len(prot.JPEG), *params, *keysOut)
+	return nil
+}
+
+func cmdUnprotect(args []string) error {
+	fs := flag.NewFlagSet("unprotect", flag.ContinueOnError)
+	in := fs.String("in", "", "protected JPEG")
+	params := fs.String("params", "", "public parameters JSON")
+	keysIn := fs.String("keys", "", "keys file (omit to view the protected image)")
+	out := fs.String("out", "recovered.png", "output PNG")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *params == "" {
+		return fmt.Errorf("-in and -params are required")
+	}
+	jpegData, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	paramData, err := os.ReadFile(*params)
+	if err != nil {
+		return err
+	}
+	var pairs []*puppies.KeyPair
+	if *keysIn != "" {
+		if pairs, err = readKeys(*keysIn); err != nil {
+			return err
+		}
+	}
+	img, err := puppies.Unprotect(jpegData, paramData, pairs)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := png.Encode(f, img); err != nil {
+		return err
+	}
+	fmt.Printf("recovered %d regions' worth of image into %s\n", len(pairs), *out)
+	return nil
+}

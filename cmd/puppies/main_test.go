@@ -1,0 +1,169 @@
+package main
+
+import (
+	"image"
+	"image/color"
+	"image/jpeg"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTestJPEG(t *testing.T, path string) {
+	t.Helper()
+	img := image.NewRGBA(image.Rect(0, 0, 96, 96))
+	for y := 0; y < 96; y++ {
+		for x := 0; x < 96; x++ {
+			img.SetRGBA(x, y, color.RGBA{
+				R: uint8(60 + (x*5+y*7)%140),
+				G: uint8(80 + (x*3+y)%120),
+				B: uint8(50 + (x+y*2)%100),
+				A: 255,
+			})
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := jpeg.Encode(f, img, &jpeg.Options{Quality: 90}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEndToEndCLI(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "photo.jpg")
+	writeTestJPEG(t, in)
+
+	out := filepath.Join(dir, "prot.jpg")
+	params := filepath.Join(dir, "prot.json")
+	keysFile := filepath.Join(dir, "prot.key")
+	if err := run([]string{
+		"protect", "-in", in, "-out", out, "-params", params, "-keys", keysFile,
+		"-region", "16,16,48,48",
+	}); err != nil {
+		t.Fatalf("protect: %v", err)
+	}
+	for _, p := range []string{out, params, keysFile} {
+		if st, err := os.Stat(p); err != nil || st.Size() == 0 {
+			t.Fatalf("output %s missing or empty: %v", p, err)
+		}
+	}
+
+	rec := filepath.Join(dir, "rec.png")
+	if err := run([]string{
+		"unprotect", "-in", out, "-params", params, "-keys", keysFile, "-out", rec,
+	}); err != nil {
+		t.Fatalf("unprotect: %v", err)
+	}
+	if st, err := os.Stat(rec); err != nil || st.Size() == 0 {
+		t.Fatalf("recovered image missing: %v", err)
+	}
+
+	// Unprotect without keys also succeeds (viewer mode).
+	blocked := filepath.Join(dir, "blocked.png")
+	if err := run([]string{
+		"unprotect", "-in", out, "-params", params, "-out", blocked,
+	}); err != nil {
+		t.Fatalf("viewer unprotect: %v", err)
+	}
+}
+
+func TestKeygenAndReadKeys(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "k.key")
+	if err := run([]string{"keygen", "-out", path, "-n", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := readKeys(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 3 {
+		t.Fatalf("got %d pairs", len(pairs))
+	}
+	ids := map[string]bool{}
+	for _, p := range pairs {
+		if err := p.Validate(); err != nil {
+			t.Error(err)
+		}
+		if ids[p.ID] {
+			t.Error("duplicate key id")
+		}
+		ids[p.ID] = true
+	}
+}
+
+func TestDetectCLI(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "photo.jpg")
+	writeTestJPEG(t, in)
+	if err := run([]string{"detect", "-in", in}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("empty args accepted")
+	}
+	if err := run([]string{"frobnicate"}); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if err := run([]string{"protect"}); err == nil {
+		t.Error("protect without -in accepted")
+	}
+	if err := run([]string{"unprotect", "-in", "nope.jpg"}); err == nil {
+		t.Error("unprotect without -params accepted")
+	}
+	if err := run([]string{"detect", "-in", "/does/not/exist.jpg"}); err == nil {
+		t.Error("missing input accepted")
+	}
+	dir := t.TempDir()
+	in := filepath.Join(dir, "photo.jpg")
+	writeTestJPEG(t, in)
+	err := run([]string{"protect", "-in", in, "-region", "1,2,3"})
+	if err == nil || !strings.Contains(err.Error(), "x,y,w,h") {
+		t.Errorf("malformed region: %v", err)
+	}
+}
+
+func TestReadKeysRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.key")
+	if err := os.WriteFile(path, []byte("short"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readKeys(path); err == nil {
+		t.Error("garbage keys file accepted")
+	}
+}
+
+func TestLosslessProtectCLI(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "photo.jpg")
+	writeTestJPEG(t, in) // stdlib 4:2:0 output exercises the subsampled import path
+
+	out := filepath.Join(dir, "prot.jpg")
+	params := filepath.Join(dir, "prot.json")
+	keysFile := filepath.Join(dir, "prot.key")
+	if err := run([]string{
+		"protect", "-lossless", "-in", in, "-out", out, "-params", params,
+		"-keys", keysFile, "-region", "16,16,48,48",
+	}); err != nil {
+		t.Fatalf("lossless protect: %v", err)
+	}
+	rec := filepath.Join(dir, "rec.png")
+	if err := run([]string{
+		"unprotect", "-in", out, "-params", params, "-keys", keysFile, "-out", rec,
+	}); err != nil {
+		t.Fatalf("unprotect: %v", err)
+	}
+	// Lossless mode requires explicit regions.
+	if err := run([]string{"protect", "-lossless", "-in", in}); err == nil {
+		t.Error("lossless protect without regions accepted")
+	}
+}

@@ -1,0 +1,112 @@
+package puppies_test
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"log"
+
+	"puppies"
+)
+
+// demoImage builds a deterministic test photo.
+func demoImage() image.Image {
+	img := image.NewRGBA(image.Rect(0, 0, 128, 96))
+	for y := 0; y < 96; y++ {
+		for x := 0; x < 128; x++ {
+			img.SetRGBA(x, y, color.RGBA{
+				R: uint8(100 + (x*3+y*5)%100),
+				G: uint8(90 + (x*7+y)%110),
+				B: uint8(80 + (x+y*3)%90),
+				A: 255,
+			})
+		}
+	}
+	return img
+}
+
+// Example_protectAndRecover shows the minimal protect/share/recover flow.
+func Example_protectAndRecover() {
+	prot, err := puppies.Protect(demoImage(), puppies.ProtectOptions{
+		Regions: []puppies.Rect{{X: 32, Y: 24, W: 48, H: 40}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("regions protected:", len(prot.Regions))
+	fmt.Println("keys issued:", len(prot.Keys))
+
+	// Without keys the region stays hidden; with keys it comes back.
+	if _, err := puppies.Unprotect(prot.JPEG, prot.Params, nil); err != nil {
+		log.Fatal(err)
+	}
+	recovered, err := puppies.Unprotect(prot.JPEG, prot.Params, prot.Keys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("recovered bounds:", recovered.Bounds().Max)
+	// Output:
+	// regions protected: 1
+	// keys issued: 1
+	// recovered bounds: (128,96)
+}
+
+// Example_keyDistribution shows sealed key delivery to a receiver.
+func Example_keyDistribution() {
+	prot, err := puppies.Protect(demoImage(), puppies.ProtectOptions{
+		Regions: []puppies.Rect{{X: 0, Y: 0, W: 32, H: 32}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	store := puppies.NewKeyStore()
+	if err := store.Add(prot.Keys[0]); err != nil {
+		log.Fatal(err)
+	}
+	if err := store.Grant("bob", prot.Keys[0].ID); err != nil {
+		log.Fatal(err)
+	}
+
+	bob, err := puppies.NewIdentity()
+	if err != nil {
+		log.Fatal(err)
+	}
+	env, err := store.SealFor("bob", bob.PublicKey())
+	if err != nil {
+		log.Fatal(err)
+	}
+	received, err := bob.Open(env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("bob received keys:", len(received))
+	fmt.Println("matches granted key:", received[0].ID == prot.Keys[0].ID)
+	// Output:
+	// bob received keys: 1
+	// matches granted key: true
+}
+
+// Example_transformedRecovery shows exact recovery after a PSP-side
+// rotation of the stored image.
+func Example_transformedRecovery() {
+	prot, err := puppies.Protect(demoImage(), puppies.ProtectOptions{
+		Regions: []puppies.Rect{{X: 32, Y: 24, W: 48, H: 40}},
+		Variant: puppies.VariantC,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The platform rotates the stored JPEG with its own tooling.
+	rotated, err := puppies.PSPTransform(prot.JPEG, puppies.TransformSpec{Op: "rotate90"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec, err := puppies.UnprotectTransformed(rotated, prot.Params,
+		puppies.TransformSpec{Op: "rotate90"}, prot.Keys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("rotated recovery bounds:", rec.Bounds().Max)
+	// Output:
+	// rotated recovery bounds: (96,128)
+}

@@ -1,0 +1,79 @@
+// Quickstart: protect a region of a photo, share the result anywhere, and
+// recover it with the key — the minimal PuPPIeS flow.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"log"
+
+	"puppies"
+)
+
+func main() {
+	// A stand-in photo: textured background with a "sensitive document" in
+	// the middle (in a real application this is your image.Image).
+	photo := makePhoto(320, 240)
+	sensitive := puppies.Rect{X: 96, Y: 72, W: 128, H: 96}
+
+	// Sender: perturb the sensitive region. The output JPEG is a normal
+	// baseline JPEG any viewer, CDN or photo platform can handle.
+	prot, err := puppies.Protect(photo, puppies.ProtectOptions{
+		Regions: []puppies.Rect{sensitive},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("protected JPEG: %d bytes, public params: %d bytes, %d key pair(s)\n",
+		len(prot.JPEG), len(prot.Params), len(prot.Keys))
+
+	// Anyone without the key sees noise in the region.
+	blocked, err := puppies.Unprotect(prot.JPEG, prot.Params, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("without key: center pixel of region = %v (perturbed)\n",
+		colorAt(blocked, 160, 120))
+
+	// A receiver holding the key recovers the region exactly.
+	recovered, err := puppies.Unprotect(prot.JPEG, prot.Params, prot.Keys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("with key:    center pixel of region = %v (recovered)\n",
+		colorAt(recovered, 160, 120))
+	fmt.Printf("original:    center pixel of region = %v\n", colorAt(photo, 160, 120))
+}
+
+func makePhoto(w, h int) image.Image {
+	img := image.NewRGBA(image.Rect(0, 0, w, h))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			img.SetRGBA(x, y, color.RGBA{
+				R: uint8(90 + (x*7+y*3)%90),
+				G: uint8(110 + (x*3+y*11)%70),
+				B: uint8(70 + (x+y)%60),
+				A: 255,
+			})
+		}
+	}
+	// The "document": a bright area with dark lines of "text".
+	for y := 80; y < 160; y++ {
+		for x := 104; x < 216; x++ {
+			c := color.RGBA{R: 235, G: 232, B: 220, A: 255}
+			if (y/6)%2 == 0 && x%5 != 0 && y > 88 && y < 152 {
+				c = color.RGBA{R: 40, G: 36, B: 48, A: 255}
+			}
+			img.SetRGBA(x, y, c)
+		}
+	}
+	return img
+}
+
+func colorAt(img image.Image, x, y int) string {
+	r, g, b, _ := img.At(x, y).RGBA()
+	return fmt.Sprintf("(%3d,%3d,%3d)", r>>8, g>>8, b>>8)
+}

@@ -1,0 +1,95 @@
+// Social sharing: the paper's Einstein/Chaplin scenario (Fig. 3).
+//
+// Alice posts a group photo with two faces. Each face is protected with its
+// own key pair. Alice grants Einstein's friends one key and Chaplin's
+// friends the other; each group sees only the face it was granted, while
+// the platform and the public see neither. Key delivery uses sealed
+// envelopes (X25519 + AES-GCM).
+//
+//	go run ./examples/socialsharing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"puppies"
+	"puppies/internal/dataset"
+)
+
+func main() {
+	// A synthetic "two people in front of a landmark" photo with
+	// ground-truth face rectangles.
+	gen, err := dataset.NewGenerator(dataset.Caltech, 2024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	item := gen.Item(3)
+	photo := item.Image.Quantize8().ToStdImage()
+
+	var faces []puppies.Rect
+	for _, a := range item.Annotations {
+		if a.Class == dataset.ClassFace {
+			faces = append(faces, puppies.Rect{X: a.X, Y: a.Y, W: a.W, H: a.H})
+		}
+	}
+	if len(faces) < 2 {
+		faces = append(faces, puppies.Rect{X: 16, Y: 16, W: 64, H: 64})
+	}
+	fmt.Printf("photo %dx%d with %d face regions\n",
+		photo.Bounds().Dx(), photo.Bounds().Dy(), len(faces))
+
+	// Alice protects each face with its own key.
+	prot, err := puppies.Protect(photo, puppies.ProtectOptions{
+		Regions: faces[:2],
+		Variant: puppies.VariantZ,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("uploaded to PSP: %d bytes JPEG + %d bytes public params\n",
+		len(prot.JPEG), len(prot.Params))
+
+	// Alice's key store with per-friend-group grants.
+	store := puppies.NewKeyStore()
+	for _, k := range prot.Keys {
+		if err := store.Add(k); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := store.Grant("einstein-friends", prot.Keys[0].ID); err != nil {
+		log.Fatal(err)
+	}
+	if err := store.Grant("chaplin-friends", prot.Keys[1].ID); err != nil {
+		log.Fatal(err)
+	}
+
+	// Each group opens its sealed envelope and decrypts what it may see.
+	for _, group := range []string{"einstein-friends", "chaplin-friends"} {
+		identity, err := puppies.NewIdentity()
+		if err != nil {
+			log.Fatal(err)
+		}
+		env, err := store.SealFor(group, identity.PublicKey())
+		if err != nil {
+			log.Fatal(err)
+		}
+		keys, err := identity.Open(env)
+		if err != nil {
+			log.Fatal(err)
+		}
+		img, err := puppies.Unprotect(prot.JPEG, prot.Params, keys)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: received %d key(s); decrypted image %v — sees face %s only\n",
+			group, len(keys), img.Bounds().Max, keys[0].ID[:8])
+	}
+
+	// The public (no keys) sees both faces perturbed.
+	public, err := puppies.Unprotect(prot.JPEG, prot.Params, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("public view: %v with all faces perturbed\n", public.Bounds().Max)
+}

@@ -1,0 +1,3 @@
+module puppies
+
+go 1.22

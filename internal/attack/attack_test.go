@@ -1,0 +1,416 @@
+package attack
+
+import (
+	"math"
+	"testing"
+
+	"puppies/internal/core"
+	"puppies/internal/dataset"
+	"puppies/internal/imgplane"
+	"puppies/internal/jpegc"
+	"puppies/internal/keys"
+)
+
+func checkerboard(w, h, cell int) *imgplane.Image {
+	img, _ := imgplane.New(w, h, 3)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := float32(40)
+			if (x/cell+y/cell)%2 == 0 {
+				v = 220
+			}
+			i := y*w + x
+			img.Planes[0].Pix[i] = v
+			img.Planes[1].Pix[i] = 128
+			img.Planes[2].Pix[i] = 128
+		}
+	}
+	return img
+}
+
+func flat(w, h int) *imgplane.Image {
+	img, _ := imgplane.New(w, h, 3)
+	for i := range img.Planes[0].Pix {
+		img.Planes[0].Pix[i] = 128
+		img.Planes[1].Pix[i] = 128
+		img.Planes[2].Pix[i] = 128
+	}
+	return img
+}
+
+func TestCannyFindsEdges(t *testing.T) {
+	edges, err := Canny(checkerboard(64, 64, 8), CannyParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := EdgeRatio(edges)
+	if r < 0.05 {
+		t.Errorf("checkerboard edge ratio %.3f too low", r)
+	}
+	flatEdges, err := Canny(flat(64, 64), CannyParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr := EdgeRatio(flatEdges); fr > 0.001 {
+		t.Errorf("flat image edge ratio %.4f should be ~0", fr)
+	}
+}
+
+func TestCannySmallImageErrors(t *testing.T) {
+	if _, err := Canny(flat(64, 64), CannyParams{}); err != nil {
+		t.Fatal(err)
+	}
+	tiny, _ := imgplane.New(2, 2, 1)
+	if _, err := Canny(tiny, CannyParams{}); err == nil {
+		t.Error("2x2 image accepted")
+	}
+}
+
+func TestEdgeOverlap(t *testing.T) {
+	ref := []bool{true, true, false, false}
+	probe := []bool{true, false, true, false}
+	ov, err := EdgeOverlap(ref, probe)
+	if err != nil || ov != 0.5 {
+		t.Errorf("overlap = %v, %v", ov, err)
+	}
+	if _, err := EdgeOverlap(ref, probe[:2]); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	none, _ := EdgeOverlap([]bool{false}, []bool{false})
+	if none != 0 {
+		t.Errorf("empty-ref overlap = %v", none)
+	}
+}
+
+func TestSIFTSelfMatch(t *testing.T) {
+	g, _ := dataset.NewGenerator(dataset.PASCAL, 11)
+	img := g.Item(0).Image
+	kps := SIFT(img, SIFTParams{})
+	if len(kps) < 20 {
+		t.Fatalf("only %d keypoints on a textured image", len(kps))
+	}
+	matches := MatchSIFT(kps, kps, 0)
+	// Self-matching with a ratio test: most keypoints should match (ratio
+	// test kills points with a near-duplicate twin, so demand 50%).
+	if len(matches) < len(kps)/2 {
+		t.Errorf("self-match found %d/%d", len(matches), len(kps))
+	}
+	for _, m := range matches {
+		if m.A != m.B {
+			// Distinct keypoints can coincide; tolerate but distances must
+			// then be near zero anyway.
+			if m.Distance > 1e-6 {
+				t.Errorf("self-match paired %d with %d at distance %v", m.A, m.B, m.Distance)
+			}
+		}
+	}
+}
+
+func perturbWhole(t *testing.T, img *imgplane.Image, variant core.Variant) *imgplane.Image {
+	t.Helper()
+	cimg, err := jpegc.FromPlanar(img, jpegc.Options{Quality: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w8, h8 := (cimg.W/8)*8, (cimg.H/8)*8
+	params, _ := core.NewParams(variant, core.LevelMedium)
+	sch, err := core.NewScheme(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair := keys.NewPairDeterministic(99)
+	if _, _, err := sch.EncryptImage(cimg, []core.RegionAssignment{
+		{ROI: core.ROI{X: 0, Y: 0, W: w8, H: h8}, Pair: pair},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	pix, err := cimg.ToPlanar()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pix.Quantize8()
+}
+
+func TestSIFTPerturbedDoesNotMatch(t *testing.T) {
+	g, _ := dataset.NewGenerator(dataset.PASCAL, 12)
+	img := g.Item(1).Image
+	orig := SIFT(img, SIFTParams{})
+	if len(orig) < 10 {
+		t.Fatalf("only %d original keypoints", len(orig))
+	}
+	pert := SIFT(perturbWhole(t, img, core.VariantZ), SIFTParams{})
+	matches := MatchSIFT(orig, pert, 0)
+	// Fig. 20: the average match count between original and perturbed is
+	// far below the original keypoint count (paper: < 1 match on ~1500).
+	if len(matches) > len(orig)/20 {
+		t.Errorf("perturbed image retained %d/%d SIFT matches", len(matches), len(orig))
+	}
+}
+
+func TestCannyPerturbedLosesEdges(t *testing.T) {
+	g, _ := dataset.NewGenerator(dataset.PASCAL, 13)
+	img := g.Item(2).Image
+	refEdges, err := Canny(img, CannyParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pertEdges, err := Canny(perturbWhole(t, img, core.VariantZ), CannyParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov, err := EdgeOverlap(refEdges, pertEdges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov > 0.25 {
+		t.Errorf("perturbed image retains %.0f%% of edge structure", ov*100)
+	}
+}
+
+func galleryAndProbes(t *testing.T, identities, perID int) (*TrainingSet, []*dataset.Item) {
+	t.Helper()
+	prof := dataset.FERET
+	prof.Identities = identities
+	g, err := dataset.NewGenerator(prof, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := &TrainingSet{}
+	for i := 0; i < identities*perID; i++ {
+		item := g.Item(i)
+		a := item.Annotations[0]
+		if err := ts.Add(item.Image, a.X, a.Y, a.W, a.H, a.Identity); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Probes: the next batch (same identities, new variations).
+	var probes []*dataset.Item
+	for i := identities * perID; i < identities*(perID+1); i++ {
+		probes = append(probes, g.Item(i))
+	}
+	return ts, probes
+}
+
+func TestEigenfacesRecognizeCleanProbes(t *testing.T) {
+	const identities = 10
+	ts, probes := galleryAndProbes(t, identities, 2)
+	model, err := Train(ts, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank1 := 0
+	for _, p := range probes {
+		a := p.Annotations[0]
+		ranked, err := model.Recognize(p.Image, a.X, a.Y, a.W, a.H)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if RankOf(ranked, a.Identity) == 1 {
+			rank1++
+		}
+	}
+	if rank1 < len(probes)*6/10 {
+		t.Errorf("rank-1 recognition %d/%d on clean probes; model too weak", rank1, len(probes))
+	}
+}
+
+func TestEigenfacesFailOnPerturbedProbes(t *testing.T) {
+	const identities = 10
+	ts, probes := galleryAndProbes(t, identities, 2)
+	model, err := Train(ts, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0 // rank <= 3 counts as a leak
+	for _, p := range probes[:5] {
+		a := p.Annotations[0]
+		pert := perturbWhole(t, p.Image, core.VariantZ)
+		ranked, err := model.Recognize(pert, a.X, a.Y, a.W, a.H)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := RankOf(ranked, a.Identity); r > 0 && r <= 3 {
+			hits++
+		}
+	}
+	// With 10 identities, random chance of rank<=3 is 30%; allow up to 2/5.
+	if hits > 2 {
+		t.Errorf("perturbed probes recognized %d/5 times at rank<=3", hits)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(&TrainingSet{}, 5); err == nil {
+		t.Error("empty training set accepted")
+	}
+	ts, _ := galleryAndProbes(t, 3, 1)
+	if _, err := Train(ts, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestJacobiEigenKnownMatrix(t *testing.T) {
+	// Symmetric matrix with known eigenvalues 3 and 1.
+	m := [][]float64{{2, 1}, {1, 2}}
+	evals, evecs, err := jacobiEigen(m, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := []float64{evals[0], evals[1]}
+	if got[0] < got[1] {
+		got[0], got[1] = got[1], got[0]
+	}
+	if math.Abs(got[0]-3) > 1e-9 || math.Abs(got[1]-1) > 1e-9 {
+		t.Errorf("eigenvalues %v, want [3 1]", got)
+	}
+	// Eigenvectors orthonormal.
+	dot := evecs[0][0]*evecs[0][1] + evecs[1][0]*evecs[1][1]
+	if math.Abs(dot) > 1e-9 {
+		t.Errorf("eigenvectors not orthogonal: %v", dot)
+	}
+	if _, _, err := jacobiEigen([][]float64{{1, 2}}, 10); err == nil {
+		t.Error("non-square matrix accepted")
+	}
+}
+
+func correlationFixture(t *testing.T) (*imgplane.Image, *jpegc.Image, *core.PublicData) {
+	t.Helper()
+	g, _ := dataset.NewGenerator(dataset.PASCAL, 31)
+	item := g.Item(0)
+	cimg, err := jpegc.FromPlanar(item.Image, jpegc.Options{Quality: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := cimg.ToPlanar()
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, _ := core.NewParams(core.VariantC, core.LevelMedium)
+	sch, _ := core.NewScheme(params)
+	pair := keys.NewPairDeterministic(7)
+	roi := core.ROI{X: 96, Y: 96, W: 128, H: 96}
+	pd, _, err := sch.EncryptImage(cimg, []core.RegionAssignment{{ROI: roi, Pair: pair}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return orig, cimg, pd
+}
+
+// roiPSNR computes PSNR over the perturbed region only.
+func roiPSNR(t *testing.T, a, b *imgplane.Image, roi core.ROI) float64 {
+	t.Helper()
+	var mse float64
+	var n int
+	for ci := range a.Planes {
+		for y := roi.Y; y < roi.Y+roi.H; y++ {
+			for x := roi.X; x < roi.X+roi.W; x++ {
+				d := float64(a.Planes[ci].At(x, y) - b.Planes[ci].At(x, y))
+				mse += d * d
+				n++
+			}
+		}
+	}
+	mse /= float64(n)
+	if mse == 0 {
+		return math.Inf(1)
+	}
+	return 10 * math.Log10(255*255/mse)
+}
+
+func TestCorrelationAttacksFail(t *testing.T) {
+	orig, perturbed, pd := correlationFixture(t)
+	roi := pd.Regions[0].ROI
+	perturbedPix, err := perturbed.ToPlanar()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	recovered1, err := InferMatrixAttack(perturbed, pd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered2, err := NeighborInterpolationAttack(perturbedPix, pd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered3, err := PCAAttack(perturbedPix, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, rec := range map[string]*imgplane.Image{
+		"matrix-inference": recovered1,
+		"neighbor-interp":  recovered2,
+		"pca":              recovered3,
+	} {
+		psnr := roiPSNR(t, orig, rec, roi)
+		if psnr > 28 {
+			t.Errorf("%s attack recovered the ROI too well (PSNR %.1f dB)", name, psnr)
+		}
+	}
+}
+
+func TestInferMatrixAttackWholeImageErrors(t *testing.T) {
+	g, _ := dataset.NewGenerator(dataset.PASCAL, 32)
+	cimg, err := jpegc.FromPlanar(g.Item(0).Image, jpegc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, _ := core.NewParams(core.VariantC, core.LevelMedium)
+	sch, _ := core.NewScheme(params)
+	pair := keys.NewPairDeterministic(3)
+	w8, h8 := (cimg.W/8)*8, (cimg.H/8)*8
+	pd, _, err := sch.EncryptImage(cimg, []core.RegionAssignment{
+		{ROI: core.ROI{X: 0, Y: 0, W: w8, H: h8}, Pair: pair},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := InferMatrixAttack(cimg, pd); err == nil {
+		t.Error("whole-image attack should report no reference blocks")
+	}
+}
+
+func TestBruteForceReports(t *testing.T) {
+	reports, err := BruteForceAll(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 3 {
+		t.Fatalf("got %d reports", len(reports))
+	}
+	prev := 0
+	for _, r := range reports {
+		if r.DCBits != 704 {
+			t.Errorf("%s: DC bits %d, want 704", r.Level, r.DCBits)
+		}
+		if r.TotalBits < prev {
+			t.Errorf("%s: total bits %d not monotone", r.Level, r.TotalBits)
+		}
+		prev = r.TotalBits
+		if !r.MeetsNIST {
+			t.Errorf("%s: %d bits should exceed the 256-bit NIST bar", r.Level, r.TotalBits)
+		}
+		if r.PaperClaimBits == 0 {
+			t.Errorf("%s: missing paper claim", r.Level)
+		}
+		if !math.IsInf(r.YearsAtRate, 1) && r.YearsAtRate < 1e50 {
+			t.Errorf("%s: brute force in %.1e years is implausibly fast", r.Level, r.YearsAtRate)
+		}
+	}
+	if _, err := BruteForce("bogus", 0); err == nil {
+		t.Error("bogus level accepted")
+	}
+	if _, err := BruteForce(core.LevelLow, -5); err == nil {
+		t.Error("negative rate accepted")
+	}
+}
+
+func TestPCAAttackValidation(t *testing.T) {
+	img := flat(32, 32)
+	if _, err := PCAAttack(img, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := PCAAttack(img, 4); err != nil {
+		t.Errorf("flat image: %v", err)
+	}
+}

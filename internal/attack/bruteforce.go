@@ -1,0 +1,86 @@
+package attack
+
+import (
+	"fmt"
+	"math"
+
+	"puppies/internal/core"
+)
+
+// BruteForceReport is the §VI-A accounting of the key search space at one
+// privacy level.
+type BruteForceReport struct {
+	Level core.PrivacyLevel
+	MR    int
+	K     int
+	// DCBits and ACBits are computed from Algorithm 3 (see the erratum note
+	// on core.SecureBits); TotalBits is their sum.
+	DCBits    int
+	ACBits    int
+	TotalBits int
+	// PaperClaimBits is the figure the paper reports for this level
+	// (705/794/1335); it differs from the computable value and is retained
+	// for the EXPERIMENTS.md comparison.
+	PaperClaimBits int
+	// YearsAtRate is the expected exhaustive-search time at the given guess
+	// rate (guesses/second), +Inf when the space exceeds float range.
+	YearsAtRate float64
+	// MeetsNIST reports whether the space exceeds the 256-bit NIST
+	// recommendation the paper cites.
+	MeetsNIST bool
+}
+
+var paperClaims = map[core.PrivacyLevel]int{
+	core.LevelLow:    705,
+	core.LevelMedium: 794,
+	core.LevelHigh:   1335,
+}
+
+// BruteForce computes the report for one privacy level at the given guess
+// rate (guesses per second; zero selects 1e12, a generous state-level rate).
+func BruteForce(level core.PrivacyLevel, guessesPerSecond float64) (BruteForceReport, error) {
+	if guessesPerSecond == 0 {
+		guessesPerSecond = 1e12
+	}
+	if guessesPerSecond < 0 {
+		return BruteForceReport{}, fmt.Errorf("attack: negative guess rate")
+	}
+	mR, k, err := core.LevelParams(level)
+	if err != nil {
+		return BruteForceReport{}, err
+	}
+	dc, ac, err := core.SecureBits(mR, k)
+	if err != nil {
+		return BruteForceReport{}, err
+	}
+	total := dc + ac
+	years := math.Inf(1)
+	if total < 1000 {
+		years = math.Pow(2, float64(total)) / guessesPerSecond / (365.25 * 24 * 3600)
+	}
+	return BruteForceReport{
+		Level:          level,
+		MR:             mR,
+		K:              k,
+		DCBits:         dc,
+		ACBits:         ac,
+		TotalBits:      total,
+		PaperClaimBits: paperClaims[level],
+		YearsAtRate:    years,
+		MeetsNIST:      total >= 256,
+	}, nil
+}
+
+// BruteForceAll reports all three privacy levels.
+func BruteForceAll(guessesPerSecond float64) ([]BruteForceReport, error) {
+	levels := []core.PrivacyLevel{core.LevelLow, core.LevelMedium, core.LevelHigh}
+	out := make([]BruteForceReport, 0, len(levels))
+	for _, l := range levels {
+		r, err := BruteForce(l, guessesPerSecond)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

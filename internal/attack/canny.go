@@ -1,0 +1,192 @@
+// Package attack implements the privacy attacks of the paper's §VI
+// evaluation: brute-force accounting, SIFT feature matching, Canny edge
+// detection, PCA eigenface recognition, and the three signal-correlation
+// reconstruction attacks. The experiments measure how little each attack
+// extracts from PuPPIeS-perturbed images (and from P3 public parts).
+package attack
+
+import (
+	"fmt"
+	"math"
+
+	"puppies/internal/imgplane"
+)
+
+// CannyParams configure the edge detector.
+type CannyParams struct {
+	// LowThreshold and HighThreshold are the hysteresis thresholds on
+	// gradient magnitude. Zero values select 40/90.
+	LowThreshold  float64
+	HighThreshold float64
+}
+
+func (p CannyParams) thresholds() (lo, hi float64) {
+	lo, hi = p.LowThreshold, p.HighThreshold
+	if lo == 0 {
+		lo = 40
+	}
+	if hi == 0 {
+		hi = 90
+	}
+	return lo, hi
+}
+
+// Canny runs the classical Canny edge detector (Gaussian smoothing, Sobel
+// gradients, non-maximum suppression, hysteresis) on the luminance plane
+// and returns the edge mask (row-major, w*h).
+func Canny(img *imgplane.Image, params CannyParams) ([]bool, error) {
+	if err := img.Validate(); err != nil {
+		return nil, err
+	}
+	y := img.Planes[0]
+	w, h := y.W, y.H
+	if w < 3 || h < 3 {
+		return nil, fmt.Errorf("attack: image %dx%d too small for canny", w, h)
+	}
+	lo, hi := params.thresholds()
+
+	// 5x5 Gaussian smoothing.
+	smooth := make([]float64, w*h)
+	kernel := [5]float64{1, 4, 6, 4, 1}
+	for yy := 0; yy < h; yy++ {
+		for xx := 0; xx < w; xx++ {
+			var sum, norm float64
+			for ky := -2; ky <= 2; ky++ {
+				for kx := -2; kx <= 2; kx++ {
+					kw := kernel[ky+2] * kernel[kx+2]
+					sum += kw * float64(y.At(xx+kx, yy+ky))
+					norm += kw
+				}
+			}
+			smooth[yy*w+xx] = sum / norm
+		}
+	}
+	at := func(x, yy int) float64 {
+		if x < 0 {
+			x = 0
+		} else if x >= w {
+			x = w - 1
+		}
+		if yy < 0 {
+			yy = 0
+		} else if yy >= h {
+			yy = h - 1
+		}
+		return smooth[yy*w+x]
+	}
+
+	// Sobel gradients.
+	mag := make([]float64, w*h)
+	dir := make([]uint8, w*h) // quantized to 4 directions
+	for yy := 0; yy < h; yy++ {
+		for xx := 0; xx < w; xx++ {
+			gx := -at(xx-1, yy-1) - 2*at(xx-1, yy) - at(xx-1, yy+1) +
+				at(xx+1, yy-1) + 2*at(xx+1, yy) + at(xx+1, yy+1)
+			gy := -at(xx-1, yy-1) - 2*at(xx, yy-1) - at(xx+1, yy-1) +
+				at(xx-1, yy+1) + 2*at(xx, yy+1) + at(xx+1, yy+1)
+			m := math.Hypot(gx, gy)
+			mag[yy*w+xx] = m
+			ang := math.Atan2(gy, gx) * 180 / math.Pi
+			if ang < 0 {
+				ang += 180
+			}
+			switch {
+			case ang < 22.5 || ang >= 157.5:
+				dir[yy*w+xx] = 0 // horizontal gradient -> vertical edge
+			case ang < 67.5:
+				dir[yy*w+xx] = 1
+			case ang < 112.5:
+				dir[yy*w+xx] = 2
+			default:
+				dir[yy*w+xx] = 3
+			}
+		}
+	}
+
+	// Non-maximum suppression.
+	nms := make([]float64, w*h)
+	for yy := 1; yy < h-1; yy++ {
+		for xx := 1; xx < w-1; xx++ {
+			i := yy*w + xx
+			var a, b float64
+			switch dir[i] {
+			case 0:
+				a, b = mag[i-1], mag[i+1]
+			case 1:
+				a, b = mag[(yy-1)*w+xx+1], mag[(yy+1)*w+xx-1]
+			case 2:
+				a, b = mag[(yy-1)*w+xx], mag[(yy+1)*w+xx]
+			default:
+				a, b = mag[(yy-1)*w+xx-1], mag[(yy+1)*w+xx+1]
+			}
+			if mag[i] >= a && mag[i] >= b {
+				nms[i] = mag[i]
+			}
+		}
+	}
+
+	// Hysteresis: strong edges seed, weak edges join if connected.
+	edges := make([]bool, w*h)
+	var stack []int
+	for i, m := range nms {
+		if m >= hi && !edges[i] {
+			edges[i] = true
+			stack = append(stack, i)
+			for len(stack) > 0 {
+				idx := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				x0, y0 := idx%w, idx/w
+				for dy := -1; dy <= 1; dy++ {
+					for dx := -1; dx <= 1; dx++ {
+						nx, ny := x0+dx, y0+dy
+						if nx < 0 || ny < 0 || nx >= w || ny >= h {
+							continue
+						}
+						ni := ny*w + nx
+						if !edges[ni] && nms[ni] >= lo {
+							edges[ni] = true
+							stack = append(stack, ni)
+						}
+					}
+				}
+			}
+		}
+	}
+	return edges, nil
+}
+
+// EdgeRatio returns the fraction of pixels marked as edges.
+func EdgeRatio(edges []bool) float64 {
+	if len(edges) == 0 {
+		return 0
+	}
+	n := 0
+	for _, e := range edges {
+		if e {
+			n++
+		}
+	}
+	return float64(n) / float64(len(edges))
+}
+
+// EdgeOverlap returns the fraction of edge pixels in ref that are also edge
+// pixels in probe — how much true edge structure survives in a perturbed
+// image (Fig. 21's measure of leaked structure).
+func EdgeOverlap(ref, probe []bool) (float64, error) {
+	if len(ref) != len(probe) {
+		return 0, fmt.Errorf("attack: edge masks of different length (%d vs %d)", len(ref), len(probe))
+	}
+	refCount, both := 0, 0
+	for i := range ref {
+		if ref[i] {
+			refCount++
+			if probe[i] {
+				both++
+			}
+		}
+	}
+	if refCount == 0 {
+		return 0, nil
+	}
+	return float64(both) / float64(refCount), nil
+}

@@ -1,0 +1,298 @@
+package attack
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"puppies/internal/imgplane"
+	"puppies/internal/transform"
+)
+
+// FaceSize is the side length faces are normalized to before PCA.
+const FaceSize = 32
+
+// faceDim is the flattened face vector length.
+const faceDim = FaceSize * FaceSize
+
+// Eigenfaces is a PCA face recognizer (Turk & Pentland), the paper's
+// §VI-B.4 face recognition attack.
+type Eigenfaces struct {
+	mean       []float64
+	components [][]float64 // k x faceDim, orthonormal
+	gallery    [][]float64 // projected gallery faces (k-dim)
+	labels     []int
+}
+
+// normalizeFace crops the rectangle from the image's luminance plane,
+// resizes it to FaceSize x FaceSize and zero-means its intensity.
+func normalizeFace(img *imgplane.Image, x, y, w, h int) ([]float64, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("attack: empty face rectangle")
+	}
+	crop, err := transform.CropPlane(img.Planes[0], clampRange(x, 0, img.W()-1), clampRange(y, 0, img.H()-1),
+		clampRange(w, 1, img.W()-clampRange(x, 0, img.W()-1)), clampRange(h, 1, img.H()-clampRange(y, 0, img.H()-1)))
+	if err != nil {
+		return nil, err
+	}
+	resized, err := transform.ScaleBilinear(crop, float64(FaceSize)/float64(crop.W), float64(FaceSize)/float64(crop.H))
+	if err != nil {
+		return nil, err
+	}
+	vec := make([]float64, faceDim)
+	var mean float64
+	for i := 0; i < faceDim && i < len(resized.Pix); i++ {
+		vec[i] = float64(resized.Pix[i])
+		mean += vec[i]
+	}
+	mean /= faceDim
+	for i := range vec {
+		vec[i] -= mean
+	}
+	return vec, nil
+}
+
+func clampRange(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// TrainEigenfaces fits PCA on the gallery faces (one vector per face,
+// produced by normalizeFace via AddFace helpers) keeping k components.
+type TrainingSet struct {
+	faces  [][]float64
+	labels []int
+}
+
+// Add registers one gallery face crop with its identity label.
+func (ts *TrainingSet) Add(img *imgplane.Image, x, y, w, h, label int) error {
+	vec, err := normalizeFace(img, x, y, w, h)
+	if err != nil {
+		return err
+	}
+	ts.faces = append(ts.faces, vec)
+	ts.labels = append(ts.labels, label)
+	return nil
+}
+
+// Len returns the number of gallery faces.
+func (ts *TrainingSet) Len() int { return len(ts.faces) }
+
+// Train fits the eigenface model with k principal components (capped at the
+// gallery size).
+func Train(ts *TrainingSet, k int) (*Eigenfaces, error) {
+	m := len(ts.faces)
+	if m < 2 {
+		return nil, fmt.Errorf("attack: need at least 2 gallery faces, have %d", m)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("attack: k must be positive")
+	}
+	if k > m {
+		k = m
+	}
+	// Mean face.
+	mean := make([]float64, faceDim)
+	for _, f := range ts.faces {
+		for i, v := range f {
+			mean[i] += v
+		}
+	}
+	for i := range mean {
+		mean[i] /= float64(m)
+	}
+	// Centered data A (m x d), Gram matrix G = A A^T (m x m).
+	a := make([][]float64, m)
+	for r, f := range ts.faces {
+		a[r] = make([]float64, faceDim)
+		for i, v := range f {
+			a[r][i] = v - mean[i]
+		}
+	}
+	g := make([][]float64, m)
+	for i := 0; i < m; i++ {
+		g[i] = make([]float64, m)
+		for j := 0; j <= i; j++ {
+			var dot float64
+			for t := 0; t < faceDim; t++ {
+				dot += a[i][t] * a[j][t]
+			}
+			g[i][j] = dot
+			g[j][i] = dot
+		}
+	}
+	evals, evecs, err := jacobiEigen(g, 200)
+	if err != nil {
+		return nil, err
+	}
+	// Sort by eigenvalue descending.
+	order := make([]int, m)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool { return evals[order[x]] > evals[order[y]] })
+
+	ef := &Eigenfaces{mean: mean, labels: append([]int(nil), ts.labels...)}
+	for c := 0; c < k; c++ {
+		idx := order[c]
+		if evals[idx] <= 1e-9 {
+			break
+		}
+		comp := make([]float64, faceDim)
+		for r := 0; r < m; r++ {
+			w := evecs[r][idx]
+			for t := 0; t < faceDim; t++ {
+				comp[t] += w * a[r][t]
+			}
+		}
+		var norm float64
+		for _, v := range comp {
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+		if norm < 1e-12 {
+			continue
+		}
+		for t := range comp {
+			comp[t] /= norm
+		}
+		ef.components = append(ef.components, comp)
+	}
+	if len(ef.components) == 0 {
+		return nil, fmt.Errorf("attack: PCA produced no usable components")
+	}
+	// Project the gallery.
+	ef.gallery = make([][]float64, m)
+	for r := 0; r < m; r++ {
+		ef.gallery[r] = ef.project(ts.faces[r])
+	}
+	return ef, nil
+}
+
+func (ef *Eigenfaces) project(face []float64) []float64 {
+	centered := make([]float64, faceDim)
+	for i := range centered {
+		centered[i] = face[i] - ef.mean[i]
+	}
+	out := make([]float64, len(ef.components))
+	for c, comp := range ef.components {
+		var dot float64
+		for i := range comp {
+			dot += comp[i] * centered[i]
+		}
+		out[c] = dot
+	}
+	return out
+}
+
+// RankedLabel is one recognition candidate.
+type RankedLabel struct {
+	Label    int
+	Distance float64
+}
+
+// Recognize projects the probe face crop and returns gallery identities
+// ranked by distance (deduplicated by identity, nearest instance wins).
+func (ef *Eigenfaces) Recognize(img *imgplane.Image, x, y, w, h int) ([]RankedLabel, error) {
+	vec, err := normalizeFace(img, x, y, w, h)
+	if err != nil {
+		return nil, err
+	}
+	probe := ef.project(vec)
+	best := map[int]float64{}
+	for i, gal := range ef.gallery {
+		var d float64
+		for c := range probe {
+			diff := probe[c] - gal[c]
+			d += diff * diff
+		}
+		if cur, ok := best[ef.labels[i]]; !ok || d < cur {
+			best[ef.labels[i]] = d
+		}
+	}
+	out := make([]RankedLabel, 0, len(best))
+	for label, d := range best {
+		out = append(out, RankedLabel{Label: label, Distance: d})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Distance < out[j].Distance })
+	return out, nil
+}
+
+// RankOf returns the 1-based rank of the true label in the ranked list, or
+// 0 if absent.
+func RankOf(ranked []RankedLabel, label int) int {
+	for i, r := range ranked {
+		if r.Label == label {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// jacobiEigen computes all eigenvalues/vectors of a symmetric matrix via
+// cyclic Jacobi rotations. evecs columns are eigenvectors: evecs[r][c] is
+// component r of eigenvector c.
+func jacobiEigen(a [][]float64, maxSweeps int) ([]float64, [][]float64, error) {
+	n := len(a)
+	if n == 0 {
+		return nil, nil, fmt.Errorf("attack: empty matrix")
+	}
+	// Work on a copy.
+	m := make([][]float64, n)
+	v := make([][]float64, n)
+	for i := range m {
+		if len(a[i]) != n {
+			return nil, nil, fmt.Errorf("attack: matrix not square")
+		}
+		m[i] = append([]float64(nil), a[i]...)
+		v[i] = make([]float64, n)
+		v[i][i] = 1
+	}
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m[i][j] * m[i][j]
+			}
+		}
+		if off < 1e-18 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				if math.Abs(m[p][q]) < 1e-15 {
+					continue
+				}
+				theta := (m[q][q] - m[p][p]) / (2 * m[p][q])
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				for i := 0; i < n; i++ {
+					mip, miq := m[i][p], m[i][q]
+					m[i][p] = c*mip - s*miq
+					m[i][q] = s*mip + c*miq
+				}
+				for i := 0; i < n; i++ {
+					mpi, mqi := m[p][i], m[q][i]
+					m[p][i] = c*mpi - s*mqi
+					m[q][i] = s*mpi + c*mqi
+				}
+				for i := 0; i < n; i++ {
+					vip, viq := v[i][p], v[i][q]
+					v[i][p] = c*vip - s*viq
+					v[i][q] = s*vip + c*viq
+				}
+			}
+		}
+	}
+	evals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		evals[i] = m[i][i]
+	}
+	return evals, v, nil
+}

@@ -1,0 +1,358 @@
+package attack
+
+import (
+	"math"
+	"sort"
+
+	"puppies/internal/imgplane"
+)
+
+// Keypoint is one scale-space feature with its 128-dimensional descriptor.
+type Keypoint struct {
+	X, Y        float64 // position in original image coordinates
+	Octave      int
+	Scale       float64
+	Orientation float64
+	Descriptor  [128]float32
+}
+
+// SIFTParams tune the (simplified) SIFT pipeline.
+type SIFTParams struct {
+	// Octaves is the number of pyramid octaves; zero selects 4.
+	Octaves int
+	// ContrastThreshold rejects weak DoG extrema; zero selects 4.0 (on
+	// 0..255-scaled intensities).
+	ContrastThreshold float64
+	// EdgeRatio rejects edge-like extrema via the Hessian trace/det test;
+	// zero selects 10.
+	EdgeRatio float64
+	// MaxKeypoints caps the output (strongest first); zero means 2000.
+	MaxKeypoints int
+}
+
+func (p SIFTParams) defaults() SIFTParams {
+	if p.Octaves == 0 {
+		p.Octaves = 4
+	}
+	if p.ContrastThreshold == 0 {
+		p.ContrastThreshold = 4
+	}
+	if p.EdgeRatio == 0 {
+		p.EdgeRatio = 10
+	}
+	if p.MaxKeypoints == 0 {
+		p.MaxKeypoints = 2000
+	}
+	return p
+}
+
+// gray extracts the luminance plane as float64.
+type gray struct {
+	w, h int
+	pix  []float64
+}
+
+func grayOf(img *imgplane.Image) *gray {
+	p := img.Planes[0]
+	g := &gray{w: p.W, h: p.H, pix: make([]float64, len(p.Pix))}
+	for i, v := range p.Pix {
+		g.pix[i] = float64(v)
+	}
+	return g
+}
+
+func (g *gray) at(x, y int) float64 {
+	if x < 0 {
+		x = 0
+	} else if x >= g.w {
+		x = g.w - 1
+	}
+	if y < 0 {
+		y = 0
+	} else if y >= g.h {
+		y = g.h - 1
+	}
+	return g.pix[y*g.w+x]
+}
+
+// gaussBlur applies separable Gaussian smoothing with the given sigma.
+func (g *gray) gaussBlur(sigma float64) *gray {
+	radius := int(math.Ceil(3 * sigma))
+	if radius < 1 {
+		radius = 1
+	}
+	kernel := make([]float64, 2*radius+1)
+	var norm float64
+	for i := range kernel {
+		d := float64(i - radius)
+		kernel[i] = math.Exp(-d * d / (2 * sigma * sigma))
+		norm += kernel[i]
+	}
+	for i := range kernel {
+		kernel[i] /= norm
+	}
+	tmp := &gray{w: g.w, h: g.h, pix: make([]float64, len(g.pix))}
+	for y := 0; y < g.h; y++ {
+		for x := 0; x < g.w; x++ {
+			var sum float64
+			for i, kw := range kernel {
+				sum += kw * g.at(x+i-radius, y)
+			}
+			tmp.pix[y*g.w+x] = sum
+		}
+	}
+	out := &gray{w: g.w, h: g.h, pix: make([]float64, len(g.pix))}
+	for y := 0; y < g.h; y++ {
+		for x := 0; x < g.w; x++ {
+			var sum float64
+			for i, kw := range kernel {
+				sum += kw * tmp.at(x, y+i-radius)
+			}
+			out.pix[y*g.w+x] = sum
+		}
+	}
+	return out
+}
+
+// downsample halves the image.
+func (g *gray) downsample() *gray {
+	w, h := g.w/2, g.h/2
+	out := &gray{w: w, h: h, pix: make([]float64, w*h)}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			out.pix[y*w+x] = g.pix[(2*y)*g.w+2*x]
+		}
+	}
+	return out
+}
+
+func (g *gray) sub(o *gray) *gray {
+	out := &gray{w: g.w, h: g.h, pix: make([]float64, len(g.pix))}
+	for i := range g.pix {
+		out.pix[i] = g.pix[i] - o.pix[i]
+	}
+	return out
+}
+
+// SIFT detects scale-space keypoints and computes their descriptors — a
+// compact reimplementation of Lowe's pipeline sufficient for the paper's
+// feature-matching attack (Fig. 20).
+func SIFT(img *imgplane.Image, params SIFTParams) []Keypoint {
+	params = params.defaults()
+	const intervals = 3 // DoG layers per octave usable for extrema
+	base := grayOf(img)
+
+	var kps []Keypoint
+	octaveImg := base
+	for oct := 0; oct < params.Octaves; oct++ {
+		if octaveImg.w < 16 || octaveImg.h < 16 {
+			break
+		}
+		// Gaussian stack.
+		k := math.Pow(2, 1.0/float64(intervals))
+		sigma := 1.6
+		stack := make([]*gray, intervals+3)
+		for i := range stack {
+			stack[i] = octaveImg.gaussBlur(sigma * math.Pow(k, float64(i)))
+		}
+		// DoG stack.
+		dog := make([]*gray, len(stack)-1)
+		for i := range dog {
+			dog[i] = stack[i+1].sub(stack[i])
+		}
+		scaleMul := float64(int(1) << oct)
+		for layer := 1; layer < len(dog)-1; layer++ {
+			d := dog[layer]
+			for y := 1; y < d.h-1; y++ {
+				for x := 1; x < d.w-1; x++ {
+					v := d.pix[y*d.w+x]
+					if math.Abs(v) < params.ContrastThreshold {
+						continue
+					}
+					if !isExtremum(dog, layer, x, y, v) {
+						continue
+					}
+					if edgeLike(d, x, y, params.EdgeRatio) {
+						continue
+					}
+					ori := dominantOrientation(stack[layer], x, y)
+					kp := Keypoint{
+						X:           float64(x) * scaleMul,
+						Y:           float64(y) * scaleMul,
+						Octave:      oct,
+						Scale:       sigma * math.Pow(k, float64(layer)) * scaleMul,
+						Orientation: ori,
+					}
+					kp.Descriptor = descriptor(stack[layer], x, y, ori)
+					kps = append(kps, kp)
+				}
+			}
+		}
+		octaveImg = octaveImg.downsample()
+	}
+	if len(kps) > params.MaxKeypoints {
+		sort.Slice(kps, func(i, j int) bool { return kps[i].Scale > kps[j].Scale })
+		kps = kps[:params.MaxKeypoints]
+	}
+	return kps
+}
+
+func isExtremum(dog []*gray, layer, x, y int, v float64) bool {
+	isMax, isMin := true, true
+	for dl := -1; dl <= 1; dl++ {
+		d := dog[layer+dl]
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				if dl == 0 && dx == 0 && dy == 0 {
+					continue
+				}
+				n := d.at(x+dx, y+dy)
+				if n >= v {
+					isMax = false
+				}
+				if n <= v {
+					isMin = false
+				}
+				if !isMax && !isMin {
+					return false
+				}
+			}
+		}
+	}
+	return isMax || isMin
+}
+
+func edgeLike(d *gray, x, y int, ratio float64) bool {
+	dxx := d.at(x+1, y) + d.at(x-1, y) - 2*d.at(x, y)
+	dyy := d.at(x, y+1) + d.at(x, y-1) - 2*d.at(x, y)
+	dxy := (d.at(x+1, y+1) - d.at(x-1, y+1) - d.at(x+1, y-1) + d.at(x-1, y-1)) / 4
+	tr := dxx + dyy
+	det := dxx*dyy - dxy*dxy
+	if det <= 0 {
+		return true
+	}
+	return tr*tr/det > (ratio+1)*(ratio+1)/ratio
+}
+
+func dominantOrientation(g *gray, x, y int) float64 {
+	var hist [36]float64
+	for dy := -8; dy <= 8; dy++ {
+		for dx := -8; dx <= 8; dx++ {
+			gx := g.at(x+dx+1, y+dy) - g.at(x+dx-1, y+dy)
+			gy := g.at(x+dx, y+dy+1) - g.at(x+dx, y+dy-1)
+			mag := math.Hypot(gx, gy)
+			ang := math.Atan2(gy, gx)
+			bin := int((ang + math.Pi) / (2 * math.Pi) * 36)
+			if bin >= 36 {
+				bin = 35
+			}
+			w := math.Exp(-float64(dx*dx+dy*dy) / 128)
+			hist[bin] += mag * w
+		}
+	}
+	best := 0
+	for i := range hist {
+		if hist[i] > hist[best] {
+			best = i
+		}
+	}
+	return float64(best)/36*2*math.Pi - math.Pi
+}
+
+func descriptor(g *gray, x, y int, ori float64) [128]float32 {
+	var desc [128]float64
+	sin, cos := math.Sin(-ori), math.Cos(-ori)
+	for dy := -8; dy < 8; dy++ {
+		for dx := -8; dx < 8; dx++ {
+			// Rotate sample offset into the keypoint frame.
+			rx := cos*float64(dx) - sin*float64(dy)
+			ry := sin*float64(dx) + cos*float64(dy)
+			cellX := int((rx + 8) / 4)
+			cellY := int((ry + 8) / 4)
+			if cellX < 0 || cellX > 3 || cellY < 0 || cellY > 3 {
+				continue
+			}
+			gx := g.at(x+dx+1, y+dy) - g.at(x+dx-1, y+dy)
+			gy := g.at(x+dx, y+dy+1) - g.at(x+dx, y+dy-1)
+			mag := math.Hypot(gx, gy)
+			ang := math.Atan2(gy, gx) - ori
+			for ang < 0 {
+				ang += 2 * math.Pi
+			}
+			bin := int(ang / (2 * math.Pi) * 8)
+			if bin >= 8 {
+				bin = 7
+			}
+			desc[(cellY*4+cellX)*8+bin] += mag
+		}
+	}
+	// Normalize, clip at 0.2, renormalize (Lowe's illumination robustness).
+	normalize := func() {
+		var norm float64
+		for _, v := range desc {
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+		if norm > 0 {
+			for i := range desc {
+				desc[i] /= norm
+			}
+		}
+	}
+	normalize()
+	for i := range desc {
+		if desc[i] > 0.2 {
+			desc[i] = 0.2
+		}
+	}
+	normalize()
+	var out [128]float32
+	for i, v := range desc {
+		out[i] = float32(v)
+	}
+	return out
+}
+
+// Match is one descriptor correspondence between two keypoint sets.
+type Match struct {
+	A, B     int
+	Distance float64
+}
+
+// MatchSIFT matches descriptors from a to b with Lowe's ratio test
+// (nearest/second-nearest < ratio; 0 selects 0.8). The number of surviving
+// matches between an original and its perturbed version is the Fig. 20
+// leakage measure.
+func MatchSIFT(a, b []Keypoint, ratio float64) []Match {
+	if ratio == 0 {
+		ratio = 0.8
+	}
+	var out []Match
+	for i := range a {
+		best, second := math.Inf(1), math.Inf(1)
+		bestJ := -1
+		for j := range b {
+			d := descDist(&a[i].Descriptor, &b[j].Descriptor)
+			if d < best {
+				second = best
+				best = d
+				bestJ = j
+			} else if d < second {
+				second = d
+			}
+		}
+		if bestJ >= 0 && second > 0 && best/second < ratio {
+			out = append(out, Match{A: i, B: bestJ, Distance: best})
+		}
+	}
+	return out
+}
+
+func descDist(a, b *[128]float32) float64 {
+	var sum float64
+	for i := range a {
+		d := float64(a[i] - b[i])
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}

@@ -1,0 +1,544 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"puppies/internal/dct"
+	"puppies/internal/imgplane"
+	"puppies/internal/jpegc"
+	"puppies/internal/keys"
+)
+
+// naturalImage builds a coefficient image with natural statistics (smooth
+// content, many zero AC coefficients) via the real encoder path.
+func naturalImage(t testing.TB, w, h int, quality int) *jpegc.Image {
+	t.Helper()
+	planar, err := imgplane.New(w, h, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := y*w + x
+			planar.Planes[0].Pix[i] = float32(128 + 80*math.Sin(float64(x)/7)*math.Cos(float64(y)/9))
+			planar.Planes[1].Pix[i] = float32(128 + 30*math.Sin(float64(x+2*y)/17))
+			planar.Planes[2].Pix[i] = float32(128 + 30*math.Cos(float64(2*x-y)/19))
+		}
+	}
+	img, err := jpegc.FromPlanar(planar, jpegc.Options{Quality: quality})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func coeffEqual(a, b *jpegc.Image) bool {
+	if a.W != b.W || a.H != b.H || len(a.Comps) != len(b.Comps) {
+		return false
+	}
+	for ci := range a.Comps {
+		for bi := range a.Comps[ci].Blocks {
+			if a.Comps[ci].Blocks[bi] != b.Comps[ci].Blocks[bi] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func regionDiffers(a, b *jpegc.Image, roi ROI) bool {
+	bx0, by0, bw, bh := roi.Blocks()
+	for ci := range a.Comps {
+		for by := 0; by < bh; by++ {
+			for bx := 0; bx < bw; bx++ {
+				if *a.Comps[ci].Block(bx0+bx, by0+by) != *b.Comps[ci].Block(bx0+bx, by0+by) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func TestRangeMatrixLevels(t *testing.T) {
+	// Low: only DC perturbed.
+	q, err := RangeMatrix(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q[0] != 2048 {
+		t.Errorf("low Q[0] = %d, want 2048", q[0])
+	}
+	for i := 1; i < 64; i++ {
+		if q[i] != 1 {
+			t.Errorf("low Q[%d] = %d, want 1", i, q[i])
+		}
+	}
+
+	// Medium: K=8 perturbed positions with decaying ranges floored at mR=32.
+	q, err = RangeMatrix(32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{2048, 1024, 512, 256, 128, 64, 32, 32}
+	for i, w := range want {
+		if q[i] != w {
+			t.Errorf("medium Q[%d] = %d, want %d", i, q[i], w)
+		}
+	}
+	for i := 8; i < 64; i++ {
+		if q[i] != 1 {
+			t.Errorf("medium Q[%d] = %d, want 1", i, q[i])
+		}
+	}
+
+	// High: everything full range.
+	q, err = RangeMatrix(2048, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		if q[i] != 2048 {
+			t.Errorf("high Q[%d] = %d, want 2048", i, q[i])
+		}
+	}
+
+	if _, err := RangeMatrix(0, 1); err == nil {
+		t.Error("mR=0 accepted")
+	}
+	if _, err := RangeMatrix(1, 0); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := RangeMatrix(4096, 1); err == nil {
+		t.Error("mR=4096 accepted")
+	}
+}
+
+func TestSecureBits(t *testing.T) {
+	type tc struct {
+		level  PrivacyLevel
+		wantDC int
+	}
+	var prev int
+	for _, c := range []tc{{LevelLow, 704}, {LevelMedium, 704}, {LevelHigh, 704}} {
+		mR, k, err := LevelParams(c.level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dc, ac, err := SecureBits(mR, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dc != c.wantDC {
+			t.Errorf("%s: DC bits %d, want %d", c.level, dc, c.wantDC)
+		}
+		if ac < prev {
+			t.Errorf("%s: AC bits %d not monotonically increasing (prev %d)", c.level, ac, prev)
+		}
+		prev = ac
+	}
+	// Low perturbs no AC; high perturbs all 63 at 11 bits each.
+	_, acLow, _ := SecureBits(1, 1)
+	if acLow != 0 {
+		t.Errorf("low AC bits = %d, want 0", acLow)
+	}
+	_, acHigh, _ := SecureBits(2048, 64)
+	if acHigh != 63*11 {
+		t.Errorf("high AC bits = %d, want %d", acHigh, 63*11)
+	}
+}
+
+func TestLevelParams(t *testing.T) {
+	if _, _, err := LevelParams("extreme"); err == nil {
+		t.Error("unknown level accepted")
+	}
+	mr, k, err := LevelParams(LevelMedium)
+	if err != nil || mr != 32 || k != 8 {
+		t.Errorf("medium = (%d,%d,%v)", mr, k, err)
+	}
+}
+
+func TestWrapRoundTrip(t *testing.T) {
+	f := func(bRaw, pRaw int32) bool {
+		// DC domain.
+		b := bRaw%2048 - 1024
+		if b < -1024 {
+			b += 2048
+		}
+		p := pRaw % 2048
+		if p < 0 {
+			p += 2048
+		}
+		e, _ := wrapAdd(b, p, dcOffset, dcModulus)
+		if e < -1024 || e > 1023 {
+			return false
+		}
+		if wrapSub(e, p, dcOffset, dcModulus) != b {
+			return false
+		}
+		// AC domain.
+		ba := bRaw % 1024
+		pa := pRaw % 2047
+		if pa < 0 {
+			pa += 2047
+		}
+		ea, _ := wrapAdd(ba, pa, acOffset, acModulus)
+		if ea < -1023 || ea > 1023 {
+			return false
+		}
+		return wrapSub(ea, pa, acOffset, acModulus) == ba
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWrapAddWrapFlag(t *testing.T) {
+	e, wrapped := wrapAdd(1000, 100, dcOffset, dcModulus)
+	if !wrapped || e != 1000+100-2048 {
+		t.Errorf("wrapAdd(1000,100) = (%d,%v)", e, wrapped)
+	}
+	e, wrapped = wrapAdd(-1000, 100, dcOffset, dcModulus)
+	if wrapped || e != -900 {
+		t.Errorf("wrapAdd(-1000,100) = (%d,%v)", e, wrapped)
+	}
+}
+
+func TestROIValidateAndAlign(t *testing.T) {
+	valid := ROI{X: 8, Y: 16, W: 32, H: 24}
+	if err := valid.Validate(100, 100); err != nil {
+		t.Errorf("valid ROI rejected: %v", err)
+	}
+	bad := []ROI{
+		{X: 3, Y: 0, W: 8, H: 8},
+		{X: 0, Y: 0, W: 7, H: 8},
+		{X: 0, Y: 0, W: 0, H: 8},
+		{X: 96, Y: 0, W: 16, H: 8},
+	}
+	for _, r := range bad {
+		if err := r.Validate(100, 100); err == nil {
+			t.Errorf("ROI %+v accepted", r)
+		}
+	}
+
+	aligned, err := ROI{X: 5, Y: 9, W: 10, H: 10}.AlignToBlocks(100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ROI{X: 0, Y: 8, W: 16, H: 16}
+	if aligned != want {
+		t.Errorf("aligned = %+v, want %+v", aligned, want)
+	}
+	if err := aligned.Validate(100, 100); err != nil {
+		t.Errorf("aligned ROI invalid: %v", err)
+	}
+	if _, err := (ROI{X: 99, Y: 99, W: 1, H: 1}).AlignToBlocks(100, 100); err != nil {
+		// (96..104) clipped to (96..96): empty? maxW = 96 -> x0=96, x1=96: empty.
+		// This is the expected error path.
+		return
+	}
+}
+
+func TestROIIntersect(t *testing.T) {
+	a := ROI{X: 0, Y: 0, W: 16, H: 16}
+	b := ROI{X: 8, Y: 8, W: 16, H: 16}
+	inter, ok := a.Intersect(b)
+	if !ok || inter != (ROI{X: 8, Y: 8, W: 8, H: 8}) {
+		t.Errorf("intersect = %+v, %v", inter, ok)
+	}
+	c := ROI{X: 32, Y: 32, W: 8, H: 8}
+	if a.Overlaps(c) {
+		t.Error("disjoint ROIs report overlap")
+	}
+	if !a.Contains(0, 0) || a.Contains(16, 16) {
+		t.Error("Contains wrong")
+	}
+}
+
+func allVariants() []Variant { return []Variant{VariantN, VariantB, VariantC, VariantZ} }
+
+func allLevels() []PrivacyLevel { return []PrivacyLevel{LevelLow, LevelMedium, LevelHigh} }
+
+func TestEncryptDecryptRoundTripAllVariantsAndLevels(t *testing.T) {
+	base := naturalImage(t, 64, 48, 75)
+	roi := ROI{X: 8, Y: 8, W: 32, H: 24}
+	seed := int64(0)
+	for _, v := range allVariants() {
+		for _, level := range allLevels() {
+			seed++
+			params, err := NewParams(v, level)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sch, err := NewScheme(params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pair := keys.NewPairDeterministic(seed)
+			img := base.Clone()
+			pd, st, err := sch.EncryptImage(img, []RegionAssignment{{ROI: roi, Pair: pair}})
+			if err != nil {
+				t.Fatalf("%s/%s: encrypt: %v", v, level, err)
+			}
+			if st.Blocks == 0 || st.Perturbed == 0 {
+				t.Fatalf("%s/%s: no perturbation recorded: %+v", v, level, st)
+			}
+			if !regionDiffers(img, base, roi) {
+				t.Fatalf("%s/%s: ROI unchanged after encryption", v, level)
+			}
+			// Outside the ROI nothing changes.
+			outside := base.Clone()
+			bx0, by0, bw, bh := roi.Blocks()
+			for ci := range outside.Comps {
+				for by := 0; by < bh; by++ {
+					for bx := 0; bx < bw; bx++ {
+						*outside.Comps[ci].Block(bx0+bx, by0+by) = *img.Comps[ci].Block(bx0+bx, by0+by)
+					}
+				}
+			}
+			if !coeffEqual(outside, img) {
+				t.Fatalf("%s/%s: coefficients outside the ROI were modified", v, level)
+			}
+
+			n, err := DecryptImage(img, pd, map[string]*keys.Pair{pair.ID: pair})
+			if err != nil {
+				t.Fatalf("%s/%s: decrypt: %v", v, level, err)
+			}
+			if n != 1 {
+				t.Fatalf("%s/%s: decrypted %d regions", v, level, n)
+			}
+			if !coeffEqual(img, base) {
+				t.Fatalf("%s/%s: decrypt did not recover the original exactly", v, level)
+			}
+		}
+	}
+}
+
+func TestEncryptedImageStillEncodable(t *testing.T) {
+	base := naturalImage(t, 64, 64, 75)
+	for _, v := range allVariants() {
+		params, _ := NewParams(v, LevelHigh)
+		sch, err := NewScheme(params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		img := base.Clone()
+		pair := keys.NewPairDeterministic(42)
+		if _, _, err := sch.EncryptImage(img, []RegionAssignment{
+			{ROI: ROI{X: 0, Y: 0, W: 64, H: 64}, Pair: pair},
+		}); err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		// The perturbed image must be a valid baseline JPEG.
+		if _, err := img.EncodedSize(sch.EncodeOptions()); err != nil {
+			t.Fatalf("%s: perturbed image not encodable: %v", v, err)
+		}
+	}
+}
+
+func TestDecryptWrongKeyDoesNotRecover(t *testing.T) {
+	base := naturalImage(t, 32, 32, 75)
+	params, _ := NewParams(VariantC, LevelMedium)
+	sch, _ := NewScheme(params)
+	right := keys.NewPairDeterministic(1)
+	wrong := keys.NewPairDeterministic(2)
+	wrong.ID = right.ID // same ID, different secret
+	img := base.Clone()
+	roi := ROI{X: 0, Y: 0, W: 32, H: 32}
+	pd, _, err := sch.EncryptImage(img, []RegionAssignment{{ROI: roi, Pair: right}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecryptImage(img, pd, map[string]*keys.Pair{wrong.ID: wrong}); err != nil {
+		t.Fatal(err)
+	}
+	if coeffEqual(img, base) {
+		t.Error("wrong key recovered the original")
+	}
+}
+
+func TestDecryptMissingKeyLeavesRegionPerturbed(t *testing.T) {
+	base := naturalImage(t, 64, 32, 75)
+	params, _ := NewParams(VariantC, LevelMedium)
+	sch, _ := NewScheme(params)
+	p1 := keys.NewPairDeterministic(10)
+	p2 := keys.NewPairDeterministic(11)
+	r1 := ROI{X: 0, Y: 0, W: 24, H: 32}
+	r2 := ROI{X: 32, Y: 0, W: 24, H: 32}
+	img := base.Clone()
+	pd, _, err := sch.EncryptImage(img, []RegionAssignment{
+		{ROI: r1, Pair: p1}, {ROI: r2, Pair: p2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := DecryptImage(img, pd, map[string]*keys.Pair{p1.ID: p1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("decrypted %d regions, want 1", n)
+	}
+	if regionDiffers(img, base, r1) {
+		t.Error("granted region not recovered")
+	}
+	if !regionDiffers(img, base, r2) {
+		t.Error("ungranted region was recovered")
+	}
+}
+
+func TestZIndBookkeeping(t *testing.T) {
+	// Force new zeros: small coefficients plus a perturbation range that can
+	// cancel them.
+	img := naturalImage(t, 128, 128, 50)
+	params := Params{Variant: VariantZ, MR: 2048, K: 64}
+	sch, err := NewScheme(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := img.Clone()
+	pair := keys.NewPairDeterministic(77)
+	roi := ROI{X: 0, Y: 0, W: 128, H: 128}
+	pd, st, err := sch.EncryptImage(img, []RegionAssignment{{ROI: roi, Pair: pair}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NewZeros != len(pd.Regions[0].ZInd) {
+		t.Errorf("stats NewZeros %d != len(ZInd) %d", st.NewZeros, len(pd.Regions[0].ZInd))
+	}
+	if _, err := DecryptImage(img, pd, map[string]*keys.Pair{pair.ID: pair}); err != nil {
+		t.Fatal(err)
+	}
+	if !coeffEqual(img, base) {
+		t.Error("Z-variant round trip failed")
+	}
+}
+
+func TestVariantZSkipsZeros(t *testing.T) {
+	img := naturalImage(t, 64, 64, 60)
+	base := img.Clone()
+	params := Params{Variant: VariantZ, MR: 32, K: 8}
+	sch, _ := NewScheme(params)
+	pair := keys.NewPairDeterministic(5)
+	roi := ROI{X: 0, Y: 0, W: 64, H: 64}
+	if _, _, err := sch.EncryptImage(img, []RegionAssignment{{ROI: roi, Pair: pair}}); err != nil {
+		t.Fatal(err)
+	}
+	// Every AC coefficient that was zero in the original must still be zero
+	// in the perturbed image unless it is... zero stays zero by skipping.
+	for ci := range base.Comps {
+		for bi := range base.Comps[ci].Blocks {
+			b0 := &base.Comps[ci].Blocks[bi]
+			b1 := &img.Comps[ci].Blocks[bi]
+			for i := 1; i < dct.BlockLen; i++ {
+				if b0[i] == 0 && b1[i] != 0 {
+					t.Fatalf("zero AC perturbed by VariantZ (comp %d block %d idx %d)", ci, bi, i)
+				}
+			}
+		}
+	}
+}
+
+func TestPosListPackUnpack(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(100)
+		list := make(PosList, n)
+		for i := range list {
+			list[i] = CoeffPos{
+				Channel: uint8(rng.Intn(4)),
+				Block:   uint32(rng.Intn(maxPosBlock)),
+				Coeff:   uint8(rng.Intn(64)),
+			}
+		}
+		packed, err := list.Pack()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(packed) != (n*28+7)/8 {
+			t.Fatalf("packed length %d for %d records", len(packed), n)
+		}
+		back, err := UnpackPosList(packed, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range list {
+			if back[i] != list[i] {
+				t.Fatalf("record %d: %+v != %+v", i, back[i], list[i])
+			}
+		}
+	}
+	// Out-of-range records must be rejected.
+	if _, err := (PosList{{Block: maxPosBlock}}).Pack(); err == nil {
+		t.Error("oversized block index packed")
+	}
+	if _, err := (PosList{{Coeff: 64}}).Pack(); err == nil {
+		t.Error("oversized coefficient index packed")
+	}
+	if _, err := UnpackPosList([]byte{1, 2}, 5); err == nil {
+		t.Error("short buffer accepted")
+	}
+}
+
+func TestPublicDataEncodeDecode(t *testing.T) {
+	img := naturalImage(t, 64, 48, 75)
+	params := Params{Variant: VariantZ, MR: 32, K: 8, Wrap: WrapRecorded, TransformSupport: true}
+	sch, _ := NewScheme(params)
+	pair := keys.NewPairDeterministic(9)
+	pd, _, err := sch.EncryptImage(img, []RegionAssignment{
+		{ROI: ROI{X: 8, Y: 8, W: 32, H: 24}, Pair: pair},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := pd.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodePublicData(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.W != pd.W || back.H != pd.H || len(back.Regions) != 1 {
+		t.Fatalf("decoded %+v", back)
+	}
+	r0, r1 := pd.Regions[0], back.Regions[0]
+	if r0.ROI != r1.ROI || r0.KeyID != r1.KeyID || len(r0.ZInd) != len(r1.ZInd) ||
+		len(r0.WInd) != len(r1.WInd) || len(r0.Support) != len(r1.Support) {
+		t.Error("region params round trip mismatch")
+	}
+	if _, err := DecodePublicData([]byte("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestEncryptRejectsOverlapsAndBadInput(t *testing.T) {
+	img := naturalImage(t, 64, 64, 75)
+	params, _ := NewParams(VariantC, LevelMedium)
+	sch, _ := NewScheme(params)
+	pair := keys.NewPairDeterministic(1)
+	overlap := []RegionAssignment{
+		{ROI: ROI{X: 0, Y: 0, W: 32, H: 32}, Pair: pair},
+		{ROI: ROI{X: 24, Y: 24, W: 32, H: 32}, Pair: pair},
+	}
+	if _, _, err := sch.EncryptImage(img, overlap); err == nil {
+		t.Error("overlapping regions accepted")
+	}
+	if _, _, err := sch.EncryptImage(img, nil); err == nil {
+		t.Error("empty region list accepted")
+	}
+	if _, _, err := sch.EncryptImage(img, []RegionAssignment{
+		{ROI: ROI{X: 0, Y: 0, W: 32, H: 32}},
+	}); err == nil {
+		t.Error("nil key pair accepted")
+	}
+	if _, err := NewScheme(Params{Variant: "bogus"}); err == nil {
+		t.Error("bogus variant accepted")
+	}
+	if _, err := NewScheme(Params{Variant: VariantC, MR: 0, K: 1}); err == nil {
+		t.Error("bad mR accepted")
+	}
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"puppies/internal/dct"
+	"puppies/internal/jpegc"
+	"puppies/internal/keys"
+)
+
+// FuzzDecodePublicData exercises the public-parameter parser with arbitrary
+// bytes: anything that parses must validate and must drive decryption
+// without panicking. Run with:
+//
+//	go test -fuzz FuzzDecodePublicData ./internal/core
+func FuzzDecodePublicData(f *testing.F) {
+	// Seed: real public data from each variant.
+	base := naturalImage(f, 64, 48, 75)
+	for i, v := range allVariants() {
+		params := Params{Variant: v, MR: 32, K: 8, Wrap: WrapRecorded, TransformSupport: v == VariantZ}
+		sch, err := NewScheme(params)
+		if err != nil {
+			f.Fatal(err)
+		}
+		img := base.Clone()
+		pair := keys.NewPairDeterministic(int64(i))
+		pd, _, err := sch.EncryptImage(img, []RegionAssignment{
+			{ROI: ROI{X: 8, Y: 8, W: 16, H: 16}, Pair: pair},
+		})
+		if err != nil {
+			f.Fatal(err)
+		}
+		data, err := pd.Encode()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{"w":64,"h":48,"channels":3}`))
+	f.Add([]byte(`not json at all`))
+
+	pair := keys.NewPairDeterministic(99)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pd, err := DecodePublicData(data)
+		if err != nil {
+			return
+		}
+		if vErr := pd.Validate(); vErr != nil {
+			t.Fatalf("DecodePublicData returned invalid data: %v", vErr)
+		}
+		if pd.W > 512 || pd.H > 512 {
+			return // keep the fuzz loop fast
+		}
+		img := quickImageSized(t, pd.W, pd.H, pd.Channels)
+		// Force key-ID matches so the decrypt loops actually execute.
+		pairs := map[string]*keys.Pair{}
+		for i := range pd.Regions {
+			for _, id := range pd.Regions[i].AllKeyIDs() {
+				p := *pair
+				p.ID = id
+				pairs[id] = &p
+			}
+		}
+		_, _ = DecryptImage(img, pd, pairs)
+		_, _ = ShadowImage(pd, pairs)
+	})
+}
+
+// quickImageSized builds a blank coefficient image matching fuzzed
+// dimensions so decrypt loops can run against them.
+func quickImageSized(t *testing.T, w, h, channels int) *jpegc.Image {
+	t.Helper()
+	if channels != 1 && channels != 3 {
+		channels = 3
+	}
+	bw, bh := (w+7)/8, (h+7)/8
+	img := &jpegc.Image{W: w, H: h, Comps: make([]jpegc.Component, channels)}
+	for ci := range img.Comps {
+		img.Comps[ci] = jpegc.Component{
+			BlocksW: bw, BlocksH: bh,
+			Blocks: make([]dct.Block, bw*bh),
+			Quant:  dct.StdLuminanceQuant,
+		}
+	}
+	return img
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"testing"
+
+	"puppies/internal/jpegc"
+	"puppies/internal/keys"
+	"puppies/internal/transform"
+)
+
+// multiFixture encrypts a whole image with three pairs cycled across block
+// groups (§IV-D extension).
+func multiFixture(t *testing.T, params Params) (*jpegc.Image, *jpegc.Image, *PublicData, []*keys.Pair) {
+	t.Helper()
+	// 96x96 = 144 blocks per channel: three 64-block groups (the third
+	// partial), so all three pairs are exercised.
+	base := naturalImage(t, 96, 96, 75)
+	sch, err := NewScheme(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := []*keys.Pair{
+		keys.NewPairDeterministic(301),
+		keys.NewPairDeterministic(302),
+		keys.NewPairDeterministic(303),
+	}
+	img := base.Clone()
+	pd, _, err := sch.EncryptImage(img, []RegionAssignment{
+		{ROI: ROI{X: 0, Y: 0, W: 96, H: 96}, Pairs: pairs},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return base, img, pd, pairs
+}
+
+func pairMap(pairs ...*keys.Pair) map[string]*keys.Pair {
+	m := map[string]*keys.Pair{}
+	for _, p := range pairs {
+		m[p.ID] = p
+	}
+	return m
+}
+
+func TestMultiKeyRoundTrip(t *testing.T) {
+	for _, v := range allVariants() {
+		params, _ := NewParams(v, LevelMedium)
+		base, img, pd, pairs := multiFixture(t, params)
+		if len(pd.Regions[0].KeyIDs) != 3 || pd.Regions[0].KeyID != "" {
+			t.Fatalf("%s: region key ids %v / %q", v, pd.Regions[0].KeyIDs, pd.Regions[0].KeyID)
+		}
+		n, err := DecryptImage(img, pd, pairMap(pairs...))
+		if err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		if n != 1 {
+			t.Fatalf("%s: %d regions fully decrypted", v, n)
+		}
+		if !coeffEqual(img, base) {
+			t.Errorf("%s: multi-key round trip not exact", v)
+		}
+	}
+}
+
+func TestMultiKeyPartialDecryption(t *testing.T) {
+	params, _ := NewParams(VariantC, LevelMedium)
+	base, img, pd, pairs := multiFixture(t, params)
+
+	// Holding only the first pair decrypts only its block stripes.
+	n, err := DecryptImage(img, pd, pairMap(pairs[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("partially-keyed region counted as fully decrypted")
+	}
+	rp := &pd.Regions[0]
+	_, _, bw, _ := rp.ROI.Blocks()
+	for ci := range img.Comps {
+		for by := 0; by < 12; by++ {
+			for bx := 0; bx < 12; bx++ {
+				k := by*bw + bx
+				got := *img.Comps[ci].Block(bx, by)
+				want := *base.Comps[ci].Block(bx, by)
+				holds := rp.KeyIDForBlock(k) == pairs[0].ID
+				if holds && got != want {
+					t.Fatalf("block %d (granted stripe) not recovered", k)
+				}
+				if !holds && got == want {
+					t.Fatalf("block %d (ungranted stripe) was recovered", k)
+				}
+			}
+		}
+	}
+	// Receiving the remaining pairs later completes recovery: decryption is
+	// per-stripe, so the second pass must cover only the new stripes.
+	if _, err := DecryptImage(img, pd, pairMap(pairs[1], pairs[2])); err != nil {
+		t.Fatal(err)
+	}
+	if !coeffEqual(img, base) {
+		t.Error("remaining key set did not complete recovery")
+	}
+}
+
+func TestMultiKeyPublicDataRoundTrip(t *testing.T) {
+	params, _ := NewParams(VariantZ, LevelMedium)
+	_, _, pd, _ := multiFixture(t, params)
+	data, err := pd.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodePublicData(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Regions[0].KeyIDs) != 3 {
+		t.Errorf("key ids lost in serialization: %v", back.Regions[0].KeyIDs)
+	}
+}
+
+func TestMultiKeyShadowReconstruction(t *testing.T) {
+	params := Params{Variant: VariantC, MR: 32, K: 8, Wrap: WrapRecorded}
+	base, img, pd, pairs := multiFixture(t, params)
+
+	spec := transform.Spec{Op: transform.OpScale, FactorX: 0.5, FactorY: 0.5}
+	pertPix, err := img.ToPlanar()
+	if err != nil {
+		t.Fatal(err)
+	}
+	transformed, err := transform.ApplyPlanar(pertPix, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pdT := *pd
+	pdT.Transform = spec
+	got, err := ReconstructPixels(transformed, &pdT, pairMap(pairs...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	basePix, err := base.ToPlanar()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := transform.ApplyPlanar(basePix, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := psnrOn(t, got, want); p < 55 {
+		t.Errorf("multi-key pixel reconstruction PSNR %.1f dB", p)
+	}
+}
+
+func TestMultiKeyValidation(t *testing.T) {
+	img := naturalImage(t, 32, 32, 75)
+	params, _ := NewParams(VariantC, LevelMedium)
+	sch, _ := NewScheme(params)
+	p := keys.NewPairDeterministic(1)
+	if _, _, err := sch.EncryptImage(img, []RegionAssignment{
+		{ROI: ROI{X: 0, Y: 0, W: 32, H: 32}, Pair: p, Pairs: []*keys.Pair{p}},
+	}); err == nil {
+		t.Error("both Pair and Pairs accepted")
+	}
+	if _, _, err := sch.EncryptImage(img, []RegionAssignment{
+		{ROI: ROI{X: 0, Y: 0, W: 32, H: 32}, Pairs: []*keys.Pair{p, nil}},
+	}); err == nil {
+		t.Error("nil pair in Pairs accepted")
+	}
+	// DecryptRegion refuses multi-key regions.
+	_, img2, pd, pairs := multiFixture(t, params)
+	if err := DecryptRegion(img2, &pd.Regions[0], pairs[0]); err == nil {
+		t.Error("DecryptRegion accepted a multi-key region")
+	}
+}

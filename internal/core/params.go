@@ -1,0 +1,201 @@
+// Package core implements the PuPPIeS perturbation schemes: the paper's
+// primary contribution.
+//
+// A region of interest (ROI) of a coefficient image is perturbed by adding
+// secret matrix entries to its quantized DCT coefficients under modular
+// arithmetic (Lemma III.1), so that the perturbed image remains a valid
+// JPEG the photo-sharing platform can store, index and transform, while
+// receivers holding the private matrices recover the region exactly.
+//
+// Four variants are provided (paper §IV-B):
+//
+//   - VariantN: every coefficient perturbed from one vector; all DC
+//     components share one secret value (the paper's strawman).
+//   - VariantB: DC perturbed by P_DC[k mod 64] (block-indexed), AC by
+//     P_AC (full range). Robust but ~10x size blowup under default Huffman
+//     tables.
+//   - VariantC: AC perturbation narrowed by the range matrix Q' from
+//     Algorithm 3; encode with optimized Huffman tables.
+//   - VariantZ: like C but zero AC coefficients are skipped and
+//     perturbations that create new zeros are recorded in the public index
+//     set ZInd (Algorithm 2).
+//
+// Coefficient arithmetic: DC values live in [-1024, 1023] (modulus 2048,
+// exactly Lemma III.1). AC values live in [-1023, 1023] (modulus 2047),
+// because baseline JPEG Huffman coding cannot represent an AC value of
+// -1024; the lemma's algebra is modulus-agnostic, so exact recovery is
+// preserved. This deviation is documented in DESIGN.md.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"puppies/internal/dct"
+)
+
+// Variant selects the perturbation scheme.
+type Variant string
+
+// The four schemes of §IV-B.
+const (
+	VariantN Variant = "puppies-n"
+	VariantB Variant = "puppies-b"
+	VariantC Variant = "puppies-c"
+	VariantZ Variant = "puppies-z"
+)
+
+// Valid reports whether v names a known variant.
+func (v Variant) Valid() bool {
+	switch v {
+	case VariantN, VariantB, VariantC, VariantZ:
+		return true
+	}
+	return false
+}
+
+// WrapPolicy controls how coefficient wraparound interacts with PSP-side
+// pixel-domain transforms (see DESIGN.md §4).
+type WrapPolicy string
+
+const (
+	// WrapModular is exactly the paper's arithmetic. Recovery is exact with
+	// no transform and under coefficient-domain transforms; pixel-domain
+	// transform recovery is approximate wherever a coefficient wrapped.
+	WrapModular WrapPolicy = "modular"
+	// WrapRecorded additionally records wrapped coefficient positions as a
+	// public parameter (WInd), restoring exact linearity so pixel-domain
+	// transform recovery is exact as well.
+	WrapRecorded WrapPolicy = "recorded"
+)
+
+// Valid reports whether w names a known policy.
+func (w WrapPolicy) Valid() bool { return w == WrapModular || w == WrapRecorded }
+
+// PrivacyLevel is the user-facing privacy setting (paper Table IV).
+type PrivacyLevel string
+
+// The three levels of Table IV.
+const (
+	LevelLow    PrivacyLevel = "low"
+	LevelMedium PrivacyLevel = "medium"
+	LevelHigh   PrivacyLevel = "high"
+)
+
+// LevelParams returns the (mR, K) pair for a privacy level (paper Table IV).
+func LevelParams(l PrivacyLevel) (mR, k int, err error) {
+	switch l {
+	case LevelLow:
+		return 1, 1, nil
+	case LevelMedium:
+		return 32, 8, nil
+	case LevelHigh:
+		return 2048, 64, nil
+	default:
+		return 0, 0, fmt.Errorf("core: unknown privacy level %q", l)
+	}
+}
+
+// Params configures a Scheme.
+type Params struct {
+	// Variant selects the perturbation algorithm. Required.
+	Variant Variant
+	// MR is the minimum range of entries in Q' (Algorithm 3). Used by -C
+	// and -Z. Range [1, 2048].
+	MR int
+	// K is the number of coefficients perturbed per block (Algorithm 3).
+	// Used by -C and -Z. Range [1, 64].
+	K int
+	// Wrap selects the wraparound policy; zero value means WrapModular.
+	Wrap WrapPolicy
+	// TransformSupport requests the extra public parameters (-Z support
+	// mask) needed to reconstruct after PSP-side pixel-domain transforms.
+	TransformSupport bool
+}
+
+// NewParams builds Params for a variant at a named privacy level.
+func NewParams(v Variant, level PrivacyLevel) (Params, error) {
+	mR, k, err := LevelParams(level)
+	if err != nil {
+		return Params{}, err
+	}
+	return Params{Variant: v, MR: mR, K: k}, nil
+}
+
+// Validate checks parameter ranges.
+func (p *Params) Validate() error {
+	if !p.Variant.Valid() {
+		return fmt.Errorf("core: unknown variant %q", p.Variant)
+	}
+	if p.Wrap != "" && !p.Wrap.Valid() {
+		return fmt.Errorf("core: unknown wrap policy %q", p.Wrap)
+	}
+	if p.Variant == VariantC || p.Variant == VariantZ {
+		if p.MR < 1 || p.MR > 2048 {
+			return fmt.Errorf("core: mR %d out of range [1, 2048]", p.MR)
+		}
+		if p.K < 1 || p.K > 64 {
+			return fmt.Errorf("core: K %d out of range [1, 64]", p.K)
+		}
+	}
+	return nil
+}
+
+func (p *Params) wrap() WrapPolicy {
+	if p.Wrap == "" {
+		return WrapModular
+	}
+	return p.Wrap
+}
+
+// RangeMatrix implements Algorithm 3: the vectorized private range matrix
+// Q', indexed by zigzag position. Lower frequencies get wider perturbation
+// ranges (stronger protection); positions at or beyond K get range 1
+// (no perturbation).
+//
+// Erratum note: the paper's listing assigns Q'[i] before testing i >= K,
+// which would perturb K+1 coefficients and contradict both the text ("K is
+// the number of coefficients the algorithm perturbs") and the low-level
+// claim ("if K = 1, Algorithm 1 only perturbs DC"). We order the test
+// first, which matches the stated semantics.
+func RangeMatrix(mR, k int) ([dct.BlockLen]int32, error) {
+	var q [dct.BlockLen]int32
+	if mR < 1 || mR > 2048 {
+		return q, fmt.Errorf("core: mR %d out of range [1, 2048]", mR)
+	}
+	if k < 1 || k > 64 {
+		return q, fmt.Errorf("core: K %d out of range [1, 64]", k)
+	}
+	r := int32(2048)
+	for i := 0; i < dct.BlockLen; i++ {
+		if i >= k {
+			r = 1
+		}
+		q[i] = r
+		if int(r) > mR {
+			r /= 2
+		}
+	}
+	return q, nil
+}
+
+// SecureBits returns the brute-force search space of one matrix pair at the
+// given parameters, in bits (paper §VI-A): 64 x 11 bits for P_DC plus the
+// sum of log2(Q'[i]) over perturbed AC positions for P_AC.
+//
+// The paper reports 705/794/1335 bits for low/medium/high; computing from
+// Algorithm 3 as printed gives different values (see EXPERIMENTS.md), so we
+// report the computed numbers.
+func SecureBits(mR, k int) (dcBits, acBits int, err error) {
+	q, err := RangeMatrix(mR, k)
+	if err != nil {
+		return 0, 0, err
+	}
+	dcBits = dct.BlockLen * 11
+	for i := 1; i < dct.BlockLen; i++ {
+		if q[i] > 1 {
+			acBits += int(math.Round(math.Log2(float64(q[i]))))
+		}
+	}
+	return dcBits, acBits, nil
+}

@@ -1,0 +1,328 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"puppies/internal/imgplane"
+	"puppies/internal/jpegc"
+	"puppies/internal/keys"
+	"puppies/internal/transform"
+)
+
+// encryptFixture encrypts a natural image with one ROI and returns
+// (original, perturbed, public data, key).
+func encryptFixture(t *testing.T, params Params, w, h int, roi ROI) (*jpegc.Image, *jpegc.Image, *PublicData, *keys.Pair) {
+	t.Helper()
+	base := naturalImage(t, w, h, 75)
+	sch, err := NewScheme(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair := keys.NewPairDeterministic(1234)
+	img := base.Clone()
+	pd, _, err := sch.EncryptImage(img, []RegionAssignment{{ROI: roi, Pair: pair}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return base, img, pd, pair
+}
+
+func TestReconstructCoeffLosslessOps(t *testing.T) {
+	roi := ROI{X: 16, Y: 8, W: 32, H: 24}
+	for _, v := range allVariants() {
+		params, _ := NewParams(v, LevelMedium)
+		base, img, pd, pair := encryptFixture(t, params, 64, 48, roi)
+		pairs := map[string]*keys.Pair{pair.ID: pair}
+
+		for _, op := range []transform.Op{
+			transform.OpNone, transform.OpRotate90, transform.OpRotate180,
+			transform.OpRotate270, transform.OpFlipH, transform.OpFlipV,
+		} {
+			spec := transform.Spec{Op: op}
+			timg, err := transform.Apply(img, spec)
+			if err != nil {
+				t.Fatalf("%s/%s: PSP transform: %v", v, op, err)
+			}
+			pubT := *pd
+			pubT.Transform = spec
+
+			got, err := ReconstructCoeff(timg, &pubT, pairs)
+			if err != nil {
+				t.Fatalf("%s/%s: reconstruct: %v", v, op, err)
+			}
+			want, err := transform.Apply(base, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !coeffEqual(got, want) {
+				t.Errorf("%s/%s: reconstruction not exact", v, op)
+			}
+		}
+	}
+}
+
+func TestReconstructCoeffAlignedCrop(t *testing.T) {
+	roi := ROI{X: 16, Y: 8, W: 32, H: 24}
+	params, _ := NewParams(VariantZ, LevelMedium)
+	base, img, pd, pair := encryptFixture(t, params, 64, 48, roi)
+	pairs := map[string]*keys.Pair{pair.ID: pair}
+
+	// Crop cutting through the ROI: keeps the right part of the region.
+	spec := transform.Spec{Op: transform.OpCrop, X: 24, Y: 0, W: 40, H: 32}
+	timg, err := transform.Apply(img, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pubT := *pd
+	pubT.Transform = spec
+	got, err := ReconstructCoeff(timg, &pubT, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := transform.Apply(base, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !coeffEqual(got, want) {
+		t.Error("cropped reconstruction not exact")
+	}
+}
+
+func TestCropPublicDataDropsAndRebases(t *testing.T) {
+	img := naturalImage(t, 96, 64, 75)
+	params, _ := NewParams(VariantC, LevelMedium)
+	sch, _ := NewScheme(params)
+	p1 := keys.NewPairDeterministic(1)
+	p2 := keys.NewPairDeterministic(2)
+	pd, _, err := sch.EncryptImage(img, []RegionAssignment{
+		{ROI: ROI{X: 0, Y: 0, W: 16, H: 16}, Pair: p1},
+		{ROI: ROI{X: 64, Y: 32, W: 32, H: 32}, Pair: p2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cropped, err := CropPublicData(pd, 48, 16, 48, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cropped.Regions) != 1 {
+		t.Fatalf("expected 1 surviving region, got %d", len(cropped.Regions))
+	}
+	r := cropped.Regions[0]
+	if r.KeyID != p2.ID {
+		t.Error("wrong region survived")
+	}
+	// Original region 2 spans x 64..96, crop starts at 48 -> region at x=16.
+	if r.ROI != (ROI{X: 16, Y: 16, W: 32, H: 32}) {
+		t.Errorf("rebased ROI = %+v", r.ROI)
+	}
+	if r.BaseBX != 0 || r.BaseBY != 0 {
+		t.Errorf("base offset (%d,%d), want (0,0) for fully-contained region", r.BaseBX, r.BaseBY)
+	}
+	if _, err := CropPublicData(pd, 3, 0, 8, 8); err == nil {
+		t.Error("unaligned crop accepted")
+	}
+	if _, err := CropPublicData(pd, 0, 0, 200, 8); err == nil {
+		t.Error("oversized crop accepted")
+	}
+}
+
+func TestReconstructCompressed(t *testing.T) {
+	roi := ROI{X: 0, Y: 0, W: 64, H: 48}
+	params, _ := NewParams(VariantC, LevelMedium)
+	base, img, pd, pair := encryptFixture(t, params, 64, 48, roi)
+	pairs := map[string]*keys.Pair{pair.ID: pair}
+
+	got, err := ReconstructCompressed(img, pd, pairs, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := transform.Recompress(base, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !coeffEqual(got, want) {
+		t.Error("compression reconstruction does not match recompressed original")
+	}
+}
+
+// psnrOn computes PSNR between two planar images.
+func psnrOn(t *testing.T, a, b *imgplane.Image) float64 {
+	t.Helper()
+	p, err := imgplane.ImagePSNR(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestReconstructPixelsExactUnderWrapRecorded(t *testing.T) {
+	roi := ROI{X: 16, Y: 16, W: 32, H: 24}
+	specs := []transform.Spec{
+		{Op: transform.OpScale, FactorX: 0.5, FactorY: 0.5},
+		{Op: transform.OpScale, FactorX: 1.5, FactorY: 1.25},
+		{Op: transform.OpRotate, Angle: 30},
+		{Op: transform.OpFilter, Kernel: "gaussian3"},
+		{Op: transform.OpCrop, X: 10, Y: 6, W: 40, H: 30}, // unaligned
+		{Op: transform.OpNone},
+	}
+	variants := []Params{
+		{Variant: VariantB, Wrap: WrapRecorded},
+		{Variant: VariantC, MR: 32, K: 8, Wrap: WrapRecorded},
+		{Variant: VariantZ, MR: 32, K: 8, Wrap: WrapRecorded, TransformSupport: true},
+	}
+	for _, params := range variants {
+		base, img, pd, pair := encryptFixture(t, params, 64, 48, roi)
+		pairs := map[string]*keys.Pair{pair.ID: pair}
+
+		// The PSP decodes the perturbed JPEG to pixels and transforms them.
+		perturbedPix, err := img.ToPlanar()
+		if err != nil {
+			t.Fatal(err)
+		}
+		origPix, err := base.ToPlanar()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, spec := range specs {
+			transformed, err := transform.ApplyPlanar(perturbedPix, spec)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", params.Variant, spec.Op, err)
+			}
+			pubT := *pd
+			pubT.Transform = spec
+			got, err := ReconstructPixels(transformed, &pubT, pairs)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", params.Variant, spec.Op, err)
+			}
+			want, err := transform.ApplyPlanar(origPix, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			psnr := psnrOn(t, got, want)
+			if psnr < 55 {
+				t.Errorf("%s/%s: PSNR %.1f dB, want >= 55 (exact up to float32 precision)",
+					params.Variant, spec.Op, psnr)
+			}
+		}
+	}
+}
+
+func TestReconstructPixelsDegradedUnderWrapModular(t *testing.T) {
+	roi := ROI{X: 16, Y: 16, W: 32, H: 24}
+	params := Params{Variant: VariantB, Wrap: WrapModular}
+	base, img, pd, pair := encryptFixture(t, params, 64, 48, roi)
+	pairs := map[string]*keys.Pair{pair.ID: pair}
+
+	perturbedPix, _ := img.ToPlanar()
+	origPix, _ := base.ToPlanar()
+	spec := transform.Spec{Op: transform.OpScale, FactorX: 0.5, FactorY: 0.5}
+	transformed, err := transform.ApplyPlanar(perturbedPix, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pubT := *pd
+	pubT.Transform = spec
+	got, err := ReconstructPixels(transformed, &pubT, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := transform.ApplyPlanar(origPix, spec)
+	psnr := psnrOn(t, got, want)
+	// DC perturbations wrap about half the time, so modular recovery under a
+	// pixel-domain transform must be visibly lossy — this is the ablation
+	// that motivates WrapRecorded (DESIGN.md §4).
+	if psnr > 40 {
+		t.Errorf("WrapModular pixel recovery PSNR %.1f dB; expected degradation (< 40)", psnr)
+	}
+}
+
+func TestReconstructPixelsRequiresSupportForZ(t *testing.T) {
+	roi := ROI{X: 16, Y: 16, W: 32, H: 24}
+	params := Params{Variant: VariantZ, MR: 32, K: 8, Wrap: WrapRecorded} // no TransformSupport
+	_, img, pd, pair := encryptFixture(t, params, 64, 48, roi)
+	pairs := map[string]*keys.Pair{pair.ID: pair}
+	perturbedPix, _ := img.ToPlanar()
+	spec := transform.Spec{Op: transform.OpScale, FactorX: 0.5, FactorY: 0.5}
+	transformed, _ := transform.ApplyPlanar(perturbedPix, spec)
+	pubT := *pd
+	pubT.Transform = spec
+	if _, err := ReconstructPixels(transformed, &pubT, pairs); err == nil {
+		t.Error("VariantZ pixel reconstruction without support list should error")
+	}
+}
+
+func TestReconstructPixelsMissingKeyLeavesRegionHidden(t *testing.T) {
+	roi := ROI{X: 16, Y: 16, W: 32, H: 24}
+	params := Params{Variant: VariantC, MR: 32, K: 8, Wrap: WrapRecorded}
+	base, img, pd, pair := encryptFixture(t, params, 64, 48, roi)
+	_ = pair
+
+	perturbedPix, _ := img.ToPlanar()
+	origPix, _ := base.ToPlanar()
+	spec := transform.Spec{Op: transform.OpScale, FactorX: 0.5, FactorY: 0.5}
+	transformed, _ := transform.ApplyPlanar(perturbedPix, spec)
+	pubT := *pd
+	pubT.Transform = spec
+	got, err := ReconstructPixels(transformed, &pubT, map[string]*keys.Pair{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := transform.ApplyPlanar(origPix, spec)
+	psnr := psnrOn(t, got, want)
+	if psnr > 40 {
+		t.Errorf("without keys the region should stay hidden (PSNR %.1f dB)", psnr)
+	}
+}
+
+func TestPerturbationHidesContent(t *testing.T) {
+	// The perturbed ROI must look nothing like the original (the privacy
+	// property). Compare pixel PSNR over the ROI only.
+	roi := ROI{X: 0, Y: 0, W: 64, H: 48}
+	for _, v := range allVariants() {
+		for _, level := range []PrivacyLevel{LevelMedium, LevelHigh} {
+			params, _ := NewParams(v, level)
+			base, img, _, _ := encryptFixture(t, params, 64, 48, roi)
+			origPix, _ := base.ToPlanar()
+			pertPix, _ := img.ToPlanar()
+			psnr := psnrOn(t, origPix, pertPix)
+			if psnr > 20 {
+				t.Errorf("%s/%s: perturbed image too similar to original (PSNR %.1f dB)", v, level, psnr)
+			}
+		}
+	}
+}
+
+func TestShadowImageZeroOutsideROI(t *testing.T) {
+	roi := ROI{X: 16, Y: 16, W: 16, H: 16}
+	params := Params{Variant: VariantC, MR: 32, K: 8, Wrap: WrapRecorded}
+	_, _, pd, pair := encryptFixture(t, params, 64, 48, roi)
+	shadow, err := ShadowImage(pd, map[string]*keys.Pair{pair.ID: pair})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci, plane := range shadow.Planes {
+		for y := 0; y < plane.H; y++ {
+			for x := 0; x < plane.W; x++ {
+				inside := roi.Contains(x, y)
+				v := plane.At(x, y)
+				if !inside && v != 0 {
+					t.Fatalf("shadow nonzero outside ROI at (%d,%d) channel %d: %v", x, y, ci, v)
+				}
+			}
+		}
+	}
+	// The shadow must be nonzero somewhere inside the ROI.
+	var energy float64
+	for _, plane := range shadow.Planes {
+		for y := roi.Y; y < roi.Y+roi.H; y++ {
+			for x := roi.X; x < roi.X+roi.W; x++ {
+				energy += math.Abs(float64(plane.At(x, y)))
+			}
+		}
+	}
+	if energy == 0 {
+		t.Error("shadow has no energy inside the ROI")
+	}
+}

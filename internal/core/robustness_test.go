@@ -1,0 +1,175 @@
+package core
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"puppies/internal/keys"
+)
+
+// TestEncryptDecryptQuick is a property test over randomized parameters:
+// for any variant, any legal (mR, K), any seed and any block-aligned ROI,
+// decrypt(encrypt(img)) == img.
+func TestEncryptDecryptQuick(t *testing.T) {
+	base := naturalImage(t, 64, 48, 75)
+	variants := allVariants()
+	f := func(vIdx uint8, mrExp uint8, kRaw uint8, seed int64, bx, by, bw, bh uint8) bool {
+		params := Params{
+			Variant: variants[int(vIdx)%len(variants)],
+			MR:      1 << (mrExp % 12), // 1..2048
+			K:       1 + int(kRaw)%64,  // 1..64
+		}
+		sch, err := NewScheme(params)
+		if err != nil {
+			return false
+		}
+		// Block-aligned ROI inside 64x48 (8x6 blocks).
+		x := int(bx) % 6
+		y := int(by) % 4
+		w := 1 + int(bw)%(8-x)
+		h := 1 + int(bh)%(6-y)
+		roi := ROI{X: x * 8, Y: y * 8, W: w * 8, H: h * 8}
+
+		pair := keys.NewPairDeterministic(seed)
+		img := base.Clone()
+		pd, _, err := sch.EncryptImage(img, []RegionAssignment{{ROI: roi, Pair: pair}})
+		if err != nil {
+			return false
+		}
+		if _, err := DecryptImage(img, pd, map[string]*keys.Pair{pair.ID: pair}); err != nil {
+			return false
+		}
+		return coeffEqual(img, base)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecryptHostilePublicData feeds adversarially mutated public data to
+// the decrypt path: it must error or no-op, never panic or index out of
+// range.
+func TestDecryptHostilePublicData(t *testing.T) {
+	base := naturalImage(t, 64, 48, 75)
+	params, _ := NewParams(VariantZ, LevelMedium)
+	sch, _ := NewScheme(params)
+	pair := keys.NewPairDeterministic(13)
+	img := base.Clone()
+	pd, _, err := sch.EncryptImage(img, []RegionAssignment{
+		{ROI: ROI{X: 8, Y: 8, W: 32, H: 24}, Pair: pair},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := pd.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mutate := func(f func(m map[string]interface{})) []byte {
+		var doc map[string]interface{}
+		if err := json.Unmarshal(good, &doc); err != nil {
+			t.Fatal(err)
+		}
+		regions := doc["regions"].([]interface{})
+		f(regions[0].(map[string]interface{}))
+		out, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	hostile := [][]byte{
+		mutate(func(r map[string]interface{}) { r["baseBx"] = -5 }),
+		mutate(func(r map[string]interface{}) { r["baseBw"] = -1 }),
+		mutate(func(r map[string]interface{}) { r["keyId"] = "" }),
+		mutate(func(r map[string]interface{}) {
+			r["roi"] = map[string]int{"x": 0, "y": 0, "w": 8192, "h": 8}
+		}),
+		mutate(func(r map[string]interface{}) { r["variant"] = "evil" }),
+		mutate(func(r map[string]interface{}) {
+			r["keyId"] = ""
+			r["keyIds"] = []string{"a", ""}
+		}),
+	}
+	for i, data := range hostile {
+		pdBad, err := DecodePublicData(data)
+		if err != nil {
+			continue // rejected at parse/validate time: good
+		}
+		// If it parsed, decryption must not panic.
+		work := img.Clone()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("hostile params %d caused panic: %v", i, r)
+				}
+			}()
+			_, _ = DecryptImage(work, pdBad, map[string]*keys.Pair{pair.ID: pair})
+		}()
+	}
+}
+
+// TestZIndTamperingDoesNotPanic corrupts the ZInd list; recovery may be
+// wrong (integrity is out of scope, §III-A) but must stay memory-safe.
+func TestZIndTamperingDoesNotPanic(t *testing.T) {
+	base := naturalImage(t, 64, 48, 60)
+	sch, _ := NewScheme(Params{Variant: VariantZ, MR: 2048, K: 64})
+	pair := keys.NewPairDeterministic(14)
+	img := base.Clone()
+	pd, _, err := sch.EncryptImage(img, []RegionAssignment{
+		{ROI: ROI{X: 0, Y: 0, W: 64, H: 48}, Pair: pair},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	rp := &pd.Regions[0]
+	for i := 0; i < 50; i++ {
+		rp.ZInd = append(rp.ZInd, CoeffPos{
+			Channel: uint8(rng.Intn(4)),
+			Block:   uint32(rng.Intn(1 << 20)),
+			Coeff:   uint8(rng.Intn(64)),
+		})
+	}
+	work := img.Clone()
+	if _, err := DecryptImage(work, pd, map[string]*keys.Pair{pair.ID: pair}); err != nil {
+		t.Fatalf("tampered ZInd errored instead of degrading: %v", err)
+	}
+}
+
+// TestPublicDataValidateRejects covers the validation matrix directly.
+func TestPublicDataValidateRejects(t *testing.T) {
+	base := naturalImage(t, 32, 32, 75)
+	sch, _ := NewScheme(Params{Variant: VariantC, MR: 32, K: 8})
+	pair := keys.NewPairDeterministic(15)
+	img := base.Clone()
+	pd, _, err := sch.EncryptImage(img, []RegionAssignment{
+		{ROI: ROI{X: 0, Y: 0, W: 32, H: 32}, Pair: pair},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(p *PublicData){
+		func(p *PublicData) { p.W = 0 },
+		func(p *PublicData) { p.Channels = 2 },
+		func(p *PublicData) { p.Regions[0].BaseBX = -1 },
+		func(p *PublicData) { p.Regions[0].KeyID = "" },
+		func(p *PublicData) { p.Regions[0].KeyIDs = []string{"x"} }, // both set
+		func(p *PublicData) { p.Regions[0].Variant = "nope" },
+		func(p *PublicData) {
+			p.Regions = append(p.Regions, p.Regions[0]) // duplicate -> overlap
+		},
+	}
+	for i, corrupt := range cases {
+		bad := *pd
+		bad.Regions = append([]RegionParams(nil), pd.Regions...)
+		corrupt(&bad)
+		if err := bad.Validate(); err == nil {
+			t.Errorf("case %d: hostile public data validated", i)
+		}
+	}
+}

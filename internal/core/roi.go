@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+
+	"puppies/internal/dct"
+)
+
+// ROI is a rectangular region of interest in pixel coordinates. PuPPIeS
+// perturbation operates on whole 8x8 blocks, so encryption requires
+// block-aligned ROIs; AlignToBlocks expands an arbitrary rectangle outward
+// to the block grid.
+type ROI struct {
+	X int `json:"x"`
+	Y int `json:"y"`
+	W int `json:"w"`
+	H int `json:"h"`
+}
+
+// Validate checks the ROI is block-aligned and inside a wxh image.
+func (r ROI) Validate(w, h int) error {
+	if r.W <= 0 || r.H <= 0 {
+		return fmt.Errorf("core: ROI %+v has non-positive size", r)
+	}
+	if r.X < 0 || r.Y < 0 || r.X+r.W > w || r.Y+r.H > h {
+		return fmt.Errorf("core: ROI %+v outside %dx%d image", r, w, h)
+	}
+	if r.X%dct.BlockSize != 0 || r.Y%dct.BlockSize != 0 ||
+		r.W%dct.BlockSize != 0 || r.H%dct.BlockSize != 0 {
+		return fmt.Errorf("core: ROI %+v not aligned to the %d-pixel block grid", r, dct.BlockSize)
+	}
+	return nil
+}
+
+// AlignToBlocks expands the ROI outward to the block grid and clips it to a
+// wxh image. It returns an error if the result is empty.
+func (r ROI) AlignToBlocks(w, h int) (ROI, error) {
+	x0 := (r.X / dct.BlockSize) * dct.BlockSize
+	y0 := (r.Y / dct.BlockSize) * dct.BlockSize
+	x1 := ((r.X + r.W + dct.BlockSize - 1) / dct.BlockSize) * dct.BlockSize
+	y1 := ((r.Y + r.H + dct.BlockSize - 1) / dct.BlockSize) * dct.BlockSize
+	if x0 < 0 {
+		x0 = 0
+	}
+	if y0 < 0 {
+		y0 = 0
+	}
+	maxW := (w / dct.BlockSize) * dct.BlockSize
+	maxH := (h / dct.BlockSize) * dct.BlockSize
+	if x1 > maxW {
+		x1 = maxW
+	}
+	if y1 > maxH {
+		y1 = maxH
+	}
+	if x1 <= x0 || y1 <= y0 {
+		return ROI{}, fmt.Errorf("core: ROI %+v aligns to an empty region in %dx%d image", r, w, h)
+	}
+	return ROI{X: x0, Y: y0, W: x1 - x0, H: y1 - y0}, nil
+}
+
+// Blocks returns the ROI's block-grid origin and dimensions.
+func (r ROI) Blocks() (bx, by, bw, bh int) {
+	return r.X / dct.BlockSize, r.Y / dct.BlockSize, r.W / dct.BlockSize, r.H / dct.BlockSize
+}
+
+// Area returns the pixel area of the ROI.
+func (r ROI) Area() int { return r.W * r.H }
+
+// Intersect returns the overlap of two ROIs and whether it is non-empty.
+func (r ROI) Intersect(o ROI) (ROI, bool) {
+	x0 := max(r.X, o.X)
+	y0 := max(r.Y, o.Y)
+	x1 := min(r.X+r.W, o.X+o.W)
+	y1 := min(r.Y+r.H, o.Y+o.H)
+	if x1 <= x0 || y1 <= y0 {
+		return ROI{}, false
+	}
+	return ROI{X: x0, Y: y0, W: x1 - x0, H: y1 - y0}, true
+}
+
+// Overlaps reports whether two ROIs share any pixels.
+func (r ROI) Overlaps(o ROI) bool {
+	_, ok := r.Intersect(o)
+	return ok
+}
+
+// Contains reports whether the point (x, y) lies inside the ROI.
+func (r ROI) Contains(x, y int) bool {
+	return x >= r.X && x < r.X+r.W && y >= r.Y && y < r.Y+r.H
+}

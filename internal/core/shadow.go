@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+
+	"puppies/internal/dct"
+	"puppies/internal/imgplane"
+	"puppies/internal/keys"
+	"puppies/internal/transform"
+)
+
+// ShadowImage builds the pixel-domain "shadow" of every region whose key is
+// present: a full-size image that is zero outside the ROIs and equals the
+// perturbation's pixel contribution inside them (paper §IV-C.1). Subtracting
+// the (identically transformed) shadow from a transformed perturbed image
+// recovers the transformed original, because all PSP pixel-domain
+// transforms are linear.
+//
+// Regions whose keys are missing contribute nothing (they stay perturbed in
+// the final output, which is the intended personalized-privacy behaviour).
+// VariantZ regions require the Support list (encrypt with TransformSupport).
+func ShadowImage(pd *PublicData, pairs map[string]*keys.Pair) (*imgplane.Image, error) {
+	if err := pd.Validate(); err != nil {
+		return nil, err
+	}
+	shadow, err := imgplane.New(pd.W, pd.H, pd.Channels)
+	if err != nil {
+		return nil, err
+	}
+	for i := range pd.Regions {
+		rp := &pd.Regions[i]
+		any := false
+		for _, id := range rp.AllKeyIDs() {
+			if _, ok := pairs[id]; ok {
+				any = true
+				break
+			}
+		}
+		if !any {
+			continue
+		}
+		if err := addRegionShadow(shadow, pd, rp, pairs); err != nil {
+			return nil, fmt.Errorf("core: region %d shadow: %w", i, err)
+		}
+	}
+	return shadow, nil
+}
+
+func addRegionShadow(shadow *imgplane.Image, pd *PublicData, rp *RegionParams, pairs map[string]*keys.Pair) error {
+	sch, err := NewScheme(Params{Variant: rp.Variant, MR: rp.MR, K: rp.K, Wrap: rp.Wrap})
+	if err != nil {
+		return err
+	}
+	if rp.Variant == VariantZ && len(rp.Support) == 0 {
+		return fmt.Errorf("core: %s region has no support list; encrypt with TransformSupport for pixel-domain recovery", rp.Variant)
+	}
+
+	wind := rp.WInd.toSet()
+	support := rp.Support.toSet()
+	bx0, by0, bw, bh := rp.ROI.Blocks()
+	baseBW := rp.BaseBW
+	if baseBW == 0 {
+		baseBW = bw
+	}
+
+	for ci := 0; ci < pd.Channels; ci++ {
+		quant := &pd.LumQuant
+		if ci > 0 {
+			quant = &pd.ChromQuant
+		}
+		plane := shadow.Planes[ci]
+		for by := 0; by < bh; by++ {
+			for bx := 0; bx < bw; bx++ {
+				k := (rp.BaseBY+by)*baseBW + (rp.BaseBX + bx)
+				pair := pairs[rp.KeyIDForBlock(k)]
+				if pair == nil {
+					continue // stripe key not held: block stays perturbed
+				}
+
+				var raw dct.FloatBlock
+				// DC contribution.
+				delta := sch.dcDelta(pair, k)
+				if wind[CoeffPos{Channel: uint8(ci), Block: uint32(k), Coeff: 0}] {
+					delta -= dcModulus
+				}
+				raw[0] = float64(delta) * float64(quant[0])
+
+				// AC contributions.
+				for zz := 1; zz < dct.BlockLen; zz++ {
+					nat := dct.ZigZag[zz]
+					pos := CoeffPos{Channel: uint8(ci), Block: uint32(k), Coeff: uint8(zz)}
+					if rp.Variant == VariantZ && !support[pos] {
+						continue
+					}
+					d := sch.acDelta(pair, zz)
+					if d == 0 {
+						continue
+					}
+					if wind[pos] {
+						d -= acModulus
+					}
+					raw[nat] = float64(d) * float64(quant[nat])
+				}
+
+				spatial := dct.Inverse(&raw)
+				for y := 0; y < dct.BlockSize; y++ {
+					py := (by0+by)*dct.BlockSize + y
+					for x := 0; x < dct.BlockSize; x++ {
+						px := (bx0+bx)*dct.BlockSize + x
+						plane.Set(px, py, plane.At(px, py)+float32(spatial[y*dct.BlockSize+x]))
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ReconstructPixels recovers the transformed original from a PSP-transformed
+// perturbed image served as pixels (scenario 2 for pixel-domain transforms:
+// scaling, arbitrary rotation, filtering, unaligned crops). The shadow is
+// built in the original geometry, the PSP's transform (pd.Transform) is
+// replayed on it, and the result subtracted.
+//
+// Exactness: exact under WrapRecorded; under WrapModular, wrapped
+// coefficients (Stats.Wraps of the encryption) leave localized residue.
+func ReconstructPixels(transformed *imgplane.Image, pd *PublicData, pairs map[string]*keys.Pair) (*imgplane.Image, error) {
+	if err := pd.Transform.Validate(); err != nil {
+		return nil, err
+	}
+	if !pd.Transform.IsLinear() {
+		return nil, fmt.Errorf("core: %s is not linear; use ReconstructCompressed", pd.Transform.Op)
+	}
+	shadow, err := ShadowImage(pd, pairs)
+	if err != nil {
+		return nil, err
+	}
+	tShadow, err := transform.ApplyPlanar(shadow, pd.Transform)
+	if err != nil {
+		return nil, err
+	}
+	if transformed.Channels() != tShadow.Channels() {
+		return nil, fmt.Errorf("core: transformed image has %d channels, shadow %d",
+			transformed.Channels(), tShadow.Channels())
+	}
+	out := &imgplane.Image{Planes: make([]*imgplane.Plane, transformed.Channels())}
+	for ci := range transformed.Planes {
+		p, err := transformed.Planes[ci].Sub(tShadow.Planes[ci])
+		if err != nil {
+			return nil, fmt.Errorf("core: channel %d: %w (did the PSP apply the declared transform?)", ci, err)
+		}
+		out.Planes[ci] = p
+	}
+	return out, nil
+}

@@ -1,0 +1,35 @@
+package core
+
+// Modular coefficient arithmetic (Lemma III.1, generalized to an arbitrary
+// modulus so the AC range [-1023, 1023] can use modulus 2047).
+//
+// Values live in [-offset, modulus-1-offset]; perturbations are normalized
+// to [0, modulus-1]. Because perturbations are non-negative, a wrap (if any)
+// is always a single downward wrap of exactly `modulus`.
+
+const (
+	dcOffset  = 1024
+	dcModulus = 2048
+	acOffset  = 1023
+	acModulus = 2047
+)
+
+// wrapAdd computes e = ((b + p + offset) mod modulus) - offset and reports
+// whether the addition wrapped.
+func wrapAdd(b, p, offset, modulus int32) (e int32, wrapped bool) {
+	s := b + p + offset
+	if s >= modulus {
+		return s - modulus - offset, true
+	}
+	return s - offset, false
+}
+
+// wrapSub inverts wrapAdd: b = ((e - p + offset) mod modulus) - offset,
+// with the result normalized into [-offset, modulus-1-offset].
+func wrapSub(e, p, offset, modulus int32) int32 {
+	s := (e - p + offset) % modulus
+	if s < 0 {
+		s += modulus
+	}
+	return s - offset
+}

@@ -1,0 +1,170 @@
+package dataset
+
+import (
+	"testing"
+
+	"puppies/internal/imgplane"
+	"puppies/internal/jpegc"
+)
+
+func TestAllProfilesGenerate(t *testing.T) {
+	for _, p := range []Profile{Caltech, FERET, INRIA, PASCAL} {
+		g, err := NewGenerator(p, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		item := g.Item(0)
+		if item.Image.W() != p.W || item.Image.H() != p.H {
+			t.Errorf("%s: got %dx%d, want %dx%d", p.Name, item.Image.W(), item.Image.H(), p.W, p.H)
+		}
+		if err := item.Image.Validate(); err != nil {
+			t.Errorf("%s: invalid image: %v", p.Name, err)
+		}
+		if len(item.Annotations) == 0 {
+			t.Errorf("%s: no annotations", p.Name)
+		}
+		for _, a := range item.Annotations {
+			if a.W <= 0 || a.H <= 0 || a.X < 0 || a.Y < 0 ||
+				a.X+a.W > p.W || a.Y+a.H > p.H {
+				t.Errorf("%s: annotation %+v outside image", p.Name, a)
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g1, _ := NewGenerator(PASCAL, 42)
+	g2, _ := NewGenerator(PASCAL, 42)
+	a, b := g1.Item(3), g2.Item(3)
+	for ci := range a.Image.Planes {
+		for i := range a.Image.Planes[ci].Pix {
+			if a.Image.Planes[ci].Pix[i] != b.Image.Planes[ci].Pix[i] {
+				t.Fatal("same seed+index produced different images")
+			}
+		}
+	}
+	g3, _ := NewGenerator(PASCAL, 43)
+	c := g3.Item(3)
+	same := true
+	for ci := range a.Image.Planes {
+		for i := range a.Image.Planes[ci].Pix {
+			if a.Image.Planes[ci].Pix[i] != c.Image.Planes[ci].Pix[i] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical images")
+	}
+}
+
+func TestPortraitIdentitiesStable(t *testing.T) {
+	g, _ := NewGenerator(FERET, 7)
+	// Items index and index+Identities share an identity.
+	a := g.Item(2)
+	b := g.Item(2 + FERET.Identities)
+	if a.Annotations[0].Identity != b.Annotations[0].Identity {
+		t.Errorf("identity mismatch: %d vs %d", a.Annotations[0].Identity, b.Annotations[0].Identity)
+	}
+	c := g.Item(3)
+	if a.Annotations[0].Identity == c.Annotations[0].Identity {
+		t.Error("adjacent indices share an identity")
+	}
+}
+
+func TestFaceAnnotationsHaveIdentity(t *testing.T) {
+	g, _ := NewGenerator(Caltech, 5)
+	found := false
+	for i := 0; i < 3; i++ {
+		for _, a := range g.Item(i).Annotations {
+			if a.Class == ClassFace {
+				found = true
+				if a.Identity < 0 {
+					t.Errorf("face annotation without identity: %+v", a)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("Caltech generator produced no faces")
+	}
+}
+
+func TestPascalHasTextAndObject(t *testing.T) {
+	g, _ := NewGenerator(PASCAL, 9)
+	classes := map[Class]bool{}
+	for i := 0; i < 5; i++ {
+		for _, a := range g.Item(i).Annotations {
+			classes[a.Class] = true
+		}
+	}
+	if !classes[ClassText] || !classes[ClassObject] {
+		t.Errorf("PASCAL items missing text or object annotations: %v", classes)
+	}
+}
+
+// The whole point of the generators: their output must have natural JPEG
+// statistics — it must compress substantially.
+func TestGeneratedImagesCompressNaturally(t *testing.T) {
+	g, _ := NewGenerator(PASCAL, 3)
+	item := g.Item(0)
+	img, err := jpegc.FromPlanar(item.Image, jpegc.Options{Quality: 75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	size, err := img.EncodedSize(jpegc.EncodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawSize := int64(item.Image.W() * item.Image.H() * 3)
+	ratio := float64(rawSize) / float64(size)
+	if ratio < 4 {
+		t.Errorf("compression ratio %.1f too low; generated content is not natural-image-like", ratio)
+	}
+	// Round trip through the codec must be faithful.
+	back, err := img.ToPlanar()
+	if err != nil {
+		t.Fatal(err)
+	}
+	psnr, err := imgplane.ImagePSNR(item.Image, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if psnr < 25 {
+		t.Errorf("codec round trip PSNR %.1f dB; content too pathological", psnr)
+	}
+}
+
+func TestBatch(t *testing.T) {
+	g, _ := NewGenerator(FERET, 1)
+	items := g.Batch(4)
+	if len(items) != 4 {
+		t.Fatalf("got %d items", len(items))
+	}
+	names := map[string]bool{}
+	for _, it := range items {
+		if names[it.Name] {
+			t.Errorf("duplicate item name %s", it.Name)
+		}
+		names[it.Name] = true
+	}
+}
+
+func TestNewGeneratorValidation(t *testing.T) {
+	if _, err := NewGenerator(Profile{Name: "tiny", W: 8, H: 8, Kind: KindObjects}, 1); err == nil {
+		t.Error("tiny profile accepted")
+	}
+	if _, err := NewGenerator(Profile{Name: "bad", W: 100, H: 100, Kind: "wat"}, 1); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestSanitizeText(t *testing.T) {
+	out := sanitizeText("AZ9?")
+	if _, ok := glyphs[rune(out[1])]; !ok {
+		t.Errorf("sanitize left unknown rune: %q", out)
+	}
+	if out[0] != 'A' || out[2] != '9' {
+		t.Errorf("sanitize changed known runes: %q", out)
+	}
+}

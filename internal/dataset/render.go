@@ -1,0 +1,161 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+
+	"puppies/internal/imgplane"
+)
+
+// canvas wraps a planar YUV image with RGB drawing primitives.
+type canvas struct {
+	img *imgplane.Image
+}
+
+func newCanvas(w, h int) *canvas {
+	img, err := imgplane.New(w, h, 3)
+	if err != nil {
+		panic(err) // dimensions are generator-controlled
+	}
+	return &canvas{img: img}
+}
+
+func (c *canvas) setRGB(x, y int, r, g, b float32) {
+	if x < 0 || y < 0 || x >= c.img.W() || y >= c.img.H() {
+		return
+	}
+	yy, uu, vv := imgplane.RGBToYUV(r, g, b)
+	i := y*c.img.W() + x
+	c.img.Planes[0].Pix[i] = yy
+	c.img.Planes[1].Pix[i] = uu
+	c.img.Planes[2].Pix[i] = vv
+}
+
+func (c *canvas) fillRect(x, y, w, h int, r, g, b float32) {
+	for yy := y; yy < y+h; yy++ {
+		for xx := x; xx < x+w; xx++ {
+			c.setRGB(xx, yy, r, g, b)
+		}
+	}
+}
+
+// fillEllipse draws a filled axis-aligned ellipse centered at (cx, cy).
+func (c *canvas) fillEllipse(cx, cy, rx, ry int, r, g, b float32) {
+	for yy := cy - ry; yy <= cy+ry; yy++ {
+		for xx := cx - rx; xx <= cx+rx; xx++ {
+			dx := float64(xx-cx) / float64(rx)
+			dy := float64(yy-cy) / float64(ry)
+			if dx*dx+dy*dy <= 1 {
+				c.setRGB(xx, yy, r, g, b)
+			}
+		}
+	}
+}
+
+// valueNoise is seeded multi-octave value noise in [0, 1], the texture
+// source that gives synthetic images natural low-frequency-dominated DCT
+// spectra.
+type valueNoise struct {
+	perm [256]int
+	grad [256]float64
+}
+
+func newValueNoise(rng *rand.Rand) *valueNoise {
+	n := &valueNoise{}
+	for i := range n.perm {
+		n.perm[i] = i
+	}
+	rng.Shuffle(len(n.perm), func(i, j int) { n.perm[i], n.perm[j] = n.perm[j], n.perm[i] })
+	for i := range n.grad {
+		n.grad[i] = rng.Float64()
+	}
+	return n
+}
+
+func (n *valueNoise) lattice(x, y int) float64 {
+	return n.grad[n.perm[(x+n.perm[y&255])&255]]
+}
+
+func smoothstep(t float64) float64 { return t * t * (3 - 2*t) }
+
+// at returns single-octave noise at the given frequency.
+func (n *valueNoise) at(x, y, freq float64) float64 {
+	fx, fy := x*freq, y*freq
+	x0, y0 := int(math.Floor(fx)), int(math.Floor(fy))
+	tx, ty := smoothstep(fx-float64(x0)), smoothstep(fy-float64(y0))
+	v00 := n.lattice(x0, y0)
+	v10 := n.lattice(x0+1, y0)
+	v01 := n.lattice(x0, y0+1)
+	v11 := n.lattice(x0+1, y0+1)
+	return (v00*(1-tx)+v10*tx)*(1-ty) + (v01*(1-tx)+v11*tx)*ty
+}
+
+// fbm is fractal Brownian motion: octaves of value noise with halving
+// amplitude, normalized to [0, 1].
+func (n *valueNoise) fbm(x, y float64, octaves int, baseFreq float64) float64 {
+	var sum, norm, amp float64
+	amp = 1
+	freq := baseFreq
+	for o := 0; o < octaves; o++ {
+		sum += amp * n.at(x, y, freq)
+		norm += amp
+		amp /= 2
+		freq *= 2
+	}
+	return sum / norm
+}
+
+// glyphs is a compact 5x7 bitmap font (rows top to bottom, 5 LSBs used,
+// bit 4 = leftmost pixel). It covers digits and the letters the text
+// renderer needs.
+var glyphs = map[rune][7]byte{
+	'0': {0x0E, 0x11, 0x13, 0x15, 0x19, 0x11, 0x0E},
+	'1': {0x04, 0x0C, 0x04, 0x04, 0x04, 0x04, 0x0E},
+	'2': {0x0E, 0x11, 0x01, 0x02, 0x04, 0x08, 0x1F},
+	'3': {0x1F, 0x02, 0x04, 0x02, 0x01, 0x11, 0x0E},
+	'4': {0x02, 0x06, 0x0A, 0x12, 0x1F, 0x02, 0x02},
+	'5': {0x1F, 0x10, 0x1E, 0x01, 0x01, 0x11, 0x0E},
+	'6': {0x06, 0x08, 0x10, 0x1E, 0x11, 0x11, 0x0E},
+	'7': {0x1F, 0x01, 0x02, 0x04, 0x08, 0x08, 0x08},
+	'8': {0x0E, 0x11, 0x11, 0x0E, 0x11, 0x11, 0x0E},
+	'9': {0x0E, 0x11, 0x11, 0x0F, 0x01, 0x02, 0x0C},
+	'A': {0x0E, 0x11, 0x11, 0x1F, 0x11, 0x11, 0x11},
+	'B': {0x1E, 0x11, 0x11, 0x1E, 0x11, 0x11, 0x1E},
+	'C': {0x0E, 0x11, 0x10, 0x10, 0x10, 0x11, 0x0E},
+	'D': {0x1E, 0x11, 0x11, 0x11, 0x11, 0x11, 0x1E},
+	'E': {0x1F, 0x10, 0x10, 0x1E, 0x10, 0x10, 0x1F},
+	'H': {0x11, 0x11, 0x11, 0x1F, 0x11, 0x11, 0x11},
+	'L': {0x10, 0x10, 0x10, 0x10, 0x10, 0x10, 0x1F},
+	'N': {0x11, 0x19, 0x15, 0x13, 0x11, 0x11, 0x11},
+	'O': {0x0E, 0x11, 0x11, 0x11, 0x11, 0x11, 0x0E},
+	'R': {0x1E, 0x11, 0x11, 0x1E, 0x14, 0x12, 0x11},
+	'S': {0x0F, 0x10, 0x10, 0x0E, 0x01, 0x01, 0x1E},
+	'W': {0x11, 0x11, 0x11, 0x15, 0x15, 0x1B, 0x11},
+	'-': {0x00, 0x00, 0x00, 0x1F, 0x00, 0x00, 0x00},
+	' ': {0, 0, 0, 0, 0, 0, 0},
+	'!': {0x04, 0x04, 0x04, 0x04, 0x04, 0x00, 0x04},
+}
+
+// drawText renders the string at (x, y) with the given pixel scale and
+// color, returning the bounding rectangle (x, y, w, h).
+func (c *canvas) drawText(text string, x, y, scale int, r, g, b float32) (int, int, int, int) {
+	cx := x
+	for _, ch := range text {
+		bitmap, ok := glyphs[ch]
+		if !ok {
+			bitmap = glyphs[' ']
+		}
+		for row := 0; row < 7; row++ {
+			for col := 0; col < 5; col++ {
+				if bitmap[row]>>(4-col)&1 == 1 {
+					c.fillRect(cx+col*scale, y+row*scale, scale, scale, r, g, b)
+				}
+			}
+		}
+		cx += 6 * scale
+	}
+	return x, y, cx - x, 7 * scale
+}
+
+// textWidth returns the rendered width of the string at the given scale.
+func textWidth(text string, scale int) int { return 6 * scale * len([]rune(text)) }

@@ -1,0 +1,134 @@
+package dct
+
+import (
+	"fmt"
+	"math"
+)
+
+// QuantTable is an 8x8 quantization step-size table in row-major order.
+// Step sizes are in [1, 255] as required by baseline JPEG.
+type QuantTable [BlockLen]uint16
+
+// Standard quantization tables from ISO/IEC 10918-1 Annex K, in row-major
+// order. These correspond to quality 50 in the common libjpeg scaling.
+var (
+	// StdLuminanceQuant is the Annex K Table K.1 luminance table.
+	StdLuminanceQuant = QuantTable{
+		16, 11, 10, 16, 24, 40, 51, 61,
+		12, 12, 14, 19, 26, 58, 60, 55,
+		14, 13, 16, 24, 40, 57, 69, 56,
+		14, 17, 22, 29, 51, 87, 80, 62,
+		18, 22, 37, 56, 68, 109, 103, 77,
+		24, 35, 55, 64, 81, 104, 113, 92,
+		49, 64, 78, 87, 103, 121, 120, 101,
+		72, 92, 95, 98, 112, 100, 103, 99,
+	}
+
+	// StdChrominanceQuant is the Annex K Table K.2 chrominance table.
+	StdChrominanceQuant = QuantTable{
+		17, 18, 24, 47, 99, 99, 99, 99,
+		18, 21, 26, 66, 99, 99, 99, 99,
+		24, 26, 56, 99, 99, 99, 99, 99,
+		47, 66, 99, 99, 99, 99, 99, 99,
+		99, 99, 99, 99, 99, 99, 99, 99,
+		99, 99, 99, 99, 99, 99, 99, 99,
+		99, 99, 99, 99, 99, 99, 99, 99,
+		99, 99, 99, 99, 99, 99, 99, 99,
+	}
+)
+
+// ScaleQuality returns the table scaled for a libjpeg-style quality setting
+// in [1, 100]: quality 50 returns the table unchanged, higher qualities use
+// smaller step sizes, lower qualities larger ones.
+func (q *QuantTable) ScaleQuality(quality int) (QuantTable, error) {
+	if quality < 1 || quality > 100 {
+		return QuantTable{}, fmt.Errorf("dct: quality %d out of range [1,100]", quality)
+	}
+	var scale int
+	if quality < 50 {
+		scale = 5000 / quality
+	} else {
+		scale = 200 - quality*2
+	}
+	var out QuantTable
+	for i, v := range q {
+		s := (int(v)*scale + 50) / 100
+		if s < 1 {
+			s = 1
+		}
+		if s > 255 {
+			s = 255
+		}
+		out[i] = uint16(s)
+	}
+	return out, nil
+}
+
+// Validate checks that all step sizes are legal for baseline JPEG.
+func (q *QuantTable) Validate() error {
+	for i, v := range q {
+		if v < 1 || v > 255 {
+			return fmt.Errorf("dct: quant step %d at index %d out of range [1,255]", v, i)
+		}
+	}
+	return nil
+}
+
+// Transpose returns the table with rows and columns exchanged. Lossless
+// coefficient-domain rotations (90-degree multiples involving a transpose)
+// must transpose the quantization table alongside the coefficients, exactly
+// as jpegtran does.
+func (q *QuantTable) Transpose() QuantTable {
+	var out QuantTable
+	for r := 0; r < BlockSize; r++ {
+		for c := 0; c < BlockSize; c++ {
+			out[c*BlockSize+r] = q[r*BlockSize+c]
+		}
+	}
+	return out
+}
+
+// Quantize divides each raw coefficient by the corresponding step size and
+// rounds to the nearest integer, clamping to the JPEG coefficient range.
+func Quantize(raw *FloatBlock, q *QuantTable) Block {
+	var out Block
+	for i := 0; i < BlockLen; i++ {
+		v := int32(math.Round(raw[i] / float64(q[i])))
+		if v < CoeffMin {
+			v = CoeffMin
+		} else if v > CoeffMax {
+			v = CoeffMax
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// Dequantize multiplies each quantized coefficient by its step size,
+// recovering approximate raw coefficients.
+func Dequantize(b *Block, q *QuantTable) FloatBlock {
+	var out FloatBlock
+	for i := 0; i < BlockLen; i++ {
+		out[i] = float64(b[i]) * float64(q[i])
+	}
+	return out
+}
+
+// Requantize converts a coefficient block quantized with table from into the
+// closest block under table to. This is the coefficient-domain core of JPEG
+// recompression (paper §IV-C.2): the receiver reproduces the PSP's
+// recompression on reconstructed coefficients using both tables.
+func Requantize(b *Block, from, to *QuantTable) Block {
+	var out Block
+	for i := 0; i < BlockLen; i++ {
+		raw := float64(b[i]) * float64(from[i])
+		v := int32(math.Round(raw / float64(to[i])))
+		if v < CoeffMin {
+			v = CoeffMin
+		} else if v > CoeffMax {
+			v = CoeffMax
+		}
+		out[i] = v
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package dct
+
+import "math"
+
+// cosTable[u][x] = cos((2x+1) * u * pi / 16), the separable DCT-II basis.
+var cosTable [BlockSize][BlockSize]float64
+
+// alpha[u] is the DCT normalization factor: 1/sqrt(2) for u=0, 1 otherwise.
+var alpha [BlockSize]float64
+
+func init() {
+	for u := 0; u < BlockSize; u++ {
+		for x := 0; x < BlockSize; x++ {
+			cosTable[u][x] = math.Cos(float64(2*x+1) * float64(u) * math.Pi / 16)
+		}
+	}
+	alpha[0] = 1 / math.Sqrt2
+	for u := 1; u < BlockSize; u++ {
+		alpha[u] = 1
+	}
+}
+
+// Forward computes the two-dimensional type-II DCT of an 8x8 spatial block.
+// The input samples are expected to be level-shifted (e.g. pixel-128 for
+// 8-bit samples); the output is the raw (unquantized) coefficient block.
+func Forward(spatial *FloatBlock) FloatBlock {
+	// Separable implementation: rows, then columns.
+	var tmp, out FloatBlock
+	for r := 0; r < BlockSize; r++ {
+		for u := 0; u < BlockSize; u++ {
+			var sum float64
+			for x := 0; x < BlockSize; x++ {
+				sum += spatial[r*BlockSize+x] * cosTable[u][x]
+			}
+			tmp[r*BlockSize+u] = sum * alpha[u] / 2
+		}
+	}
+	for c := 0; c < BlockSize; c++ {
+		for v := 0; v < BlockSize; v++ {
+			var sum float64
+			for y := 0; y < BlockSize; y++ {
+				sum += tmp[y*BlockSize+c] * cosTable[v][y]
+			}
+			out[v*BlockSize+c] = sum * alpha[v] / 2
+		}
+	}
+	return out
+}
+
+// Inverse computes the two-dimensional inverse DCT (type-III), mapping a raw
+// coefficient block back to level-shifted spatial samples.
+func Inverse(coeff *FloatBlock) FloatBlock {
+	var tmp, out FloatBlock
+	for c := 0; c < BlockSize; c++ {
+		for y := 0; y < BlockSize; y++ {
+			var sum float64
+			for v := 0; v < BlockSize; v++ {
+				sum += alpha[v] * coeff[v*BlockSize+c] * cosTable[v][y]
+			}
+			tmp[y*BlockSize+c] = sum / 2
+		}
+	}
+	for r := 0; r < BlockSize; r++ {
+		for x := 0; x < BlockSize; x++ {
+			var sum float64
+			for u := 0; u < BlockSize; u++ {
+				sum += alpha[u] * tmp[r*BlockSize+u] * cosTable[u][x]
+			}
+			out[r*BlockSize+x] = sum / 2
+		}
+	}
+	return out
+}
+
+// ForwardQuantized performs forward DCT followed by quantization with the
+// given table, producing a JPEG-range coefficient block.
+func ForwardQuantized(spatial *FloatBlock, q *QuantTable) Block {
+	raw := Forward(spatial)
+	return Quantize(&raw, q)
+}
+
+// InverseQuantized dequantizes a coefficient block with the given table and
+// applies the inverse DCT, producing level-shifted spatial samples.
+func InverseQuantized(b *Block, q *QuantTable) FloatBlock {
+	raw := Dequantize(b, q)
+	return Inverse(&raw)
+}

@@ -1,0 +1,609 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"puppies/internal/attack"
+	"puppies/internal/core"
+	"puppies/internal/dataset"
+	"puppies/internal/imgplane"
+	"puppies/internal/jpegc"
+	"puppies/internal/keys"
+	"puppies/internal/p3"
+	"puppies/internal/roi"
+	"puppies/internal/stats"
+)
+
+// attackQuality pins the inference-attack experiments to the libjpeg
+// default quality the paper's implementation used. The perturbation's
+// visual destructiveness scales with the quantization step size (a 2048-
+// range coefficient perturbation moves pixels by step*range/8), so at very
+// fine quantization (quality >= 90) more structure survives in unperturbed
+// mid/high-frequency coefficients — a sensitivity documented in
+// EXPERIMENTS.md.
+func attackQuality(cfg Config) Config {
+	if cfg.Quality == 0 {
+		cfg.Quality = 75
+	}
+	return cfg
+}
+
+// perturbedPixels perturbs the whole image with the given variant and
+// returns the 8-bit pixels an attacker at the PSP sees.
+func perturbedPixels(img *jpegc.Image, v core.Variant, seed int64) (*imgplane.Image, error) {
+	perturbed, _, _, err := perturbWhole(img, core.Params{Variant: v, MR: 32, K: 8}, seed)
+	if err != nil {
+		return nil, err
+	}
+	return pixOf(perturbed)
+}
+
+// p3PublicPixels returns the 8-bit pixels of the P3 public part.
+func p3PublicPixels(img *jpegc.Image) (*imgplane.Image, error) {
+	split, err := p3.SplitImage(img, p3.DefaultThreshold)
+	if err != nil {
+		return nil, err
+	}
+	return split.PublicPixels()
+}
+
+// Fig20Result summarizes the SIFT feature attack.
+type Fig20Result struct {
+	MeanOriginalFeatures float64
+	MeanMatchesPuppies   float64
+	MeanMatchesP3        float64
+	// ZeroMatchFraction is the fraction of images with no surviving match
+	// (paper: > 90%).
+	ZeroMatchFractionPuppies float64
+	ZeroMatchFractionP3      float64
+	N                        int
+}
+
+// Fig20 reproduces Fig. 20 / §VI-B.1: SIFT features matched between
+// originals and their protected versions.
+func Fig20(cfg Config) (*Fig20Result, *stats.Table, error) {
+	cfg = attackQuality(cfg)
+	corpus, err := cfg.corpus(dataset.PASCAL, cfg.PascalN)
+	if err != nil {
+		return nil, nil, err
+	}
+	var feats, mPup, mP3 []float64
+	for i, ci := range corpus {
+		origPix, err := pixOf(ci.img)
+		if err != nil {
+			return nil, nil, err
+		}
+		orig := attack.SIFT(origPix, attack.SIFTParams{})
+		feats = append(feats, float64(len(orig)))
+
+		pupPix, err := perturbedPixels(ci.img, core.VariantZ, int64(7000+i))
+		if err != nil {
+			return nil, nil, err
+		}
+		pup := attack.SIFT(pupPix, attack.SIFTParams{})
+		mPup = append(mPup, float64(len(attack.MatchSIFT(orig, pup, 0))))
+
+		p3Pix, err := p3PublicPixels(ci.img)
+		if err != nil {
+			return nil, nil, err
+		}
+		p3Kps := attack.SIFT(p3Pix, attack.SIFTParams{})
+		mP3 = append(mP3, float64(len(attack.MatchSIFT(orig, p3Kps, 0))))
+	}
+	res := &Fig20Result{N: len(corpus)}
+	sf, err := stats.Summarize(feats)
+	if err != nil {
+		return nil, nil, err
+	}
+	sp, err := stats.Summarize(mPup)
+	if err != nil {
+		return nil, nil, err
+	}
+	s3, err := stats.Summarize(mP3)
+	if err != nil {
+		return nil, nil, err
+	}
+	res.MeanOriginalFeatures = sf.Mean
+	res.MeanMatchesPuppies = sp.Mean
+	res.MeanMatchesP3 = s3.Mean
+	res.ZeroMatchFractionPuppies = stats.Fraction(mPup, func(v float64) bool { return v == 0 })
+	res.ZeroMatchFractionP3 = stats.Fraction(mP3, func(v float64) bool { return v == 0 })
+
+	tbl := &stats.Table{
+		Title:   "Fig 20 / §VI-B.1: SIFT feature matching, original vs protected",
+		Columns: []string{"quantity", "value"},
+	}
+	tbl.AddRow("mean features per original", res.MeanOriginalFeatures)
+	tbl.AddRow("mean matches vs PuPPIeS-Z", res.MeanMatchesPuppies)
+	tbl.AddRow("mean matches vs P3 public", res.MeanMatchesP3)
+	tbl.AddRow("images with 0 matches (PuPPIeS)", res.ZeroMatchFractionPuppies)
+	tbl.AddRow("images with 0 matches (P3)", res.ZeroMatchFractionP3)
+	return res, tbl, nil
+}
+
+// Fig21Result is the edge-detection attack outcome.
+type Fig21Result struct {
+	// OverlapCDF* are empirical CDFs of the fraction of original edge
+	// pixels surviving in the protected image.
+	OverlapCDFPuppies []stats.CDFPoint
+	OverlapCDFP3      []stats.CDFPoint
+	// Below5PctPuppies is the fraction of images leaking < 5% of edges
+	// (the paper's headline: "less than 5% detected pixels").
+	Below5PctPuppies float64
+	Below5PctP3      float64
+}
+
+// Fig21 reproduces Fig. 21 / §VI-B.2: Canny edge survival CDFs.
+func Fig21(cfg Config) (*Fig21Result, *stats.Table, error) {
+	cfg = attackQuality(cfg)
+	corpus, err := cfg.corpus(dataset.PASCAL, cfg.PascalN)
+	if err != nil {
+		return nil, nil, err
+	}
+	var ovPup, ovP3 []float64
+	for i, ci := range corpus {
+		origPix, err := pixOf(ci.img)
+		if err != nil {
+			return nil, nil, err
+		}
+		refEdges, err := attack.Canny(origPix, attack.CannyParams{})
+		if err != nil {
+			return nil, nil, err
+		}
+
+		pupPix, err := perturbedPixels(ci.img, core.VariantZ, int64(8000+i))
+		if err != nil {
+			return nil, nil, err
+		}
+		pupEdges, err := attack.Canny(pupPix, attack.CannyParams{})
+		if err != nil {
+			return nil, nil, err
+		}
+		ov, err := attack.EdgeOverlap(refEdges, pupEdges)
+		if err != nil {
+			return nil, nil, err
+		}
+		ovPup = append(ovPup, ov)
+
+		p3Pix, err := p3PublicPixels(ci.img)
+		if err != nil {
+			return nil, nil, err
+		}
+		p3Edges, err := attack.Canny(p3Pix, attack.CannyParams{})
+		if err != nil {
+			return nil, nil, err
+		}
+		ov3, err := attack.EdgeOverlap(refEdges, p3Edges)
+		if err != nil {
+			return nil, nil, err
+		}
+		ovP3 = append(ovP3, ov3)
+	}
+	res := &Fig21Result{
+		Below5PctPuppies: stats.Fraction(ovPup, func(v float64) bool { return v < 0.05 }),
+		Below5PctP3:      stats.Fraction(ovP3, func(v float64) bool { return v < 0.05 }),
+	}
+	if res.OverlapCDFPuppies, err = stats.CDF(ovPup, 10); err != nil {
+		return nil, nil, err
+	}
+	if res.OverlapCDFP3, err = stats.CDF(ovP3, 10); err != nil {
+		return nil, nil, err
+	}
+	tbl := &stats.Table{
+		Title:   "Fig 21 / §VI-B.2: edge survival CDF (fraction of original edges found)",
+		Columns: []string{"scheme", "P", "edge overlap <= x"},
+	}
+	for _, pt := range res.OverlapCDFPuppies {
+		tbl.AddRow("PuPPIeS-Zero", pt.P, pt.X)
+	}
+	for _, pt := range res.OverlapCDFP3 {
+		tbl.AddRow("P3", pt.P, pt.X)
+	}
+	return res, tbl, nil
+}
+
+// Fig22Result is the cumulative face-recognition attack curve.
+type Fig22Result struct {
+	Ranks []int
+	// Ratio*[i] is the fraction of probes whose true identity appears in
+	// the top Ranks[i] candidates.
+	RatioPuppies []float64
+	RatioP3      []float64
+	RatioClean   []float64
+}
+
+// Fig22 reproduces Fig. 22 / §VI-B.4: PCA eigenface recognition on
+// protected probes, cumulative match ratio at ranks 1..50 (capped at the
+// identity count).
+func Fig22(cfg Config) (*Fig22Result, *stats.Table, error) {
+	cfg = attackQuality(cfg)
+	n := cfg.count(dataset.FERET, cfg.FeretN)
+	gen, err := dataset.NewGenerator(dataset.FERET, cfg.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	identities := dataset.FERET.Identities
+	galleryPerID := 2
+	galleryN := identities * galleryPerID
+	probeN := n - galleryN
+	if probeN < identities {
+		probeN = identities
+	}
+	if probeN > 60 {
+		probeN = 60
+	}
+
+	ts := &attack.TrainingSet{}
+	for i := 0; i < galleryN; i++ {
+		item := gen.Item(i)
+		a := item.Annotations[0]
+		if err := ts.Add(item.Image, a.X, a.Y, a.W, a.H, a.Identity); err != nil {
+			return nil, nil, err
+		}
+	}
+	model, err := attack.Train(ts, 30)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	maxRank := 50
+	if maxRank > identities {
+		maxRank = identities
+	}
+	cleanHits := make([]int, maxRank+1)
+	pupHits := make([]int, maxRank+1)
+	p3Hits := make([]int, maxRank+1)
+	probes := 0
+	for i := galleryN; i < galleryN+probeN; i++ {
+		item := gen.Item(i)
+		a := item.Annotations[0]
+		probes++
+
+		record := func(img *imgplane.Image, hits []int) error {
+			ranked, err := model.Recognize(img, a.X, a.Y, a.W, a.H)
+			if err != nil {
+				return err
+			}
+			if r := attack.RankOf(ranked, a.Identity); r > 0 && r <= maxRank {
+				hits[r]++
+			}
+			return nil
+		}
+		if err := record(item.Image, cleanHits); err != nil {
+			return nil, nil, err
+		}
+
+		cimg, err := jpegc.FromPlanar(item.Image, jpegc.Options{Quality: cfg.quality()})
+		if err != nil {
+			return nil, nil, err
+		}
+		pupPix, err := perturbedPixels(cimg, core.VariantZ, int64(9000+i))
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := record(pupPix, pupHits); err != nil {
+			return nil, nil, err
+		}
+		p3Pix, err := p3PublicPixels(cimg)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := record(p3Pix, p3Hits); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	res := &Fig22Result{}
+	cum := func(hits []int) []float64 {
+		out := make([]float64, 0, maxRank)
+		total := 0
+		for r := 1; r <= maxRank; r++ {
+			total += hits[r]
+			out = append(out, float64(total)/float64(probes))
+		}
+		return out
+	}
+	for r := 1; r <= maxRank; r++ {
+		res.Ranks = append(res.Ranks, r)
+	}
+	res.RatioClean = cum(cleanHits)
+	res.RatioPuppies = cum(pupHits)
+	res.RatioP3 = cum(p3Hits)
+
+	tbl := &stats.Table{
+		Title:   "Fig 22 / §VI-B.4: cumulative face recognition ratio vs rank",
+		Columns: []string{"rank", "clean", "P3 public", "PuPPIeS-Zero"},
+	}
+	for _, r := range []int{1, 5, 10, 20, maxRank} {
+		if r > maxRank {
+			continue
+		}
+		tbl.AddRow(r, res.RatioClean[r-1], res.RatioP3[r-1], res.RatioPuppies[r-1])
+	}
+	return res, tbl, nil
+}
+
+// Fig23Result scores the three signal-correlation attacks on the
+// "Hello World" image (paper Fig. 23). Low PSNR/SSIM = attack failed.
+type Fig23Result struct {
+	Attack string
+	PSNR   float64
+	SSIM   float64
+}
+
+// Fig23 reproduces Fig. 23: a white image with "HELLO WORLD!" in the
+// foreground, text area perturbed, attacked with matrix inference,
+// neighbour interpolation and PCA reconstruction.
+func Fig23(cfg Config) ([]Fig23Result, *stats.Table, error) {
+	img, region, err := helloWorldImage()
+	if err != nil {
+		return nil, nil, err
+	}
+	cimg, err := jpegc.FromPlanar(img, jpegc.Options{Quality: cfg.quality()})
+	if err != nil {
+		return nil, nil, err
+	}
+	orig, err := pixOf(cimg)
+	if err != nil {
+		return nil, nil, err
+	}
+	sch, err := core.NewScheme(core.Params{Variant: core.VariantC, MR: 32, K: 8})
+	if err != nil {
+		return nil, nil, err
+	}
+	perturbed := cimg.Clone()
+	pair := keys.NewPairDeterministic(12)
+	pd, _, err := sch.EncryptImage(perturbed, []core.RegionAssignment{{ROI: region, Pair: pair}})
+	if err != nil {
+		return nil, nil, err
+	}
+	perturbedPix, err := pixOf(perturbed)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	rec1, err := attack.InferMatrixAttack(perturbed, pd)
+	if err != nil {
+		return nil, nil, err
+	}
+	rec2, err := attack.NeighborInterpolationAttack(perturbedPix, pd)
+	if err != nil {
+		return nil, nil, err
+	}
+	rec3, err := attack.PCAAttack(perturbedPix, 6)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var out []Fig23Result
+	tbl := &stats.Table{
+		Title:   "Fig 23 / §VI-B.5: signal correlation attacks on 'HELLO WORLD!'",
+		Columns: []string{"attack", "PSNR (dB)", "SSIM"},
+	}
+	for _, e := range []struct {
+		name string
+		img  *imgplane.Image
+	}{
+		{"matrix inference", rec1},
+		{"neighbor interpolation", rec2},
+		{"PCA reconstruction", rec3},
+	} {
+		psnr := regionPSNR(orig, e.img, region)
+		ssim, err := regionSSIM(orig, e.img, region)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, Fig23Result{Attack: e.name, PSNR: psnr, SSIM: ssim})
+		tbl.AddRow(e.name, psnr, ssim)
+	}
+	return out, tbl, nil
+}
+
+// helloWorldImage renders the paper's simplest attack target.
+func helloWorldImage() (*imgplane.Image, core.ROI, error) {
+	gen, err := dataset.NewGenerator(dataset.Profile{
+		Name: "hello", W: 256, H: 128, SampleCount: 1, FullCount: 1, Kind: dataset.KindObjects,
+	}, 99)
+	if err != nil {
+		return nil, core.ROI{}, err
+	}
+	// Build a white canvas manually; the generator is only used for module
+	// symmetry. Draw via a white image then text pixels in dark gray.
+	_ = gen
+	img, err := imgplane.New(256, 128, 3)
+	if err != nil {
+		return nil, core.ROI{}, err
+	}
+	for i := range img.Planes[0].Pix {
+		img.Planes[0].Pix[i] = 250
+		img.Planes[1].Pix[i] = 128
+		img.Planes[2].Pix[i] = 128
+	}
+	drawHello(img)
+	region := core.ROI{X: 16, Y: 40, W: 224, H: 48}
+	return img, region, nil
+}
+
+// drawHello renders "HELLO WORLD!" with a blocky 5x7-ish pattern by
+// darkening pixels; precise glyph fidelity is irrelevant to the attack.
+func drawHello(img *imgplane.Image) {
+	text := "HELLO WORLD!"
+	scale := 3
+	x0, y0 := 24, 52
+	for i, ch := range text {
+		if ch == ' ' {
+			continue
+		}
+		// Simple per-character block pattern derived from the rune value:
+		// enough structure for edge/PCA attacks to have a target.
+		for ry := 0; ry < 7; ry++ {
+			for rx := 0; rx < 5; rx++ {
+				if (int(ch)*(ry+1)+(rx+1)*3)%4 != 0 {
+					for sy := 0; sy < scale; sy++ {
+						for sx := 0; sx < scale; sx++ {
+							px := x0 + i*6*scale + rx*scale + sx
+							py := y0 + ry*scale + sy
+							idx := py*img.W() + px
+							if idx >= 0 && idx < len(img.Planes[0].Pix) {
+								img.Planes[0].Pix[idx] = 30
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func regionPSNR(a, b *imgplane.Image, r core.ROI) float64 {
+	var mse float64
+	var n int
+	for ci := range a.Planes {
+		for y := r.Y; y < r.Y+r.H; y++ {
+			for x := r.X; x < r.X+r.W; x++ {
+				d := float64(a.Planes[ci].At(x, y) - b.Planes[ci].At(x, y))
+				mse += d * d
+				n++
+			}
+		}
+	}
+	mse /= float64(n)
+	if mse == 0 {
+		return 99
+	}
+	p := 10 * logTen(255*255/mse)
+	if p > 99 {
+		return 99
+	}
+	return p
+}
+
+func regionSSIM(a, b *imgplane.Image, r core.ROI) (float64, error) {
+	cropA, err := cropPlane(a.Planes[0], r)
+	if err != nil {
+		return 0, err
+	}
+	cropB, err := cropPlane(b.Planes[0], r)
+	if err != nil {
+		return 0, err
+	}
+	return imgplane.SSIM(cropA, cropB)
+}
+
+func cropPlane(p *imgplane.Plane, r core.ROI) (*imgplane.Plane, error) {
+	out := imgplane.NewPlane(r.W, r.H)
+	for y := 0; y < r.H; y++ {
+		for x := 0; x < r.W; x++ {
+			out.Pix[y*r.W+x] = p.At(r.X+x, r.Y+y)
+		}
+	}
+	return out, nil
+}
+
+func logTen(v float64) float64 {
+	return math.Log10(v)
+}
+
+// FaceDetectionResult is the §VI-B.3 face-detection attack outcome.
+type FaceDetectionResult struct {
+	GroundTruthFaces int
+	DetectedOriginal int
+	DetectedPuppiesC int
+	DetectedPuppiesZ int
+	DetectedP3       int
+}
+
+// FaceDetection reproduces §VI-B.3 on the Caltech-like corpus: run the face
+// detector on originals, PuPPIeS-C/-Z perturbed images and P3 public parts,
+// counting correctly detected (ground-truth-overlapping) faces.
+func FaceDetection(cfg Config) (*FaceDetectionResult, *stats.Table, error) {
+	cfg = attackQuality(cfg)
+	corpus, err := cfg.corpus(dataset.Caltech, cfg.CaltechN)
+	if err != nil {
+		return nil, nil, err
+	}
+	det := roi.NewDetector()
+	res := &FaceDetectionResult{}
+	countHits := func(img *imgplane.Image, anns []dataset.Annotation) int {
+		dets := det.DetectFaces(img)
+		hits := 0
+		for _, a := range anns {
+			if a.Class != dataset.ClassFace {
+				continue
+			}
+			for _, d := range dets {
+				if rectIoU(d.Rect, a) > 0.25 {
+					hits++
+					break
+				}
+			}
+		}
+		return hits
+	}
+	for i, ci := range corpus {
+		for _, a := range ci.item.Annotations {
+			if a.Class == dataset.ClassFace {
+				res.GroundTruthFaces++
+			}
+		}
+		origPix, err := pixOf(ci.img)
+		if err != nil {
+			return nil, nil, err
+		}
+		res.DetectedOriginal += countHits(origPix, ci.item.Annotations)
+
+		pixC, err := perturbedPixels(ci.img, core.VariantC, int64(10000+i))
+		if err != nil {
+			return nil, nil, err
+		}
+		res.DetectedPuppiesC += countHits(pixC, ci.item.Annotations)
+
+		pixZ, err := perturbedPixels(ci.img, core.VariantZ, int64(11000+i))
+		if err != nil {
+			return nil, nil, err
+		}
+		res.DetectedPuppiesZ += countHits(pixZ, ci.item.Annotations)
+
+		p3Pix, err := p3PublicPixels(ci.img)
+		if err != nil {
+			return nil, nil, err
+		}
+		res.DetectedP3 += countHits(p3Pix, ci.item.Annotations)
+	}
+	tbl := &stats.Table{
+		Title:   "§VI-B.3: face detection attack (correctly detected faces)",
+		Columns: []string{"image set", "faces detected", "of ground truth"},
+	}
+	tbl.AddRow("originals", res.DetectedOriginal, res.GroundTruthFaces)
+	tbl.AddRow("PuPPIeS-C perturbed", res.DetectedPuppiesC, res.GroundTruthFaces)
+	tbl.AddRow("PuPPIeS-Z perturbed", res.DetectedPuppiesZ, res.GroundTruthFaces)
+	tbl.AddRow("P3 public part", res.DetectedP3, res.GroundTruthFaces)
+	return res, tbl, nil
+}
+
+func rectIoU(r core.ROI, a dataset.Annotation) float64 {
+	b := core.ROI{X: a.X, Y: a.Y, W: a.W, H: a.H}
+	inter, ok := r.Intersect(b)
+	if !ok {
+		return 0
+	}
+	ia := inter.Area()
+	return float64(ia) / float64(r.Area()+b.Area()-ia)
+}
+
+// BruteForceTable renders the §VI-A accounting.
+func BruteForceTable() ([]attack.BruteForceReport, *stats.Table, error) {
+	reports, err := attack.BruteForceAll(0)
+	if err != nil {
+		return nil, nil, err
+	}
+	tbl := &stats.Table{
+		Title:   "§VI-A: brute force search space",
+		Columns: []string{"level", "mR", "K", "DC bits", "AC bits", "total", "paper claims", ">=256 (NIST)"},
+	}
+	for _, r := range reports {
+		tbl.AddRow(string(r.Level), r.MR, r.K, r.DCBits, r.ACBits, r.TotalBits, r.PaperClaimBits, fmt.Sprintf("%v", r.MeetsNIST))
+	}
+	return reports, tbl, nil
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import "testing"
+
+// Smaller corpora: the attack experiments run SIFT pyramids and PCA, the
+// heaviest code in the repository.
+var attackCfg = Config{Seed: 9, PascalN: 4, CaltechN: 4, InriaN: 1}
+
+func TestFig20Shape(t *testing.T) {
+	res, _, err := Fig20(attackCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanOriginalFeatures < 20 {
+		t.Fatalf("only %.0f SIFT features per original; detector too weak", res.MeanOriginalFeatures)
+	}
+	// Paper: matches collapse (far below the original feature count), and
+	// PuPPIeS protects at least as well as P3.
+	if res.MeanMatchesPuppies > res.MeanOriginalFeatures*0.05 {
+		t.Errorf("PuPPIeS retains %.1f/%.0f SIFT matches (>5%%)",
+			res.MeanMatchesPuppies, res.MeanOriginalFeatures)
+	}
+	if res.MeanMatchesPuppies > res.MeanMatchesP3 {
+		t.Errorf("PuPPIeS (%.1f matches) leaks more than P3 (%.1f)",
+			res.MeanMatchesPuppies, res.MeanMatchesP3)
+	}
+	if res.ZeroMatchFractionPuppies < res.ZeroMatchFractionP3 {
+		t.Errorf("fewer zero-match images for PuPPIeS (%.2f) than P3 (%.2f)",
+			res.ZeroMatchFractionPuppies, res.ZeroMatchFractionP3)
+	}
+}
+
+func TestFig21Shape(t *testing.T) {
+	res, _, err := Fig21(attackCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.OverlapCDFPuppies) == 0 || len(res.OverlapCDFP3) == 0 {
+		t.Fatal("missing CDFs")
+	}
+	// Most original edge structure must be destroyed on every image: the
+	// worst image may retain at most half its edges, and PuPPIeS must be in
+	// P3's ballpark (paper: "similar performance").
+	worstPup := res.OverlapCDFPuppies[len(res.OverlapCDFPuppies)-1]
+	if worstPup.P != 1 {
+		t.Errorf("CDF does not reach 1: %+v", worstPup)
+	}
+	if worstPup.X > 0.5 {
+		t.Errorf("an image retained %.0f%% of its edges after PuPPIeS-Z", worstPup.X*100)
+	}
+	worstP3 := res.OverlapCDFP3[len(res.OverlapCDFP3)-1]
+	if worstPup.X > 2*worstP3.X+0.1 {
+		t.Errorf("PuPPIeS edge leak (%.2f) far above P3 (%.2f)", worstPup.X, worstP3.X)
+	}
+}
+
+func TestFig22Shape(t *testing.T) {
+	res, _, err := Fig22(attackCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(res.Ranks)
+	if n < 10 {
+		t.Fatalf("only %d ranks", n)
+	}
+	identities := float64(n) // maxRank == identity count at test sizes
+	randomAt10 := 10 / identities
+
+	// Clean probes recognize at rank 1 (sanity of the attack model).
+	if res.RatioClean[0] < 0.5 {
+		t.Errorf("clean rank-1 recognition %.2f; model too weak", res.RatioClean[0])
+	}
+	// PuPPIeS probes behave like random guessing: near the chance floor at
+	// rank 10 and near zero at rank 1 (paper: <=5% at rank 50 of a large
+	// gallery).
+	if res.RatioPuppies[0] > 0.15 {
+		t.Errorf("PuPPIeS rank-1 recognition %.2f; should be chance-level", res.RatioPuppies[0])
+	}
+	if res.RatioPuppies[9] > 2*randomAt10 {
+		t.Errorf("PuPPIeS rank-10 recognition %.2f vs chance %.2f", res.RatioPuppies[9], randomAt10)
+	}
+	// P3 leaks at least as much as PuPPIeS (paper: far more).
+	if res.RatioPuppies[9] > res.RatioP3[9]+0.05 {
+		t.Errorf("PuPPIeS (%.2f) leaks more than P3 (%.2f) at rank 10",
+			res.RatioPuppies[9], res.RatioP3[9])
+	}
+	// Monotone non-decreasing curves.
+	for i := 1; i < n; i++ {
+		if res.RatioPuppies[i] < res.RatioPuppies[i-1] || res.RatioP3[i] < res.RatioP3[i-1] {
+			t.Fatal("cumulative curve decreasing")
+		}
+	}
+}
+
+func TestFaceDetectionShape(t *testing.T) {
+	res, _, err := FaceDetection(attackCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GroundTruthFaces == 0 {
+		t.Fatal("no ground-truth faces")
+	}
+	// The detector must work on originals (paper detects 596 in Caltech)...
+	if res.DetectedOriginal < res.GroundTruthFaces/2 {
+		t.Errorf("only %d/%d faces detected on originals", res.DetectedOriginal, res.GroundTruthFaces)
+	}
+	// ...and collapse on perturbed images (paper: <9%).
+	for name, got := range map[string]int{
+		"PuPPIeS-C": res.DetectedPuppiesC,
+		"PuPPIeS-Z": res.DetectedPuppiesZ,
+	} {
+		if got*2 > res.DetectedOriginal {
+			t.Errorf("%s: %d faces still detected (originals: %d)", name, got, res.DetectedOriginal)
+		}
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	cfg := Config{Seed: 9, PascalN: 14}
+	res, _, err := Fig2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Fig. 2: partial perturbation keeps retrieval results "highly
+	// overlapped"; whole-image perturbation must do visibly worse.
+	if res.PartialOverlap10.Mean < 6 {
+		t.Errorf("partial-perturbation overlap %.1f/10; paper shows high overlap", res.PartialOverlap10.Mean)
+	}
+	if res.PartialOverlap10.Mean <= res.FullOverlap10.Mean {
+		t.Errorf("partial (%.1f) not above full perturbation (%.1f)",
+			res.PartialOverlap10.Mean, res.FullOverlap10.Mean)
+	}
+	if res.PartialSelfRank1 < res.N/2 {
+		t.Errorf("only %d/%d partially protected queries still retrieve their original first",
+			res.PartialSelfRank1, res.N)
+	}
+}

@@ -1,0 +1,316 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"puppies/internal/core"
+)
+
+// tiny is the fast test configuration; the assertions below verify the
+// *shape* of each paper result, which must hold even at small sample sizes.
+var tiny = Config{Seed: 5, PascalN: 5, InriaN: 2, FeretN: 100, CaltechN: 5}
+
+func TestTable1Shape(t *testing.T) {
+	rows, tbl, err := Table1(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Table1Row{}
+	for _, r := range rows {
+		byName[r.Method] = r
+	}
+	pup := byName["PuPPIeS (ours)"]
+	if !pup.Verified || !pup.PartialSharing || !pup.Scaling || !pup.Cropping ||
+		!pup.Compression || !pup.Rotation {
+		t.Errorf("PuPPIeS row %+v; paper Table I has all capabilities", pup)
+	}
+	p3row := byName["P3 [13]"]
+	if !p3row.Verified {
+		t.Error("P3 row not verified")
+	}
+	if p3row.PartialSharing || p3row.Scaling || p3row.Cropping {
+		t.Errorf("P3 row %+v; paper says no partial/scaling/cropping", p3row)
+	}
+	if !p3row.Compression || !p3row.Rotation {
+		t.Errorf("P3 row %+v; paper says compression and rotation supported", p3row)
+	}
+	if len(rows) != 9 {
+		t.Errorf("Table I has %d rows, want 9", len(rows))
+	}
+	if !strings.Contains(tbl.String(), "PuPPIeS") {
+		t.Error("table rendering broken")
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	rows, _, err := Table2(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	b, c, z := rows[0].Summary, rows[1].Summary, rows[2].Summary
+	// Paper Table II: -B ~10x, -C ~1.46, -Z ~1.23.
+	if b.Mean < 3 {
+		t.Errorf("PuPPIeS-B blowup %.2fx; paper reports ~10x", b.Mean)
+	}
+	if b.Mean <= c.Mean*2 {
+		t.Errorf("-B (%.2f) should dwarf -C (%.2f)", b.Mean, c.Mean)
+	}
+	if c.Mean <= z.Mean {
+		// -C must cost more than -Z (paper: 1.46 vs 1.23).
+		t.Errorf("-C mean %.3f not above -Z mean %.3f", c.Mean, z.Mean)
+	}
+	if z.Mean < 1 || z.Mean > 2.5 {
+		t.Errorf("-Z mean %.3f outside plausible band", z.Mean)
+	}
+}
+
+func TestTable4Values(t *testing.T) {
+	rows, _, err := Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[0].MR != 1 || rows[0].K != 1 || rows[1].MR != 32 || rows[1].K != 8 ||
+		rows[2].MR != 2048 || rows[2].K != 64 {
+		t.Errorf("Table IV parameters wrong: %+v", rows)
+	}
+	if !(rows[0].TotalBits < rows[1].TotalBits && rows[1].TotalBits < rows[2].TotalBits) {
+		t.Error("secure bits not increasing with level")
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	rows, _, err := Table5(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	inria, pascal := rows[0], rows[1]
+	if inria.Corpus != "inria" || pascal.Corpus != "pascal" {
+		t.Fatalf("unexpected corpus order: %+v", rows)
+	}
+	// INRIA images are ~12x the pixels of PASCAL; timing must reflect it.
+	if inria.Millis.Mean <= pascal.Millis.Mean {
+		t.Errorf("INRIA (%.1f ms) not slower than PASCAL (%.1f ms)",
+			inria.Millis.Mean, pascal.Millis.Mean)
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	res, _, err := Fig4(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExactCount != res.N {
+		t.Errorf("PuPPIeS exact on %d/%d images; paper claims exact recovery", res.ExactCount, res.N)
+	}
+	if res.P3PSNR.Mean >= exactPSNR {
+		t.Errorf("P3 mean PSNR %.1f dB; paper shows visible detail loss", res.P3PSNR.Mean)
+	}
+	if res.PuppiesPSNR.Min <= res.P3PSNR.Max {
+		t.Errorf("PuPPIeS worst case (%.1f) should beat P3 best case (%.1f)",
+			res.PuppiesPSNR.Min, res.P3PSNR.Max)
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	res, _, err := Fig11(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PuPPIeS grows linearly with matrix count.
+	for i := 1; i < len(res.Points); i++ {
+		if res.Points[i].PuppiesBytes <= res.Points[i-1].PuppiesBytes {
+			t.Error("private size not increasing with matrices")
+		}
+	}
+	// P3-INRIA private parts are much larger than P3-PASCAL (bigger
+	// images), and both dwarf PuPPIeS at small matrix counts.
+	if res.P3InriaMean <= res.P3PascalMean*2 {
+		t.Errorf("P3 INRIA private (%.0f) not well above PASCAL (%.0f)", res.P3InriaMean, res.P3PascalMean)
+	}
+	if first := res.Points[0]; float64(first.PuppiesBytes) > res.P3PascalMean*0.2 {
+		t.Errorf("PuPPIeS private at %d matrices (%d B) not tiny vs P3-PASCAL (%.0f B)",
+			first.Matrices, first.PuppiesBytes, res.P3PascalMean)
+	}
+	// The crossover against P3-PASCAL exists at a moderate matrix count
+	// (paper: 26 on real PASCAL; larger here because the synthetic P3
+	// private part is bigger — see EXPERIMENTS.md).
+	if res.CrossoverPascal <= 2 {
+		t.Errorf("no PASCAL crossover found (%d)", res.CrossoverPascal)
+	}
+	// At the crossover, PuPPIeS should still be far below P3-INRIA (paper:
+	// >93% savings for high-resolution images).
+	cross := keysBytesAt(res, res.CrossoverPascal)
+	if cross <= 0 || float64(cross) > res.P3InriaMean*0.5 {
+		t.Errorf("at crossover (%d matrices, %d B) PuPPIeS not well below P3-INRIA (%.0f B)",
+			res.CrossoverPascal, cross, res.P3InriaMean)
+	}
+}
+
+func keysBytesAt(res *Fig11Result, matrices int) int {
+	for _, pt := range res.Points {
+		if pt.Matrices == matrices {
+			return pt.PuppiesBytes
+		}
+	}
+	return -1
+}
+
+func TestFig17Shape(t *testing.T) {
+	rows, _, err := Fig17(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Index rows by corpus/level/scheme.
+	get := func(corpus string, level core.PrivacyLevel, scheme string) float64 {
+		for _, r := range rows {
+			if r.Corpus == corpus && r.Level == level && r.Scheme == scheme {
+				return r.Summary.Mean
+			}
+		}
+		t.Fatalf("row %s/%s/%s missing", corpus, level, scheme)
+		return 0
+	}
+	for _, corpus := range []string{"pascal", "inria"} {
+		for _, scheme := range []string{"PuPPIeS-Compression", "PuPPIeS-Zero"} {
+			low := get(corpus, core.LevelLow, scheme)
+			med := get(corpus, core.LevelMedium, scheme)
+			high := get(corpus, core.LevelHigh, scheme)
+			if !(low <= med && med <= high) {
+				t.Errorf("%s/%s: sizes not increasing with level: %.2f %.2f %.2f",
+					corpus, scheme, low, med, high)
+			}
+			// Low privacy (DC only) is near-free (paper: negligible).
+			if low > 1.3 {
+				t.Errorf("%s/%s: low-privacy size %.2f not negligible", corpus, scheme, low)
+			}
+		}
+		// The -C/-Z gap widens with privacy level.
+		gapMed := get(corpus, core.LevelMedium, "PuPPIeS-Compression") - get(corpus, core.LevelMedium, "PuPPIeS-Zero")
+		gapHigh := get(corpus, core.LevelHigh, "PuPPIeS-Compression") - get(corpus, core.LevelHigh, "PuPPIeS-Zero")
+		if gapHigh < gapMed {
+			t.Errorf("%s: -C/-Z gap does not widen with level (%.3f -> %.3f)", corpus, gapMed, gapHigh)
+		}
+	}
+}
+
+func TestFig18Shape(t *testing.T) {
+	rows, _, err := Fig18(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := map[string][]float64{}
+	for _, r := range rows {
+		series[r.Scheme] = append(series[r.Scheme], r.Summary.Mean)
+	}
+	for _, name := range []string{"PuPPIeS-Compression", "PuPPIeS-Zero", "PuPPIeS-Zero--no newZeroIndex"} {
+		s := series[name]
+		if len(s) != 5 {
+			t.Fatalf("%s has %d points", name, len(s))
+		}
+		if s[4] <= s[0] {
+			t.Errorf("%s: public size not increasing with ROI area (%.3f -> %.3f)", name, s[0], s[4])
+		}
+	}
+	// ZInd overhead: -Z with index above -Z without.
+	withIdx, without := series["PuPPIeS-Zero"], series["PuPPIeS-Zero--no newZeroIndex"]
+	for i := range withIdx {
+		if withIdx[i] < without[i] {
+			t.Errorf("point %d: ZInd made the public part smaller", i)
+		}
+	}
+	// P3's public part is smaller than PuPPIeS's (paper: "much less").
+	p3s := series["P3"]
+	if p3s[0] >= series["PuPPIeS-Compression"][4] {
+		t.Errorf("P3 public (%.3f) not below PuPPIeS full-ROI public (%.3f)",
+			p3s[0], series["PuPPIeS-Compression"][4])
+	}
+}
+
+func TestFig19Shape(t *testing.T) {
+	res, _, err := Fig19(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PuppiesPrivateBytes <= 0 || res.P3PrivateBytes <= 0 {
+		t.Fatal("missing sizes")
+	}
+	// The private part of PuPPIeS (two matrices) is orders of magnitude
+	// smaller than P3's private image.
+	if int64(res.PuppiesPrivateBytes)*20 > res.P3PrivateBytes {
+		t.Errorf("PuPPIeS private %d B vs P3 %d B: expected >20x gap",
+			res.PuppiesPrivateBytes, res.P3PrivateBytes)
+	}
+	// PuPPIeS shifts volume to the public cloud: its public part exceeds
+	// P3's.
+	if res.PuppiesPublicBytes <= res.P3PublicBytes {
+		t.Errorf("PuPPIeS public %d B not above P3 public %d B",
+			res.PuppiesPublicBytes, res.P3PublicBytes)
+	}
+}
+
+func TestFig16Shape(t *testing.T) {
+	res, _, err := Fig16(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RotationExact != res.N || res.ScalingExact != res.N {
+		t.Errorf("round trips not exact: rotation %d/%d, scaling %d/%d",
+			res.RotationExact, res.N, res.ScalingExact, res.N)
+	}
+}
+
+func TestROITimingShape(t *testing.T) {
+	res, _, err := ROITiming(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalMillis.Mean <= 0 {
+		t.Error("no time measured")
+	}
+	if res.ObjectShare < 0 || res.ObjectShare > 1 {
+		t.Errorf("object share %v out of range", res.ObjectShare)
+	}
+}
+
+func TestBruteForceTableShape(t *testing.T) {
+	reports, tbl, err := BruteForceTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 3 {
+		t.Fatalf("got %d reports", len(reports))
+	}
+	if !strings.Contains(tbl.String(), "NIST") {
+		t.Error("table missing NIST column")
+	}
+}
+
+func TestFig23Shape(t *testing.T) {
+	results, _, err := Fig23(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d attack results", len(results))
+	}
+	for _, r := range results {
+		// Paper: "all three methods cannot recover any of the perturbed
+		// part". SSIM near 1 or PSNR near lossless would falsify that.
+		if r.PSNR > 30 {
+			t.Errorf("%s: PSNR %.1f dB too high; attack should fail", r.Attack, r.PSNR)
+		}
+		if r.SSIM > 0.8 {
+			t.Errorf("%s: SSIM %.2f too high; attack should fail", r.Attack, r.SSIM)
+		}
+	}
+}

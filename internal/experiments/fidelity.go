@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"math"
+
+	"puppies/internal/core"
+	"puppies/internal/dataset"
+	"puppies/internal/imgplane"
+	"puppies/internal/keys"
+	"puppies/internal/p3"
+	"puppies/internal/stats"
+	"puppies/internal/transform"
+)
+
+// Fig4Result compares recovery fidelity after a PSP-side downscale:
+// PuPPIeS recovers the scaled original exactly (lossless delivery path)
+// while P3's recombination through standard clamped pipelines loses detail.
+type Fig4Result struct {
+	// PSNR of the recovered image against the scaled original; +Inf or
+	// >= 55 dB means exact.
+	PuppiesPSNR stats.Summary
+	P3PSNR      stats.Summary
+	// ExactCount is the number of images PuPPIeS recovered exactly.
+	ExactCount int
+	N          int
+}
+
+// Fig4 reproduces Fig. 4 quantitatively on the PASCAL-like corpus.
+func Fig4(cfg Config) (*Fig4Result, *stats.Table, error) {
+	corpus, err := cfg.corpus(dataset.PASCAL, cfg.PascalN)
+	if err != nil {
+		return nil, nil, err
+	}
+	spec := transform.Spec{Op: transform.OpScale, FactorX: 0.5, FactorY: 0.5}
+	var pupPSNRs, p3PSNRs []float64
+	exact := 0
+	for i, ci := range corpus {
+		basePix, err := ci.img.ToPlanar()
+		if err != nil {
+			return nil, nil, err
+		}
+		want, err := transform.ApplyPlanar(basePix, spec)
+		if err != nil {
+			return nil, nil, err
+		}
+
+		// PuPPIeS: whole-image protection, PSP scales pixels, receiver
+		// subtracts the scaled shadow.
+		perturbed, pd, pair, err := perturbWhole(ci.img, core.Params{
+			Variant: core.VariantC, MR: 32, K: 8, Wrap: core.WrapRecorded,
+		}, int64(5000+i))
+		if err != nil {
+			return nil, nil, err
+		}
+		pertPix, err := perturbed.ToPlanar()
+		if err != nil {
+			return nil, nil, err
+		}
+		transformed, err := transform.ApplyPlanar(pertPix, spec)
+		if err != nil {
+			return nil, nil, err
+		}
+		pdT := *pd
+		pdT.Transform = spec
+		got, err := core.ReconstructPixels(transformed, &pdT, map[string]*keys.Pair{pair.ID: pair})
+		if err != nil {
+			return nil, nil, err
+		}
+		psnr, err := imgplane.ImagePSNR(got, want)
+		if err != nil {
+			return nil, nil, err
+		}
+		if math.IsInf(psnr, 1) || psnr >= exactPSNR {
+			exact++
+		}
+		pupPSNRs = append(pupPSNRs, capPSNR(psnr))
+
+		// P3: both parts through the standard clamped pipeline.
+		split, err := p3.SplitImage(ci.img, p3.DefaultThreshold)
+		if err != nil {
+			return nil, nil, err
+		}
+		pubPix, err := split.PublicPixels()
+		if err != nil {
+			return nil, nil, err
+		}
+		privPix, err := split.PrivatePixels()
+		if err != nil {
+			return nil, nil, err
+		}
+		pubT, err := transform.ApplyPlanar(pubPix, spec)
+		if err != nil {
+			return nil, nil, err
+		}
+		privT, err := transform.ApplyPlanar(privPix, spec)
+		if err != nil {
+			return nil, nil, err
+		}
+		rec, err := p3.CombinePixels(pubT.Clamp8(), privT.Clamp8())
+		if err != nil {
+			return nil, nil, err
+		}
+		wantClamped := want.Clone().Clamp8()
+		p3PSNR, err := imgplane.ImagePSNR(rec, wantClamped)
+		if err != nil {
+			return nil, nil, err
+		}
+		p3PSNRs = append(p3PSNRs, capPSNR(p3PSNR))
+	}
+
+	res := &Fig4Result{ExactCount: exact, N: len(corpus)}
+	if res.PuppiesPSNR, err = stats.Summarize(pupPSNRs); err != nil {
+		return nil, nil, err
+	}
+	if res.P3PSNR, err = stats.Summarize(p3PSNRs); err != nil {
+		return nil, nil, err
+	}
+	tbl := &stats.Table{
+		Title:   "Fig 4: recovery fidelity after PSP 0.5x scaling (PSNR dB, capped at 99)",
+		Columns: []string{"scheme", "mean", "median", "min", "exact images"},
+	}
+	tbl.AddRow("PuPPIeS", res.PuppiesPSNR.Mean, res.PuppiesPSNR.Median, res.PuppiesPSNR.Min,
+		res.ExactCount)
+	tbl.AddRow("P3", res.P3PSNR.Mean, res.P3PSNR.Median, res.P3PSNR.Min, 0)
+	return res, tbl, nil
+}
+
+// capPSNR folds +Inf (bit-exact) into 99 dB so summaries stay finite.
+func capPSNR(v float64) float64 {
+	if math.IsInf(v, 1) || v > 99 {
+		return 99
+	}
+	return v
+}
+
+// Fig16Result checks the rotate/scale round-trip pipeline of Figs. 10/16:
+// perturb, PSP-transform, reconstruct; recovery must be exact.
+type Fig16Result struct {
+	RotationExact int
+	ScalingExact  int
+	N             int
+}
+
+// Fig16 reproduces the Figs. 10/16 pipelines quantitatively.
+func Fig16(cfg Config) (*Fig16Result, *stats.Table, error) {
+	corpus, err := cfg.corpus(dataset.PASCAL, cfg.PascalN)
+	if err != nil {
+		return nil, nil, err
+	}
+	res := &Fig16Result{N: len(corpus)}
+	for i, ci := range corpus {
+		perturbed, pd, pair, err := perturbWhole(ci.img, core.Params{
+			Variant: core.VariantC, MR: 32, K: 8, Wrap: core.WrapRecorded,
+		}, int64(6000+i))
+		if err != nil {
+			return nil, nil, err
+		}
+		pairs := map[string]*keys.Pair{pair.ID: pair}
+
+		// Fig 10: 180-degree rotation at the PSP, coefficient domain.
+		rot, err := transform.Rotate180(perturbed)
+		if err != nil {
+			return nil, nil, err
+		}
+		pdR := *pd
+		pdR.Transform = transform.Spec{Op: transform.OpRotate180}
+		gotR, err := core.ReconstructCoeff(rot, &pdR, pairs)
+		if err != nil {
+			return nil, nil, err
+		}
+		wantR, err := transform.Rotate180(ci.img)
+		if err != nil {
+			return nil, nil, err
+		}
+		if coeffImagesEqual(gotR, wantR) {
+			res.RotationExact++
+		}
+
+		// Fig 16: downscale at the PSP, pixel domain, lossless delivery.
+		spec := transform.Spec{Op: transform.OpScale, FactorX: 0.5, FactorY: 0.5}
+		pertPix, err := perturbed.ToPlanar()
+		if err != nil {
+			return nil, nil, err
+		}
+		transformed, err := transform.ApplyPlanar(pertPix, spec)
+		if err != nil {
+			return nil, nil, err
+		}
+		pdS := *pd
+		pdS.Transform = spec
+		gotS, err := core.ReconstructPixels(transformed, &pdS, pairs)
+		if err != nil {
+			return nil, nil, err
+		}
+		basePix, err := ci.img.ToPlanar()
+		if err != nil {
+			return nil, nil, err
+		}
+		wantS, err := transform.ApplyPlanar(basePix, spec)
+		if err != nil {
+			return nil, nil, err
+		}
+		psnr, err := imgplane.ImagePSNR(gotS, wantS)
+		if err != nil {
+			return nil, nil, err
+		}
+		if math.IsInf(psnr, 1) || psnr >= exactPSNR {
+			res.ScalingExact++
+		}
+	}
+	tbl := &stats.Table{
+		Title:   "Figs 10/16: perturb -> PSP transform -> reconstruct round trips",
+		Columns: []string{"pipeline", "exact", "of"},
+	}
+	tbl.AddRow("rotate180 (coefficient domain)", res.RotationExact, res.N)
+	tbl.AddRow("scale 0.5x (pixel domain)", res.ScalingExact, res.N)
+	return res, tbl, nil
+}

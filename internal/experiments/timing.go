@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"time"
+
+	"puppies/internal/core"
+	"puppies/internal/dataset"
+	"puppies/internal/keys"
+	"puppies/internal/roi"
+	"puppies/internal/stats"
+)
+
+// Table5Row is one corpus's encryption+decryption timing summary.
+type Table5Row struct {
+	Corpus string
+	// Millis summarizes per-image encrypt+decrypt wall time in
+	// milliseconds (whole-image ROI, the paper's upper bound).
+	Millis stats.Summary
+}
+
+// Table5 reproduces Table V: upper-bound encryption/decryption time of
+// PuPPIeS-Z on the INRIA-like and PASCAL-like corpora. The paper reports
+// laptop milliseconds; absolute values differ by machine, the shape
+// (time scales with pixel count; INRIA >> PASCAL) is the target.
+func Table5(cfg Config) ([]Table5Row, *stats.Table, error) {
+	var rows []Table5Row
+	tbl := &stats.Table{
+		Title:   "Table V: PuPPIeS-Z whole-image encrypt+decrypt time (ms)",
+		Columns: []string{"corpus", "mean", "median", "max", "min", "std"},
+	}
+	corpora := []struct {
+		profile  dataset.Profile
+		override int
+	}{
+		{dataset.INRIA, cfg.InriaN},
+		{dataset.PASCAL, cfg.PascalN},
+	}
+	for _, c := range corpora {
+		corpus, err := cfg.corpus(c.profile, c.override)
+		if err != nil {
+			return nil, nil, err
+		}
+		sch, err := core.NewScheme(core.Params{Variant: core.VariantZ, MR: 32, K: 8})
+		if err != nil {
+			return nil, nil, err
+		}
+		var samples []float64
+		for i, ci := range corpus {
+			pair := keys.NewPairDeterministic(int64(4000 + i))
+			img := ci.img.Clone()
+			x, y, w, h := wholeImageROI(img)
+
+			start := time.Now()
+			pd, _, err := sch.EncryptImage(img, []core.RegionAssignment{
+				{ROI: core.ROI{X: x, Y: y, W: w, H: h}, Pair: pair},
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			if _, err := core.DecryptImage(img, pd, map[string]*keys.Pair{pair.ID: pair}); err != nil {
+				return nil, nil, err
+			}
+			samples = append(samples, float64(time.Since(start).Microseconds())/1000)
+		}
+		s, err := stats.Summarize(samples)
+		if err != nil {
+			return nil, nil, err
+		}
+		rows = append(rows, Table5Row{Corpus: c.profile.Name, Millis: s})
+		tbl.AddRow(c.profile.Name, s.Mean, s.Median, s.Max, s.Min, s.Std)
+	}
+	return rows, tbl, nil
+}
+
+// ROITimingResult is the §V-C ROI detection latency breakdown.
+type ROITimingResult struct {
+	TotalMillis  stats.Summary
+	FaceMillis   stats.Summary
+	TextMillis   stats.Summary
+	ObjectMillis stats.Summary
+	// ObjectShare is the mean fraction of total time spent in object
+	// detection (the paper reports >99% for their objectness detector).
+	ObjectShare float64
+}
+
+// ROITiming measures ROI detection and recommendation latency (paper §V-C)
+// on the PASCAL-like corpus.
+func ROITiming(cfg Config) (*ROITimingResult, *stats.Table, error) {
+	corpus, err := cfg.corpus(dataset.PASCAL, cfg.PascalN)
+	if err != nil {
+		return nil, nil, err
+	}
+	det := roi.NewDetector()
+	var total, face, text, object []float64
+	for _, ci := range corpus {
+		img := ci.item.Image
+
+		t0 := time.Now()
+		_ = det.DetectFaces(img)
+		tFace := time.Since(t0)
+
+		t1 := time.Now()
+		_ = det.DetectText(img)
+		tText := time.Since(t1)
+
+		t2 := time.Now()
+		_ = det.DetectObjects(img)
+		tObj := time.Since(t2)
+
+		t3 := time.Now()
+		_ = det.Recommend(img)
+		tAll := time.Since(t3)
+
+		ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+		face = append(face, ms(tFace))
+		text = append(text, ms(tText))
+		object = append(object, ms(tObj))
+		total = append(total, ms(tAll))
+	}
+	res := &ROITimingResult{}
+	var errSum error
+	summarize := func(v []float64) stats.Summary {
+		s, err := stats.Summarize(v)
+		if err != nil && errSum == nil {
+			errSum = err
+		}
+		return s
+	}
+	res.TotalMillis = summarize(total)
+	res.FaceMillis = summarize(face)
+	res.TextMillis = summarize(text)
+	res.ObjectMillis = summarize(object)
+	if errSum != nil {
+		return nil, nil, errSum
+	}
+	perDet := res.FaceMillis.Mean + res.TextMillis.Mean + res.ObjectMillis.Mean
+	if perDet > 0 {
+		res.ObjectShare = res.ObjectMillis.Mean / perDet
+	}
+
+	tbl := &stats.Table{
+		Title:   "§V-C: ROI detection latency (ms)",
+		Columns: []string{"stage", "mean", "median", "max", "min"},
+	}
+	tbl.AddRow("face detector", res.FaceMillis.Mean, res.FaceMillis.Median, res.FaceMillis.Max, res.FaceMillis.Min)
+	tbl.AddRow("text detector", res.TextMillis.Mean, res.TextMillis.Median, res.TextMillis.Max, res.TextMillis.Min)
+	tbl.AddRow("object detector", res.ObjectMillis.Mean, res.ObjectMillis.Median, res.ObjectMillis.Max, res.ObjectMillis.Min)
+	tbl.AddRow("full recommend", res.TotalMillis.Mean, res.TotalMillis.Median, res.TotalMillis.Max, res.TotalMillis.Min)
+	return res, tbl, nil
+}

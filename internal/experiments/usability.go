@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"puppies/internal/core"
+	"puppies/internal/dataset"
+	"puppies/internal/keys"
+	"puppies/internal/retrieval"
+	"puppies/internal/stats"
+)
+
+// Fig2Result quantifies the paper's Fig. 2 usability argument with a local
+// retrieval engine: top-10 overlap between querying with the original and
+// querying with a protected version.
+type Fig2Result struct {
+	// PartialOverlap10 summarizes top-10 overlap when only a centered 30%
+	// ROI is perturbed (paper: "highly overlapped").
+	PartialOverlap10 stats.Summary
+	// FullOverlap10 is the same with the whole image perturbed (the
+	// usability an owner gives up by over-protecting).
+	FullOverlap10 stats.Summary
+	// PartialSelfRank counts queries whose protected version still ranks
+	// its own original first.
+	PartialSelfRank1 int
+	N                int
+}
+
+// Fig2 reproduces Fig. 2: index the PASCAL-like corpus, query with
+// original, partially perturbed, and fully perturbed versions, and compare
+// top-10 result lists.
+func Fig2(cfg Config) (*Fig2Result, *stats.Table, error) {
+	cfg = attackQuality(cfg)
+	corpus, err := cfg.corpus(dataset.PASCAL, cfg.PascalN)
+	if err != nil {
+		return nil, nil, err
+	}
+	ix := retrieval.NewIndex()
+	for _, ci := range corpus {
+		pix, err := pixOf(ci.img)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := ix.Add(ci.item.Name, pix); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	const topK = 10
+	nQueries := len(corpus)
+	if nQueries > 12 {
+		nQueries = 12
+	}
+	res := &Fig2Result{N: nQueries}
+	var partialOv, fullOv []float64
+	for i := 0; i < nQueries; i++ {
+		ci := corpus[i]
+		origPix, err := pixOf(ci.img)
+		if err != nil {
+			return nil, nil, err
+		}
+		origTop, err := ix.Query(origPix, topK)
+		if err != nil {
+			return nil, nil, err
+		}
+
+		// Partial: centered 30% ROI perturbed (the Fig. 1 scenario:
+		// sensitive people in front of a landmark background).
+		roi, err := centeredROI(ci.img, 30)
+		if err != nil {
+			return nil, nil, err
+		}
+		sch, err := core.NewScheme(core.Params{Variant: core.VariantZ, MR: 32, K: 8})
+		if err != nil {
+			return nil, nil, err
+		}
+		partial := ci.img.Clone()
+		pair := keys.NewPairDeterministic(int64(12000 + i))
+		if _, _, err := sch.EncryptImage(partial, []core.RegionAssignment{{ROI: roi, Pair: pair}}); err != nil {
+			return nil, nil, err
+		}
+		partialPix, err := pixOf(partial)
+		if err != nil {
+			return nil, nil, err
+		}
+		partialTop, err := ix.Query(partialPix, topK)
+		if err != nil {
+			return nil, nil, err
+		}
+		partialOv = append(partialOv, float64(retrieval.Overlap(origTop, partialTop)))
+		if partialTop[0].ID == ci.item.Name {
+			res.PartialSelfRank1++
+		}
+
+		// Full: whole image perturbed.
+		fullPix, err := perturbedPixels(ci.img, core.VariantZ, int64(13000+i))
+		if err != nil {
+			return nil, nil, err
+		}
+		fullTop, err := ix.Query(fullPix, topK)
+		if err != nil {
+			return nil, nil, err
+		}
+		fullOv = append(fullOv, float64(retrieval.Overlap(origTop, fullTop)))
+	}
+	if res.PartialOverlap10, err = stats.Summarize(partialOv); err != nil {
+		return nil, nil, err
+	}
+	if res.FullOverlap10, err = stats.Summarize(fullOv); err != nil {
+		return nil, nil, err
+	}
+
+	tbl := &stats.Table{
+		Title:   "Fig 2: top-10 retrieval overlap, protected query vs original query",
+		Columns: []string{"query version", "mean overlap /10", "min", "self still rank-1"},
+	}
+	tbl.AddRow("partial perturbation (30% ROI)", res.PartialOverlap10.Mean, res.PartialOverlap10.Min, res.PartialSelfRank1)
+	tbl.AddRow("whole-image perturbation", res.FullOverlap10.Mean, res.FullOverlap10.Min, "-")
+	return res, tbl, nil
+}

@@ -1,0 +1,103 @@
+package imgplane
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary plane codec: a minimal lossless container for unclamped float32
+// planar images ("PLNR" format). The PSP simulator uses it to hand
+// transformed pixels to receivers without forcing them through a lossy
+// 8-bit container, standing in for a high-bit-depth delivery format. The
+// perturbed samples routinely exceed [0, 255], so an 8-bit PNG would
+// destroy the information shadow-ROI reconstruction needs.
+
+var planarMagic = [4]byte{'P', 'L', 'N', 'R'}
+
+const planarVersion = 1
+
+// maxPlanarDim bounds decoded dimensions to keep malformed headers from
+// allocating absurd buffers.
+const maxPlanarDim = 1 << 16
+
+// EncodeBinary writes the image in the PLNR format.
+func (m *Image) EncodeBinary(w io.Writer) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	hdr := struct {
+		Magic    [4]byte
+		Version  uint16
+		Channels uint16
+		W, H     uint32
+	}{planarMagic, planarVersion, uint16(m.Channels()), uint32(m.W()), uint32(m.H())}
+	if err := binary.Write(w, binary.LittleEndian, hdr); err != nil {
+		return fmt.Errorf("imgplane: write header: %w", err)
+	}
+	buf := make([]byte, 4*m.W())
+	for _, p := range m.Planes {
+		for y := 0; y < p.H; y++ {
+			row := p.Pix[y*p.W : (y+1)*p.W]
+			for i, v := range row {
+				binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+			}
+			if _, err := w.Write(buf); err != nil {
+				return fmt.Errorf("imgplane: write samples: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// MarshalBinary returns the PLNR encoding as bytes.
+func (m *Image) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := m.EncodeBinary(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeBinary parses a PLNR stream.
+func DecodeBinary(r io.Reader) (*Image, error) {
+	var hdr struct {
+		Magic    [4]byte
+		Version  uint16
+		Channels uint16
+		W, H     uint32
+	}
+	if err := binary.Read(r, binary.LittleEndian, &hdr); err != nil {
+		return nil, fmt.Errorf("imgplane: read header: %w", err)
+	}
+	if hdr.Magic != planarMagic {
+		return nil, fmt.Errorf("imgplane: bad magic %q", hdr.Magic)
+	}
+	if hdr.Version != planarVersion {
+		return nil, fmt.Errorf("imgplane: unsupported version %d", hdr.Version)
+	}
+	if hdr.Channels != 1 && hdr.Channels != 3 {
+		return nil, fmt.Errorf("imgplane: %d channels", hdr.Channels)
+	}
+	if hdr.W == 0 || hdr.H == 0 || hdr.W > maxPlanarDim || hdr.H > maxPlanarDim {
+		return nil, fmt.Errorf("imgplane: dimensions %dx%d out of range", hdr.W, hdr.H)
+	}
+	img, err := New(int(hdr.W), int(hdr.H), int(hdr.Channels))
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 4*hdr.W)
+	for _, p := range img.Planes {
+		for y := 0; y < p.H; y++ {
+			if _, err := io.ReadFull(r, buf); err != nil {
+				return nil, fmt.Errorf("imgplane: read samples: %w", err)
+			}
+			for i := 0; i < p.W; i++ {
+				p.Pix[y*p.W+i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+			}
+		}
+	}
+	return img, nil
+}

@@ -1,0 +1,149 @@
+package imgplane
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randomImage(t *testing.T, w, h, ch int, seed int64) *Image {
+	t.Helper()
+	img, err := New(w, h, ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for _, p := range img.Planes {
+		for i := range p.Pix {
+			p.Pix[i] = float32(rng.NormFloat64() * 500) // deliberately out of 8-bit range
+		}
+	}
+	return img
+}
+
+func TestBinaryCodecRoundTrip(t *testing.T) {
+	for _, tc := range []struct{ w, h, ch int }{
+		{1, 1, 1}, {7, 3, 3}, {33, 17, 1}, {64, 48, 3},
+	} {
+		img := randomImage(t, tc.w, tc.h, tc.ch, int64(tc.w))
+		data, err := img.MarshalBinary()
+		if err != nil {
+			t.Fatalf("%dx%d/%d: %v", tc.w, tc.h, tc.ch, err)
+		}
+		back, err := DecodeBinary(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("%dx%d/%d: %v", tc.w, tc.h, tc.ch, err)
+		}
+		if back.W() != tc.w || back.H() != tc.h || back.Channels() != tc.ch {
+			t.Fatalf("shape changed: %dx%d/%d", back.W(), back.H(), back.Channels())
+		}
+		for ci := range img.Planes {
+			for i := range img.Planes[ci].Pix {
+				if back.Planes[ci].Pix[i] != img.Planes[ci].Pix[i] {
+					t.Fatalf("sample (%d,%d) changed", ci, i)
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeBinaryRejects(t *testing.T) {
+	img := randomImage(t, 8, 8, 3, 1)
+	data, err := img.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":       nil,
+		"bad magic":   append([]byte("XXXX"), data[4:]...),
+		"truncated":   data[:len(data)-5],
+		"header only": data[:12],
+	}
+	for name, d := range cases {
+		if _, err := DecodeBinary(bytes.NewReader(d)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	// Version bump rejected.
+	bad := append([]byte(nil), data...)
+	bad[4] = 99
+	if _, err := DecodeBinary(bytes.NewReader(bad)); err == nil {
+		t.Error("future version accepted")
+	}
+	// Dimension bomb rejected before allocation.
+	bomb := append([]byte(nil), data[:16]...)
+	bomb[8], bomb[9], bomb[10], bomb[11] = 0xff, 0xff, 0xff, 0x7f // W
+	if _, err := DecodeBinary(bytes.NewReader(bomb)); err == nil {
+		t.Error("dimension bomb accepted")
+	}
+}
+
+func TestClamp8AndQuantize8(t *testing.T) {
+	img, _ := New(2, 2, 1)
+	img.Planes[0].Pix = []float32{-10, 0.4, 254.6, 300}
+	clamped := img.Clone().Clamp8()
+	want := []float32{0, 0.4, 254.6, 255}
+	for i, v := range clamped.Planes[0].Pix {
+		if v != want[i] {
+			t.Errorf("Clamp8[%d] = %v, want %v", i, v, want[i])
+		}
+	}
+	quantized := img.Clone().Quantize8()
+	wantQ := []float32{0, 0, 255, 255}
+	for i, v := range quantized.Planes[0].Pix {
+		if v != wantQ[i] {
+			t.Errorf("Quantize8[%d] = %v, want %v", i, v, wantQ[i])
+		}
+	}
+}
+
+func TestImagePSNR(t *testing.T) {
+	a := randomImage(t, 16, 16, 3, 2)
+	same, err := ImagePSNR(a, a)
+	if err != nil || !math.IsInf(same, 1) {
+		t.Errorf("self PSNR %v, %v", same, err)
+	}
+	b := a.Clone()
+	for _, p := range b.Planes {
+		for i := range p.Pix {
+			p.Pix[i] += 10
+		}
+	}
+	psnr, err := ImagePSNR(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 10 * math.Log10(255*255/100.0)
+	if math.Abs(psnr-want) > 1e-6 {
+		t.Errorf("PSNR %v, want %v", psnr, want)
+	}
+	mono, _ := New(16, 16, 1)
+	if _, err := ImagePSNR(a, mono); err == nil {
+		t.Error("channel mismatch accepted")
+	}
+}
+
+func TestToStdImageGrayscale(t *testing.T) {
+	img, _ := New(4, 4, 1)
+	for i := range img.Planes[0].Pix {
+		img.Planes[0].Pix[i] = float32(i * 16)
+	}
+	std := img.ToStdImage()
+	if std.Bounds().Dx() != 4 || std.Bounds().Dy() != 4 {
+		t.Fatalf("bounds %v", std.Bounds())
+	}
+	r, g, b, _ := std.At(1, 0).RGBA()
+	if r != g || g != b {
+		t.Error("grayscale output not gray")
+	}
+}
+
+func TestNewPlanePanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewPlane(0,5) did not panic")
+		}
+	}()
+	NewPlane(0, 5)
+}

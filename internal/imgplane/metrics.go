@@ -1,0 +1,102 @@
+package imgplane
+
+import (
+	"fmt"
+	"math"
+)
+
+// MSE returns the mean squared error between two planes of equal size.
+func MSE(a, b *Plane) (float64, error) {
+	if a.W != b.W || a.H != b.H {
+		return 0, fmt.Errorf("imgplane: MSE size mismatch %dx%d vs %dx%d", a.W, a.H, b.W, b.H)
+	}
+	var sum float64
+	for i := range a.Pix {
+		d := float64(a.Pix[i]) - float64(b.Pix[i])
+		sum += d * d
+	}
+	return sum / float64(len(a.Pix)), nil
+}
+
+// PSNR returns the peak signal-to-noise ratio in dB between two planes,
+// assuming an 8-bit peak of 255. Identical planes return +Inf.
+func PSNR(a, b *Plane) (float64, error) {
+	mse, err := MSE(a, b)
+	if err != nil {
+		return 0, err
+	}
+	if mse == 0 {
+		return math.Inf(1), nil
+	}
+	return 10 * math.Log10(255*255/mse), nil
+}
+
+// ImagePSNR returns the PSNR over all channels of two images.
+func ImagePSNR(a, b *Image) (float64, error) {
+	if a.Channels() != b.Channels() {
+		return 0, fmt.Errorf("imgplane: channel mismatch %d vs %d", a.Channels(), b.Channels())
+	}
+	var total float64
+	var n int
+	for c := range a.Planes {
+		mse, err := MSE(a.Planes[c], b.Planes[c])
+		if err != nil {
+			return 0, err
+		}
+		total += mse * float64(len(a.Planes[c].Pix))
+		n += len(a.Planes[c].Pix)
+	}
+	mse := total / float64(n)
+	if mse == 0 {
+		return math.Inf(1), nil
+	}
+	return 10 * math.Log10(255*255/mse), nil
+}
+
+// SSIM computes the structural similarity index between two planes using
+// the standard 8x8 sliding window with C1=(0.01*255)^2, C2=(0.03*255)^2.
+// It returns a value in [-1, 1]; 1 means identical structure.
+func SSIM(a, b *Plane) (float64, error) {
+	if a.W != b.W || a.H != b.H {
+		return 0, fmt.Errorf("imgplane: SSIM size mismatch %dx%d vs %dx%d", a.W, a.H, b.W, b.H)
+	}
+	const win = 8
+	const c1 = 6.5025  // (0.01*255)^2
+	const c2 = 58.5225 // (0.03*255)^2
+	if a.W < win || a.H < win {
+		return 0, fmt.Errorf("imgplane: SSIM needs at least %dx%d pixels", win, win)
+	}
+	var total float64
+	var count int
+	for wy := 0; wy+win <= a.H; wy += win {
+		for wx := 0; wx+win <= a.W; wx += win {
+			var ma, mb float64
+			for y := 0; y < win; y++ {
+				for x := 0; x < win; x++ {
+					ma += float64(a.Pix[(wy+y)*a.W+wx+x])
+					mb += float64(b.Pix[(wy+y)*b.W+wx+x])
+				}
+			}
+			n := float64(win * win)
+			ma /= n
+			mb /= n
+			var va, vb, cov float64
+			for y := 0; y < win; y++ {
+				for x := 0; x < win; x++ {
+					da := float64(a.Pix[(wy+y)*a.W+wx+x]) - ma
+					db := float64(b.Pix[(wy+y)*b.W+wx+x]) - mb
+					va += da * da
+					vb += db * db
+					cov += da * db
+				}
+			}
+			va /= n - 1
+			vb /= n - 1
+			cov /= n - 1
+			s := ((2*ma*mb + c1) * (2*cov + c2)) / ((ma*ma + mb*mb + c1) * (va + vb + c2))
+			total += s
+			count++
+		}
+	}
+	return total / float64(count), nil
+}

@@ -1,0 +1,139 @@
+package jpegc
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// bitWriter writes MSB-first bits into a JPEG entropy-coded segment,
+// inserting the mandatory 0x00 stuffing byte after every 0xFF data byte.
+type bitWriter struct {
+	w    io.Writer
+	acc  uint32
+	nAcc uint
+	err  error
+}
+
+func newBitWriter(w io.Writer) *bitWriter { return &bitWriter{w: w} }
+
+// WriteBits writes the low n bits of v, most significant first. n <= 24.
+func (bw *bitWriter) WriteBits(v uint32, n uint) {
+	if bw.err != nil || n == 0 {
+		return
+	}
+	bw.acc = bw.acc<<n | (v & ((1 << n) - 1))
+	bw.nAcc += n
+	for bw.nAcc >= 8 {
+		bw.nAcc -= 8
+		b := byte(bw.acc >> bw.nAcc)
+		if _, err := bw.w.Write([]byte{b}); err != nil {
+			bw.err = err
+			return
+		}
+		if b == 0xff {
+			if _, err := bw.w.Write([]byte{0x00}); err != nil {
+				bw.err = err
+				return
+			}
+		}
+	}
+}
+
+// setErr records the first error encountered by callers that detect
+// problems outside WriteBits itself.
+func (bw *bitWriter) setErr(err error) {
+	if bw.err == nil {
+		bw.err = err
+	}
+}
+
+// Flush pads the final partial byte with 1-bits (as the JPEG standard
+// requires) and writes it out.
+func (bw *bitWriter) Flush() error {
+	if bw.err != nil {
+		return bw.err
+	}
+	if bw.nAcc > 0 {
+		pad := 8 - bw.nAcc
+		bw.WriteBits((1<<pad)-1, pad)
+	}
+	return bw.err
+}
+
+// bitReader reads MSB-first bits from a JPEG entropy-coded segment,
+// removing 0x00 stuffing bytes after 0xFF. Encountering a real marker
+// (0xFF followed by a nonzero byte) stops the bit stream: the marker bytes
+// are preserved for the caller via UnreadMarker.
+type bitReader struct {
+	r      *bufio.Reader
+	acc    uint32
+	nAcc   uint
+	marker byte // pending marker byte (0 if none)
+}
+
+func newBitReader(r *bufio.Reader) *bitReader { return &bitReader{r: r} }
+
+var errMarkerInBitstream = fmt.Errorf("jpegc: marker encountered in entropy-coded data")
+
+// ReadBit returns the next bit of the entropy-coded segment.
+func (br *bitReader) ReadBit() (int, error) {
+	if br.nAcc == 0 {
+		if br.marker != 0 {
+			return 0, errMarkerInBitstream
+		}
+		b, err := br.r.ReadByte()
+		if err != nil {
+			return 0, fmt.Errorf("jpegc: truncated entropy data: %w", err)
+		}
+		if b == 0xff {
+			next, err := br.r.ReadByte()
+			if err != nil {
+				return 0, fmt.Errorf("jpegc: truncated entropy data after 0xff: %w", err)
+			}
+			if next != 0x00 {
+				br.marker = next
+				return 0, errMarkerInBitstream
+			}
+		}
+		br.acc = uint32(b)
+		br.nAcc = 8
+	}
+	br.nAcc--
+	return int(br.acc>>br.nAcc) & 1, nil
+}
+
+// ReadBits reads n bits MSB-first.
+func (br *bitReader) ReadBits(n int) (uint32, error) {
+	var v uint32
+	for i := 0; i < n; i++ {
+		bit, err := br.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint32(bit)
+	}
+	return v, nil
+}
+
+// Align discards any buffered partial byte, realigning to a byte boundary
+// (used before restart markers).
+func (br *bitReader) Align() { br.nAcc = 0 }
+
+// PendingMarker returns the marker byte that terminated the bit stream, or
+// 0 if none was seen, and clears it.
+func (br *bitReader) PendingMarker() byte {
+	m := br.marker
+	br.marker = 0
+	return m
+}
+
+// countingWriter counts bytes written; used to measure encoded sizes without
+// buffering entire streams.
+type countingWriter struct{ n int64 }
+
+// Write implements io.Writer by counting.
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	cw.n += int64(len(p))
+	return len(p), nil
+}

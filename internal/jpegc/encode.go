@@ -1,0 +1,382 @@
+package jpegc
+
+import (
+	"fmt"
+	"io"
+
+	"puppies/internal/dct"
+)
+
+// TableMode selects how Huffman tables are chosen at encode time.
+type TableMode int
+
+const (
+	// TablesDefault uses the Annex K typical tables (libjpeg default).
+	TablesDefault TableMode = iota + 1
+	// TablesOptimized derives per-image tables from the actual symbol
+	// distribution in a first statistics pass (libjpeg optimize_coding).
+	// PuPPIeS-C depends on this mode.
+	TablesOptimized
+)
+
+// EncodeOptions control bit-stream generation.
+type EncodeOptions struct {
+	// Tables selects default or optimized Huffman tables. Zero value means
+	// TablesDefault.
+	Tables TableMode
+	// RestartInterval, when positive, emits a DRI segment and RSTn markers
+	// every that many MCUs, allowing decoders to resynchronize after
+	// corruption. Zero disables restart markers (the default).
+	RestartInterval int
+}
+
+func (o EncodeOptions) tables() TableMode {
+	if o.Tables == 0 {
+		return TablesDefault
+	}
+	return o.Tables
+}
+
+// tableSet is the four Huffman specs used in one scan. For grayscale only
+// the first two are used.
+type tableSet struct {
+	dcLum, acLum, dcChrom, acChrom HuffmanSpec
+}
+
+// Encode writes the coefficient image as a baseline JFIF stream: grayscale
+// for 1 component, YUV 4:4:4 for 3 components.
+func (m *Image) Encode(w io.Writer, opts EncodeOptions) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	if err := m.validateCoefficientRanges(); err != nil {
+		return err
+	}
+
+	var tables tableSet
+	switch opts.tables() {
+	case TablesDefault:
+		tables = tableSet{
+			dcLum: StdDCLuminance, acLum: StdACLuminance,
+			dcChrom: StdDCChrominance, acChrom: StdACChrominance,
+		}
+	case TablesOptimized:
+		var err error
+		tables, err = m.gatherOptimalTables()
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("jpegc: unknown table mode %d", opts.Tables)
+	}
+
+	if opts.RestartInterval < 0 || opts.RestartInterval > 0xffff {
+		return fmt.Errorf("jpegc: restart interval %d out of range [0, 65535]", opts.RestartInterval)
+	}
+	if err := writeMarkers(w, m, &tables, opts.RestartInterval); err != nil {
+		return err
+	}
+	if err := m.writeScan(w, &tables, opts.RestartInterval); err != nil {
+		return err
+	}
+	_, err := w.Write([]byte{0xff, markerEOI})
+	return err
+}
+
+// EncodedSize returns the byte length of the encoded stream without
+// retaining it.
+func (m *Image) EncodedSize(opts EncodeOptions) (int64, error) {
+	var cw countingWriter
+	if err := m.Encode(&cw, opts); err != nil {
+		return 0, err
+	}
+	return cw.n, nil
+}
+
+func (m *Image) validateCoefficientRanges() error {
+	for ci := range m.Comps {
+		for bi := range m.Comps[ci].Blocks {
+			b := &m.Comps[ci].Blocks[bi]
+			if b[0] < dct.CoeffMin || b[0] > dct.CoeffMax {
+				return fmt.Errorf("jpegc: component %d block %d DC %d out of range [%d,%d]",
+					ci, bi, b[0], dct.CoeffMin, dct.CoeffMax)
+			}
+			for i := 1; i < dct.BlockLen; i++ {
+				if b[i] < ACMin || b[i] > dct.CoeffMax {
+					return fmt.Errorf("jpegc: component %d block %d AC[%d] %d out of range [%d,%d]",
+						ci, bi, i, b[i], ACMin, dct.CoeffMax)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Marker codes (second byte after 0xFF).
+const (
+	markerSOI  = 0xd8
+	markerEOI  = 0xd9
+	markerSOF0 = 0xc0
+	markerDHT  = 0xc4
+	markerDQT  = 0xdb
+	markerSOS  = 0xda
+	markerAPP0 = 0xe0
+	markerDRI  = 0xdd
+	markerCOM  = 0xfe
+	markerRST0 = 0xd0
+	markerRST7 = 0xd7
+)
+
+func writeSegment(w io.Writer, marker byte, payload []byte) error {
+	if len(payload)+2 > 0xffff {
+		return fmt.Errorf("jpegc: segment %#x payload too long (%d)", marker, len(payload))
+	}
+	hdr := []byte{0xff, marker, byte((len(payload) + 2) >> 8), byte(len(payload) + 2)}
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func writeMarkers(w io.Writer, m *Image, tables *tableSet, restartInterval int) error {
+	if _, err := w.Write([]byte{0xff, markerSOI}); err != nil {
+		return err
+	}
+	// APP0 JFIF header, version 1.1, no density information.
+	app0 := []byte{'J', 'F', 'I', 'F', 0, 1, 1, 0, 0, 1, 0, 1, 0, 0}
+	if err := writeSegment(w, markerAPP0, app0); err != nil {
+		return err
+	}
+
+	// DQT: table 0 = luminance; table 1 = chrominance (color only).
+	nQuant := 1
+	if len(m.Comps) == 3 {
+		nQuant = 2
+	}
+	dqt := make([]byte, 0, nQuant*65)
+	for q := 0; q < nQuant; q++ {
+		dqt = append(dqt, byte(q)) // 8-bit precision, table id q
+		src := &m.Comps[0].Quant
+		if q == 1 {
+			src = &m.Comps[1].Quant
+		}
+		for zz := 0; zz < dct.BlockLen; zz++ {
+			v := src[dct.ZigZag[zz]]
+			if v > 255 {
+				return fmt.Errorf("jpegc: quant step %d too large for 8-bit DQT", v)
+			}
+			dqt = append(dqt, byte(v))
+		}
+	}
+	if err := writeSegment(w, markerDQT, dqt); err != nil {
+		return err
+	}
+
+	// SOF0: baseline, 8-bit precision, 4:4:4 sampling.
+	sof := []byte{8, byte(m.H >> 8), byte(m.H), byte(m.W >> 8), byte(m.W), byte(len(m.Comps))}
+	for ci := range m.Comps {
+		qid := byte(0)
+		if ci > 0 {
+			qid = 1
+		}
+		sof = append(sof, byte(ci+1), 0x11, qid)
+	}
+	if err := writeSegment(w, markerSOF0, sof); err != nil {
+		return err
+	}
+
+	// DHT: class 0 = DC, class 1 = AC; id 0 = luminance, id 1 = chrominance.
+	dht := make([]byte, 0, 1024)
+	appendSpec := func(class, id byte, s *HuffmanSpec) {
+		dht = append(dht, class<<4|id)
+		dht = append(dht, s.Counts[:]...)
+		dht = append(dht, s.Values...)
+	}
+	appendSpec(0, 0, &tables.dcLum)
+	appendSpec(1, 0, &tables.acLum)
+	if len(m.Comps) == 3 {
+		appendSpec(0, 1, &tables.dcChrom)
+		appendSpec(1, 1, &tables.acChrom)
+	}
+	if err := writeSegment(w, markerDHT, dht); err != nil {
+		return err
+	}
+
+	// DRI (only when restart markers are requested).
+	if restartInterval > 0 {
+		dri := []byte{byte(restartInterval >> 8), byte(restartInterval)}
+		if err := writeSegment(w, markerDRI, dri); err != nil {
+			return err
+		}
+	}
+
+	// SOS.
+	sos := []byte{byte(len(m.Comps))}
+	for ci := range m.Comps {
+		tid := byte(0x00)
+		if ci > 0 {
+			tid = 0x11
+		}
+		sos = append(sos, byte(ci+1), tid)
+	}
+	sos = append(sos, 0, 63, 0) // spectral selection 0..63, successive approx 0
+	return writeSegment(w, markerSOS, sos)
+}
+
+// blockCoder abstracts "emit a symbol" so that the statistics pass and the
+// real encoding pass share one traversal.
+type blockCoder struct {
+	writeDC func(sym byte, bits uint32, n int) // n is the bit count of the magnitude field
+	writeAC func(sym byte, bits uint32, n int)
+}
+
+// codeBlock encodes a single block given its DC predictor, returning the new
+// predictor value.
+func codeBlock(b *dct.Block, pred int32, c *blockCoder) int32 {
+	diff := b[0] - pred
+	cat := magnitudeCategory(diff)
+	c.writeDC(byte(cat), magnitudeBits(diff, cat), cat)
+
+	run := 0
+	for zz := 1; zz < dct.BlockLen; zz++ {
+		v := b[dct.ZigZag[zz]]
+		if v == 0 {
+			run++
+			continue
+		}
+		for run > 15 {
+			c.writeAC(0xf0, 0, 0) // ZRL
+			run -= 16
+		}
+		size := magnitudeCategory(v)
+		c.writeAC(byte(run<<4|size), magnitudeBits(v, size), size)
+		run = 0
+	}
+	if run > 0 {
+		c.writeAC(0x00, 0, 0) // EOB
+	}
+	return b[0]
+}
+
+// forEachMCU walks the scan in MCU order (interleaved for color), invoking
+// onMCU before each MCU and fn once per block. In the 4:4:4 layout an MCU
+// is one block per component.
+func (m *Image) forEachMCU(onMCU func(), fn func(ci int, b *dct.Block)) {
+	bw, bh := m.Comps[0].BlocksW, m.Comps[0].BlocksH
+	for by := 0; by < bh; by++ {
+		for bx := 0; bx < bw; bx++ {
+			onMCU()
+			for ci := range m.Comps {
+				fn(ci, m.Comps[ci].Block(bx, by))
+			}
+		}
+	}
+}
+
+// forEachMCUBlock is forEachMCU without the per-MCU hook.
+func (m *Image) forEachMCUBlock(fn func(ci int, b *dct.Block)) {
+	m.forEachMCU(func() {}, fn)
+}
+
+func (m *Image) gatherOptimalTables() (tableSet, error) {
+	var dcFreq, acFreq [2][256]int64
+	pred := make([]int32, len(m.Comps))
+	m.forEachMCUBlock(func(ci int, b *dct.Block) {
+		ti := 0
+		if ci > 0 {
+			ti = 1
+		}
+		coder := blockCoder{
+			writeDC: func(sym byte, _ uint32, _ int) { dcFreq[ti][sym]++ },
+			writeAC: func(sym byte, _ uint32, _ int) { acFreq[ti][sym]++ },
+		}
+		pred[ci] = codeBlock(b, pred[ci], &coder)
+	})
+
+	var ts tableSet
+	var err error
+	if ts.dcLum, err = BuildOptimalSpec(&dcFreq[0]); err != nil {
+		return ts, fmt.Errorf("jpegc: optimal DC luminance table: %w", err)
+	}
+	if ts.acLum, err = BuildOptimalSpec(&acFreq[0]); err != nil {
+		return ts, fmt.Errorf("jpegc: optimal AC luminance table: %w", err)
+	}
+	if len(m.Comps) == 3 {
+		if ts.dcChrom, err = BuildOptimalSpec(&dcFreq[1]); err != nil {
+			return ts, fmt.Errorf("jpegc: optimal DC chrominance table: %w", err)
+		}
+		if ts.acChrom, err = BuildOptimalSpec(&acFreq[1]); err != nil {
+			return ts, fmt.Errorf("jpegc: optimal AC chrominance table: %w", err)
+		}
+	}
+	return ts, nil
+}
+
+func (m *Image) writeScan(w io.Writer, tables *tableSet, restartInterval int) error {
+	dcEnc := make([]*encTable, 2)
+	acEnc := make([]*encTable, 2)
+	var err error
+	if dcEnc[0], err = newEncTable(&tables.dcLum); err != nil {
+		return err
+	}
+	if acEnc[0], err = newEncTable(&tables.acLum); err != nil {
+		return err
+	}
+	if len(m.Comps) == 3 {
+		if dcEnc[1], err = newEncTable(&tables.dcChrom); err != nil {
+			return err
+		}
+		if acEnc[1], err = newEncTable(&tables.acChrom); err != nil {
+			return err
+		}
+	}
+
+	bw := newBitWriter(w)
+	pred := make([]int32, len(m.Comps))
+	mcu := 0
+	rstIndex := 0
+	m.forEachMCU(func() {
+		if restartInterval > 0 && mcu > 0 && mcu%restartInterval == 0 {
+			// Pad to a byte boundary, emit RSTn, reset DC prediction.
+			if err := bw.Flush(); err != nil {
+				bw.setErr(err)
+				return
+			}
+			if _, err := w.Write([]byte{0xff, markerRST0 + byte(rstIndex&7)}); err != nil {
+				bw.setErr(err)
+				return
+			}
+			rstIndex++
+			for i := range pred {
+				pred[i] = 0
+			}
+		}
+		mcu++
+	}, func(ci int, b *dct.Block) {
+		ti := 0
+		if ci > 0 {
+			ti = 1
+		}
+		coder := blockCoder{
+			writeDC: func(sym byte, bits uint32, n int) {
+				if dcEnc[ti].size[sym] == 0 {
+					bw.setErr(fmt.Errorf("jpegc: DC symbol %#x has no huffman code", sym))
+					return
+				}
+				bw.WriteBits(dcEnc[ti].code[sym], uint(dcEnc[ti].size[sym]))
+				bw.WriteBits(bits, uint(n))
+			},
+			writeAC: func(sym byte, bits uint32, n int) {
+				if acEnc[ti].size[sym] == 0 {
+					bw.setErr(fmt.Errorf("jpegc: AC symbol %#x has no huffman code", sym))
+					return
+				}
+				bw.WriteBits(acEnc[ti].code[sym], uint(acEnc[ti].size[sym]))
+				bw.WriteBits(bits, uint(n))
+			},
+		}
+		pred[ci] = codeBlock(b, pred[ci], &coder)
+	})
+	return bw.Flush()
+}

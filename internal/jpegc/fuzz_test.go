@@ -1,0 +1,43 @@
+package jpegc
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// FuzzDecode is a native fuzz target for the bit-stream parser. The seed
+// corpus covers a valid color stream, a valid grayscale stream, and the
+// hostile headers from the unit tests. Run with:
+//
+//	go test -fuzz FuzzDecode ./internal/jpegc
+func FuzzDecode(f *testing.F) {
+	rng := rand.New(rand.NewSource(1))
+	for _, seed := range []struct {
+		w, h, ch int
+	}{{32, 24, 3}, {16, 16, 1}} {
+		img := randomCoeffImage(rng, seed.w, seed.h, seed.ch)
+		var buf bytes.Buffer
+		if err := img.Encode(&buf, EncodeOptions{}); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte{0xff, 0xd8, 0xff, 0xd9})
+	f.Add([]byte{0xff, 0xd8, 0xff, 0xc0, 0x00, 0x0b, 8, 0xff, 0xff, 0xff, 0xff, 1, 1, 0x11, 0, 0xff, 0xd9})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		out, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if vErr := out.Validate(); vErr != nil {
+			t.Fatalf("Decode returned invalid image: %v", vErr)
+		}
+		// Anything we accept we must be able to re-encode.
+		var buf bytes.Buffer
+		if encErr := out.Encode(&buf, EncodeOptions{}); encErr != nil {
+			t.Fatalf("accepted image failed to re-encode: %v", encErr)
+		}
+	})
+}

@@ -1,0 +1,293 @@
+package jpegc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// maxCodeLength is the longest Huffman code baseline JPEG permits.
+const maxCodeLength = 16
+
+// HuffmanSpec describes a Huffman table the way the JPEG standard does:
+// Counts[i] is the number of codes of length i+1 bits, and Values lists the
+// symbols in order of increasing code length.
+type HuffmanSpec struct {
+	Counts [maxCodeLength]byte
+	Values []byte
+}
+
+// Validate checks that the spec describes a decodable prefix code.
+func (s *HuffmanSpec) Validate() error {
+	total := 0
+	code := 0
+	for i, n := range s.Counts {
+		code <<= 1
+		total += int(n)
+		code += int(n)
+		if code > 1<<(i+1) {
+			return fmt.Errorf("jpegc: huffman spec overflows at length %d", i+1)
+		}
+	}
+	if total != len(s.Values) {
+		return fmt.Errorf("jpegc: huffman spec has %d counts but %d values", total, len(s.Values))
+	}
+	if total == 0 {
+		return fmt.Errorf("jpegc: empty huffman spec")
+	}
+	if total > 256 {
+		return fmt.Errorf("jpegc: huffman spec has %d symbols, max 256", total)
+	}
+	seen := make(map[byte]bool, total)
+	for _, v := range s.Values {
+		if seen[v] {
+			return fmt.Errorf("jpegc: duplicate symbol %#x in huffman spec", v)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+// encTable maps a symbol to its code word for encoding.
+type encTable struct {
+	code [256]uint32
+	size [256]uint8 // 0 means the symbol has no code
+}
+
+func newEncTable(s *HuffmanSpec) (*encTable, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	t := &encTable{}
+	code := uint32(0)
+	vi := 0
+	for length := 1; length <= maxCodeLength; length++ {
+		for n := 0; n < int(s.Counts[length-1]); n++ {
+			sym := s.Values[vi]
+			t.code[sym] = code
+			t.size[sym] = uint8(length)
+			code++
+			vi++
+		}
+		code <<= 1
+	}
+	return t, nil
+}
+
+// decTable supports canonical Huffman decoding via the standard
+// mincode/maxcode/valptr method (JPEG spec F.2.2.3).
+type decTable struct {
+	mincode [maxCodeLength + 1]int32
+	maxcode [maxCodeLength + 1]int32 // -1 when no codes of this length
+	valptr  [maxCodeLength + 1]int
+	values  []byte
+}
+
+func newDecTable(s *HuffmanSpec) (*decTable, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	t := &decTable{values: s.Values}
+	code := int32(0)
+	vi := 0
+	for length := 1; length <= maxCodeLength; length++ {
+		n := int(s.Counts[length-1])
+		if n == 0 {
+			t.maxcode[length] = -1
+		} else {
+			t.valptr[length] = vi
+			t.mincode[length] = code
+			code += int32(n)
+			vi += n
+			t.maxcode[length] = code - 1
+		}
+		code <<= 1
+	}
+	return t, nil
+}
+
+// decode reads one symbol from the bit reader.
+func (t *decTable) decode(br *bitReader) (byte, error) {
+	code := int32(0)
+	for length := 1; length <= maxCodeLength; length++ {
+		bit, err := br.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		code = code<<1 | int32(bit)
+		if t.maxcode[length] >= 0 && code <= t.maxcode[length] {
+			return t.values[t.valptr[length]+int(code-t.mincode[length])], nil
+		}
+	}
+	return 0, fmt.Errorf("jpegc: invalid huffman code")
+}
+
+// BuildOptimalSpec constructs a length-limited Huffman table for the given
+// symbol frequencies using the JPEG standard's procedure (Annex K.3 /
+// libjpeg jpeg_gen_optimal_table): merge the two least-frequent symbols
+// repeatedly, then shorten any code longer than 16 bits by the standard
+// bit-count adjustment. A virtual symbol 256 with frequency 1 is reserved so
+// that no real symbol receives the all-ones code.
+//
+// This is the mechanism behind PuPPIeS-C (paper §IV-B.3): after
+// perturbation the default Annex K tables are badly matched to the symbol
+// distribution, and rebuilding them removes the ~10x size blowup of
+// PuPPIeS-B.
+func BuildOptimalSpec(freq *[256]int64) (HuffmanSpec, error) {
+	// freq2 has 257 entries; index 256 is the reserved symbol.
+	var freq2 [257]int64
+	for i, f := range freq {
+		if f < 0 {
+			return HuffmanSpec{}, fmt.Errorf("jpegc: negative frequency for symbol %d", i)
+		}
+		freq2[i] = f
+	}
+	freq2[256] = 1
+
+	var codesize [257]int
+	var others [257]int
+	for i := range others {
+		others[i] = -1
+	}
+
+	for {
+		// Find v1: least-frequency nonzero symbol, preferring the largest
+		// symbol value on ties (libjpeg behaviour).
+		c1, c2 := -1, -1
+		v := int64(1) << 62
+		for i := 0; i <= 256; i++ {
+			if freq2[i] != 0 && freq2[i] <= v {
+				v = freq2[i]
+				c1 = i
+			}
+		}
+		// Find v2: next least-frequency nonzero symbol.
+		v = int64(1) << 62
+		for i := 0; i <= 256; i++ {
+			if freq2[i] != 0 && freq2[i] <= v && i != c1 {
+				v = freq2[i]
+				c2 = i
+			}
+		}
+		if c2 < 0 {
+			break // only one symbol chain left: done
+		}
+
+		freq2[c1] += freq2[c2]
+		freq2[c2] = 0
+
+		codesize[c1]++
+		for others[c1] >= 0 {
+			c1 = others[c1]
+			codesize[c1]++
+		}
+		others[c1] = c2
+		codesize[c2]++
+		for others[c2] >= 0 {
+			c2 = others[c2]
+			codesize[c2]++
+		}
+	}
+
+	// Count codes of each length; lengths can reach 32 here.
+	var bits [33]int
+	for i := 0; i <= 256; i++ {
+		if codesize[i] > 0 {
+			if codesize[i] > 32 {
+				return HuffmanSpec{}, fmt.Errorf("jpegc: huffman code length %d exceeds 32", codesize[i])
+			}
+			bits[codesize[i]]++
+		}
+	}
+
+	// JPEG spec adjustment: fold lengths above 16 down.
+	for i := 32; i > maxCodeLength; i-- {
+		for bits[i] > 0 {
+			j := i - 2
+			for bits[j] == 0 {
+				j--
+			}
+			bits[i] -= 2
+			bits[i-1]++
+			bits[j+1] += 2
+			bits[j]--
+		}
+	}
+	// Remove the reserved symbol's code (the longest one).
+	for i := maxCodeLength; i >= 1; i-- {
+		if bits[i] > 0 {
+			bits[i]--
+			break
+		}
+	}
+
+	// Sort real symbols by (code length, symbol value).
+	type symLen struct {
+		sym byte
+		len int
+	}
+	syms := make([]symLen, 0, 257)
+	for i := 0; i < 256; i++ {
+		if codesize[i] > 0 {
+			syms = append(syms, symLen{sym: byte(i), len: codesize[i]})
+		}
+	}
+	sort.Slice(syms, func(a, b int) bool {
+		if syms[a].len != syms[b].len {
+			return syms[a].len < syms[b].len
+		}
+		return syms[a].sym < syms[b].sym
+	})
+
+	var spec HuffmanSpec
+	for i := 1; i <= maxCodeLength; i++ {
+		spec.Counts[i-1] = byte(bits[i])
+	}
+	// Values are listed in increasing code-length order; the bit-count
+	// adjustment preserved relative symbol ordering well enough for a valid
+	// canonical code because total counts per length match the symbol list.
+	spec.Values = make([]byte, len(syms))
+	for i, s := range syms {
+		spec.Values[i] = s.sym
+	}
+	if err := spec.Validate(); err != nil {
+		return HuffmanSpec{}, err
+	}
+	return spec, nil
+}
+
+// magnitudeCategory returns the JPEG size category of v: the number of bits
+// needed to represent |v| (0 for v == 0).
+func magnitudeCategory(v int32) int {
+	if v < 0 {
+		v = -v
+	}
+	n := 0
+	for v > 0 {
+		n++
+		v >>= 1
+	}
+	return n
+}
+
+// magnitudeBits returns the SSSS magnitude bits for value v in category size
+// per JPEG's convention: nonnegative values are emitted as-is; negative
+// values as v-1 truncated to size bits (one's complement of |v|).
+func magnitudeBits(v int32, size int) uint32 {
+	if v < 0 {
+		v--
+	}
+	return uint32(v) & ((1 << size) - 1)
+}
+
+// extendMagnitude inverts magnitudeBits: reconstructs the signed value from
+// size magnitude bits (JPEG spec F.2.2.1 EXTEND).
+func extendMagnitude(bits uint32, size int) int32 {
+	if size == 0 {
+		return 0
+	}
+	v := int32(bits)
+	if v < 1<<(size-1) {
+		v -= (1 << size) - 1
+	}
+	return v
+}

@@ -1,0 +1,235 @@
+// Package jpegc is a coefficient-level baseline JPEG codec.
+//
+// PuPPIeS perturbs quantized DCT coefficients and (for the -C and -Z
+// variants) rebuilds Huffman tables to match the perturbed coefficient
+// distribution. The standard library's image/jpeg exposes neither, so this
+// package implements the full baseline pipeline from scratch:
+//
+//   - a coefficient image model (8x8 quantized blocks per component),
+//   - conversion to and from planar YUV pixels (internal/imgplane),
+//   - baseline entropy coding (run-length + Huffman, Annex K default tables
+//     or per-image optimized tables, mirroring libjpeg's optimize_coding),
+//   - a JFIF bit-stream writer and reader.
+//
+// The writer emits 4:4:4 baseline streams that Go's stdlib image/jpeg
+// decoder accepts (verified in tests); the reader accepts this package's
+// streams plus any 8-bit baseline 4:4:4 or grayscale stream (e.g. stdlib
+// grayscale output).
+//
+// Coefficient conventions: DC occupies [-1024, 1023]; AC occupies
+// [-1023, 1023] (baseline Huffman AC categories reach size 10 only, so
+// -1024 is not representable — FromPlanar clamps it away).
+package jpegc
+
+import (
+	"fmt"
+
+	"puppies/internal/dct"
+	"puppies/internal/imgplane"
+)
+
+// ACMin is the minimum representable AC coefficient in baseline JPEG.
+const ACMin = -1023
+
+// Component is one color channel of a coefficient image: a dense row-major
+// grid of quantized 8x8 DCT blocks.
+type Component struct {
+	// BlocksW and BlocksH are the grid dimensions in blocks.
+	BlocksW, BlocksH int
+	// Blocks holds BlocksW*BlocksH quantized coefficient blocks.
+	Blocks []dct.Block
+	// Quant is the quantization table the blocks were quantized with.
+	Quant dct.QuantTable
+}
+
+// Block returns a pointer to the block at grid position (bx, by).
+func (c *Component) Block(bx, by int) *dct.Block {
+	return &c.Blocks[by*c.BlocksW+bx]
+}
+
+// Clone returns a deep copy of the component.
+func (c *Component) Clone() Component {
+	out := Component{BlocksW: c.BlocksW, BlocksH: c.BlocksH, Quant: c.Quant}
+	out.Blocks = make([]dct.Block, len(c.Blocks))
+	copy(out.Blocks, c.Blocks)
+	return out
+}
+
+// Image is a coefficient-domain JPEG image: pixel dimensions plus one
+// component per channel (1 = grayscale, 3 = YUV 4:4:4).
+type Image struct {
+	W, H  int
+	Comps []Component
+}
+
+// Channels returns the number of components.
+func (m *Image) Channels() int { return len(m.Comps) }
+
+// Clone returns a deep copy of the image.
+func (m *Image) Clone() *Image {
+	out := &Image{W: m.W, H: m.H, Comps: make([]Component, len(m.Comps))}
+	for i := range m.Comps {
+		out.Comps[i] = m.Comps[i].Clone()
+	}
+	return out
+}
+
+// Validate checks structural invariants.
+func (m *Image) Validate() error {
+	if m.W <= 0 || m.H <= 0 {
+		return fmt.Errorf("jpegc: invalid dimensions %dx%d", m.W, m.H)
+	}
+	if len(m.Comps) != 1 && len(m.Comps) != 3 {
+		return fmt.Errorf("jpegc: %d components, want 1 or 3", len(m.Comps))
+	}
+	wantBW, wantBH := blocksFor(m.W), blocksFor(m.H)
+	for i := range m.Comps {
+		c := &m.Comps[i]
+		if c.BlocksW != wantBW || c.BlocksH != wantBH {
+			return fmt.Errorf("jpegc: component %d grid %dx%d, want %dx%d",
+				i, c.BlocksW, c.BlocksH, wantBW, wantBH)
+		}
+		if len(c.Blocks) != c.BlocksW*c.BlocksH {
+			return fmt.Errorf("jpegc: component %d has %d blocks, want %d",
+				i, len(c.Blocks), c.BlocksW*c.BlocksH)
+		}
+		if err := c.Quant.Validate(); err != nil {
+			return fmt.Errorf("jpegc: component %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func blocksFor(pixels int) int { return (pixels + dct.BlockSize - 1) / dct.BlockSize }
+
+// Options control pixel <-> coefficient conversion.
+type Options struct {
+	// Quality is the libjpeg-style quality in [1,100]; 0 means the default
+	// of 75.
+	Quality int
+}
+
+const defaultQuality = 75
+
+func (o Options) quality() int {
+	if o.Quality == 0 {
+		return defaultQuality
+	}
+	return o.Quality
+}
+
+// FromPlanar converts a planar YUV image into a quantized coefficient image.
+// Edge blocks are padded by edge replication, as conventional encoders do.
+func FromPlanar(src *imgplane.Image, opts Options) (*Image, error) {
+	if err := src.Validate(); err != nil {
+		return nil, err
+	}
+	q := opts.quality()
+	lum, err := dct.StdLuminanceQuant.ScaleQuality(q)
+	if err != nil {
+		return nil, err
+	}
+	chrom, err := dct.StdChrominanceQuant.ScaleQuality(q)
+	if err != nil {
+		return nil, err
+	}
+	return FromPlanarWithQuant(src, &lum, &chrom)
+}
+
+// FromPlanarWithQuant is FromPlanar with explicit quantization tables, used
+// when re-encoding must preserve an existing image's tables (e.g. PSP-side
+// pixel-domain transforms).
+func FromPlanarWithQuant(src *imgplane.Image, lum, chrom *dct.QuantTable) (*Image, error) {
+	if err := src.Validate(); err != nil {
+		return nil, err
+	}
+	if err := lum.Validate(); err != nil {
+		return nil, err
+	}
+	if err := chrom.Validate(); err != nil {
+		return nil, err
+	}
+	out := &Image{W: src.W(), H: src.H(), Comps: make([]Component, src.Channels())}
+	for ci := range src.Planes {
+		qt := lum
+		if ci > 0 {
+			qt = chrom
+		}
+		comp, err := componentFromPlane(src.Planes[ci], qt)
+		if err != nil {
+			return nil, fmt.Errorf("jpegc: component %d: %w", ci, err)
+		}
+		out.Comps[ci] = comp
+	}
+	return out, nil
+}
+
+func componentFromPlane(p *imgplane.Plane, q *dct.QuantTable) (Component, error) {
+	bw, bh := blocksFor(p.W), blocksFor(p.H)
+	comp := Component{
+		BlocksW: bw,
+		BlocksH: bh,
+		Blocks:  make([]dct.Block, bw*bh),
+		Quant:   *q,
+	}
+	var spatial dct.FloatBlock
+	for by := 0; by < bh; by++ {
+		for bx := 0; bx < bw; bx++ {
+			for y := 0; y < dct.BlockSize; y++ {
+				for x := 0; x < dct.BlockSize; x++ {
+					// Plane.At replicates edges, which pads partial blocks.
+					spatial[y*dct.BlockSize+x] = float64(p.At(bx*dct.BlockSize+x, by*dct.BlockSize+y)) - 128
+				}
+			}
+			b := dct.ForwardQuantized(&spatial, q)
+			clampBaselineAC(&b)
+			comp.Blocks[by*bw+bx] = b
+		}
+	}
+	return comp, nil
+}
+
+// clampBaselineAC forces AC coefficients into the baseline-representable
+// range [-1023, 1023].
+func clampBaselineAC(b *dct.Block) {
+	for i := 1; i < dct.BlockLen; i++ {
+		if b[i] < ACMin {
+			b[i] = ACMin
+		}
+	}
+}
+
+// ToPlanar converts the coefficient image back to unclamped planar YUV
+// pixels (dequantize + inverse DCT + level unshift).
+func (m *Image) ToPlanar() (*imgplane.Image, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	out, err := imgplane.New(m.W, m.H, len(m.Comps))
+	if err != nil {
+		return nil, err
+	}
+	for ci := range m.Comps {
+		comp := &m.Comps[ci]
+		plane := out.Planes[ci]
+		for by := 0; by < comp.BlocksH; by++ {
+			for bx := 0; bx < comp.BlocksW; bx++ {
+				spatial := dct.InverseQuantized(comp.Block(bx, by), &comp.Quant)
+				for y := 0; y < dct.BlockSize; y++ {
+					py := by*dct.BlockSize + y
+					if py >= m.H {
+						break
+					}
+					for x := 0; x < dct.BlockSize; x++ {
+						px := bx*dct.BlockSize + x
+						if px >= m.W {
+							break
+						}
+						plane.Pix[py*m.W+px] = float32(spatial[y*dct.BlockSize+x]) + 128
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,84 @@
+package jpegc
+
+import (
+	"bytes"
+	"image/jpeg"
+	"math/rand"
+	"testing"
+)
+
+func TestRestartMarkersRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, interval := range []int{1, 3, 7, 64, 10000} {
+		img := randomCoeffImage(rng, 64, 48, 3)
+		var buf bytes.Buffer
+		if err := img.Encode(&buf, EncodeOptions{RestartInterval: interval}); err != nil {
+			t.Fatalf("interval %d: %v", interval, err)
+		}
+		got, err := Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("interval %d: decode: %v", interval, err)
+		}
+		assertCoeffEqual(t, img, got)
+	}
+}
+
+func TestRestartMarkersStdlibInterop(t *testing.T) {
+	// The stdlib decoder must accept our restart-marker streams too.
+	planar := gradientPlanar(80, 56)
+	img, err := FromPlanar(planar, Options{Quality: 85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := img.Encode(&buf, EncodeOptions{RestartInterval: 5}); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := jpeg.Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("stdlib rejected restart-marker stream: %v", err)
+	}
+	if decoded.Bounds().Dx() != 80 || decoded.Bounds().Dy() != 56 {
+		t.Errorf("bounds %v", decoded.Bounds())
+	}
+}
+
+func TestRestartIntervalValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	img := randomCoeffImage(rng, 16, 16, 1)
+	var buf bytes.Buffer
+	if err := img.Encode(&buf, EncodeOptions{RestartInterval: -1}); err == nil {
+		t.Error("negative interval accepted")
+	}
+	if err := img.Encode(&buf, EncodeOptions{RestartInterval: 70000}); err == nil {
+		t.Error("oversized interval accepted")
+	}
+}
+
+func TestRestartMarkersLimitCorruptionSpread(t *testing.T) {
+	// The point of restart markers: a corrupted entropy segment only
+	// destroys data up to the next RSTn. Verify the decoder resynchronizes
+	// and still returns an image when corruption happens mid-scan.
+	rng := rand.New(rand.NewSource(3))
+	img := randomCoeffImage(rng, 64, 64, 3)
+	var buf bytes.Buffer
+	if err := img.Encode(&buf, EncodeOptions{RestartInterval: 8}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Find a point well inside the entropy data and corrupt one byte that
+	// is not 0xFF (to avoid creating fake markers).
+	pos := len(data) * 2 / 3
+	for data[pos] == 0xff || data[pos-1] == 0xff {
+		pos++
+	}
+	data[pos] ^= 0x3c
+	// Decoding may fail (acceptable) but must not panic; if it succeeds the
+	// image must be structurally valid.
+	out, err := Decode(bytes.NewReader(data))
+	if err == nil {
+		if vErr := out.Validate(); vErr != nil {
+			t.Fatalf("corrupted stream produced invalid image: %v", vErr)
+		}
+	}
+}

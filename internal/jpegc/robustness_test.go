@@ -1,0 +1,133 @@
+package jpegc
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestDecodeMutatedStreamsNeverPanic is a deterministic fuzz-style test:
+// corrupt a valid stream at every byte position (and with random multi-byte
+// mutations) and require Decode to either error or return a structurally
+// valid image — never panic or hang.
+func TestDecodeMutatedStreamsNeverPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	img := randomCoeffImage(rng, 32, 24, 3)
+	var buf bytes.Buffer
+	if err := img.Encode(&buf, EncodeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	tryDecode := func(data []byte, desc string) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Decode panicked on %s: %v", desc, r)
+			}
+		}()
+		out, err := Decode(bytes.NewReader(data))
+		if err == nil {
+			if vErr := out.Validate(); vErr != nil {
+				t.Fatalf("Decode returned structurally invalid image on %s: %v", desc, vErr)
+			}
+		}
+	}
+
+	// Single-byte corruption at every position.
+	for pos := 0; pos < len(valid); pos++ {
+		mutated := append([]byte(nil), valid...)
+		mutated[pos] ^= 0x55
+		tryDecode(mutated, "single-byte flip")
+	}
+	// Truncation at every 7th position.
+	for end := 0; end < len(valid); end += 7 {
+		tryDecode(valid[:end], "truncation")
+	}
+	// Random multi-byte mutations.
+	for trial := 0; trial < 300; trial++ {
+		mutated := append([]byte(nil), valid...)
+		for m := 0; m < 1+rng.Intn(8); m++ {
+			mutated[rng.Intn(len(mutated))] = byte(rng.Intn(256))
+		}
+		tryDecode(mutated, "multi-byte mutation")
+	}
+	// Random insertions and deletions.
+	for trial := 0; trial < 100; trial++ {
+		mutated := append([]byte(nil), valid...)
+		pos := rng.Intn(len(mutated))
+		if rng.Intn(2) == 0 {
+			mutated = append(mutated[:pos], append([]byte{byte(rng.Intn(256))}, mutated[pos:]...)...)
+		} else {
+			mutated = append(mutated[:pos], mutated[pos+1:]...)
+		}
+		tryDecode(mutated, "insert/delete")
+	}
+}
+
+// TestDecodeHostileHeaders covers crafted header pathologies that have
+// historically broken JPEG parsers.
+func TestDecodeHostileHeaders(t *testing.T) {
+	cases := map[string][]byte{
+		"SOI only":            {0xff, 0xd8},
+		"SOI+EOI, no frame":   {0xff, 0xd8, 0xff, 0xd9},
+		"zero-length segment": {0xff, 0xd8, 0xff, 0xe0, 0x00, 0x00, 0xff, 0xd9},
+		"segment length 1":    {0xff, 0xd8, 0xff, 0xe0, 0x00, 0x01, 0xff, 0xd9},
+		"huge dimensions": {
+			0xff, 0xd8,
+			0xff, 0xc0, 0x00, 0x0b, 8, 0xff, 0xff, 0xff, 0xff, 1, 1, 0x11, 0,
+			0xff, 0xd9,
+		},
+		"SOS before SOF": {
+			0xff, 0xd8,
+			0xff, 0xda, 0x00, 0x08, 1, 1, 0x00, 0, 63, 0,
+			0xff, 0xd9,
+		},
+		"DHT with absurd counts": {
+			0xff, 0xd8,
+			0xff, 0xc4, 0x00, 0x13, 0x00,
+			0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+			0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+			0xff, 0xd9,
+		},
+		"fill bytes before marker": {0xff, 0xd8, 0xff, 0xff, 0xff, 0xd9},
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic: %v", r)
+				}
+			}()
+			if _, err := Decode(bytes.NewReader(data)); err == nil {
+				// "fill bytes before marker" ends with EOI and no scan: must
+				// error too (EOI before any scan).
+				t.Errorf("hostile stream accepted")
+			}
+		})
+	}
+}
+
+// TestDecodeDimensionBombs ensures crafted dimensions do not cause huge
+// allocations before validation rejects them.
+func TestDecodeDimensionBombs(t *testing.T) {
+	// SOF claiming 65535x65535 with a tiny stream: the decoder will
+	// allocate block storage (bounded by uint16 dims ~ 8 GB worst case for
+	// coefficients... so it must fail before allocating, at the scan stage
+	// or on truncated entropy data).
+	sof := []byte{
+		0xff, 0xd8,
+		// DQT (one 8-bit table, all ones)
+		0xff, 0xdb, 0x00, 0x43, 0x00,
+	}
+	for i := 0; i < 64; i++ {
+		sof = append(sof, 1)
+	}
+	sof = append(sof,
+		0xff, 0xc0, 0x00, 0x0b, 8, 0x04, 0x00, 0x04, 0x00, 1, 1, 0x11, 0, // 1024x1024 gray
+		0xff, 0xda, 0x00, 0x08, 1, 1, 0x00, 0, 63, 0,
+	// no entropy data, no EOI
+	)
+	if _, err := Decode(bytes.NewReader(sof)); err == nil {
+		t.Error("truncated scan accepted")
+	}
+}

@@ -1,0 +1,226 @@
+package keys
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/rand"
+	"crypto/sha256"
+	"fmt"
+)
+
+// Identity is one participant's long-term X25519 key pair.
+type Identity struct {
+	priv *ecdh.PrivateKey
+}
+
+// NewIdentity generates a fresh X25519 identity.
+func NewIdentity() (*Identity, error) {
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("keys: generate identity: %w", err)
+	}
+	return &Identity{priv: priv}, nil
+}
+
+// PublicKey returns the identity's public key bytes, shareable in the clear.
+func (id *Identity) PublicKey() []byte {
+	return id.priv.PublicKey().Bytes()
+}
+
+// Envelope is a sealed batch of matrix pairs in transit from sender to
+// receiver over an insecure channel.
+type Envelope struct {
+	// SenderPub is the sender's ephemeral X25519 public key.
+	SenderPub []byte `json:"senderPub"`
+	// Nonce is the AES-GCM nonce.
+	Nonce []byte `json:"nonce"`
+	// Ciphertext is the sealed concatenation of serialized pairs.
+	Ciphertext []byte `json:"ciphertext"`
+}
+
+// deriveKey computes the AES-256 key for a (shared secret, context) pair.
+func deriveKey(shared []byte) [32]byte {
+	h := sha256.New()
+	h.Write([]byte("puppies/keys/v1"))
+	h.Write(shared)
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// Seal encrypts matrix pairs to the receiver identified by its public key,
+// using an ephemeral ECDH exchange (sender needs no long-term identity).
+func Seal(receiverPub []byte, pairs []*Pair) (*Envelope, error) {
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("keys: no pairs to seal")
+	}
+	remote, err := ecdh.X25519().NewPublicKey(receiverPub)
+	if err != nil {
+		return nil, fmt.Errorf("keys: invalid receiver public key: %w", err)
+	}
+	eph, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("keys: ephemeral key: %w", err)
+	}
+	shared, err := eph.ECDH(remote)
+	if err != nil {
+		return nil, fmt.Errorf("keys: ECDH: %w", err)
+	}
+	key := deriveKey(shared)
+
+	var plain []byte
+	for _, p := range pairs {
+		b, err := p.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		plain = append(plain, b...)
+	}
+
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, err
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, gcm.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, fmt.Errorf("keys: nonce: %w", err)
+	}
+	return &Envelope{
+		SenderPub:  eph.PublicKey().Bytes(),
+		Nonce:      nonce,
+		Ciphertext: gcm.Seal(nil, nonce, plain, nil),
+	}, nil
+}
+
+// Open decrypts an envelope with the receiver's identity, returning the
+// contained matrix pairs.
+func (id *Identity) Open(env *Envelope) ([]*Pair, error) {
+	remote, err := ecdh.X25519().NewPublicKey(env.SenderPub)
+	if err != nil {
+		return nil, fmt.Errorf("keys: invalid sender public key: %w", err)
+	}
+	shared, err := id.priv.ECDH(remote)
+	if err != nil {
+		return nil, fmt.Errorf("keys: ECDH: %w", err)
+	}
+	key := deriveKey(shared)
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, err
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	plain, err := gcm.Open(nil, env.Nonce, env.Ciphertext, nil)
+	if err != nil {
+		return nil, fmt.Errorf("keys: open envelope: %w", err)
+	}
+	if len(plain)%pairWireLen != 0 {
+		return nil, fmt.Errorf("keys: envelope payload length %d not a multiple of %d", len(plain), pairWireLen)
+	}
+	pairs := make([]*Pair, 0, len(plain)/pairWireLen)
+	for off := 0; off < len(plain); off += pairWireLen {
+		var p Pair
+		if err := p.UnmarshalBinary(plain[off : off+pairWireLen]); err != nil {
+			return nil, err
+		}
+		pairs = append(pairs, &p)
+	}
+	return pairs, nil
+}
+
+// Store is the image owner's local key store: matrix pairs by ID plus
+// per-receiver grants (paper challenge C3, personalized privacy).
+type Store struct {
+	pairs  map[string]*Pair
+	grants map[string]map[string]bool // receiver -> set of pair IDs
+}
+
+// NewStore returns an empty key store.
+func NewStore() *Store {
+	return &Store{
+		pairs:  make(map[string]*Pair),
+		grants: make(map[string]map[string]bool),
+	}
+}
+
+// Add registers a pair in the store.
+func (s *Store) Add(p *Pair) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if _, ok := s.pairs[p.ID]; ok {
+		return fmt.Errorf("keys: pair %s already in store", p.ID)
+	}
+	s.pairs[p.ID] = p
+	return nil
+}
+
+// Get returns the pair with the given ID.
+func (s *Store) Get(id string) (*Pair, error) {
+	p, ok := s.pairs[id]
+	if !ok {
+		return nil, fmt.Errorf("keys: pair %s not in store", id)
+	}
+	return p, nil
+}
+
+// Len returns the number of stored pairs.
+func (s *Store) Len() int { return len(s.pairs) }
+
+// Grant records that the named receiver may obtain the given pair IDs.
+func (s *Store) Grant(receiver string, pairIDs ...string) error {
+	for _, id := range pairIDs {
+		if _, ok := s.pairs[id]; !ok {
+			return fmt.Errorf("keys: cannot grant unknown pair %s", id)
+		}
+	}
+	g := s.grants[receiver]
+	if g == nil {
+		g = make(map[string]bool)
+		s.grants[receiver] = g
+	}
+	for _, id := range pairIDs {
+		g[id] = true
+	}
+	return nil
+}
+
+// Revoke removes a receiver's grant for the given pair IDs. Revocation only
+// affects future SealFor calls; keys already delivered cannot be recalled
+// (paper §VI-C discusses this limit).
+func (s *Store) Revoke(receiver string, pairIDs ...string) {
+	g := s.grants[receiver]
+	for _, id := range pairIDs {
+		delete(g, id)
+	}
+}
+
+// Granted returns the pair IDs the receiver currently holds grants for.
+func (s *Store) Granted(receiver string) []string {
+	var ids []string
+	for id := range s.grants[receiver] {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// SealFor seals every pair granted to the receiver into an envelope for its
+// public key. It returns an error if the receiver has no grants.
+func (s *Store) SealFor(receiver string, receiverPub []byte) (*Envelope, error) {
+	ids := s.Granted(receiver)
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("keys: receiver %q has no granted pairs", receiver)
+	}
+	pairs := make([]*Pair, 0, len(ids))
+	for _, id := range ids {
+		pairs = append(pairs, s.pairs[id])
+	}
+	return Seal(receiverPub, pairs)
+}

@@ -1,0 +1,246 @@
+package keys
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestNewPairValid(t *testing.T) {
+	p, err := NewPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Error(err)
+	}
+	if len(p.ID) != 32 {
+		t.Errorf("ID length %d, want 32 hex chars", len(p.ID))
+	}
+	q, err := NewPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.ID == p.ID {
+		t.Error("two generated pairs share an ID")
+	}
+	if q.DC == p.DC && q.AC == p.AC {
+		t.Error("two generated pairs share matrices")
+	}
+}
+
+func TestNewPairDeterministic(t *testing.T) {
+	a := NewPairDeterministic(7)
+	b := NewPairDeterministic(7)
+	c := NewPairDeterministic(8)
+	if a.DC != b.DC || a.AC != b.AC || a.ID != b.ID {
+		t.Error("same seed produced different pairs")
+	}
+	if a.DC == c.DC {
+		t.Error("different seeds produced identical DC matrices")
+	}
+	if err := a.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPairBinaryRoundTrip(t *testing.T) {
+	p, err := NewPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := p.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q Pair
+	if err := q.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if q.ID != p.ID || q.DC != p.DC || q.AC != p.AC {
+		t.Error("binary round trip lost data")
+	}
+	if err := q.UnmarshalBinary(data[:10]); err == nil {
+		t.Error("truncated data should fail")
+	}
+}
+
+func TestMatrixValidate(t *testing.T) {
+	var m Matrix
+	if err := m.Validate(); err != nil {
+		t.Errorf("zero matrix should be valid: %v", err)
+	}
+	m[5] = 2048
+	if err := m.Validate(); err == nil {
+		t.Error("entry 2048 should be invalid")
+	}
+	m[5] = -1
+	if err := m.Validate(); err == nil {
+		t.Error("negative entry should be invalid")
+	}
+}
+
+func TestSealOpen(t *testing.T) {
+	receiver, err := NewIdentity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := NewPair()
+	p2, _ := NewPair()
+	env, err := Seal(receiver.PublicKey(), []*Pair{p1, p2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := receiver.Open(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d pairs, want 2", len(got))
+	}
+	byID := map[string]*Pair{got[0].ID: got[0], got[1].ID: got[1]}
+	for _, want := range []*Pair{p1, p2} {
+		g, ok := byID[want.ID]
+		if !ok || g.DC != want.DC || g.AC != want.AC {
+			t.Errorf("pair %s not recovered intact", want.ID)
+		}
+	}
+}
+
+func TestOpenWrongIdentityFails(t *testing.T) {
+	alice, _ := NewIdentity()
+	eve, _ := NewIdentity()
+	p, _ := NewPair()
+	env, err := Seal(alice.PublicKey(), []*Pair{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eve.Open(env); err == nil {
+		t.Error("wrong identity opened the envelope")
+	}
+}
+
+func TestOpenTamperedEnvelopeFails(t *testing.T) {
+	alice, _ := NewIdentity()
+	p, _ := NewPair()
+	env, err := Seal(alice.PublicKey(), []*Pair{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Ciphertext[0] ^= 0xff
+	if _, err := alice.Open(env); err == nil {
+		t.Error("tampered ciphertext accepted")
+	}
+}
+
+func TestSealValidation(t *testing.T) {
+	if _, err := Seal([]byte("short"), []*Pair{NewPairDeterministic(1)}); err == nil {
+		t.Error("bad public key accepted")
+	}
+	alice, _ := NewIdentity()
+	if _, err := Seal(alice.PublicKey(), nil); err == nil {
+		t.Error("empty pair list accepted")
+	}
+}
+
+func TestStoreGrantFlow(t *testing.T) {
+	s := NewStore()
+	p1, _ := NewPair()
+	p2, _ := NewPair()
+	if err := s.Add(p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(p2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(p1); err == nil {
+		t.Error("duplicate add accepted")
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d", s.Len())
+	}
+
+	if err := s.Grant("bob", p1.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Grant("bob", "nonexistent"); err == nil {
+		t.Error("grant of unknown pair accepted")
+	}
+
+	bob, _ := NewIdentity()
+	env, err := s.SealFor("bob", bob.PublicKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := bob.Open(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 1 || pairs[0].ID != p1.ID {
+		t.Errorf("bob received %d pairs", len(pairs))
+	}
+
+	// Carol has no grants.
+	carol, _ := NewIdentity()
+	if _, err := s.SealFor("carol", carol.PublicKey()); err == nil {
+		t.Error("ungranted receiver got an envelope")
+	}
+
+	// Revocation removes future access.
+	s.Revoke("bob", p1.ID)
+	if _, err := s.SealFor("bob", bob.PublicKey()); err == nil {
+		t.Error("revoked receiver got an envelope")
+	}
+}
+
+func TestStoreGet(t *testing.T) {
+	s := NewStore()
+	p, _ := NewPair()
+	if err := s.Add(p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(p.ID)
+	if err != nil || got.ID != p.ID {
+		t.Errorf("Get: %v, %v", got, err)
+	}
+	if _, err := s.Get("missing"); err == nil {
+		t.Error("Get of missing pair succeeded")
+	}
+}
+
+func TestPrivateSizeBytes(t *testing.T) {
+	// One pair: 2 matrices x 64 entries x 11 bits = 1408 bits = 176 bytes,
+	// plus the 16-byte ID.
+	if got := PrivateSizeBytes(1); got != 192 {
+		t.Errorf("PrivateSizeBytes(1) = %d, want 192", got)
+	}
+	if got := PrivateSizeBytes(10); got != 1920 {
+		t.Errorf("PrivateSizeBytes(10) = %d, want 1920", got)
+	}
+	if got := PrivateSizeBytes(0); got != 0 {
+		t.Errorf("PrivateSizeBytes(0) = %d, want 0", got)
+	}
+}
+
+func TestPairMarshalRejectsBadID(t *testing.T) {
+	p := NewPairDeterministic(3)
+	p.ID = "not-hex"
+	if _, err := p.MarshalBinary(); err == nil {
+		t.Error("bad ID accepted")
+	}
+}
+
+func TestEnvelopeDistinctNonces(t *testing.T) {
+	alice, _ := NewIdentity()
+	p, _ := NewPair()
+	e1, err := Seal(alice.PublicKey(), []*Pair{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Seal(alice.PublicKey(), []*Pair{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(e1.Nonce, e2.Nonce) && bytes.Equal(e1.SenderPub, e2.SenderPub) {
+		t.Error("two seals reused nonce and ephemeral key")
+	}
+}

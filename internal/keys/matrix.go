@@ -1,0 +1,170 @@
+// Package keys implements the private-matrix key material of PuPPIeS and
+// its distribution.
+//
+// A PuPPIeS region key is a pair of 8x8 private matrices (P_DC, P_AC) whose
+// entries are uniform random values normalized to [0, 2047] (paper §IV-B and
+// Lemma III.1). The image owner stores matrices locally (the "private part")
+// and distributes them to authorized receivers over a secure channel; here
+// the channel is X25519 ECDH key agreement plus AES-256-GCM sealing
+// ("standard crypto method", paper §III-A).
+package keys
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+	mrand "math/rand"
+)
+
+// MatrixLen is the number of entries in a private matrix (8x8, vectorized).
+const MatrixLen = 64
+
+// EntryRange is the exclusive upper bound of matrix entries: entries are
+// normalized to [0, EntryRange-1] per Lemma III.1.
+const EntryRange = 2048
+
+// EntryBits is the number of bits needed per matrix entry (11, paper §VI-A).
+const EntryBits = 11
+
+// Matrix is one vectorized 8x8 private matrix P' with entries in [0, 2047].
+type Matrix [MatrixLen]int32
+
+// Validate checks all entries are within the normalized range.
+func (m *Matrix) Validate() error {
+	for i, v := range m {
+		if v < 0 || v >= EntryRange {
+			return fmt.Errorf("keys: matrix entry %d = %d outside [0, %d)", i, v, EntryRange)
+		}
+	}
+	return nil
+}
+
+// Pair is the (P_DC, P_AC) matrix pair used to perturb one or more regions
+// (paper §IV-D): DC coefficients are perturbed from P_DC, AC coefficients
+// from P_AC, which doubles the brute-force search space.
+type Pair struct {
+	// ID identifies the pair; it is public (receivers use it to select which
+	// shared key decrypts which region).
+	ID string
+	// DC and AC are the private matrices. They are the secret.
+	DC Matrix
+	AC Matrix
+}
+
+// Validate checks the pair's structure.
+func (p *Pair) Validate() error {
+	if len(p.ID) == 0 {
+		return fmt.Errorf("keys: pair has empty ID")
+	}
+	if err := p.DC.Validate(); err != nil {
+		return fmt.Errorf("keys: DC: %w", err)
+	}
+	if err := p.AC.Validate(); err != nil {
+		return fmt.Errorf("keys: AC: %w", err)
+	}
+	return nil
+}
+
+// NewPair generates a cryptographically random matrix pair.
+func NewPair() (*Pair, error) {
+	return newPairFrom(rand.Reader)
+}
+
+func newPairFrom(r io.Reader) (*Pair, error) {
+	var idBytes [16]byte
+	if _, err := io.ReadFull(r, idBytes[:]); err != nil {
+		return nil, fmt.Errorf("keys: generate id: %w", err)
+	}
+	p := &Pair{ID: hex.EncodeToString(idBytes[:])}
+	fill := func(m *Matrix) error {
+		// Rejection-sampled uniform values in [0, 2048): 2048 divides 65536,
+		// so a simple mask is exact.
+		var buf [2 * MatrixLen]byte
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return fmt.Errorf("keys: generate matrix: %w", err)
+		}
+		for i := 0; i < MatrixLen; i++ {
+			v := binary.BigEndian.Uint16(buf[2*i:])
+			m[i] = int32(v % EntryRange)
+		}
+		return nil
+	}
+	if err := fill(&p.DC); err != nil {
+		return nil, err
+	}
+	if err := fill(&p.AC); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// NewPairDeterministic generates a pair from a fixed seed. It exists for
+// reproducible benchmarks and tests only; production callers must use
+// NewPair.
+func NewPairDeterministic(seed int64) *Pair {
+	rng := mrand.New(mrand.NewSource(seed))
+	p := &Pair{ID: fmt.Sprintf("%032x", uint64(seed))}
+	for i := 0; i < MatrixLen; i++ {
+		p.DC[i] = int32(rng.Intn(EntryRange))
+		p.AC[i] = int32(rng.Intn(EntryRange))
+	}
+	return p
+}
+
+// pairWireLen is the serialized pair length: 16-byte ID + 2 matrices of
+// 64 uint16 entries.
+const pairWireLen = 16 + 2*2*MatrixLen
+
+// MarshalBinary serializes the pair (ID + both matrices, big-endian uint16
+// entries).
+func (p *Pair) MarshalBinary() ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	idBytes, err := hex.DecodeString(p.ID)
+	if err != nil || len(idBytes) != 16 {
+		return nil, fmt.Errorf("keys: pair ID %q is not a 16-byte hex string", p.ID)
+	}
+	out := make([]byte, 0, pairWireLen)
+	out = append(out, idBytes...)
+	for _, m := range []*Matrix{&p.DC, &p.AC} {
+		for _, v := range m {
+			out = binary.BigEndian.AppendUint16(out, uint16(v))
+		}
+	}
+	return out, nil
+}
+
+// UnmarshalBinary parses a serialized pair.
+func (p *Pair) UnmarshalBinary(data []byte) error {
+	if len(data) != pairWireLen {
+		return fmt.Errorf("keys: pair wire length %d, want %d", len(data), pairWireLen)
+	}
+	p.ID = hex.EncodeToString(data[:16])
+	off := 16
+	for _, m := range []*Matrix{&p.DC, &p.AC} {
+		for i := 0; i < MatrixLen; i++ {
+			m[i] = int32(binary.BigEndian.Uint16(data[off:]))
+			off += 2
+		}
+	}
+	return p.Validate()
+}
+
+// PrivateSizeBytes returns the local storage cost of n matrix pairs: each
+// pair is two 64-entry 11-bit matrices plus a 16-byte identifier.
+func PrivateSizeBytes(nPairs int) int {
+	bitsPerPair := 2 * MatrixLen * EntryBits
+	return nPairs * (16 + (bitsPerPair+7)/8)
+}
+
+// PrivateSizeBytesMatrices returns the storage cost of n single private
+// matrices — the x-axis unit of the paper's Fig. 11 ("number of private
+// matrices", two per pair). Identifiers are amortized one per pair.
+func PrivateSizeBytesMatrices(n int) int {
+	matrixBytes := (MatrixLen*EntryBits + 7) / 8
+	ids := (n + 1) / 2
+	return n*matrixBytes + ids*16
+}

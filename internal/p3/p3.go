@@ -1,0 +1,183 @@
+// Package p3 implements the P3 photo-privacy scheme of Ra, Govindan and
+// Ortega (NSDI 2013), the baseline PuPPIeS is evaluated against
+// (paper §II-C.4, §V-D).
+//
+// P3 splits a whole JPEG image into two parts by a threshold T on quantized
+// DCT coefficients:
+//
+//   - the public part keeps AC coefficients clamped to [-T, T] and removes
+//     all DC components; it is stored on the (untrusted) PSP;
+//   - the private part keeps the DC components and the unsigned AC
+//     remainders |v|-T; it is stored with a trusted party. The remainder's
+//     sign is carried by the public part's saturated value (+T or -T).
+//
+// Recombining both parts recovers the image exactly — but only when no
+// transformation intervened. P3's structural limitations relative to
+// PuPPIeS, which the experiments reproduce:
+//
+//   - whole-image only: no per-region protection or per-receiver policies;
+//   - the private part is a full (sparse) image, orders of magnitude larger
+//     than PuPPIeS's two 8x8 matrices;
+//   - PSP-side transforms break exact recovery: both parts pass through
+//     standard clamped 8-bit pipelines, losing the interplay between the
+//     parts (paper Fig. 4).
+package p3
+
+import (
+	"fmt"
+
+	"puppies/internal/dct"
+	"puppies/internal/imgplane"
+	"puppies/internal/jpegc"
+)
+
+// DefaultThreshold is the public/private split threshold recommended by the
+// P3 authors and used in the PuPPIeS evaluation.
+const DefaultThreshold = 20
+
+// Split is a P3-encrypted image: two coefficient images of identical
+// geometry.
+type Split struct {
+	// Public is stored on the PSP.
+	Public *jpegc.Image
+	// Private is stored with a trusted party; its size is the scheme's
+	// client-side storage cost.
+	Private *jpegc.Image
+	// Threshold is the split level used.
+	Threshold int32
+}
+
+// SplitImage splits an image at the given threshold (T > 0).
+func SplitImage(img *jpegc.Image, threshold int32) (*Split, error) {
+	if err := img.Validate(); err != nil {
+		return nil, err
+	}
+	if threshold <= 0 {
+		return nil, fmt.Errorf("p3: threshold must be positive, got %d", threshold)
+	}
+	pub := img.Clone()
+	priv := img.Clone()
+	for ci := range img.Comps {
+		for bi := range img.Comps[ci].Blocks {
+			src := &img.Comps[ci].Blocks[bi]
+			pb := &pub.Comps[ci].Blocks[bi]
+			vb := &priv.Comps[ci].Blocks[bi]
+			// DC goes entirely to the private part.
+			pb[0] = 0
+			vb[0] = src[0]
+			for i := 1; i < dct.BlockLen; i++ {
+				v := src[i]
+				switch {
+				case v > threshold:
+					pb[i] = threshold
+					vb[i] = v - threshold // unsigned remainder; sign is +T in public
+				case v < -threshold:
+					pb[i] = -threshold
+					vb[i] = -v - threshold // unsigned remainder; sign is -T in public
+				default:
+					pb[i] = v
+					vb[i] = 0
+				}
+			}
+		}
+	}
+	return &Split{Public: pub, Private: priv, Threshold: threshold}, nil
+}
+
+// Recover reassembles the original coefficients from both parts
+// (no-transform case; exact).
+func Recover(s *Split) (*jpegc.Image, error) {
+	if s.Public == nil || s.Private == nil {
+		return nil, fmt.Errorf("p3: split is missing a part")
+	}
+	if s.Public.W != s.Private.W || s.Public.H != s.Private.H ||
+		len(s.Public.Comps) != len(s.Private.Comps) {
+		return nil, fmt.Errorf("p3: public and private parts have different geometry")
+	}
+	out := s.Public.Clone()
+	for ci := range out.Comps {
+		for bi := range out.Comps[ci].Blocks {
+			pb := &s.Public.Comps[ci].Blocks[bi]
+			vb := &s.Private.Comps[ci].Blocks[bi]
+			ob := &out.Comps[ci].Blocks[bi]
+			ob[0] = vb[0] // DC lives in the private part
+			for i := 1; i < dct.BlockLen; i++ {
+				// AC: the unsigned remainder applies in the direction of the
+				// public part's saturation. This per-coefficient sign
+				// recovery is exactly what becomes impossible after a
+				// pixel-domain transform (paper §V-D).
+				switch {
+				case vb[i] == 0:
+					ob[i] = pb[i]
+				case pb[i] < 0:
+					ob[i] = pb[i] - vb[i]
+				default:
+					ob[i] = pb[i] + vb[i]
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// PublicPixels decodes the public part through a standard 8-bit pipeline
+// (round + clamp), which is what the PSP (and any attacker at the PSP) sees.
+func (s *Split) PublicPixels() (*imgplane.Image, error) {
+	pix, err := s.Public.ToPlanar()
+	if err != nil {
+		return nil, err
+	}
+	return pix.Quantize8(), nil
+}
+
+// PrivatePixels decodes the private part through the same 8-bit pipeline.
+// The private image's DC-plus-remainder content routinely falls outside
+// [0, 255]; the clamping here is the root cause of P3's detail loss under
+// PSP-side transforms (paper Fig. 4).
+func (s *Split) PrivatePixels() (*imgplane.Image, error) {
+	pix, err := s.Private.ToPlanar()
+	if err != nil {
+		return nil, err
+	}
+	return pix.Quantize8(), nil
+}
+
+// CombinePixels models P3's client-side recombination after both parts
+// passed through standard (clamped) image pipelines, e.g. after the PSP
+// scaled the public part and the client scaled the private part with the
+// same library (paper §V-D): the parts are added sample-wise and the
+// duplicated 128 level offset removed. Detail lost to clamping in either
+// pipeline is unrecoverable — the effect Fig. 4(b) shows.
+func CombinePixels(pub, priv *imgplane.Image) (*imgplane.Image, error) {
+	if pub.Channels() != priv.Channels() {
+		return nil, fmt.Errorf("p3: channel mismatch %d vs %d", pub.Channels(), priv.Channels())
+	}
+	out := &imgplane.Image{Planes: make([]*imgplane.Plane, pub.Channels())}
+	for ci := range pub.Planes {
+		sum, err := pub.Planes[ci].Add(priv.Planes[ci])
+		if err != nil {
+			return nil, fmt.Errorf("p3: channel %d: %w", ci, err)
+		}
+		for i := range sum.Pix {
+			sum.Pix[i] -= 128
+		}
+		out.Planes[ci] = sum
+	}
+	return out.Clamp8(), nil
+}
+
+// Sizes returns the encoded byte sizes of both parts. The public part uses
+// default tables (it is an ordinary JPEG on the PSP); the private part uses
+// optimized tables, the strongest reasonable compression for P3's sparse
+// remainder image.
+func (s *Split) Sizes() (publicBytes, privateBytes int64, err error) {
+	publicBytes, err = s.Public.EncodedSize(jpegc.EncodeOptions{Tables: jpegc.TablesDefault})
+	if err != nil {
+		return 0, 0, fmt.Errorf("p3: encode public: %w", err)
+	}
+	privateBytes, err = s.Private.EncodedSize(jpegc.EncodeOptions{Tables: jpegc.TablesOptimized})
+	if err != nil {
+		return 0, 0, fmt.Errorf("p3: encode private: %w", err)
+	}
+	return publicBytes, privateBytes, nil
+}

@@ -1,0 +1,203 @@
+package p3
+
+import (
+	"math"
+	"testing"
+
+	"puppies/internal/dct"
+	"puppies/internal/imgplane"
+	"puppies/internal/jpegc"
+	"puppies/internal/transform"
+)
+
+func testImage(t testing.TB, w, h int) *jpegc.Image {
+	t.Helper()
+	planar, err := imgplane.New(w, h, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// High-contrast textured content (sharp edges + fine texture) so the
+	// coefficient spectrum resembles the detailed photos of Fig. 4.
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := y*w + x
+			edge := float32(0)
+			if (x/4+y/6)%2 == 0 {
+				edge = 110
+			}
+			tex := float32(70 * math.Sin(float64(x)*1.9) * math.Cos(float64(y)*2.3))
+			planar.Planes[0].Pix[i] = 70 + edge + tex
+			planar.Planes[1].Pix[i] = float32(128 + 60*math.Sin(float64(x+y)/3))
+			planar.Planes[2].Pix[i] = float32(128 + 60*math.Cos(float64(x-2*y)/4))
+		}
+	}
+	img, err := jpegc.FromPlanar(planar, jpegc.Options{Quality: 85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func TestSplitRecoverExact(t *testing.T) {
+	img := testImage(t, 64, 48)
+	s, err := SplitImage(img, DefaultThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Recover(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci := range img.Comps {
+		for bi := range img.Comps[ci].Blocks {
+			if got.Comps[ci].Blocks[bi] != img.Comps[ci].Blocks[bi] {
+				t.Fatalf("recovery not exact at component %d block %d", ci, bi)
+			}
+		}
+	}
+}
+
+func TestSplitProperties(t *testing.T) {
+	img := testImage(t, 64, 48)
+	const thr = 20
+	s, err := SplitImage(img, thr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci := range s.Public.Comps {
+		for bi := range s.Public.Comps[ci].Blocks {
+			pb := &s.Public.Comps[ci].Blocks[bi]
+			vb := &s.Private.Comps[ci].Blocks[bi]
+			if pb[0] != 0 {
+				t.Fatal("public DC not removed")
+			}
+			for i := 1; i < dct.BlockLen; i++ {
+				if pb[i] > thr || pb[i] < -thr {
+					t.Fatalf("public AC %d exceeds threshold", pb[i])
+				}
+				if vb[i] < 0 {
+					t.Fatalf("private AC remainder %d is signed; P3 stores magnitudes", vb[i])
+				}
+				if vb[i] != 0 && (pb[i] != thr && pb[i] != -thr) {
+					t.Fatalf("private remainder with unsaturated public value (%d, %d)", pb[i], vb[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSplitValidation(t *testing.T) {
+	img := testImage(t, 16, 16)
+	if _, err := SplitImage(img, 0); err == nil {
+		t.Error("zero threshold accepted")
+	}
+	if _, err := SplitImage(img, -3); err == nil {
+		t.Error("negative threshold accepted")
+	}
+	if _, err := Recover(&Split{}); err == nil {
+		t.Error("empty split accepted")
+	}
+	other := testImage(t, 24, 16)
+	if _, err := Recover(&Split{Public: img, Private: other}); err == nil {
+		t.Error("geometry mismatch accepted")
+	}
+}
+
+func TestPublicPartHidesContent(t *testing.T) {
+	img := testImage(t, 64, 48)
+	s, err := SplitImage(img, DefaultThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := img.ToPlanar()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := s.PublicPixels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	psnr, err := imgplane.ImagePSNR(orig.Clamp8(), pub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if psnr > 20 {
+		t.Errorf("public part too similar to original (PSNR %.1f dB)", psnr)
+	}
+}
+
+func TestScalingLosesDetail(t *testing.T) {
+	// The Fig. 4 effect: scale public and private parts separately through
+	// clamped pipelines, combine, and compare against scaling the original.
+	img := testImage(t, 64, 48)
+	s, err := SplitImage(img, DefaultThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := transform.Spec{Op: transform.OpScale, FactorX: 0.5, FactorY: 0.5}
+
+	pubPix, err := s.PublicPixels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	privPix, err := s.PrivatePixels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pubScaled, err := transform.ApplyPlanar(pubPix, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	privScaled, err := transform.ApplyPlanar(privPix, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered, err := CombinePixels(pubScaled.Clamp8(), privScaled.Clamp8())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	orig, err := img.ToPlanar()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantScaled, err := transform.ApplyPlanar(orig.Clamp8(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psnr, err := imgplane.ImagePSNR(recovered, wantScaled.Clamp8())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(psnr, 1) || psnr > 45 {
+		t.Errorf("P3 scaled recovery unexpectedly exact (PSNR %.1f dB); the clamped pipeline should lose detail", psnr)
+	}
+	if psnr < 10 {
+		t.Errorf("P3 scaled recovery implausibly bad (PSNR %.1f dB)", psnr)
+	}
+}
+
+func TestSizes(t *testing.T) {
+	img := testImage(t, 64, 48)
+	s, err := SplitImage(img, DefaultThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, priv, err := s.Sizes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pub <= 0 || priv <= 0 {
+		t.Fatalf("sizes (%d, %d) not positive", pub, priv)
+	}
+	origSize, err := img.EncodedSize(jpegc.EncodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The P3 private part carries DC plus large AC remainders; it is a
+	// substantial fraction of the original (paper: "much larger than
+	// PuPPIeS private matrices").
+	if priv < origSize/10 {
+		t.Errorf("private part %d implausibly small vs original %d", priv, origSize)
+	}
+}

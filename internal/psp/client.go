@@ -1,0 +1,155 @@
+package psp
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+
+	"puppies/internal/core"
+	"puppies/internal/imgplane"
+	"puppies/internal/jpegc"
+	"puppies/internal/transform"
+)
+
+// Client talks to a PSP over HTTP. Both senders (upload) and receivers
+// (download, fetch transformed versions) use it.
+type Client struct {
+	// BaseURL is the PSP root, e.g. "http://localhost:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) do(req *http.Request) ([]byte, error) {
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxUploadBytes))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("psp: %s %s: %s: %s", req.Method, req.URL.Path, resp.Status, bytes.TrimSpace(body))
+	}
+	return body, nil
+}
+
+// Upload stores a perturbed image and its public data, returning the image
+// ID.
+func (c *Client) Upload(img *jpegc.Image, pd *core.PublicData, opts jpegc.EncodeOptions) (string, error) {
+	var imgBuf bytes.Buffer
+	if err := img.Encode(&imgBuf, opts); err != nil {
+		return "", fmt.Errorf("psp: encode image: %w", err)
+	}
+	params, err := pd.Encode()
+	if err != nil {
+		return "", fmt.Errorf("psp: encode params: %w", err)
+	}
+	body, err := json.Marshal(UploadRequest{Image: imgBuf.Bytes(), Params: params})
+	if err != nil {
+		return "", err
+	}
+	req, err := http.NewRequest(http.MethodPost, c.BaseURL+"/v1/images", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	respBody, err := c.do(req)
+	if err != nil {
+		return "", err
+	}
+	var resp UploadResponse
+	if err := json.Unmarshal(respBody, &resp); err != nil {
+		return "", fmt.Errorf("psp: decode upload response: %w", err)
+	}
+	if resp.ID == "" {
+		return "", fmt.Errorf("psp: server returned empty id")
+	}
+	return resp.ID, nil
+}
+
+// FetchImage downloads the stored (untransformed) perturbed image.
+func (c *Client) FetchImage(id string) (*jpegc.Image, error) {
+	req, err := http.NewRequest(http.MethodGet, c.BaseURL+"/v1/images/"+url.PathEscape(id), nil)
+	if err != nil {
+		return nil, err
+	}
+	body, err := c.do(req)
+	if err != nil {
+		return nil, err
+	}
+	return jpegc.Decode(bytes.NewReader(body))
+}
+
+// FetchParams downloads and validates the image's public data.
+func (c *Client) FetchParams(id string) (*core.PublicData, error) {
+	req, err := http.NewRequest(http.MethodGet, c.BaseURL+"/v1/images/"+url.PathEscape(id)+"/params", nil)
+	if err != nil {
+		return nil, err
+	}
+	body, err := c.do(req)
+	if err != nil {
+		return nil, err
+	}
+	return core.DecodePublicData(body)
+}
+
+func specQuery(spec transform.Spec) (string, error) {
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		return "", err
+	}
+	v := url.Values{}
+	v.Set("spec", string(raw))
+	return v.Encode(), nil
+}
+
+// FetchTransformed asks the PSP to apply the spec and return the re-encoded
+// JPEG.
+func (c *Client) FetchTransformed(id string, spec transform.Spec) (*jpegc.Image, error) {
+	q, err := specQuery(spec)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequest(http.MethodGet,
+		c.BaseURL+"/v1/images/"+url.PathEscape(id)+"/transformed?"+q, nil)
+	if err != nil {
+		return nil, err
+	}
+	body, err := c.do(req)
+	if err != nil {
+		return nil, err
+	}
+	return jpegc.Decode(bytes.NewReader(body))
+}
+
+// FetchTransformedPixels asks the PSP to apply the spec and return lossless
+// transformed pixels (the high-fidelity delivery path).
+func (c *Client) FetchTransformedPixels(id string, spec transform.Spec) (*imgplane.Image, error) {
+	q, err := specQuery(spec)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequest(http.MethodGet,
+		c.BaseURL+"/v1/images/"+url.PathEscape(id)+"/pixels?"+q, nil)
+	if err != nil {
+		return nil, err
+	}
+	body, err := c.do(req)
+	if err != nil {
+		return nil, err
+	}
+	return imgplane.DecodeBinary(bytes.NewReader(body))
+}

@@ -1,0 +1,232 @@
+// Package psp simulates the Photo Sharing Platform of the paper's system
+// architecture (Fig. 5): an HTTP service that stores perturbed images plus
+// their public parameters and performs ordinary image transformations on
+// request — with no knowledge of PuPPIeS whatsoever. The PSP only ever
+// touches (a) opaque JPEG bytes, (b) opaque parameter JSON, and (c) the
+// generic transform library; this separation is the paper's semi-honest
+// threat model made concrete.
+package psp
+
+import (
+	"bytes"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"puppies/internal/jpegc"
+	"puppies/internal/transform"
+)
+
+// maxUploadBytes bounds request bodies.
+const maxUploadBytes = 64 << 20
+
+type entry struct {
+	jpeg   []byte
+	params json.RawMessage
+}
+
+// Server is the in-memory PSP.
+type Server struct {
+	mu    sync.RWMutex
+	store map[string]*entry
+}
+
+// NewServer returns an empty PSP.
+func NewServer() *Server {
+	return &Server{store: make(map[string]*entry)}
+}
+
+// UploadRequest is the POST /v1/images body.
+type UploadRequest struct {
+	// Image is the perturbed JPEG bytes (base64 in JSON).
+	Image []byte `json:"image"`
+	// Params is the opaque public-parameter document.
+	Params json.RawMessage `json:"params"`
+}
+
+// UploadResponse carries the assigned image ID.
+type UploadResponse struct {
+	ID string `json:"id"`
+}
+
+// Handler returns the HTTP API:
+//
+//	POST /v1/images                      upload {image, params} -> {id}
+//	GET  /v1/images/{id}                 stored JPEG bytes
+//	GET  /v1/images/{id}/params          public parameters
+//	GET  /v1/images/{id}/transformed?spec=J  transformed, re-encoded JPEG
+//	GET  /v1/images/{id}/pixels?spec=J   transformed pixels, lossless PLNR
+//
+// where J is a URL-encoded transform.Spec JSON document.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/images", s.handleUpload)
+	mux.HandleFunc("GET /v1/images/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/images/{id}/params", s.handleParams)
+	mux.HandleFunc("GET /v1/images/{id}/transformed", s.handleTransformed)
+	mux.HandleFunc("GET /v1/images/{id}/pixels", s.handlePixels)
+	return mux
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	http.Error(w, fmt.Sprintf(format, args...), code)
+}
+
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxUploadBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	var req UploadRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	if len(req.Image) == 0 {
+		httpError(w, http.StatusBadRequest, "empty image")
+		return
+	}
+	// The PSP validates that the upload is a decodable JPEG (any PSP
+	// would), but learns nothing else from it.
+	if _, err := jpegc.Decode(bytes.NewReader(req.Image)); err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "not a decodable baseline JPEG: %v", err)
+		return
+	}
+	var idBytes [12]byte
+	if _, err := rand.Read(idBytes[:]); err != nil {
+		httpError(w, http.StatusInternalServerError, "id generation: %v", err)
+		return
+	}
+	id := hex.EncodeToString(idBytes[:])
+	s.mu.Lock()
+	s.store[id] = &entry{jpeg: req.Image, params: req.Params}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(UploadResponse{ID: id}); err != nil {
+		return
+	}
+}
+
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *entry {
+	id := r.PathValue("id")
+	s.mu.RLock()
+	e := s.store[id]
+	s.mu.RUnlock()
+	if e == nil {
+		httpError(w, http.StatusNotFound, "image %q not found", id)
+		return nil
+	}
+	return e
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	e := s.lookup(w, r)
+	if e == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "image/jpeg")
+	if _, err := w.Write(e.jpeg); err != nil {
+		return
+	}
+}
+
+func (s *Server) handleParams(w http.ResponseWriter, r *http.Request) {
+	e := s.lookup(w, r)
+	if e == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if len(e.params) == 0 {
+		if _, err := w.Write([]byte("null")); err != nil {
+			return
+		}
+		return
+	}
+	if _, err := w.Write(e.params); err != nil {
+		return
+	}
+}
+
+func parseSpec(r *http.Request) (transform.Spec, error) {
+	raw := r.URL.Query().Get("spec")
+	if strings.TrimSpace(raw) == "" {
+		return transform.Spec{Op: transform.OpNone}, nil
+	}
+	var spec transform.Spec
+	if err := json.Unmarshal([]byte(raw), &spec); err != nil {
+		return transform.Spec{}, err
+	}
+	return spec, nil
+}
+
+func (s *Server) handleTransformed(w http.ResponseWriter, r *http.Request) {
+	e := s.lookup(w, r)
+	if e == nil {
+		return
+	}
+	spec, err := parseSpec(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad spec: %v", err)
+		return
+	}
+	img, err := jpegc.Decode(bytes.NewReader(e.jpeg))
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "stored image corrupt: %v", err)
+		return
+	}
+	out, err := transform.Apply(img, spec)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "transform: %v", err)
+		return
+	}
+	var buf bytes.Buffer
+	if err := out.Encode(&buf, jpegc.EncodeOptions{Tables: jpegc.TablesOptimized}); err != nil {
+		httpError(w, http.StatusInternalServerError, "encode: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "image/jpeg")
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		return
+	}
+}
+
+func (s *Server) handlePixels(w http.ResponseWriter, r *http.Request) {
+	e := s.lookup(w, r)
+	if e == nil {
+		return
+	}
+	spec, err := parseSpec(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad spec: %v", err)
+		return
+	}
+	if spec.Op == transform.OpCompress {
+		httpError(w, http.StatusBadRequest, "compression has no pixel form; use /transformed")
+		return
+	}
+	img, err := jpegc.Decode(bytes.NewReader(e.jpeg))
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "stored image corrupt: %v", err)
+		return
+	}
+	pix, err := img.ToPlanar()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "decode: %v", err)
+		return
+	}
+	out, err := transform.ApplyPlanar(pix, spec)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "transform: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if err := out.EncodeBinary(w); err != nil {
+		return
+	}
+}

@@ -1,0 +1,163 @@
+// Package retrieval is a small content-based image search engine used to
+// reproduce the paper's Fig. 2 usability argument: a partially perturbed
+// image still retrieves (nearly) the same results as the original, because
+// the unprotected background dominates its visual signature, while a fully
+// perturbed image does not. It stands in for the paper's Google Image
+// Search probe (DESIGN.md §5).
+//
+// The engine uses a classical descriptor: a spatially partitioned YUV color
+// histogram with cosine similarity — deliberately simple, deterministic,
+// and in the same family as the global-feature stages of early web-scale
+// image search.
+package retrieval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"puppies/internal/imgplane"
+)
+
+// Descriptor dimensions: a 2x2 spatial grid, each cell holding an
+// 8x4x4-bin YUV histogram.
+const (
+	gridSide = 2
+	yBins    = 8
+	uBins    = 4
+	vBins    = 4
+	cellDims = yBins * uBins * vBins
+	// DescriptorLen is the full descriptor length.
+	DescriptorLen = gridSide * gridSide * cellDims
+)
+
+// Descriptor is an L2-normalized visual signature.
+type Descriptor [DescriptorLen]float32
+
+// Describe computes the descriptor of an image (any size, 1 or 3 channels;
+// monochrome images use neutral chroma).
+func Describe(img *imgplane.Image) (Descriptor, error) {
+	var d Descriptor
+	if err := img.Validate(); err != nil {
+		return d, err
+	}
+	w, h := img.W(), img.H()
+	for py := 0; py < h; py++ {
+		cy := py * gridSide / h
+		for px := 0; px < w; px++ {
+			cx := px * gridSide / w
+			i := py*w + px
+			y := img.Planes[0].Pix[i]
+			u, v := float32(128), float32(128)
+			if img.Channels() == 3 {
+				u = img.Planes[1].Pix[i]
+				v = img.Planes[2].Pix[i]
+			}
+			bin := binOf(y, yBins)*uBins*vBins + binOf(u, uBins)*vBins + binOf(v, vBins)
+			d[(cy*gridSide+cx)*cellDims+bin]++
+		}
+	}
+	// L2 normalization makes cosine similarity a dot product.
+	var norm float64
+	for _, v := range d {
+		norm += float64(v) * float64(v)
+	}
+	norm = math.Sqrt(norm)
+	if norm > 0 {
+		for i := range d {
+			d[i] = float32(float64(d[i]) / norm)
+		}
+	}
+	return d, nil
+}
+
+func binOf(v float32, bins int) int {
+	b := int(v * float32(bins) / 256)
+	if b < 0 {
+		return 0
+	}
+	if b >= bins {
+		return bins - 1
+	}
+	return b
+}
+
+// Similarity is the cosine similarity of two descriptors, in [-1, 1].
+func Similarity(a, b *Descriptor) float64 {
+	var dot float64
+	for i := range a {
+		dot += float64(a[i]) * float64(b[i])
+	}
+	return dot
+}
+
+// Index is an in-memory image index.
+type Index struct {
+	ids   []string
+	descs []Descriptor
+}
+
+// NewIndex returns an empty index.
+func NewIndex() *Index { return &Index{} }
+
+// Add registers an image under the given id.
+func (ix *Index) Add(id string, img *imgplane.Image) error {
+	if id == "" {
+		return fmt.Errorf("retrieval: empty id")
+	}
+	d, err := Describe(img)
+	if err != nil {
+		return err
+	}
+	ix.ids = append(ix.ids, id)
+	ix.descs = append(ix.descs, d)
+	return nil
+}
+
+// Len returns the number of indexed images.
+func (ix *Index) Len() int { return len(ix.ids) }
+
+// Result is one retrieval hit.
+type Result struct {
+	ID    string
+	Score float64
+}
+
+// Query returns the top-k most similar indexed images.
+func (ix *Index) Query(img *imgplane.Image, k int) ([]Result, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("retrieval: k must be positive")
+	}
+	if ix.Len() == 0 {
+		return nil, fmt.Errorf("retrieval: empty index")
+	}
+	q, err := Describe(img)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]Result, ix.Len())
+	for i := range ix.descs {
+		results[i] = Result{ID: ix.ids[i], Score: Similarity(&q, &ix.descs[i])}
+	}
+	sort.SliceStable(results, func(a, b int) bool { return results[a].Score > results[b].Score })
+	if k > len(results) {
+		k = len(results)
+	}
+	return results[:k], nil
+}
+
+// Overlap returns |a ∩ b| for two result lists (by ID) — the paper's
+// "top-10 search results are highly overlapped" measure.
+func Overlap(a, b []Result) int {
+	set := make(map[string]bool, len(a))
+	for _, r := range a {
+		set[r.ID] = true
+	}
+	n := 0
+	for _, r := range b {
+		if set[r.ID] {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,162 @@
+package retrieval
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"puppies/internal/dataset"
+	"puppies/internal/imgplane"
+)
+
+func corpus(t *testing.T, n int) []*dataset.Item {
+	t.Helper()
+	g, err := dataset.NewGenerator(dataset.PASCAL, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.Batch(n)
+}
+
+func TestDescriptorNormalized(t *testing.T) {
+	items := corpus(t, 2)
+	d, err := Describe(items[0].Image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var norm float64
+	for _, v := range d {
+		norm += float64(v) * float64(v)
+	}
+	if math.Abs(norm-1) > 1e-5 {
+		t.Errorf("descriptor norm %v, want 1", norm)
+	}
+	if s := Similarity(&d, &d); math.Abs(s-1) > 1e-5 {
+		t.Errorf("self similarity %v", s)
+	}
+}
+
+func TestQueryFindsSelfFirst(t *testing.T) {
+	items := corpus(t, 12)
+	ix := NewIndex()
+	for _, it := range items {
+		if err := ix.Add(it.Name, it.Image); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, it := range items[:4] {
+		res, err := ix.Query(it.Image, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res[0].ID != it.Name {
+			t.Errorf("query %s: top hit %s", it.Name, res[0].ID)
+		}
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	ix := NewIndex()
+	img, _ := imgplane.New(8, 8, 3)
+	if _, err := ix.Query(img, 5); err == nil {
+		t.Error("empty index query succeeded")
+	}
+	if err := ix.Add("", img); err == nil {
+		t.Error("empty id accepted")
+	}
+	if err := ix.Add("a", img); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Query(img, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	res, err := ix.Query(img, 10)
+	if err != nil || len(res) != 1 {
+		t.Errorf("k>len: %v, %v", res, err)
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	a := []Result{{ID: "1"}, {ID: "2"}, {ID: "3"}}
+	b := []Result{{ID: "3"}, {ID: "4"}, {ID: "1"}}
+	if got := Overlap(a, b); got != 2 {
+		t.Errorf("overlap = %d", got)
+	}
+	if got := Overlap(nil, b); got != 0 {
+		t.Errorf("nil overlap = %d", got)
+	}
+}
+
+func TestDistinctImagesDissimilar(t *testing.T) {
+	items := corpus(t, 6)
+	var pairsBelow, total int
+	for i := 0; i < len(items); i++ {
+		di, err := Describe(items[i].Image)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := i + 1; j < len(items); j++ {
+			dj, err := Describe(items[j].Image)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total++
+			if Similarity(&di, &dj) < 0.999 {
+				pairsBelow++
+			}
+		}
+	}
+	if pairsBelow < total {
+		t.Errorf("%d/%d image pairs are indistinguishable", total-pairsBelow, total)
+	}
+}
+
+func TestMonochromeDescribe(t *testing.T) {
+	img, err := imgplane.New(32, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range img.Planes[0].Pix {
+		img.Planes[0].Pix[i] = float32(i % 256)
+	}
+	if _, err := Describe(img); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDescribe(b *testing.B) {
+	g, err := dataset.NewGenerator(dataset.PASCAL, 17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	img := g.Item(0).Image
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Describe(img); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQuery(b *testing.B) {
+	g, err := dataset.NewGenerator(dataset.PASCAL, 17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix := NewIndex()
+	for i := 0; i < 20; i++ {
+		item := g.Item(i)
+		if err := ix.Add(fmt.Sprintf("img%d", i), item.Image); err != nil {
+			b.Fatal(err)
+		}
+	}
+	q := g.Item(0).Image
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.Query(q, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,311 @@
+package roi
+
+import (
+	"math"
+	"sort"
+
+	"puppies/internal/core"
+	"puppies/internal/imgplane"
+)
+
+// Detector runs the three region detectors. The zero value is not usable;
+// call NewDetector.
+type Detector struct {
+	// MinFaceArea is the minimum face component area in pixels (at full
+	// resolution) before a candidate is kept.
+	MinFaceArea int
+	// TopObjects caps the number of object detections returned ("top-N
+	// general objects", paper §IV-A).
+	TopObjects int
+}
+
+// NewDetector returns a detector with the defaults used in the experiments.
+func NewDetector() *Detector {
+	return &Detector{MinFaceArea: 400, TopObjects: 3}
+}
+
+// DetectAll runs the face, text and object detectors and returns their raw
+// (possibly overlapping) hits.
+func (d *Detector) DetectAll(img *imgplane.Image) []Detection {
+	var out []Detection
+	out = append(out, d.DetectFaces(img)...)
+	out = append(out, d.DetectText(img)...)
+	out = append(out, d.DetectObjects(img)...)
+	return out
+}
+
+// Recommend runs all detectors and returns disjoint, block-aligned
+// rectangles ready for encryption — the recommendation shown to the image
+// owner (paper §IV-A, Fig. 12).
+func (d *Detector) Recommend(img *imgplane.Image) []core.ROI {
+	dets := d.DetectAll(img)
+	rects := make([]core.ROI, len(dets))
+	for i, det := range dets {
+		rects[i] = det.Rect
+	}
+	return AlignAll(SplitDisjoint(rects), img.W(), img.H())
+}
+
+// component is a connected region of a boolean mask.
+type component struct {
+	minX, minY, maxX, maxY int
+	area                   int
+}
+
+// components labels 8-connected regions of mask (w x h, row-major).
+func components(mask []bool, w, h int) []component {
+	labels := make([]int32, len(mask))
+	for i := range labels {
+		labels[i] = -1
+	}
+	var comps []component
+	var stack []int
+	for start := range mask {
+		if !mask[start] || labels[start] >= 0 {
+			continue
+		}
+		id := int32(len(comps))
+		comp := component{minX: w, minY: h, maxX: -1, maxY: -1}
+		stack = append(stack[:0], start)
+		labels[start] = id
+		for len(stack) > 0 {
+			idx := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			x, y := idx%w, idx/w
+			comp.area++
+			if x < comp.minX {
+				comp.minX = x
+			}
+			if y < comp.minY {
+				comp.minY = y
+			}
+			if x > comp.maxX {
+				comp.maxX = x
+			}
+			if y > comp.maxY {
+				comp.maxY = y
+			}
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					nx, ny := x+dx, y+dy
+					if nx < 0 || ny < 0 || nx >= w || ny >= h {
+						continue
+					}
+					ni := ny*w + nx
+					if mask[ni] && labels[ni] < 0 {
+						labels[ni] = id
+						stack = append(stack, ni)
+					}
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// DetectFaces finds skin-toned elliptical regions containing dark interior
+// features (eyes) — a classical color-and-shape face detector.
+func (d *Detector) DetectFaces(img *imgplane.Image) []Detection {
+	if img.Channels() != 3 {
+		return nil
+	}
+	const ds = 4 // downsample factor
+	w, h := img.W()/ds, img.H()/ds
+	if w < 4 || h < 4 {
+		return nil
+	}
+	skin := make([]bool, w*h)
+	yPlane := img.Planes[0]
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := (y * ds * img.W()) + x*ds
+			r, g, b := imgplane.YUVToRGB(img.Planes[0].Pix[i], img.Planes[1].Pix[i], img.Planes[2].Pix[i])
+			if r > 95 && g > 40 && b > 20 && r > g && r > b &&
+				r-minf(g, b) > 15 && absf(r-g) > 15 {
+				skin[y*w+x] = true
+			}
+		}
+	}
+	var out []Detection
+	for _, c := range components(skin, w, h) {
+		area := c.area * ds * ds
+		if area < d.MinFaceArea {
+			continue
+		}
+		bw, bh := c.maxX-c.minX+1, c.maxY-c.minY+1
+		aspect := float64(bw) / float64(bh)
+		if aspect < 0.4 || aspect > 1.6 {
+			continue
+		}
+		fill := float64(c.area) / float64(bw*bh)
+		if fill < 0.4 {
+			continue
+		}
+		// Eye evidence: dark pixels in the upper half of the candidate box.
+		dark := 0
+		for y := c.minY; y <= c.minY+bh/2; y++ {
+			for x := c.minX; x <= c.maxX; x++ {
+				if yPlane.At(x*ds, y*ds) < 80 {
+					dark++
+				}
+			}
+		}
+		if dark < bw*bh/40 {
+			continue
+		}
+		out = append(out, Detection{
+			Class: ClassFace,
+			Rect: core.ROI{
+				X: c.minX * ds, Y: c.minY * ds,
+				W: bw * ds, H: bh * ds,
+			},
+			Score: float64(area),
+		})
+	}
+	return out
+}
+
+// DetectText finds horizontally elongated regions of dense high-contrast
+// edges — the classical stroke/edge-density text locator standing in for
+// OCR-based detection.
+func (d *Detector) DetectText(img *imgplane.Image) []Detection {
+	y := img.Planes[0]
+	const cell = 8
+	cw, ch := y.W/cell, y.H/cell
+	if cw < 2 || ch < 2 {
+		return nil
+	}
+	dense := make([]bool, cw*ch)
+	for cy := 0; cy < ch; cy++ {
+		for cx := 0; cx < cw; cx++ {
+			edges := 0
+			lo, hi := float32(255), float32(0)
+			for py := 0; py < cell; py++ {
+				for px := 0; px < cell; px++ {
+					xx, yy := cx*cell+px, cy*cell+py
+					v := y.At(xx, yy)
+					gx := y.At(xx+1, yy) - v
+					gy := y.At(xx, yy+1) - v
+					if absf(gx)+absf(gy) > 70 {
+						edges++
+					}
+					if v < lo {
+						lo = v
+					}
+					if v > hi {
+						hi = v
+					}
+				}
+			}
+			// Text cells have many sharp edges AND full dark-light swing.
+			if edges >= cell*cell/4 && hi-lo > 110 {
+				dense[cy*cw+cx] = true
+			}
+		}
+	}
+	var out []Detection
+	for _, c := range components(dense, cw, ch) {
+		bw, bh := c.maxX-c.minX+1, c.maxY-c.minY+1
+		if c.area < 3 || bw < 2 {
+			continue
+		}
+		if float64(bw)/float64(bh) < 1.2 {
+			continue
+		}
+		out = append(out, Detection{
+			Class: ClassText,
+			Rect: core.ROI{
+				X: c.minX * cell, Y: c.minY * cell,
+				W: bw * cell, H: bh * cell,
+			},
+			Score: float64(c.area),
+		})
+	}
+	return out
+}
+
+// DetectObjects finds the top-N globally salient color blobs (regions whose
+// color deviates strongly from the image mean) — a center-surround
+// saliency proxy for generic objectness.
+func (d *Detector) DetectObjects(img *imgplane.Image) []Detection {
+	const ds = 8
+	w, h := img.W()/ds, img.H()/ds
+	if w < 4 || h < 4 {
+		return nil
+	}
+	n := w * h
+	type vec3 struct{ a, b, c float64 }
+	px := make([]vec3, n)
+	var mean vec3
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := y*ds*img.W() + x*ds
+			v := vec3{float64(img.Planes[0].Pix[i]), 128, 128}
+			if img.Channels() == 3 {
+				v.b = float64(img.Planes[1].Pix[i])
+				v.c = float64(img.Planes[2].Pix[i])
+			}
+			px[y*w+x] = v
+			mean.a += v.a
+			mean.b += v.b
+			mean.c += v.c
+		}
+	}
+	mean.a /= float64(n)
+	mean.b /= float64(n)
+	mean.c /= float64(n)
+
+	sal := make([]float64, n)
+	var salMean, salStd float64
+	for i, v := range px {
+		da, db, dc := v.a-mean.a, v.b-mean.b, v.c-mean.c
+		sal[i] = math.Sqrt(da*da + db*db + dc*dc)
+		salMean += sal[i]
+	}
+	salMean /= float64(n)
+	for _, s := range sal {
+		salStd += (s - salMean) * (s - salMean)
+	}
+	salStd = math.Sqrt(salStd / float64(n))
+
+	mask := make([]bool, n)
+	thr := salMean + salStd
+	for i, s := range sal {
+		mask[i] = s > thr
+	}
+	comps := components(mask, w, h)
+	sort.Slice(comps, func(i, j int) bool { return comps[i].area > comps[j].area })
+	var out []Detection
+	for i, c := range comps {
+		if i >= d.TopObjects {
+			break
+		}
+		if c.area < 6 {
+			continue
+		}
+		out = append(out, Detection{
+			Class: ClassObject,
+			Rect: core.ROI{
+				X: c.minX * ds, Y: c.minY * ds,
+				W: (c.maxX - c.minX + 1) * ds, H: (c.maxY - c.minY + 1) * ds,
+			},
+			Score: float64(c.area),
+		})
+	}
+	return out
+}
+
+func minf(a, b float32) float32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func absf(v float32) float32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

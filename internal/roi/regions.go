@@ -1,0 +1,179 @@
+// Package roi implements sender-side region-of-interest detection and
+// recommendation (paper §IV-A).
+//
+// The paper runs three detectors — face detection, OCR text detection, and
+// generic object detection — merges their overlapping hits, and splits the
+// union into disjoint rectangles so each can be encrypted with its own
+// private matrix. The original system used OpenCV Haar cascades, Tesseract
+// and the objectness measure of Alexe et al.; those depend on shipped model
+// weights, so this package substitutes classical heuristics with the same
+// contract (DESIGN.md §5): a skin-tone/shape face detector, an
+// edge-density text detector, and a color-contrast saliency object
+// detector, each effective on the synthetic corpora and — like any
+// pixel-pattern detector — defeated by PuPPIeS perturbation, which is the
+// property §VI-B.3 measures.
+package roi
+
+import (
+	"sort"
+
+	"puppies/internal/core"
+)
+
+// Class labels a detection.
+type Class string
+
+// Detection classes.
+const (
+	ClassFace   Class = "face"
+	ClassText   Class = "text"
+	ClassObject Class = "object"
+)
+
+// Detection is one detector hit.
+type Detection struct {
+	Class Class
+	Rect  core.ROI
+	// Score orders detections within a class (larger = stronger).
+	Score float64
+}
+
+// SplitDisjoint converts an arbitrary set of (possibly overlapping)
+// rectangles into disjoint rectangles exactly covering their union — the
+// paper's region-splitting step, which lets owners secure each part with a
+// different private matrix. The output is deterministic: maximal-height
+// runs over the compressed coordinate grid, scanned left-to-right,
+// top-to-bottom.
+func SplitDisjoint(rects []core.ROI) []core.ROI {
+	rects = nonEmpty(rects)
+	if len(rects) <= 1 {
+		return rects
+	}
+	xs := boundaries(rects, func(r core.ROI) (int, int) { return r.X, r.X + r.W })
+	ys := boundaries(rects, func(r core.ROI) (int, int) { return r.Y, r.Y + r.H })
+
+	nx, ny := len(xs)-1, len(ys)-1
+	covered := make([][]bool, ny)
+	for j := range covered {
+		covered[j] = make([]bool, nx)
+		for i := range covered[j] {
+			cx, cy := xs[i], ys[j]
+			for _, r := range rects {
+				if cx >= r.X && cx < r.X+r.W && cy >= r.Y && cy < r.Y+r.H {
+					covered[j][i] = true
+					break
+				}
+			}
+		}
+	}
+
+	used := make([][]bool, ny)
+	for j := range used {
+		used[j] = make([]bool, nx)
+	}
+	var out []core.ROI
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			if !covered[j][i] || used[j][i] {
+				continue
+			}
+			// Extend right.
+			i2 := i
+			for i2+1 < nx && covered[j][i2+1] && !used[j][i2+1] {
+				i2++
+			}
+			// Extend down while the whole row span is available.
+			j2 := j
+			for j2+1 < ny {
+				ok := true
+				for k := i; k <= i2; k++ {
+					if !covered[j2+1][k] || used[j2+1][k] {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					break
+				}
+				j2++
+			}
+			for jj := j; jj <= j2; jj++ {
+				for ii := i; ii <= i2; ii++ {
+					used[jj][ii] = true
+				}
+			}
+			out = append(out, core.ROI{X: xs[i], Y: ys[j], W: xs[i2+1] - xs[i], H: ys[j2+1] - ys[j]})
+		}
+	}
+	return out
+}
+
+func nonEmpty(rects []core.ROI) []core.ROI {
+	out := rects[:0:0]
+	for _, r := range rects {
+		if r.W > 0 && r.H > 0 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func boundaries(rects []core.ROI, f func(core.ROI) (int, int)) []int {
+	set := map[int]bool{}
+	for _, r := range rects {
+		a, b := f(r)
+		set[a] = true
+		set[b] = true
+	}
+	out := make([]int, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// AlignAll expands every rectangle to the 8-pixel block grid of a wxh image
+// and drops rectangles that align to nothing. Overlaps created by the
+// expansion are re-split.
+func AlignAll(rects []core.ROI, w, h int) []core.ROI {
+	aligned := make([]core.ROI, 0, len(rects))
+	for _, r := range rects {
+		a, err := r.AlignToBlocks(w, h)
+		if err != nil {
+			continue
+		}
+		aligned = append(aligned, a)
+	}
+	// Alignment can introduce overlaps between previously disjoint rects.
+	for i := range aligned {
+		for j := i + 1; j < len(aligned); j++ {
+			if aligned[i].Overlaps(aligned[j]) {
+				return SplitDisjoint(aligned)
+			}
+		}
+	}
+	return aligned
+}
+
+// Union-area of rectangles, for tests and coverage accounting.
+func unionArea(rects []core.ROI) int {
+	if len(rects) == 0 {
+		return 0
+	}
+	xs := boundaries(rects, func(r core.ROI) (int, int) { return r.X, r.X + r.W })
+	ys := boundaries(rects, func(r core.ROI) (int, int) { return r.Y, r.Y + r.H })
+	area := 0
+	for j := 0; j+1 < len(ys); j++ {
+		for i := 0; i+1 < len(xs); i++ {
+			cx, cy := xs[i], ys[j]
+			for _, r := range rects {
+				if cx >= r.X && cx < r.X+r.W && cy >= r.Y && cy < r.Y+r.H {
+					area += (xs[i+1] - xs[i]) * (ys[j+1] - ys[j])
+					break
+				}
+			}
+		}
+	}
+	return area
+}

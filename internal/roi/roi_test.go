@@ -1,0 +1,222 @@
+package roi
+
+import (
+	"math/rand"
+	"testing"
+
+	"puppies/internal/core"
+	"puppies/internal/dataset"
+)
+
+func TestSplitDisjointBasic(t *testing.T) {
+	in := []core.ROI{
+		{X: 0, Y: 0, W: 10, H: 10},
+		{X: 5, Y: 5, W: 10, H: 10},
+	}
+	out := SplitDisjoint(in)
+	assertDisjointCover(t, in, out)
+}
+
+func TestSplitDisjointPreservesDisjointInput(t *testing.T) {
+	in := []core.ROI{
+		{X: 0, Y: 0, W: 8, H: 8},
+		{X: 16, Y: 16, W: 8, H: 8},
+	}
+	out := SplitDisjoint(in)
+	if len(out) != 2 {
+		t.Fatalf("disjoint input split into %d parts", len(out))
+	}
+	assertDisjointCover(t, in, out)
+}
+
+func TestSplitDisjointRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(6)
+		in := make([]core.ROI, n)
+		for i := range in {
+			in[i] = core.ROI{
+				X: rng.Intn(80), Y: rng.Intn(80),
+				W: 1 + rng.Intn(40), H: 1 + rng.Intn(40),
+			}
+		}
+		out := SplitDisjoint(in)
+		assertDisjointCover(t, in, out)
+	}
+}
+
+func TestSplitDisjointEdgeCases(t *testing.T) {
+	if got := SplitDisjoint(nil); len(got) != 0 {
+		t.Errorf("nil input: %v", got)
+	}
+	if got := SplitDisjoint([]core.ROI{{X: 1, Y: 1, W: 0, H: 5}}); len(got) != 0 {
+		t.Errorf("empty rect kept: %v", got)
+	}
+	single := []core.ROI{{X: 3, Y: 4, W: 5, H: 6}}
+	if got := SplitDisjoint(single); len(got) != 1 || got[0] != single[0] {
+		t.Errorf("single rect altered: %v", got)
+	}
+	// Identical duplicates collapse to one region.
+	dup := []core.ROI{{X: 0, Y: 0, W: 4, H: 4}, {X: 0, Y: 0, W: 4, H: 4}}
+	out := SplitDisjoint(dup)
+	if unionArea(out) != 16 {
+		t.Errorf("duplicate rects: union area %d", unionArea(out))
+	}
+	assertDisjointCover(t, dup, out)
+}
+
+func assertDisjointCover(t *testing.T, in, out []core.ROI) {
+	t.Helper()
+	for i := range out {
+		if out[i].W <= 0 || out[i].H <= 0 {
+			t.Fatalf("empty output rect %+v", out[i])
+		}
+		for j := i + 1; j < len(out); j++ {
+			if out[i].Overlaps(out[j]) {
+				t.Fatalf("output rects %+v and %+v overlap", out[i], out[j])
+			}
+		}
+	}
+	if got, want := unionArea(out), unionArea(in); got != want {
+		t.Fatalf("output covers %d pixels, union is %d", got, want)
+	}
+}
+
+func TestAlignAllProducesAlignedDisjoint(t *testing.T) {
+	in := []core.ROI{
+		{X: 3, Y: 5, W: 13, H: 9},
+		{X: 14, Y: 10, W: 20, H: 12},
+	}
+	out := AlignAll(in, 128, 128)
+	if len(out) == 0 {
+		t.Fatal("no aligned regions")
+	}
+	for i, r := range out {
+		if err := r.Validate(128, 128); err != nil {
+			t.Errorf("region %d: %v", i, err)
+		}
+		for j := i + 1; j < len(out); j++ {
+			if r.Overlaps(out[j]) {
+				t.Errorf("aligned regions %d and %d overlap", i, j)
+			}
+		}
+	}
+}
+
+func iou(a core.ROI, x, y, w, h int) float64 {
+	b := core.ROI{X: x, Y: y, W: w, H: h}
+	inter, ok := a.Intersect(b)
+	if !ok {
+		return 0
+	}
+	ia := inter.Area()
+	return float64(ia) / float64(a.Area()+b.Area()-ia)
+}
+
+func TestDetectFacesOnPortraits(t *testing.T) {
+	g, err := dataset.NewGenerator(dataset.FERET, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDetector()
+	hits := 0
+	const n = 10
+	for i := 0; i < n; i++ {
+		item := g.Item(i)
+		dets := d.DetectFaces(item.Image)
+		for _, a := range item.Annotations {
+			if a.Class != dataset.ClassFace {
+				continue
+			}
+			for _, det := range dets {
+				if iou(det.Rect, a.X, a.Y, a.W, a.H) > 0.3 {
+					hits++
+					break
+				}
+			}
+		}
+	}
+	if hits < n*6/10 {
+		t.Errorf("face detector found %d/%d portraits; too weak for the experiments", hits, n)
+	}
+}
+
+func TestDetectTextOnPascal(t *testing.T) {
+	g, err := dataset.NewGenerator(dataset.PASCAL, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDetector()
+	textAnns, hits := 0, 0
+	for i := 0; i < 10; i++ {
+		item := g.Item(i)
+		dets := d.DetectText(item.Image)
+		for _, a := range item.Annotations {
+			if a.Class != dataset.ClassText {
+				continue
+			}
+			textAnns++
+			for _, det := range dets {
+				if iou(det.Rect, a.X, a.Y, a.W, a.H) > 0.2 {
+					hits++
+					break
+				}
+			}
+		}
+	}
+	if textAnns == 0 {
+		t.Fatal("no text annotations generated")
+	}
+	if hits < textAnns/2 {
+		t.Errorf("text detector found %d/%d regions", hits, textAnns)
+	}
+}
+
+func TestDetectObjectsFindsSomething(t *testing.T) {
+	g, err := dataset.NewGenerator(dataset.PASCAL, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDetector()
+	found := 0
+	for i := 0; i < 5; i++ {
+		if len(d.DetectObjects(g.Item(i).Image)) > 0 {
+			found++
+		}
+	}
+	if found < 3 {
+		t.Errorf("object detector fired on %d/5 images", found)
+	}
+}
+
+func TestRecommendProducesEncryptableRegions(t *testing.T) {
+	g, err := dataset.NewGenerator(dataset.PASCAL, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	item := g.Item(0)
+	recs := NewDetector().Recommend(item.Image)
+	if len(recs) == 0 {
+		t.Fatal("no recommendations")
+	}
+	for i, r := range recs {
+		if err := r.Validate(item.Image.W(), item.Image.H()); err != nil {
+			t.Errorf("recommendation %d not encryptable: %v", i, err)
+		}
+		for j := i + 1; j < len(recs); j++ {
+			if r.Overlaps(recs[j]) {
+				t.Errorf("recommendations %d and %d overlap", i, j)
+			}
+		}
+	}
+}
+
+func TestDetectorsOnTinyImages(t *testing.T) {
+	g, _ := dataset.NewGenerator(dataset.Profile{
+		Name: "tiny", W: 64, H: 64, SampleCount: 1, FullCount: 1, Kind: dataset.KindObjects,
+	}, 1)
+	item := g.Item(0)
+	d := NewDetector()
+	// Must not panic on small inputs.
+	_ = d.DetectAll(item.Image)
+}

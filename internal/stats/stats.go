@@ -1,0 +1,163 @@
+// Package stats provides the descriptive statistics and distribution tools
+// the experiment harness reports: every table in the paper lists
+// mean/median/std/min/max, and the attack figures plot CDFs.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary holds the five-number description the paper's tables use.
+type Summary struct {
+	N      int
+	Mean   float64
+	Median float64
+	Std    float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes a Summary of the samples. It returns an error for an
+// empty sample set.
+func Summarize(samples []float64) (Summary, error) {
+	if len(samples) == 0 {
+		return Summary{}, fmt.Errorf("stats: no samples")
+	}
+	s := Summary{N: len(samples), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, v := range samples {
+		sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = sum / float64(len(samples))
+	var ss float64
+	for _, v := range samples {
+		d := v - s.Mean
+		ss += d * d
+	}
+	if len(samples) > 1 {
+		s.Std = math.Sqrt(ss / float64(len(samples)-1))
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s, nil
+}
+
+// String renders the summary in table-row form.
+func (s Summary) String() string {
+	return fmt.Sprintf("mean=%.3f median=%.3f std=%.3f min=%.3f max=%.3f (n=%d)",
+		s.Mean, s.Median, s.Std, s.Min, s.Max, s.N)
+}
+
+// CDFPoint is one point of an empirical distribution function.
+type CDFPoint struct {
+	X float64
+	P float64
+}
+
+// CDF computes the empirical CDF of the samples at up to maxPoints evenly
+// spaced sample quantiles (all points if maxPoints <= 0 or exceeds N).
+func CDF(samples []float64, maxPoints int) ([]CDFPoint, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("stats: no samples")
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	if maxPoints <= 0 || maxPoints > n {
+		maxPoints = n
+	}
+	out := make([]CDFPoint, 0, maxPoints)
+	for i := 0; i < maxPoints; i++ {
+		idx := (i + 1) * n / maxPoints
+		out = append(out, CDFPoint{X: sorted[idx-1], P: float64(idx) / float64(n)})
+	}
+	return out, nil
+}
+
+// Fraction returns the fraction of samples satisfying the predicate.
+func Fraction(samples []float64, pred func(float64) bool) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range samples {
+		if pred(v) {
+			n++
+		}
+	}
+	return float64(n) / float64(len(samples))
+}
+
+// Table is a simple fixed-column text table for experiment output.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends one row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}

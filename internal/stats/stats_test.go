@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeKnownValues(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 || s.Mean != 3 || s.Median != 3 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("summary %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("std = %v", s.Std)
+	}
+}
+
+func TestSummarizeEvenCountMedian(t *testing.T) {
+	s, err := Summarize([]float64{4, 1, 3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Median != 2.5 {
+		t.Errorf("median = %v, want 2.5", s.Median)
+	}
+}
+
+func TestSummarizeSingleAndEmpty(t *testing.T) {
+	s, err := Summarize([]float64{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Mean != 7 || s.Std != 0 || s.Median != 7 {
+		t.Errorf("single-sample summary %+v", s)
+	}
+	if _, err := Summarize(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestSummarizeProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		samples := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e12 {
+				samples = append(samples, v)
+			}
+		}
+		if len(samples) == 0 {
+			return true
+		}
+		s, err := Summarize(samples)
+		if err != nil {
+			return false
+		}
+		return s.Min <= s.Median && s.Median <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max && s.Std >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	pts, err := CDF([]float64{3, 1, 2, 4}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	if pts[0].X != 1 || pts[0].P != 0.25 || pts[3].X != 4 || pts[3].P != 1 {
+		t.Errorf("CDF = %+v", pts)
+	}
+	// Monotone in both coordinates.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].X < pts[i-1].X || pts[i].P < pts[i-1].P {
+			t.Fatalf("CDF not monotone at %d", i)
+		}
+	}
+	sub, err := CDF([]float64{5, 6, 7, 8, 9, 10, 11, 12}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub) != 4 || sub[3].P != 1 {
+		t.Errorf("subsampled CDF %+v", sub)
+	}
+	if _, err := CDF(nil, 5); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestFraction(t *testing.T) {
+	got := Fraction([]float64{1, 2, 3, 4}, func(v float64) bool { return v > 2 })
+	if got != 0.5 {
+		t.Errorf("fraction = %v", got)
+	}
+	if Fraction(nil, func(float64) bool { return true }) != 0 {
+		t.Error("empty fraction should be 0")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := Table{Title: "Demo", Columns: []string{"name", "value"}}
+	tbl.AddRow("alpha", 1.23456)
+	tbl.AddRow("b", 42)
+	out := tbl.String()
+	if !strings.Contains(out, "Demo") || !strings.Contains(out, "alpha") ||
+		!strings.Contains(out, "1.235") || !strings.Contains(out, "42") {
+		t.Errorf("table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+}

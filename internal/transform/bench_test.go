@@ -1,0 +1,79 @@
+package transform
+
+import (
+	"testing"
+
+	"puppies/internal/jpegc"
+)
+
+func benchImage(b *testing.B) *jpegc.Image {
+	b.Helper()
+	img, err := jpegc.FromPlanar(smoothPlanar(512, 384), jpegc.Options{Quality: 80})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return img
+}
+
+func BenchmarkScaleBilinearHalf(b *testing.B) {
+	pix, err := benchImage(b).ToPlanar()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ScaleBilinear(pix.Planes[0], 0.5, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRotatePlaneArbitrary(b *testing.B) {
+	pix, err := benchImage(b).ToPlanar()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = RotatePlane(pix.Planes[0], 30)
+	}
+}
+
+func BenchmarkConvolveGaussian3(b *testing.B) {
+	pix, err := benchImage(b).ToPlanar()
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := Kernels["gaussian3"]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Convolve(pix.Planes[0], k); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRotate90Coefficient(b *testing.B) {
+	img := benchImage(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Rotate90(img); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRecompress(b *testing.B) {
+	img := benchImage(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Recompress(img, 40); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package transform
+
+import (
+	"fmt"
+
+	"puppies/internal/dct"
+	"puppies/internal/jpegc"
+)
+
+// Rotate90 rotates the coefficient image 90 degrees clockwise, losslessly
+// (block permutation + per-block coefficient rotation + quant transpose),
+// like jpegtran. Requires block-aligned dimensions.
+func Rotate90(img *jpegc.Image) (*jpegc.Image, error) {
+	return rotateCoeff(img, 1)
+}
+
+// Rotate180 rotates the coefficient image 180 degrees, losslessly.
+func Rotate180(img *jpegc.Image) (*jpegc.Image, error) {
+	return rotateCoeff(img, 2)
+}
+
+// Rotate270 rotates the coefficient image 270 degrees clockwise, losslessly.
+func Rotate270(img *jpegc.Image) (*jpegc.Image, error) {
+	return rotateCoeff(img, 3)
+}
+
+// FlipHorizontal mirrors the coefficient image left-right, losslessly.
+func FlipHorizontal(img *jpegc.Image) (*jpegc.Image, error) {
+	return flipCoeff(img, true)
+}
+
+// FlipVertical mirrors the coefficient image top-bottom, losslessly.
+func FlipVertical(img *jpegc.Image) (*jpegc.Image, error) {
+	return flipCoeff(img, false)
+}
+
+func requireAligned(img *jpegc.Image) error {
+	if img.W%dct.BlockSize != 0 || img.H%dct.BlockSize != 0 {
+		return fmt.Errorf("transform: coefficient-domain op requires block-aligned dimensions, got %dx%d",
+			img.W, img.H)
+	}
+	return nil
+}
+
+func rotateCoeff(img *jpegc.Image, quarter int) (*jpegc.Image, error) {
+	if err := img.Validate(); err != nil {
+		return nil, err
+	}
+	if err := requireAligned(img); err != nil {
+		return nil, err
+	}
+	out := &jpegc.Image{Comps: make([]jpegc.Component, len(img.Comps))}
+	if quarter%2 == 1 {
+		out.W, out.H = img.H, img.W
+	} else {
+		out.W, out.H = img.W, img.H
+	}
+	for ci := range img.Comps {
+		src := &img.Comps[ci]
+		var dstW, dstH int
+		if quarter%2 == 1 {
+			dstW, dstH = src.BlocksH, src.BlocksW
+		} else {
+			dstW, dstH = src.BlocksW, src.BlocksH
+		}
+		dst := jpegc.Component{
+			BlocksW: dstW, BlocksH: dstH,
+			Blocks: make([]dct.Block, dstW*dstH),
+		}
+		switch quarter {
+		case 1: // 90 CW: block (bx,by) -> (BH-1-by, bx)
+			dst.Quant = src.Quant.Transpose()
+			for by := 0; by < src.BlocksH; by++ {
+				for bx := 0; bx < src.BlocksW; bx++ {
+					*dst.Block(src.BlocksH-1-by, bx) = src.Block(bx, by).Rotate90CW()
+				}
+			}
+		case 2: // 180
+			dst.Quant = src.Quant
+			for by := 0; by < src.BlocksH; by++ {
+				for bx := 0; bx < src.BlocksW; bx++ {
+					*dst.Block(src.BlocksW-1-bx, src.BlocksH-1-by) = src.Block(bx, by).Rotate180()
+				}
+			}
+		case 3: // 270 CW (= 90 CCW): block (bx,by) -> (by, BW-1-bx)
+			dst.Quant = src.Quant.Transpose()
+			for by := 0; by < src.BlocksH; by++ {
+				for bx := 0; bx < src.BlocksW; bx++ {
+					*dst.Block(by, src.BlocksW-1-bx) = src.Block(bx, by).Rotate90CCW()
+				}
+			}
+		default:
+			return nil, fmt.Errorf("transform: invalid quarter %d", quarter)
+		}
+		out.Comps[ci] = dst
+	}
+	return out, nil
+}
+
+func flipCoeff(img *jpegc.Image, horizontal bool) (*jpegc.Image, error) {
+	if err := img.Validate(); err != nil {
+		return nil, err
+	}
+	if err := requireAligned(img); err != nil {
+		return nil, err
+	}
+	out := &jpegc.Image{W: img.W, H: img.H, Comps: make([]jpegc.Component, len(img.Comps))}
+	for ci := range img.Comps {
+		src := &img.Comps[ci]
+		dst := jpegc.Component{
+			BlocksW: src.BlocksW, BlocksH: src.BlocksH,
+			Blocks: make([]dct.Block, len(src.Blocks)),
+			Quant:  src.Quant,
+		}
+		for by := 0; by < src.BlocksH; by++ {
+			for bx := 0; bx < src.BlocksW; bx++ {
+				if horizontal {
+					*dst.Block(src.BlocksW-1-bx, by) = src.Block(bx, by).FlipH()
+				} else {
+					*dst.Block(bx, src.BlocksH-1-by) = src.Block(bx, by).FlipV()
+				}
+			}
+		}
+		out.Comps[ci] = dst
+	}
+	return out, nil
+}
+
+// CropAligned extracts a block-aligned pixel rectangle losslessly in the
+// coefficient domain.
+func CropAligned(img *jpegc.Image, x, y, w, h int) (*jpegc.Image, error) {
+	if err := img.Validate(); err != nil {
+		return nil, err
+	}
+	if x%8 != 0 || y%8 != 0 || w%8 != 0 || h%8 != 0 {
+		return nil, fmt.Errorf("transform: crop (%d,%d,%d,%d) not block-aligned", x, y, w, h)
+	}
+	if w <= 0 || h <= 0 || x < 0 || y < 0 || x+w > img.W || y+h > img.H {
+		return nil, fmt.Errorf("transform: crop (%d,%d,%d,%d) outside %dx%d image", x, y, w, h, img.W, img.H)
+	}
+	bx0, by0 := x/8, y/8
+	bw, bh := w/8, h/8
+	out := &jpegc.Image{W: w, H: h, Comps: make([]jpegc.Component, len(img.Comps))}
+	for ci := range img.Comps {
+		src := &img.Comps[ci]
+		dst := jpegc.Component{
+			BlocksW: bw, BlocksH: bh,
+			Blocks: make([]dct.Block, bw*bh),
+			Quant:  src.Quant,
+		}
+		for by := 0; by < bh; by++ {
+			for bx := 0; bx < bw; bx++ {
+				*dst.Block(bx, by) = *src.Block(bx0+bx, by0+by)
+			}
+		}
+		out.Comps[ci] = dst
+	}
+	return out, nil
+}
+
+// Recompress requantizes every block for the target quality, modelling JPEG
+// recompression without a pixel-domain round trip (paper §IV-C.2). The
+// returned image's quantization tables are the scaled standard tables.
+func Recompress(img *jpegc.Image, quality int) (*jpegc.Image, error) {
+	if err := img.Validate(); err != nil {
+		return nil, err
+	}
+	lum, err := dct.StdLuminanceQuant.ScaleQuality(quality)
+	if err != nil {
+		return nil, err
+	}
+	chrom, err := dct.StdChrominanceQuant.ScaleQuality(quality)
+	if err != nil {
+		return nil, err
+	}
+	out := &jpegc.Image{W: img.W, H: img.H, Comps: make([]jpegc.Component, len(img.Comps))}
+	for ci := range img.Comps {
+		src := &img.Comps[ci]
+		to := &lum
+		if ci > 0 {
+			to = &chrom
+		}
+		dst := jpegc.Component{
+			BlocksW: src.BlocksW, BlocksH: src.BlocksH,
+			Blocks: make([]dct.Block, len(src.Blocks)),
+			Quant:  *to,
+		}
+		for bi := range src.Blocks {
+			dst.Blocks[bi] = dct.Requantize(&src.Blocks[bi], &src.Quant, to)
+		}
+		out.Comps[ci] = dst
+	}
+	return out, nil
+}
+
+// Apply executes the spec on a coefficient image the way a PSP would:
+// coefficient-domain operations run losslessly; pixel-domain operations
+// decode to planar samples, transform, and re-encode with the source
+// image's quantization tables.
+func Apply(img *jpegc.Image, spec Spec) (*jpegc.Image, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	switch spec.Op {
+	case OpNone:
+		return img.Clone(), nil
+	case OpRotate90:
+		return Rotate90(img)
+	case OpRotate180:
+		return Rotate180(img)
+	case OpRotate270:
+		return Rotate270(img)
+	case OpFlipH:
+		return FlipHorizontal(img)
+	case OpFlipV:
+		return FlipVertical(img)
+	case OpCompress:
+		return Recompress(img, spec.Quality)
+	case OpCrop:
+		if spec.IsCoefficientDomain() {
+			return CropAligned(img, spec.X, spec.Y, spec.W, spec.H)
+		}
+	}
+	// Pixel-domain path.
+	planar, err := img.ToPlanar()
+	if err != nil {
+		return nil, err
+	}
+	transformed, err := ApplyPlanar(planar, spec)
+	if err != nil {
+		return nil, err
+	}
+	lum := img.Comps[0].Quant
+	chrom := lum
+	if len(img.Comps) == 3 {
+		chrom = img.Comps[1].Quant
+	}
+	return jpegc.FromPlanarWithQuant(transformed, &lum, &chrom)
+}

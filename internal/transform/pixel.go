@@ -1,0 +1,277 @@
+package transform
+
+import (
+	"fmt"
+	"math"
+
+	"puppies/internal/imgplane"
+)
+
+// Kernel is a linear convolution kernel with odd side length.
+type Kernel struct {
+	Side    int
+	Weights []float32
+}
+
+// Kernels holds the named linear filters the PSP offers. All are linear
+// maps, so shadow-ROI subtraction can undo them.
+var Kernels = map[string]Kernel{
+	"box3": {Side: 3, Weights: []float32{
+		1.0 / 9, 1.0 / 9, 1.0 / 9,
+		1.0 / 9, 1.0 / 9, 1.0 / 9,
+		1.0 / 9, 1.0 / 9, 1.0 / 9,
+	}},
+	"gaussian3": {Side: 3, Weights: []float32{
+		1.0 / 16, 2.0 / 16, 1.0 / 16,
+		2.0 / 16, 4.0 / 16, 2.0 / 16,
+		1.0 / 16, 2.0 / 16, 1.0 / 16,
+	}},
+	"sharpen3": {Side: 3, Weights: []float32{
+		0, -1, 0,
+		-1, 5, -1,
+		0, -1, 0,
+	}},
+	"gaussian5": {Side: 5, Weights: func() []float32 {
+		base := []float32{1, 4, 6, 4, 1}
+		w := make([]float32, 25)
+		var sum float32
+		for y := 0; y < 5; y++ {
+			for x := 0; x < 5; x++ {
+				w[y*5+x] = base[y] * base[x]
+				sum += w[y*5+x]
+			}
+		}
+		for i := range w {
+			w[i] /= sum
+		}
+		return w
+	}()},
+}
+
+// ScaleBilinear resizes a plane by the given factors using bilinear
+// interpolation. The operation is a linear map of input samples.
+func ScaleBilinear(p *imgplane.Plane, fx, fy float64) (*imgplane.Plane, error) {
+	if fx <= 0 || fy <= 0 {
+		return nil, fmt.Errorf("transform: scale factors must be positive, got %g, %g", fx, fy)
+	}
+	ow := int(math.Round(float64(p.W) * fx))
+	oh := int(math.Round(float64(p.H) * fy))
+	if ow < 1 {
+		ow = 1
+	}
+	if oh < 1 {
+		oh = 1
+	}
+	out := imgplane.NewPlane(ow, oh)
+	for oy := 0; oy < oh; oy++ {
+		// Center-aligned sampling.
+		sy := (float64(oy)+0.5)/fy - 0.5
+		y0 := int(math.Floor(sy))
+		wy := float32(sy - float64(y0))
+		for ox := 0; ox < ow; ox++ {
+			sx := (float64(ox)+0.5)/fx - 0.5
+			x0 := int(math.Floor(sx))
+			wx := float32(sx - float64(x0))
+			v := (1-wy)*((1-wx)*p.At(x0, y0)+wx*p.At(x0+1, y0)) +
+				wy*((1-wx)*p.At(x0, y0+1)+wx*p.At(x0+1, y0+1))
+			out.Pix[oy*ow+ox] = v
+		}
+	}
+	return out, nil
+}
+
+// CropPlane extracts the rectangle (x, y, w, h) from the plane.
+func CropPlane(p *imgplane.Plane, x, y, w, h int) (*imgplane.Plane, error) {
+	if w <= 0 || h <= 0 || x < 0 || y < 0 || x+w > p.W || y+h > p.H {
+		return nil, fmt.Errorf("transform: crop (%d,%d,%d,%d) outside %dx%d plane", x, y, w, h, p.W, p.H)
+	}
+	out := imgplane.NewPlane(w, h)
+	for r := 0; r < h; r++ {
+		copy(out.Pix[r*w:(r+1)*w], p.Pix[(y+r)*p.W+x:(y+r)*p.W+x+w])
+	}
+	return out, nil
+}
+
+// RotatePlane rotates the plane by angle degrees counter-clockwise about its
+// center using bilinear resampling. Output has the same dimensions; samples
+// rotated in from outside the source are zero. The map is linear in the
+// input samples (for fixed angle), so it commutes with addition.
+func RotatePlane(p *imgplane.Plane, angleDeg float64) *imgplane.Plane {
+	rad := angleDeg * math.Pi / 180
+	sin, cos := math.Sin(rad), math.Cos(rad)
+	cx, cy := float64(p.W-1)/2, float64(p.H-1)/2
+	out := imgplane.NewPlane(p.W, p.H)
+	for oy := 0; oy < p.H; oy++ {
+		for ox := 0; ox < p.W; ox++ {
+			// Inverse map: rotate output coordinate by -angle.
+			dx, dy := float64(ox)-cx, float64(oy)-cy
+			sx := cos*dx + sin*dy + cx
+			sy := -sin*dx + cos*dy + cy
+			x0, y0 := int(math.Floor(sx)), int(math.Floor(sy))
+			if x0 < -1 || y0 < -1 || x0 > p.W-1 || y0 > p.H-1 {
+				continue // outside source: leave zero
+			}
+			wx, wy := float32(sx-float64(x0)), float32(sy-float64(y0))
+			v := (1-wy)*((1-wx)*atZero(p, x0, y0)+wx*atZero(p, x0+1, y0)) +
+				wy*((1-wx)*atZero(p, x0, y0+1)+wx*atZero(p, x0+1, y0+1))
+			out.Pix[oy*p.W+ox] = v
+		}
+	}
+	return out
+}
+
+// atZero samples with zero padding (instead of Plane.At's edge replication)
+// so that rotation stays strictly linear including at borders.
+func atZero(p *imgplane.Plane, x, y int) float32 {
+	if x < 0 || y < 0 || x >= p.W || y >= p.H {
+		return 0
+	}
+	return p.Pix[y*p.W+x]
+}
+
+// Convolve applies the linear kernel with zero padding at the borders.
+func Convolve(p *imgplane.Plane, k Kernel) (*imgplane.Plane, error) {
+	if k.Side%2 != 1 || len(k.Weights) != k.Side*k.Side {
+		return nil, fmt.Errorf("transform: malformed kernel (side %d, %d weights)", k.Side, len(k.Weights))
+	}
+	half := k.Side / 2
+	out := imgplane.NewPlane(p.W, p.H)
+	for y := 0; y < p.H; y++ {
+		for x := 0; x < p.W; x++ {
+			var sum float32
+			for ky := 0; ky < k.Side; ky++ {
+				for kx := 0; kx < k.Side; kx++ {
+					sum += k.Weights[ky*k.Side+kx] * atZero(p, x+kx-half, y+ky-half)
+				}
+			}
+			out.Pix[y*p.W+x] = sum
+		}
+	}
+	return out, nil
+}
+
+// Overlay adds src onto dst at offset (x, y), sample-wise, returning a new
+// plane. Overlap composition in the frequency or pixel domain is linear.
+func Overlay(dst, src *imgplane.Plane, x, y int) *imgplane.Plane {
+	out := dst.Clone()
+	for sy := 0; sy < src.H; sy++ {
+		for sx := 0; sx < src.W; sx++ {
+			ox, oy := x+sx, y+sy
+			if ox < 0 || oy < 0 || ox >= out.W || oy >= out.H {
+				continue
+			}
+			out.Pix[oy*out.W+ox] += src.Pix[sy*src.W+sx]
+		}
+	}
+	return out
+}
+
+// ApplyPlanar applies the spec to every plane of a planar image. It supports
+// all operations except OpCompress (which is defined on coefficients).
+func ApplyPlanar(img *imgplane.Image, spec Spec) (*imgplane.Image, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	apply := func(f func(*imgplane.Plane) (*imgplane.Plane, error)) (*imgplane.Image, error) {
+		out := &imgplane.Image{Planes: make([]*imgplane.Plane, len(img.Planes))}
+		for i, p := range img.Planes {
+			q, err := f(p)
+			if err != nil {
+				return nil, err
+			}
+			out.Planes[i] = q
+		}
+		return out, nil
+	}
+	switch spec.Op {
+	case OpNone:
+		return img.Clone(), nil
+	case OpScale:
+		return apply(func(p *imgplane.Plane) (*imgplane.Plane, error) {
+			return ScaleBilinear(p, spec.FactorX, spec.FactorY)
+		})
+	case OpCrop:
+		return apply(func(p *imgplane.Plane) (*imgplane.Plane, error) {
+			return CropPlane(p, spec.X, spec.Y, spec.W, spec.H)
+		})
+	case OpRotate:
+		return apply(func(p *imgplane.Plane) (*imgplane.Plane, error) {
+			return RotatePlane(p, spec.Angle), nil
+		})
+	case OpFilter:
+		k := Kernels[spec.Kernel]
+		return apply(func(p *imgplane.Plane) (*imgplane.Plane, error) {
+			return Convolve(p, k)
+		})
+	case OpRotate90:
+		return apply(func(p *imgplane.Plane) (*imgplane.Plane, error) {
+			return rotatePlane90(p, 1), nil
+		})
+	case OpRotate180:
+		return apply(func(p *imgplane.Plane) (*imgplane.Plane, error) {
+			return rotatePlane90(p, 2), nil
+		})
+	case OpRotate270:
+		return apply(func(p *imgplane.Plane) (*imgplane.Plane, error) {
+			return rotatePlane90(p, 3), nil
+		})
+	case OpFlipH:
+		return apply(func(p *imgplane.Plane) (*imgplane.Plane, error) {
+			return flipPlane(p, true), nil
+		})
+	case OpFlipV:
+		return apply(func(p *imgplane.Plane) (*imgplane.Plane, error) {
+			return flipPlane(p, false), nil
+		})
+	case OpCompress:
+		return nil, fmt.Errorf("transform: %s is a coefficient-domain operation; use Apply", spec.Op)
+	default:
+		return nil, fmt.Errorf("transform: unknown op %q", spec.Op)
+	}
+}
+
+// rotatePlane90 rotates the plane by quarter*90 degrees clockwise.
+func rotatePlane90(p *imgplane.Plane, quarter int) *imgplane.Plane {
+	switch ((quarter % 4) + 4) % 4 {
+	case 0:
+		return p.Clone()
+	case 1: // 90 CW: (x,y) -> (H-1-y, x)
+		out := imgplane.NewPlane(p.H, p.W)
+		for y := 0; y < p.H; y++ {
+			for x := 0; x < p.W; x++ {
+				out.Pix[x*out.W+(p.H-1-y)] = p.Pix[y*p.W+x]
+			}
+		}
+		return out
+	case 2:
+		out := imgplane.NewPlane(p.W, p.H)
+		for y := 0; y < p.H; y++ {
+			for x := 0; x < p.W; x++ {
+				out.Pix[(p.H-1-y)*p.W+(p.W-1-x)] = p.Pix[y*p.W+x]
+			}
+		}
+		return out
+	default: // 270 CW == 90 CCW: (x,y) -> (y, W-1-x)
+		out := imgplane.NewPlane(p.H, p.W)
+		for y := 0; y < p.H; y++ {
+			for x := 0; x < p.W; x++ {
+				out.Pix[(p.W-1-x)*out.W+y] = p.Pix[y*p.W+x]
+			}
+		}
+		return out
+	}
+}
+
+func flipPlane(p *imgplane.Plane, horizontal bool) *imgplane.Plane {
+	out := imgplane.NewPlane(p.W, p.H)
+	for y := 0; y < p.H; y++ {
+		for x := 0; x < p.W; x++ {
+			if horizontal {
+				out.Pix[y*p.W+(p.W-1-x)] = p.Pix[y*p.W+x]
+			} else {
+				out.Pix[(p.H-1-y)*p.W+x] = p.Pix[y*p.W+x]
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+// Package transform is the PSP-side image-processing library: the ordinary
+// transformations a photo-sharing platform applies to stored images
+// (paper §II-B). It is deliberately ignorant of PuPPIeS — it treats
+// perturbed images exactly like any other image, which is the property that
+// lets PuPPIeS interoperate with "existing image processing libraries
+// without any extra changes" (paper §IV-C).
+//
+// Two execution domains are provided:
+//
+//   - Coefficient domain (lossless): rotations by multiples of 90 degrees,
+//     flips, block-aligned crops and recompression operate directly on
+//     quantized DCT blocks, exactly like jpegtran's lossless transforms.
+//   - Pixel domain: scaling, arbitrary-angle rotation, linear filtering,
+//     overlays and unaligned crops operate on unclamped planar YUV samples
+//     so that linearity f(a+b) = f(a)+f(b) holds exactly (the property
+//     PuPPIeS shadow-ROI reconstruction relies on).
+package transform
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Op identifies a transformation type. The string values are part of the
+// public parameters shared between the PSP and receivers.
+type Op string
+
+// Supported operations.
+const (
+	OpNone      Op = "none"
+	OpScale     Op = "scale"     // pixel domain, bilinear
+	OpCrop      Op = "crop"      // coefficient domain when block-aligned, else pixel domain
+	OpRotate90  Op = "rotate90"  // coefficient domain, lossless
+	OpRotate180 Op = "rotate180" // coefficient domain, lossless
+	OpRotate270 Op = "rotate270" // coefficient domain, lossless
+	OpFlipH     Op = "fliph"     // coefficient domain, lossless
+	OpFlipV     Op = "flipv"     // coefficient domain, lossless
+	OpRotate    Op = "rotate"    // pixel domain, arbitrary angle
+	OpFilter    Op = "filter"    // pixel domain, linear convolution
+	OpCompress  Op = "compress"  // coefficient domain requantization
+)
+
+// Spec is a serializable description of one PSP-side transformation. It is
+// published as part of an image's public data so receivers can replay the
+// same transformation on shadow ROIs (paper §III-C scenario 2).
+type Spec struct {
+	Op Op `json:"op"`
+
+	// Scale parameters: output = input * Factor in each dimension.
+	FactorX float64 `json:"factorX,omitempty"`
+	FactorY float64 `json:"factorY,omitempty"`
+
+	// Crop rectangle in pixels of the input image.
+	X int `json:"x,omitempty"`
+	Y int `json:"y,omitempty"`
+	W int `json:"w,omitempty"`
+	H int `json:"h,omitempty"`
+
+	// Rotate angle in degrees (counter-clockwise) for OpRotate.
+	Angle float64 `json:"angle,omitempty"`
+
+	// Filter kernel name for OpFilter; see Kernels.
+	Kernel string `json:"kernel,omitempty"`
+
+	// Compress quality in [1,100] for OpCompress.
+	Quality int `json:"quality,omitempty"`
+}
+
+// Validate checks the parameters for the given operation.
+func (s *Spec) Validate() error {
+	switch s.Op {
+	case OpNone, OpRotate90, OpRotate180, OpRotate270, OpFlipH, OpFlipV:
+		return nil
+	case OpScale:
+		if s.FactorX <= 0 || s.FactorY <= 0 {
+			return fmt.Errorf("transform: scale factors must be positive, got %gx%g", s.FactorX, s.FactorY)
+		}
+		return nil
+	case OpCrop:
+		if s.W <= 0 || s.H <= 0 || s.X < 0 || s.Y < 0 {
+			return fmt.Errorf("transform: invalid crop rectangle (%d,%d,%d,%d)", s.X, s.Y, s.W, s.H)
+		}
+		return nil
+	case OpRotate:
+		return nil
+	case OpFilter:
+		if _, ok := Kernels[s.Kernel]; !ok {
+			return fmt.Errorf("transform: unknown filter kernel %q", s.Kernel)
+		}
+		return nil
+	case OpCompress:
+		if s.Quality < 1 || s.Quality > 100 {
+			return fmt.Errorf("transform: compress quality %d out of range [1,100]", s.Quality)
+		}
+		return nil
+	default:
+		return fmt.Errorf("transform: unknown op %q", s.Op)
+	}
+}
+
+// IsCoefficientDomain reports whether the operation can run losslessly on
+// DCT coefficients.
+func (s *Spec) IsCoefficientDomain() bool {
+	switch s.Op {
+	case OpNone, OpRotate90, OpRotate180, OpRotate270, OpFlipH, OpFlipV, OpCompress:
+		return true
+	case OpCrop:
+		return s.X%8 == 0 && s.Y%8 == 0 && s.W%8 == 0 && s.H%8 == 0
+	default:
+		return false
+	}
+}
+
+// IsLinear reports whether the operation is a linear map on pixel values,
+// i.e. whether shadow-ROI subtraction can undo it (paper §IV-C.1).
+// Compression is non-linear but supported through the dedicated
+// requantization path (§IV-C.2).
+func (s *Spec) IsLinear() bool {
+	return s.Op != OpCompress
+}
+
+// MarshalJSON/UnmarshalJSON use the default struct encoding; Spec is a plain
+// data carrier. The methods exist to pin the wire format in one place.
+func (s Spec) MarshalJSON() ([]byte, error) {
+	type alias Spec
+	return json.Marshal(alias(s))
+}
+
+// UnmarshalJSON parses and validates a spec.
+func (s *Spec) UnmarshalJSON(data []byte) error {
+	type alias Spec
+	var a alias
+	if err := json.Unmarshal(data, &a); err != nil {
+		return err
+	}
+	if a.Op == "" {
+		a.Op = OpNone
+	}
+	*s = Spec(a)
+	return s.Validate()
+}

@@ -1,0 +1,419 @@
+package transform
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+
+	"puppies/internal/imgplane"
+	"puppies/internal/jpegc"
+)
+
+func randomPlane(rng *rand.Rand, w, h int) *imgplane.Plane {
+	p := imgplane.NewPlane(w, h)
+	for i := range p.Pix {
+		p.Pix[i] = float32(rng.Intn(256))
+	}
+	return p
+}
+
+func smoothPlanar(w, h int) *imgplane.Image {
+	img, _ := imgplane.New(w, h, 3)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := y*w + x
+			img.Planes[0].Pix[i] = float32(60 + 50*math.Sin(float64(x)/9)*math.Cos(float64(y)/11) + 100)
+			img.Planes[1].Pix[i] = float32(128 + 30*math.Sin(float64(x+y)/15))
+			img.Planes[2].Pix[i] = float32(128 + 30*math.Cos(float64(x-y)/13))
+		}
+	}
+	return img
+}
+
+func TestScaleBilinearDimensions(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := randomPlane(rng, 40, 30)
+	tests := []struct {
+		fx, fy float64
+		ow, oh int
+	}{
+		{0.5, 0.5, 20, 15},
+		{2, 2, 80, 60},
+		{1, 1, 40, 30},
+		{0.25, 0.5, 10, 15},
+	}
+	for _, tt := range tests {
+		out, err := ScaleBilinear(p, tt.fx, tt.fy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.W != tt.ow || out.H != tt.oh {
+			t.Errorf("scale %gx%g: got %dx%d, want %dx%d", tt.fx, tt.fy, out.W, out.H, tt.ow, tt.oh)
+		}
+	}
+	if _, err := ScaleBilinear(p, 0, 1); err == nil {
+		t.Error("zero factor should error")
+	}
+}
+
+func TestScaleIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := randomPlane(rng, 16, 16)
+	out, err := ScaleBilinear(p, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.Pix {
+		if math.Abs(float64(out.Pix[i]-p.Pix[i])) > 1e-4 {
+			t.Fatalf("identity scale changed sample %d: %v -> %v", i, p.Pix[i], out.Pix[i])
+		}
+	}
+}
+
+// Linearity is the property PuPPIeS recovery depends on: f(a+b) = f(a)+f(b).
+func TestPixelOpsAreLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomPlane(rng, 32, 24)
+	b := randomPlane(rng, 32, 24)
+	sum, _ := a.Add(b)
+
+	ops := []struct {
+		name string
+		f    func(*imgplane.Plane) *imgplane.Plane
+	}{
+		{"scale0.5", func(p *imgplane.Plane) *imgplane.Plane {
+			out, _ := ScaleBilinear(p, 0.5, 0.5)
+			return out
+		}},
+		{"scale1.7", func(p *imgplane.Plane) *imgplane.Plane {
+			out, _ := ScaleBilinear(p, 1.7, 1.3)
+			return out
+		}},
+		{"rotate33", func(p *imgplane.Plane) *imgplane.Plane {
+			return RotatePlane(p, 33)
+		}},
+		{"gaussian3", func(p *imgplane.Plane) *imgplane.Plane {
+			out, _ := Convolve(p, Kernels["gaussian3"])
+			return out
+		}},
+		{"sharpen3", func(p *imgplane.Plane) *imgplane.Plane {
+			out, _ := Convolve(p, Kernels["sharpen3"])
+			return out
+		}},
+		{"crop", func(p *imgplane.Plane) *imgplane.Plane {
+			out, _ := CropPlane(p, 4, 4, 16, 12)
+			return out
+		}},
+	}
+	for _, op := range ops {
+		fa, fb, fsum := op.f(a), op.f(b), op.f(sum)
+		if fa.W != fsum.W || fa.H != fsum.H {
+			t.Fatalf("%s: size mismatch", op.name)
+		}
+		for i := range fsum.Pix {
+			want := fa.Pix[i] + fb.Pix[i]
+			if math.Abs(float64(fsum.Pix[i]-want)) > 1e-2 {
+				t.Fatalf("%s: linearity violated at %d: f(a+b)=%v, f(a)+f(b)=%v",
+					op.name, i, fsum.Pix[i], want)
+			}
+		}
+	}
+}
+
+func TestCropPlaneBounds(t *testing.T) {
+	p := imgplane.NewPlane(10, 10)
+	if _, err := CropPlane(p, 5, 5, 10, 2); err == nil {
+		t.Error("crop outside plane should error")
+	}
+	if _, err := CropPlane(p, -1, 0, 2, 2); err == nil {
+		t.Error("negative origin should error")
+	}
+	if _, err := CropPlane(p, 0, 0, 0, 5); err == nil {
+		t.Error("zero width should error")
+	}
+}
+
+func TestConvolveKernels(t *testing.T) {
+	// A constant plane stays constant under normalized kernels (interior).
+	p := imgplane.NewPlane(9, 9)
+	for i := range p.Pix {
+		p.Pix[i] = 100
+	}
+	for _, name := range []string{"box3", "gaussian3", "sharpen3", "gaussian5"} {
+		out, err := Convolve(p, Kernels[name])
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		center := out.Pix[4*9+4]
+		if math.Abs(float64(center)-100) > 1e-3 {
+			t.Errorf("%s: center of constant plane = %v, want 100", name, center)
+		}
+	}
+	if _, err := Convolve(p, Kernel{Side: 2, Weights: make([]float32, 4)}); err == nil {
+		t.Error("even-sided kernel should error")
+	}
+}
+
+func TestRotatePlane90Consistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p := randomPlane(rng, 12, 8)
+	r90 := rotatePlane90(p, 1)
+	if r90.W != 8 || r90.H != 12 {
+		t.Fatalf("rotate90 dims %dx%d", r90.W, r90.H)
+	}
+	// (x,y) -> (H-1-y, x)
+	for y := 0; y < p.H; y++ {
+		for x := 0; x < p.W; x++ {
+			if r90.Pix[x*r90.W+(p.H-1-y)] != p.Pix[y*p.W+x] {
+				t.Fatalf("rotate90 mapping wrong at (%d,%d)", x, y)
+			}
+		}
+	}
+	// Four quarter turns are the identity.
+	q := p
+	for i := 0; i < 4; i++ {
+		q = rotatePlane90(q, 1)
+	}
+	for i := range p.Pix {
+		if q.Pix[i] != p.Pix[i] {
+			t.Fatal("four 90-degree rotations are not identity")
+		}
+	}
+	// 180 = two 90s.
+	r180 := rotatePlane90(p, 2)
+	r90x2 := rotatePlane90(rotatePlane90(p, 1), 1)
+	for i := range r180.Pix {
+		if r180.Pix[i] != r90x2.Pix[i] {
+			t.Fatal("rotate180 != rotate90 twice")
+		}
+	}
+}
+
+func TestCoeffRotationsMatchPixelRotations(t *testing.T) {
+	planar := smoothPlanar(48, 32)
+	img, err := jpegc.FromPlanar(planar, jpegc.Options{Quality: 90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := img.ToPlanar()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ops := []struct {
+		name    string
+		coeffFn func(*jpegc.Image) (*jpegc.Image, error)
+		spec    Spec
+	}{
+		{"rotate90", Rotate90, Spec{Op: OpRotate90}},
+		{"rotate180", Rotate180, Spec{Op: OpRotate180}},
+		{"rotate270", Rotate270, Spec{Op: OpRotate270}},
+		{"fliph", FlipHorizontal, Spec{Op: OpFlipH}},
+		{"flipv", FlipVertical, Spec{Op: OpFlipV}},
+	}
+	for _, op := range ops {
+		coeffOut, err := op.coeffFn(img)
+		if err != nil {
+			t.Fatalf("%s: %v", op.name, err)
+		}
+		coeffPix, err := coeffOut.ToPlanar()
+		if err != nil {
+			t.Fatalf("%s: %v", op.name, err)
+		}
+		pixOut, err := ApplyPlanar(base, op.spec)
+		if err != nil {
+			t.Fatalf("%s: %v", op.name, err)
+		}
+		psnr, err := imgplane.ImagePSNR(coeffPix, pixOut)
+		if err != nil {
+			t.Fatalf("%s: %v", op.name, err)
+		}
+		if psnr < 55 {
+			t.Errorf("%s: coefficient and pixel paths disagree (PSNR %.1f dB)", op.name, psnr)
+		}
+	}
+}
+
+func TestCoeffRotationRoundTrip(t *testing.T) {
+	planar := smoothPlanar(64, 40)
+	img, err := jpegc.FromPlanar(planar, jpegc.Options{Quality: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r90, err := Rotate90(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Rotate270(r90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci := range img.Comps {
+		for bi := range img.Comps[ci].Blocks {
+			if img.Comps[ci].Blocks[bi] != back.Comps[ci].Blocks[bi] {
+				t.Fatalf("rotate90 then rotate270 not identity (component %d block %d)", ci, bi)
+			}
+		}
+	}
+	r180, err := Rotate180(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back2, err := Rotate180(r180)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci := range img.Comps {
+		for bi := range img.Comps[ci].Blocks {
+			if img.Comps[ci].Blocks[bi] != back2.Comps[ci].Blocks[bi] {
+				t.Fatal("double rotate180 not identity")
+			}
+		}
+	}
+}
+
+func TestCropAligned(t *testing.T) {
+	planar := smoothPlanar(64, 48)
+	img, err := jpegc.FromPlanar(planar, jpegc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crop, err := CropAligned(img, 16, 8, 32, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crop.W != 32 || crop.H != 24 {
+		t.Fatalf("crop dims %dx%d", crop.W, crop.H)
+	}
+	// Cropped blocks must equal the source blocks.
+	for by := 0; by < 3; by++ {
+		for bx := 0; bx < 4; bx++ {
+			if *crop.Comps[0].Block(bx, by) != *img.Comps[0].Block(bx+2, by+1) {
+				t.Fatalf("crop block (%d,%d) mismatch", bx, by)
+			}
+		}
+	}
+	if _, err := CropAligned(img, 3, 0, 8, 8); err == nil {
+		t.Error("unaligned crop should error")
+	}
+	if _, err := CropAligned(img, 0, 0, 128, 8); err == nil {
+		t.Error("out-of-bounds crop should error")
+	}
+}
+
+func TestRecompressReducesSize(t *testing.T) {
+	planar := smoothPlanar(128, 96)
+	img, err := jpegc.FromPlanar(planar, jpegc.Options{Quality: 95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := Recompress(img, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0, err := img.EncodedSize(jpegc.EncodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := small.EncodedSize(jpegc.EncodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 >= s0 {
+		t.Errorf("recompression to q30 grew the image: %d -> %d", s0, s1)
+	}
+	if _, err := Recompress(img, 0); err == nil {
+		t.Error("invalid quality should error")
+	}
+}
+
+func TestApplyDispatch(t *testing.T) {
+	planar := smoothPlanar(48, 48)
+	img, err := jpegc.FromPlanar(planar, jpegc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []Spec{
+		{Op: OpNone},
+		{Op: OpScale, FactorX: 0.5, FactorY: 0.5},
+		{Op: OpCrop, X: 8, Y: 8, W: 16, H: 16},
+		{Op: OpCrop, X: 3, Y: 5, W: 17, H: 19}, // unaligned -> pixel path
+		{Op: OpRotate90},
+		{Op: OpRotate, Angle: 15},
+		{Op: OpFilter, Kernel: "gaussian3"},
+		{Op: OpCompress, Quality: 40},
+	}
+	for _, spec := range specs {
+		out, err := Apply(img, spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Op, err)
+		}
+		if err := out.Validate(); err != nil {
+			t.Fatalf("%s: invalid output: %v", spec.Op, err)
+		}
+	}
+	if _, err := Apply(img, Spec{Op: "bogus"}); err == nil {
+		t.Error("unknown op should error")
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	bad := []Spec{
+		{Op: OpScale, FactorX: -1, FactorY: 1},
+		{Op: OpScale},
+		{Op: OpCrop, W: -4},
+		{Op: OpFilter, Kernel: "nope"},
+		{Op: OpCompress, Quality: 200},
+		{Op: "wat"},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %+v should be invalid", s)
+		}
+	}
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	in := Spec{Op: OpScale, FactorX: 0.5, FactorY: 0.25}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Spec
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip: %+v != %+v", out, in)
+	}
+	var invalid Spec
+	if err := json.Unmarshal([]byte(`{"op":"scale","factorX":-2}`), &invalid); err == nil {
+		t.Error("unmarshal should validate")
+	}
+}
+
+func TestOverlayAdds(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	dst := randomPlane(rng, 10, 10)
+	src := randomPlane(rng, 4, 4)
+	out := Overlay(dst, src, 3, 2)
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			want := dst.Pix[(2+y)*10+3+x] + src.Pix[y*4+x]
+			if out.Pix[(2+y)*10+3+x] != want {
+				t.Fatalf("overlay at (%d,%d)", x, y)
+			}
+		}
+	}
+	// Out-of-bounds portions are ignored.
+	_ = Overlay(dst, src, 8, 8)
+	_ = Overlay(dst, src, -2, -2)
+}
+
+func TestApplyPlanarRejectsCompress(t *testing.T) {
+	img := smoothPlanar(16, 16)
+	if _, err := ApplyPlanar(img, Spec{Op: OpCompress, Quality: 50}); err == nil {
+		t.Error("ApplyPlanar must reject compression")
+	}
+}

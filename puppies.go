@@ -1,0 +1,477 @@
+// Package puppies is the public API of the PuPPIeS reproduction:
+// Transformation-Supported Personalized Privacy Preserving Partial Image
+// Sharing (He et al., DSN 2016).
+//
+// The flow mirrors the paper's architecture (Fig. 5):
+//
+//   - The sender detects (or specifies) sensitive regions of a photo,
+//     perturbs each region's DCT coefficients with a secret matrix pair,
+//     and uploads the still-valid JPEG plus public parameters to an
+//     untrusted photo-sharing platform (PSP).
+//   - The PSP stores, serves, and freely transforms the image (scale,
+//     crop, rotate, filter, recompress) with ordinary image tooling.
+//   - Receivers who were granted a region's key pair recover that region
+//     exactly — even from a transformed copy — while everyone else
+//     (including the PSP) sees noise there.
+//
+// Quick start:
+//
+//	protected, err := puppies.Protect(img, puppies.ProtectOptions{})
+//	// distribute protected.Keys to authorized receivers, upload
+//	// protected.JPEG + protected.Params anywhere
+//	recovered, err := puppies.Unprotect(protected.JPEG, protected.Params, protected.Keys)
+//
+// The implementation is stdlib-only; see DESIGN.md for the system
+// inventory and EXPERIMENTS.md for the reproduction of the paper's
+// evaluation.
+package puppies
+
+import (
+	"bytes"
+	"fmt"
+	"image"
+
+	"puppies/internal/core"
+	"puppies/internal/imgplane"
+	"puppies/internal/jpegc"
+	"puppies/internal/keys"
+	"puppies/internal/roi"
+	"puppies/internal/transform"
+)
+
+// Re-exported types. Aliases keep the full method sets available to
+// importers without exposing internal package paths.
+type (
+	// KeyPair is a region's secret: the (P_DC, P_AC) private matrix pair.
+	KeyPair = keys.Pair
+	// Identity is a receiver's X25519 key pair for secure key delivery.
+	Identity = keys.Identity
+	// Envelope is a sealed batch of key pairs in transit.
+	Envelope = keys.Envelope
+	// KeyStore holds an owner's key pairs and per-receiver grants.
+	KeyStore = keys.Store
+	// Rect is a pixel rectangle; regions are expanded to the 8-pixel block
+	// grid at protect time.
+	Rect = core.ROI
+	// PublicData is the non-secret parameter block stored alongside a
+	// protected image.
+	PublicData = core.PublicData
+	// TransformSpec describes a PSP-side transformation.
+	TransformSpec = transform.Spec
+	// Variant selects the perturbation scheme (-N, -B, -C, -Z).
+	Variant = core.Variant
+	// PrivacyLevel is the low/medium/high setting of paper Table IV.
+	PrivacyLevel = core.PrivacyLevel
+	// WrapPolicy controls wraparound handling (see core documentation).
+	WrapPolicy = core.WrapPolicy
+)
+
+// Re-exported constants.
+const (
+	VariantN = core.VariantN
+	VariantB = core.VariantB
+	VariantC = core.VariantC
+	VariantZ = core.VariantZ
+
+	LevelLow    = core.LevelLow
+	LevelMedium = core.LevelMedium
+	LevelHigh   = core.LevelHigh
+
+	WrapModular  = core.WrapModular
+	WrapRecorded = core.WrapRecorded
+)
+
+// GenerateKeyPair creates a fresh cryptographically random key pair.
+func GenerateKeyPair() (*KeyPair, error) { return keys.NewPair() }
+
+// NewIdentity creates a receiver identity for sealed key delivery.
+func NewIdentity() (*Identity, error) { return keys.NewIdentity() }
+
+// SealKeys encrypts key pairs to a receiver's public key.
+func SealKeys(receiverPub []byte, pairs []*KeyPair) (*Envelope, error) {
+	return keys.Seal(receiverPub, pairs)
+}
+
+// NewKeyStore returns an empty owner-side key store.
+func NewKeyStore() *KeyStore { return keys.NewStore() }
+
+// DetectRegions runs the sender-side ROI recommendation (face, text and
+// object detectors; overlaps split into disjoint block-aligned rectangles).
+func DetectRegions(img image.Image) []Rect {
+	return roi.NewDetector().Recommend(imgplane.FromStdImage(img))
+}
+
+// ProtectOptions configure Protect.
+type ProtectOptions struct {
+	// Variant selects the scheme; empty selects VariantZ (the paper's most
+	// storage-efficient variant).
+	Variant Variant
+	// Level selects the privacy level; empty selects LevelMedium (the
+	// paper's recommended default).
+	Level PrivacyLevel
+	// Regions lists the rectangles to protect. Nil means run the ROI
+	// detectors; if they find nothing, Protect returns an error.
+	Regions []Rect
+	// Keys optionally supplies one key pair per region (matched by index).
+	// Nil means generate a fresh pair per region.
+	Keys []*KeyPair
+	// KeysPerRegion > 1 enables the paper's §IV-D extension: each region is
+	// protected by that many key pairs, cycled across 64-block groups. The
+	// search space and the key-storage cost grow linearly; stripes can be
+	// granted independently. Ignored when Keys is set.
+	KeysPerRegion int
+	// Quality is the JPEG quality for encoding (0 = 75).
+	Quality int
+	// TransformSupport requests the extra public parameters needed to
+	// recover regions from pixel-domain-transformed copies (exact recovery
+	// under scaling/rotation/filtering). Costs public-parameter bytes.
+	TransformSupport bool
+}
+
+// Protected is the output of Protect.
+type Protected struct {
+	// JPEG is the perturbed image, a valid baseline JFIF stream any JPEG
+	// tool can open.
+	JPEG []byte
+	// Params is the serialized PublicData to store next to the image.
+	Params []byte
+	// Keys holds the region secrets in region order (KeysPerRegion entries
+	// per region when that option is set). Distribute them to authorized
+	// receivers; never upload them.
+	Keys []*KeyPair
+	// Regions are the block-aligned rectangles actually protected.
+	Regions []Rect
+}
+
+// Protect perturbs the sensitive regions of an image and returns the
+// shareable artifacts.
+func Protect(src image.Image, opts ProtectOptions) (*Protected, error) {
+	if src == nil {
+		return nil, fmt.Errorf("puppies: nil image")
+	}
+	if opts.Variant == "" {
+		opts.Variant = VariantZ
+	}
+	if opts.Level == "" {
+		opts.Level = LevelMedium
+	}
+	params, err := core.NewParams(opts.Variant, opts.Level)
+	if err != nil {
+		return nil, err
+	}
+	params.Wrap = core.WrapRecorded
+	params.TransformSupport = opts.TransformSupport
+	scheme, err := core.NewScheme(params)
+	if err != nil {
+		return nil, err
+	}
+
+	planar := imgplane.FromStdImage(src)
+	img, err := jpegc.FromPlanar(planar, jpegc.Options{Quality: opts.Quality})
+	if err != nil {
+		return nil, err
+	}
+
+	regions := opts.Regions
+	if regions == nil {
+		regions = roi.NewDetector().Recommend(planar)
+		if len(regions) == 0 {
+			return nil, fmt.Errorf("puppies: no sensitive regions detected; pass Regions explicitly")
+		}
+	} else {
+		aligned := make([]Rect, 0, len(regions))
+		for _, r := range regions {
+			a, err := r.AlignToBlocks(img.W, img.H)
+			if err != nil {
+				return nil, fmt.Errorf("puppies: region %+v: %w", r, err)
+			}
+			aligned = append(aligned, a)
+		}
+		regions = roi.AlignAll(aligned, img.W, img.H)
+	}
+
+	if opts.Keys != nil && len(opts.Keys) != len(regions) {
+		return nil, fmt.Errorf("puppies: %d keys for %d regions", len(opts.Keys), len(regions))
+	}
+	if opts.KeysPerRegion < 0 {
+		return nil, fmt.Errorf("puppies: negative KeysPerRegion")
+	}
+	perRegion := opts.KeysPerRegion
+	if perRegion == 0 || opts.Keys != nil {
+		perRegion = 1
+	}
+	assignments := make([]core.RegionAssignment, len(regions))
+	var pairs []*KeyPair
+	for i, r := range regions {
+		if opts.Keys != nil {
+			pairs = append(pairs, opts.Keys[i])
+			assignments[i] = core.RegionAssignment{ROI: r, Pair: opts.Keys[i]}
+			continue
+		}
+		regionPairs := make([]*keys.Pair, perRegion)
+		for j := range regionPairs {
+			if regionPairs[j], err = keys.NewPair(); err != nil {
+				return nil, err
+			}
+		}
+		pairs = append(pairs, regionPairs...)
+		if perRegion == 1 {
+			assignments[i] = core.RegionAssignment{ROI: r, Pair: regionPairs[0]}
+		} else {
+			assignments[i] = core.RegionAssignment{ROI: r, Pairs: regionPairs}
+		}
+	}
+
+	pd, _, err := scheme.EncryptImage(img, assignments)
+	if err != nil {
+		return nil, err
+	}
+	var jpegBuf bytes.Buffer
+	if err := img.Encode(&jpegBuf, scheme.EncodeOptions()); err != nil {
+		return nil, err
+	}
+	paramBytes, err := pd.Encode()
+	if err != nil {
+		return nil, err
+	}
+	return &Protected{
+		JPEG:    jpegBuf.Bytes(),
+		Params:  paramBytes,
+		Keys:    pairs,
+		Regions: regions,
+	}, nil
+}
+
+// ProtectJPEG protects regions of an existing baseline JPEG with minimal
+// generation loss: coefficients are carried over from the input instead of
+// being re-encoded from pixels. For 4:4:4 or grayscale inputs (including
+// this library's own output) unprotected areas are bit-exact; for common
+// subsampled inputs (4:2:0/4:2:2) luminance is bit-exact and chroma is
+// upsampled and re-quantized once on import. Regions cannot be
+// auto-detected on this path — pass them explicitly.
+func ProtectJPEG(jpegData []byte, opts ProtectOptions) (*Protected, error) {
+	if len(opts.Regions) == 0 {
+		return nil, fmt.Errorf("puppies: ProtectJPEG requires explicit Regions")
+	}
+	if opts.Variant == "" {
+		opts.Variant = VariantZ
+	}
+	if opts.Level == "" {
+		opts.Level = LevelMedium
+	}
+	img, err := jpegc.Decode(bytes.NewReader(jpegData))
+	if err != nil {
+		return nil, fmt.Errorf("puppies: decode image: %w", err)
+	}
+	params, err := core.NewParams(opts.Variant, opts.Level)
+	if err != nil {
+		return nil, err
+	}
+	params.Wrap = core.WrapRecorded
+	params.TransformSupport = opts.TransformSupport
+	scheme, err := core.NewScheme(params)
+	if err != nil {
+		return nil, err
+	}
+
+	regions := make([]Rect, 0, len(opts.Regions))
+	for _, r := range opts.Regions {
+		a, err := r.AlignToBlocks(img.W, img.H)
+		if err != nil {
+			return nil, fmt.Errorf("puppies: region %+v: %w", r, err)
+		}
+		regions = append(regions, a)
+	}
+	regions = roi.AlignAll(regions, img.W, img.H)
+
+	if opts.Keys != nil && len(opts.Keys) != len(regions) {
+		return nil, fmt.Errorf("puppies: %d keys for %d regions", len(opts.Keys), len(regions))
+	}
+	assignments := make([]core.RegionAssignment, len(regions))
+	pairs := make([]*KeyPair, len(regions))
+	for i, r := range regions {
+		pair := (*KeyPair)(nil)
+		if opts.Keys != nil {
+			pair = opts.Keys[i]
+		} else if pair, err = keys.NewPair(); err != nil {
+			return nil, err
+		}
+		pairs[i] = pair
+		assignments[i] = core.RegionAssignment{ROI: r, Pair: pair}
+	}
+	pd, _, err := scheme.EncryptImage(img, assignments)
+	if err != nil {
+		return nil, err
+	}
+	var jpegBuf bytes.Buffer
+	if err := img.Encode(&jpegBuf, scheme.EncodeOptions()); err != nil {
+		return nil, err
+	}
+	paramBytes, err := pd.Encode()
+	if err != nil {
+		return nil, err
+	}
+	return &Protected{
+		JPEG:    jpegBuf.Bytes(),
+		Params:  paramBytes,
+		Keys:    pairs,
+		Regions: regions,
+	}, nil
+}
+
+// UnprotectJPEG is the lossless counterpart of Unprotect: it returns the
+// recovered coefficient stream as JPEG bytes instead of decoded pixels, so
+// a receiver can store the recovered file without generation loss.
+func UnprotectJPEG(jpegData, params []byte, pairs []*KeyPair) ([]byte, error) {
+	img, err := jpegc.Decode(bytes.NewReader(jpegData))
+	if err != nil {
+		return nil, fmt.Errorf("puppies: decode image: %w", err)
+	}
+	pd, err := core.DecodePublicData(params)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := core.DecryptImage(img, pd, keyMap(pairs)); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := img.Encode(&buf, jpegc.EncodeOptions{Tables: jpegc.TablesOptimized}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// keyMap indexes pairs by ID.
+func keyMap(pairs []*KeyPair) map[string]*KeyPair {
+	m := make(map[string]*KeyPair, len(pairs))
+	for _, p := range pairs {
+		if p != nil {
+			m[p.ID] = p
+		}
+	}
+	return m
+}
+
+// Unprotect decrypts every region whose key is present and returns the
+// image. Regions without keys remain perturbed — the personalized-privacy
+// behaviour.
+func Unprotect(jpegData, params []byte, pairs []*KeyPair) (image.Image, error) {
+	img, err := jpegc.Decode(bytes.NewReader(jpegData))
+	if err != nil {
+		return nil, fmt.Errorf("puppies: decode image: %w", err)
+	}
+	pd, err := core.DecodePublicData(params)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := core.DecryptImage(img, pd, keyMap(pairs)); err != nil {
+		return nil, err
+	}
+	planar, err := img.ToPlanar()
+	if err != nil {
+		return nil, err
+	}
+	return planar.Quantize8().ToStdImage(), nil
+}
+
+// UnprotectTransformed recovers an image that the PSP transformed in the
+// coefficient domain (rotations by multiples of 90 degrees, flips,
+// block-aligned crops, recompression is handled by RecoverCompressed).
+// spec must describe the PSP's transformation.
+func UnprotectTransformed(jpegData, params []byte, spec TransformSpec, pairs []*KeyPair) (image.Image, error) {
+	img, err := jpegc.Decode(bytes.NewReader(jpegData))
+	if err != nil {
+		return nil, fmt.Errorf("puppies: decode image: %w", err)
+	}
+	pd, err := core.DecodePublicData(params)
+	if err != nil {
+		return nil, err
+	}
+	pd.Transform = spec
+	out, err := core.ReconstructCoeff(img, pd, keyMap(pairs))
+	if err != nil {
+		return nil, err
+	}
+	planar, err := out.ToPlanar()
+	if err != nil {
+		return nil, err
+	}
+	return planar.Quantize8().ToStdImage(), nil
+}
+
+// EncodeJPEG encodes any stdlib image as a baseline 4:4:4 JPEG using this
+// library's codec (quality 0 selects 75).
+func EncodeJPEG(src image.Image, quality int) ([]byte, error) {
+	if src == nil {
+		return nil, fmt.Errorf("puppies: nil image")
+	}
+	img, err := jpegc.FromPlanar(imgplane.FromStdImage(src), jpegc.Options{Quality: quality})
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := img.Encode(&buf, jpegc.EncodeOptions{}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// PSPTransform applies a transformation to a JPEG exactly as a PSP would —
+// with no knowledge of any protection in it — and returns the re-encoded
+// result. Useful for driving the scheme without the HTTP simulator.
+func PSPTransform(jpegData []byte, spec TransformSpec) ([]byte, error) {
+	img, err := jpegc.Decode(bytes.NewReader(jpegData))
+	if err != nil {
+		return nil, fmt.Errorf("puppies: decode image: %w", err)
+	}
+	out, err := transform.Apply(img, spec)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := out.Encode(&buf, jpegc.EncodeOptions{Tables: jpegc.TablesOptimized}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// PSPTransformPixels applies a pixel-domain transformation and returns the
+// result as a lossless PLNR stream — the high-fidelity delivery path that
+// UnprotectTransformedPixels consumes.
+func PSPTransformPixels(jpegData []byte, spec TransformSpec) ([]byte, error) {
+	img, err := jpegc.Decode(bytes.NewReader(jpegData))
+	if err != nil {
+		return nil, fmt.Errorf("puppies: decode image: %w", err)
+	}
+	pix, err := img.ToPlanar()
+	if err != nil {
+		return nil, err
+	}
+	out, err := transform.ApplyPlanar(pix, spec)
+	if err != nil {
+		return nil, err
+	}
+	return out.MarshalBinary()
+}
+
+// UnprotectTransformedPixels recovers from a pixel-domain transformed copy
+// (scaling, arbitrary rotation, filtering, unaligned crops) delivered as a
+// lossless PLNR stream (see the psp package's /pixels endpoint). Exact when
+// the image was protected with the default WrapRecorded policy (and, for
+// VariantZ, with TransformSupport).
+func UnprotectTransformedPixels(plnrData, params []byte, spec TransformSpec, pairs []*KeyPair) (image.Image, error) {
+	transformed, err := imgplane.DecodeBinary(bytes.NewReader(plnrData))
+	if err != nil {
+		return nil, err
+	}
+	pd, err := core.DecodePublicData(params)
+	if err != nil {
+		return nil, err
+	}
+	pd.Transform = spec
+	out, err := core.ReconstructPixels(transformed, pd, keyMap(pairs))
+	if err != nil {
+		return nil, err
+	}
+	return out.Quantize8().ToStdImage(), nil
+}
