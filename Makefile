@@ -1,0 +1,33 @@
+# PuPPIeS build/check targets. `make check` is the CI gate: formatting,
+# vet, the full test suite, and the resilience/concurrency tests under the
+# race detector (TestConcurrentClients and the internal/faults harness run
+# as part of the -race invocation).
+
+GO ?= go
+
+.PHONY: all build test check fmt race
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race runs the PSP pipeline tests (client retries, fault injection,
+# concurrent clients, pspd graceful shutdown) under -race.
+race:
+	$(GO) test -race -count=1 ./internal/psp/... ./internal/faults/... ./cmd/pspd/...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+check: fmt
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test ./...
+	$(MAKE) race

@@ -4,8 +4,17 @@
 //
 //	pspd -addr :8754
 //
+// The daemon shuts down gracefully on SIGINT/SIGTERM: the listener closes
+// immediately, in-flight requests get -drain to finish, and a clean
+// shutdown exits 0. Each request is bounded by -request-timeout, and
+// GET /v1/healthz reports liveness plus the store size.
+//
+// For resilience testing, -fault-seed with -fault-rate/-fault-latency wires
+// the deterministic internal/faults middleware in front of the API.
+//
 // API (see internal/psp):
 //
+//	GET  /v1/healthz                         liveness + store size
 //	POST /v1/images                          upload {image, params} -> {id}
 //	GET  /v1/images/{id}                     stored JPEG
 //	GET  /v1/images/{id}/params              public parameters
@@ -14,26 +23,100 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"puppies/internal/faults"
 	"puppies/internal/psp"
 )
 
 func main() {
-	addr := flag.String("addr", ":8754", "listen address")
-	flag.Parse()
-
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           psp.NewServer().Handler(),
-		ReadHeaderTimeout: 10 * time.Second,
-	}
-	fmt.Printf("pspd listening on %s\n", *addr)
-	if err := srv.ListenAndServe(); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, nil); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// run is the testable daemon body. It serves until ctx is cancelled, then
+// drains in-flight requests and returns nil on a clean shutdown. If ready
+// is non-nil it receives the bound listen address once the socket is open.
+func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- string) error {
+	fs := flag.NewFlagSet("pspd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8754", "listen address")
+	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+	reqTimeout := fs.Duration("request-timeout", 60*time.Second, "per-request handler timeout (0 disables)")
+	faultSeed := fs.Int64("fault-seed", 0, "enable fault-injection middleware with this RNG seed (0 disables)")
+	faultRate := fs.Float64("fault-rate", 0, "probability of injecting the configured fault per request")
+	faultLatency := fs.Duration("fault-latency", 0, "injected latency; with zero latency the injected fault is a 503")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	handler := psp.NewServer().Handler()
+	if *faultSeed != 0 {
+		fault := faults.Fault{Kind: faults.Status503}
+		if *faultLatency > 0 {
+			fault = faults.Fault{Kind: faults.Latency, Delay: *faultLatency}
+		}
+		inj := faults.New(*faultSeed)
+		inj.Rule(faults.Rule{Rate: *faultRate, Fault: fault})
+		handler = inj.Middleware(handler)
+		fmt.Fprintf(stdout, "pspd fault injection on: seed=%d rate=%g fault=%s\n",
+			*faultSeed, *faultRate, fault.Kind)
+	}
+	// The timeout wraps the fault middleware so injected latency counts as
+	// handler time: a stalled (faulted) request is cut off at -request-timeout
+	// like any other slow handler.
+	if *reqTimeout > 0 {
+		handler = http.TimeoutHandler(handler, *reqTimeout, "request timed out\n")
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("pspd: listen: %w", err)
+	}
+	srv := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	fmt.Fprintf(stdout, "pspd listening on %s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		// Serve only returns before shutdown on a real listener error.
+		return fmt.Errorf("pspd: serve: %w", err)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(stdout, "pspd shutting down, draining for up to %s\n", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("pspd: shutdown: %w", err)
+	}
+	// A clean Shutdown makes Serve return ErrServerClosed; that is the
+	// success path, not a fatal error.
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("pspd: serve: %w", err)
+	}
+	fmt.Fprintln(stdout, "pspd stopped cleanly")
+	return nil
 }

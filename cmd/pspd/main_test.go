@@ -1,0 +1,207 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"puppies/internal/imgplane"
+	"puppies/internal/jpegc"
+)
+
+func testJPEG(t *testing.T) []byte {
+	t.Helper()
+	const w, h = 48, 48
+	img, err := imgplane.New(w, h, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := y*w + x
+			img.Planes[0].Pix[i] = float32(100 + 80*math.Sin(float64(x)/6))
+			img.Planes[1].Pix[i] = 128
+			img.Planes[2].Pix[i] = 128
+		}
+	}
+	jimg, err := jpegc.FromPlanar(img, jpegc.Options{Quality: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := jimg.Encode(&buf, jpegc.EncodeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestGracefulShutdownCompletesInFlightTransform is the ISSUE's acceptance
+// (c): every request is slowed by deterministic injected latency, shutdown
+// is triggered while a transform request is in flight, and the daemon both
+// finishes that request and exits cleanly (nil error, not log.Fatal).
+func TestGracefulShutdownCompletesInFlightTransform(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	var out bytes.Buffer
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-drain", "5s",
+			"-fault-seed", "1",
+			"-fault-rate", "1",
+			"-fault-latency", "150ms",
+		}, &out, ready)
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-runErr:
+		t.Fatalf("run exited before ready: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("run never became ready")
+	}
+	base := "http://" + addr
+
+	// Upload an image to transform (this request also eats the latency).
+	body, err := json.Marshal(map[string]interface{}{
+		"image":  base64.StdEncoding.EncodeToString(testJPEG(t)),
+		"params": nil,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/images", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("upload: HTTP %d: %s", resp.StatusCode, raw)
+	}
+	var up struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(raw, &up); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fire the transform, then cancel the daemon while the injected
+	// 150ms latency keeps the request in flight.
+	type result struct {
+		code int
+		body []byte
+		err  error
+	}
+	res := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(base + "/v1/images/" + up.ID + "/transformed?spec=" +
+			`%7B%22op%22%3A%22rotate90%22%7D`)
+		if err != nil {
+			res <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		res <- result{code: resp.StatusCode, body: b, err: err}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+
+	select {
+	case r := <-res:
+		if r.err != nil {
+			t.Fatalf("in-flight transform failed during shutdown: %v", r.err)
+		}
+		if r.code != http.StatusOK {
+			t.Fatalf("in-flight transform: HTTP %d: %s", r.code, r.body)
+		}
+		img, err := jpegc.Decode(bytes.NewReader(r.body))
+		if err != nil {
+			t.Fatalf("transform served during shutdown is not a valid JPEG: %v", err)
+		}
+		if img.W != 48 || img.H != 48 {
+			t.Errorf("rotated dims %dx%d", img.W, img.H)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("in-flight transform never completed")
+	}
+
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("clean shutdown returned error: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not return after shutdown")
+	}
+	if !strings.Contains(out.String(), "pspd stopped cleanly") {
+		t.Errorf("missing clean-stop log; output:\n%s", out.String())
+	}
+}
+
+func TestHealthzAndCleanIdleShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	var out bytes.Buffer
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run(ctx, []string{"-addr", "127.0.0.1:0"}, &out, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-runErr:
+		t.Fatalf("run exited before ready: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("run never became ready")
+	}
+	resp, err := http.Get("http://" + addr + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(raw, []byte(`"ok"`)) {
+		t.Errorf("healthz: HTTP %d %s", resp.StatusCode, raw)
+	}
+	cancel()
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Errorf("idle shutdown returned error: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not return after cancel")
+	}
+}
+
+func TestListenFailureIsReported(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	err = run(context.Background(), []string{"-addr", ln.Addr().String()}, io.Discard, nil)
+	if err == nil {
+		t.Fatal("run on an occupied port returned nil")
+	}
+	if !strings.Contains(err.Error(), "listen") {
+		t.Errorf("listen failure error = %v", err)
+	}
+}

@@ -11,6 +11,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"image"
 	"log"
@@ -28,6 +29,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// Spin up the PSP.
 	server := httptest.NewServer(psp.NewServer().Handler())
 	defer server.Close()
@@ -61,7 +63,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	id, err := client.Upload(img, pd, jpegc.EncodeOptions{Tables: jpegc.TablesOptimized})
+	id, err := client.Upload(ctx, img, pd, jpegc.EncodeOptions{Tables: jpegc.TablesOptimized})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -75,7 +77,7 @@ func main() {
 
 	// 1. PSP-side lossless rotation (Fig. 10).
 	rotSpec := transform.Spec{Op: transform.OpRotate90}
-	rotated, err := client.FetchTransformed(id, rotSpec)
+	rotated, err := client.FetchTransformed(ctx, id, rotSpec)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -94,7 +96,7 @@ func main() {
 
 	// 2. PSP-side downscale (Fig. 16), lossless pixel delivery.
 	scaleSpec := transform.Spec{Op: transform.OpScale, FactorX: 0.5, FactorY: 0.5}
-	scaledPix, err := client.FetchTransformedPixels(id, scaleSpec)
+	scaledPix, err := client.FetchTransformedPixels(ctx, id, scaleSpec)
 	if err != nil {
 		log.Fatal(err)
 	}

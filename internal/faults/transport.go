@@ -1,0 +1,133 @@
+package faults
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// Transport wraps an http.RoundTripper with client-side fault injection.
+// inner may be nil, in which case http.DefaultTransport is used.
+func (in *Injector) Transport(inner http.RoundTripper) http.RoundTripper {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &faultTransport{in: in, inner: inner}
+}
+
+type faultTransport struct {
+	in    *Injector
+	inner http.RoundTripper
+}
+
+// connReset is the transport error used for Drop/DropResponse; clients see
+// it exactly as they would a mid-flight TCP reset.
+func connReset() error {
+	return &net.OpError{Op: "read", Net: "tcp", Err: syscall.ECONNRESET}
+}
+
+func retryAfterValue(d time.Duration) string {
+	secs := d.Seconds()
+	if secs == float64(int64(secs)) {
+		return fmt.Sprintf("%d", int64(secs))
+	}
+	return fmt.Sprintf("%g", secs)
+}
+
+func synthesized503(req *http.Request, f Fault) *http.Response {
+	const body = "faults: injected 503"
+	h := http.Header{"Content-Type": {"text/plain; charset=utf-8"}}
+	if f.RetryAfter > 0 {
+		h.Set("Retry-After", retryAfterValue(f.RetryAfter))
+	}
+	return &http.Response{
+		Status:        "503 Service Unavailable",
+		StatusCode:    http.StatusServiceUnavailable,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        h,
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+func (t *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	f := t.in.next(req)
+	switch f.Kind {
+	case Status503:
+		drainRequest(req)
+		return synthesized503(req, f), nil
+
+	case Drop:
+		drainRequest(req)
+		return nil, connReset()
+
+	case DropResponse:
+		resp, err := t.inner.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, connReset()
+
+	case Latency:
+		timer := time.NewTimer(f.Delay)
+		defer timer.Stop()
+		select {
+		case <-req.Context().Done():
+			drainRequest(req)
+			return nil, req.Context().Err()
+		case <-timer.C:
+		}
+		return t.inner.RoundTrip(req)
+
+	case Truncate:
+		resp, err := t.inner.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		return mutateBody(resp, func(b []byte) []byte { return b[:len(b)/2] })
+
+	case BitFlip:
+		resp, err := t.inner.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		return mutateBody(resp, t.in.flipBit)
+	}
+	return t.inner.RoundTrip(req)
+}
+
+// drainRequest consumes and closes the outgoing body, which RoundTrip
+// implementations must do even when they never contact the origin.
+func drainRequest(req *http.Request) {
+	if req.Body != nil {
+		_, _ = io.Copy(io.Discard, req.Body)
+		req.Body.Close()
+	}
+}
+
+// mutateBody reads the full response body, applies fn, and reinstalls the
+// result with consistent framing, so the corruption is invisible at the
+// HTTP layer and only a decoder can notice.
+func mutateBody(resp *http.Response, fn func([]byte) []byte) (*http.Response, error) {
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	out := fn(body)
+	resp.Body = io.NopCloser(bytes.NewReader(out))
+	resp.ContentLength = int64(len(out))
+	resp.Header.Set("Content-Length", fmt.Sprintf("%d", len(out)))
+	resp.TransferEncoding = nil
+	return resp, nil
+}

@@ -1,6 +1,7 @@
 package psp
 
 import (
+	"context"
 	"fmt"
 	"net/http/httptest"
 	"sync"
@@ -46,15 +47,15 @@ func TestConcurrentClients(t *testing.T) {
 					errs <- err
 					continue
 				}
-				id, err := client.Upload(img, pd, jpegc.EncodeOptions{})
+				id, err := client.Upload(context.Background(), img, pd, jpegc.EncodeOptions{})
 				if err != nil {
 					errs <- fmt.Errorf("worker %d upload: %w", w, err)
 					continue
 				}
-				if _, err := client.FetchImage(id); err != nil {
+				if _, err := client.FetchImage(context.Background(), id); err != nil {
 					errs <- fmt.Errorf("worker %d fetch: %w", w, err)
 				}
-				if _, err := client.FetchTransformed(id, transform.Spec{Op: transform.OpRotate180}); err != nil {
+				if _, err := client.FetchTransformed(context.Background(), id, transform.Spec{Op: transform.OpRotate180}); err != nil {
 					errs <- fmt.Errorf("worker %d transform: %w", w, err)
 				}
 			}

@@ -1,0 +1,125 @@
+package psp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// Sentinel errors callers can branch on with errors.Is. They classify every
+// failure the client can surface:
+//
+//   - ErrRetryable: transient — the request may succeed if repeated (5xx,
+//     429, connection reset, timeout). The client already retried
+//     idempotent requests internally; seeing this means retries were
+//     exhausted.
+//   - ErrNotFound: the PSP has no image under that ID (HTTP 404). Terminal.
+//   - ErrCorrupt: the PSP answered 200 but the payload failed to decode or
+//     failed an integrity check. Re-fetching the same route is unlikely to
+//     help; the /pixels fallback might (see FetchTransformedGraceful).
+//   - ErrTooLarge: a request or response exceeded the configured byte
+//     limit (HTTP 413 on upload, client-side cap on download). Terminal.
+var (
+	ErrRetryable = errors.New("psp: retryable failure")
+	ErrNotFound  = errors.New("psp: image not found")
+	ErrCorrupt   = errors.New("psp: corrupt payload")
+	ErrTooLarge  = errors.New("psp: payload too large")
+)
+
+// StatusError reports a non-2xx HTTP response from the PSP.
+type StatusError struct {
+	Method string
+	Path   string
+	Code   int
+	Body   string
+	// RetryAfter is the parsed Retry-After header, zero if absent.
+	RetryAfter time.Duration
+}
+
+func (e *StatusError) Error() string {
+	msg := fmt.Sprintf("psp: %s %s: HTTP %d", e.Method, e.Path, e.Code)
+	if e.Body != "" {
+		msg += ": " + e.Body
+	}
+	return msg
+}
+
+// Is maps HTTP status classes onto the package sentinels so that
+// errors.Is(err, ErrRetryable) etc. work on status errors.
+func (e *StatusError) Is(target error) bool {
+	switch target {
+	case ErrRetryable:
+		return e.Code >= 500 || e.Code == http.StatusTooManyRequests
+	case ErrNotFound:
+		return e.Code == http.StatusNotFound
+	case ErrTooLarge:
+		return e.Code == http.StatusRequestEntityTooLarge
+	}
+	return false
+}
+
+// retryableError tags a transport-level failure (reset, timeout, EOF) as
+// retryable while preserving the original error chain.
+type retryableError struct{ err error }
+
+func (e *retryableError) Error() string        { return e.err.Error() }
+func (e *retryableError) Unwrap() error        { return e.err }
+func (e *retryableError) Is(target error) bool { return target == ErrRetryable }
+
+// corruptError tags a decode/integrity failure on a 200 response.
+type corruptError struct{ err error }
+
+func (e *corruptError) Error() string        { return "psp: corrupt payload: " + e.err.Error() }
+func (e *corruptError) Unwrap() error        { return e.err }
+func (e *corruptError) Is(target error) bool { return target == ErrCorrupt }
+
+// classifyTransport wraps transport errors that are worth retrying:
+// timeouts, connection resets/refusals, and short reads. Context
+// cancellation from the caller is never retryable.
+func classifyTransport(err error, attemptTimedOut bool) error {
+	if err == nil {
+		return nil
+	}
+	if attemptTimedOut {
+		// The per-attempt deadline fired, not the caller's context.
+		return &retryableError{err}
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.EPIPE) {
+		return &retryableError{err}
+	}
+	var netErr net.Error
+	if errors.As(err, &netErr) && netErr.Timeout() {
+		return &retryableError{err}
+	}
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		return &retryableError{err}
+	}
+	return err
+}
+
+// parseRetryAfter reads a Retry-After header as delta seconds (fractional
+// accepted) or an HTTP date. Returns zero if absent or unparseable.
+func parseRetryAfter(h http.Header) time.Duration {
+	raw := strings.TrimSpace(h.Get("Retry-After"))
+	if raw == "" {
+		return 0
+	}
+	if secs, err := strconv.ParseFloat(raw, 64); err == nil && secs >= 0 {
+		return time.Duration(secs * float64(time.Second))
+	}
+	if t, err := http.ParseTime(raw); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
+}

@@ -2,6 +2,7 @@ package psp
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"math"
 	"net/http"
@@ -59,11 +60,11 @@ func fixture(t *testing.T) (*Client, *jpegc.Image, *jpegc.Image, *core.PublicDat
 
 func TestUploadDownloadRoundTrip(t *testing.T) {
 	client, _, perturbed, pd, _ := fixture(t)
-	id, err := client.Upload(perturbed, pd, jpegc.EncodeOptions{Tables: jpegc.TablesOptimized})
+	id, err := client.Upload(context.Background(), perturbed, pd, jpegc.EncodeOptions{Tables: jpegc.TablesOptimized})
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := client.FetchImage(id)
+	got, err := client.FetchImage(context.Background(), id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestUploadDownloadRoundTrip(t *testing.T) {
 			}
 		}
 	}
-	params, err := client.FetchParams(id)
+	params, err := client.FetchParams(context.Background(), id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,17 +86,17 @@ func TestUploadDownloadRoundTrip(t *testing.T) {
 
 func TestEndToEndSharingFlow(t *testing.T) {
 	client, base, perturbed, pd, pair := fixture(t)
-	id, err := client.Upload(perturbed, pd, jpegc.EncodeOptions{Tables: jpegc.TablesOptimized})
+	id, err := client.Upload(context.Background(), perturbed, pd, jpegc.EncodeOptions{Tables: jpegc.TablesOptimized})
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	// Receiver with the key recovers the exact original.
-	img, err := client.FetchImage(id)
+	img, err := client.FetchImage(context.Background(), id)
 	if err != nil {
 		t.Fatal(err)
 	}
-	params, err := client.FetchParams(id)
+	params, err := client.FetchParams(context.Background(), id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,12 +118,12 @@ func TestEndToEndSharingFlow(t *testing.T) {
 
 func TestTransformedPixelsRecovery(t *testing.T) {
 	client, base, perturbed, pd, pair := fixture(t)
-	id, err := client.Upload(perturbed, pd, jpegc.EncodeOptions{Tables: jpegc.TablesOptimized})
+	id, err := client.Upload(context.Background(), perturbed, pd, jpegc.EncodeOptions{Tables: jpegc.TablesOptimized})
 	if err != nil {
 		t.Fatal(err)
 	}
 	spec := transform.Spec{Op: transform.OpScale, FactorX: 0.5, FactorY: 0.5}
-	transformed, err := client.FetchTransformedPixels(id, spec)
+	transformed, err := client.FetchTransformedPixels(context.Background(), id, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,11 +152,11 @@ func TestTransformedPixelsRecovery(t *testing.T) {
 
 func TestTransformedJPEGEndpoint(t *testing.T) {
 	client, _, perturbed, pd, _ := fixture(t)
-	id, err := client.Upload(perturbed, pd, jpegc.EncodeOptions{})
+	id, err := client.Upload(context.Background(), perturbed, pd, jpegc.EncodeOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := client.FetchTransformed(id, transform.Spec{Op: transform.OpRotate90})
+	got, err := client.FetchTransformed(context.Background(), id, transform.Spec{Op: transform.OpRotate90})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,10 +170,10 @@ func TestServerErrors(t *testing.T) {
 	defer srv.Close()
 	client := &Client{BaseURL: srv.URL}
 
-	if _, err := client.FetchImage("nope"); err == nil {
+	if _, err := client.FetchImage(context.Background(), "nope"); err == nil {
 		t.Error("missing image fetch succeeded")
 	}
-	if _, err := client.FetchParams("nope"); err == nil {
+	if _, err := client.FetchParams(context.Background(), "nope"); err == nil {
 		t.Error("missing params fetch succeeded")
 	}
 
@@ -202,14 +203,14 @@ func TestServerErrors(t *testing.T) {
 
 func TestBadTransformSpecRejected(t *testing.T) {
 	client, _, perturbed, pd, _ := fixture(t)
-	id, err := client.Upload(perturbed, pd, jpegc.EncodeOptions{})
+	id, err := client.Upload(context.Background(), perturbed, pd, jpegc.EncodeOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := client.FetchTransformed(id, transform.Spec{Op: "nonsense"}); err == nil {
+	if _, err := client.FetchTransformed(context.Background(), id, transform.Spec{Op: "nonsense"}); err == nil {
 		t.Error("nonsense spec accepted")
 	}
-	if _, err := client.FetchTransformedPixels(id, transform.Spec{Op: transform.OpCompress, Quality: 50}); err == nil {
+	if _, err := client.FetchTransformedPixels(context.Background(), id, transform.Spec{Op: transform.OpCompress, Quality: 50}); err == nil {
 		t.Error("compression via pixels endpoint accepted")
 	}
 	// Raw query with undecodable spec JSON.

@@ -22,8 +22,12 @@ import (
 	"puppies/internal/transform"
 )
 
-// maxUploadBytes bounds request bodies.
-const maxUploadBytes = 64 << 20
+// DefaultMaxUpload bounds request and response bodies unless overridden.
+const DefaultMaxUpload = 64 << 20
+
+// idempotencyHeader carries the client-generated key that lets the server
+// deduplicate retried uploads.
+const idempotencyHeader = "Idempotency-Key"
 
 type entry struct {
 	jpeg   []byte
@@ -32,13 +36,34 @@ type entry struct {
 
 // Server is the in-memory PSP.
 type Server struct {
+	// MaxUpload caps upload body size in bytes; larger requests get
+	// HTTP 413. Zero means DefaultMaxUpload. Set before Handler is used.
+	MaxUpload int64
+
 	mu    sync.RWMutex
 	store map[string]*entry
+	// byKey maps idempotency keys to assigned IDs so a retried upload
+	// returns the original ID instead of storing a duplicate.
+	byKey map[string]string
 }
 
 // NewServer returns an empty PSP.
 func NewServer() *Server {
-	return &Server{store: make(map[string]*entry)}
+	return &Server{store: make(map[string]*entry), byKey: make(map[string]string)}
+}
+
+// Len reports how many images are stored.
+func (s *Server) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.store)
+}
+
+func (s *Server) maxUpload() int64 {
+	if s.MaxUpload > 0 {
+		return s.MaxUpload
+	}
+	return DefaultMaxUpload
 }
 
 // UploadRequest is the POST /v1/images body.
@@ -54,17 +79,27 @@ type UploadResponse struct {
 	ID string `json:"id"`
 }
 
+// HealthResponse is the GET /v1/healthz body.
+type HealthResponse struct {
+	Status string `json:"status"`
+	Images int    `json:"images"`
+}
+
 // Handler returns the HTTP API:
 //
+//	GET  /v1/healthz                     liveness + store size
 //	POST /v1/images                      upload {image, params} -> {id}
 //	GET  /v1/images/{id}                 stored JPEG bytes
 //	GET  /v1/images/{id}/params          public parameters
 //	GET  /v1/images/{id}/transformed?spec=J  transformed, re-encoded JPEG
 //	GET  /v1/images/{id}/pixels?spec=J   transformed pixels, lossless PLNR
 //
-// where J is a URL-encoded transform.Spec JSON document.
+// where J is a URL-encoded transform.Spec JSON document. Uploads may carry
+// an Idempotency-Key header; repeats with the same key return the
+// originally assigned ID without storing a second copy.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("POST /v1/images", s.handleUpload)
 	mux.HandleFunc("GET /v1/images/{id}", s.handleGet)
 	mux.HandleFunc("GET /v1/images/{id}/params", s.handleParams)
@@ -77,10 +112,22 @@ func httpError(w http.ResponseWriter, code int, format string, args ...interface
 	http.Error(w, fmt.Sprintf(format, args...), code)
 }
 
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(HealthResponse{Status: "ok", Images: s.Len()})
+}
+
 func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxUploadBytes))
+	limit := s.maxUpload()
+	// Read one byte past the limit so oversized bodies are detected
+	// rather than silently truncated into undecodable JSON.
+	body, err := io.ReadAll(io.LimitReader(r.Body, limit+1))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	if int64(len(body)) > limit {
+		httpError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", limit)
 		return
 	}
 	var req UploadRequest
@@ -92,6 +139,18 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "empty image")
 		return
 	}
+
+	key := strings.TrimSpace(r.Header.Get(idempotencyHeader))
+	if key != "" {
+		s.mu.RLock()
+		id, seen := s.byKey[key]
+		s.mu.RUnlock()
+		if seen {
+			writeUploadResponse(w, id)
+			return
+		}
+	}
+
 	// The PSP validates that the upload is a decodable JPEG (any PSP
 	// would), but learns nothing else from it.
 	if _, err := jpegc.Decode(bytes.NewReader(req.Image)); err != nil {
@@ -105,8 +164,22 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	}
 	id := hex.EncodeToString(idBytes[:])
 	s.mu.Lock()
+	// Re-check the key under the write lock so concurrent retries of the
+	// same upload cannot both store.
+	if key != "" {
+		if prev, seen := s.byKey[key]; seen {
+			s.mu.Unlock()
+			writeUploadResponse(w, prev)
+			return
+		}
+		s.byKey[key] = id
+	}
 	s.store[id] = &entry{jpeg: req.Image, params: req.Params}
 	s.mu.Unlock()
+	writeUploadResponse(w, id)
+}
+
+func writeUploadResponse(w http.ResponseWriter, id string) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(UploadResponse{ID: id}); err != nil {
 		return
