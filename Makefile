@@ -5,7 +5,12 @@
 
 GO ?= go
 
-.PHONY: all build test check fmt race
+# BENCH_OUT is the JSON report `make bench` writes; HOT_BENCHMARKS are the
+# named hot paths `make bench-compare` gates on (>10% ns/op regression fails).
+BENCH_OUT ?= BENCH_PR2.json
+HOT_BENCHMARKS ?= BenchmarkTable5EncDecTime,BenchmarkEncryptThroughput,BenchmarkDecryptThroughput,BenchmarkProtectRecoverPerMP,BenchmarkForwardQuantized,BenchmarkInverseQuantized,BenchmarkFromPlanar,BenchmarkToPlanar
+
+.PHONY: all build test check fmt race bench bench-compare
 
 all: build
 
@@ -16,9 +21,26 @@ test:
 	$(GO) test ./...
 
 # race runs the PSP pipeline tests (client retries, fault injection,
-# concurrent clients, pspd graceful shutdown) under -race.
+# concurrent clients, pspd graceful shutdown) and the parallel-pipeline
+# determinism suite under -race.
 race:
-	$(GO) test -race -count=1 ./internal/psp/... ./internal/faults/... ./cmd/pspd/...
+	$(GO) test -race -count=1 ./internal/psp/... ./internal/faults/... ./cmd/pspd/... ./internal/parallel/...
+	$(GO) test -race -count=1 -run 'TestParallelDeterminism' .
+
+# bench runs every benchmark (paper tables/figures plus the kernel and
+# pipeline micro-benchmarks) and writes a JSON report to $(BENCH_OUT).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./... | tee /dev/stderr | $(GO) run ./cmd/benchfmt -o $(BENCH_OUT)
+
+# bench-compare diffs two bench reports and fails on a >10% ns/op
+# regression of any hot benchmark:
+#   make bench BENCH_OUT=old.json   # on the baseline commit
+#   make bench BENCH_OUT=new.json   # on the candidate
+#   make bench-compare OLD=old.json NEW=new.json
+OLD ?= BENCH_PR1.json
+NEW ?= $(BENCH_OUT)
+bench-compare:
+	$(GO) run ./cmd/benchfmt -compare -hot '$(HOT_BENCHMARKS)' $(OLD) $(NEW)
 
 fmt:
 	@out="$$(gofmt -l .)"; \

@@ -10,9 +10,13 @@
 package puppies_test
 
 import (
+	"image"
+	"math"
 	"testing"
 
+	"puppies"
 	"puppies/internal/experiments"
+	"puppies/internal/keys"
 )
 
 // benchCfg keeps benchmark iterations affordable; cmd/experiments -full
@@ -20,6 +24,7 @@ import (
 var benchCfg = experiments.Config{Seed: 1, PascalN: 4, InriaN: 1, CaltechN: 3}
 
 func BenchmarkTable1Capabilities(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, _, err := experiments.Table1(benchCfg)
 		if err != nil {
@@ -33,6 +38,7 @@ func BenchmarkTable1Capabilities(b *testing.B) {
 }
 
 func BenchmarkTable2PerturbedSize(b *testing.B) {
+	b.ReportAllocs()
 	var last []experiments.Table2Row
 	for i := 0; i < b.N; i++ {
 		rows, _, err := experiments.Table2(benchCfg)
@@ -49,6 +55,7 @@ func BenchmarkTable2PerturbedSize(b *testing.B) {
 }
 
 func BenchmarkTable5EncDecTime(b *testing.B) {
+	b.ReportAllocs()
 	var last []experiments.Table5Row
 	for i := 0; i < b.N; i++ {
 		rows, _, err := experiments.Table5(benchCfg)
@@ -64,6 +71,7 @@ func BenchmarkTable5EncDecTime(b *testing.B) {
 }
 
 func BenchmarkFig2RetrievalUsability(b *testing.B) {
+	b.ReportAllocs()
 	var last *experiments.Fig2Result
 	for i := 0; i < b.N; i++ {
 		res, _, err := experiments.Fig2(experiments.Config{Seed: 1, PascalN: 10})
@@ -79,6 +87,7 @@ func BenchmarkFig2RetrievalUsability(b *testing.B) {
 }
 
 func BenchmarkFig4ScalingRecovery(b *testing.B) {
+	b.ReportAllocs()
 	var last *experiments.Fig4Result
 	for i := 0; i < b.N; i++ {
 		res, _, err := experiments.Fig4(benchCfg)
@@ -94,6 +103,7 @@ func BenchmarkFig4ScalingRecovery(b *testing.B) {
 }
 
 func BenchmarkFig11PrivatePartSize(b *testing.B) {
+	b.ReportAllocs()
 	var last *experiments.Fig11Result
 	for i := 0; i < b.N; i++ {
 		res, _, err := experiments.Fig11(benchCfg)
@@ -110,6 +120,7 @@ func BenchmarkFig11PrivatePartSize(b *testing.B) {
 }
 
 func BenchmarkFig16ScaleRoundTrip(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, _, err := experiments.Fig16(benchCfg)
 		if err != nil {
@@ -122,6 +133,7 @@ func BenchmarkFig16ScaleRoundTrip(b *testing.B) {
 }
 
 func BenchmarkFig17PrivacyVsSize(b *testing.B) {
+	b.ReportAllocs()
 	var last []experiments.Fig17Row
 	for i := 0; i < b.N; i++ {
 		rows, _, err := experiments.Fig17(benchCfg)
@@ -138,6 +150,7 @@ func BenchmarkFig17PrivacyVsSize(b *testing.B) {
 }
 
 func BenchmarkFig18PublicVsROI(b *testing.B) {
+	b.ReportAllocs()
 	var last []experiments.Fig18Row
 	for i := 0; i < b.N; i++ {
 		rows, _, err := experiments.Fig18(benchCfg)
@@ -154,6 +167,7 @@ func BenchmarkFig18PublicVsROI(b *testing.B) {
 }
 
 func BenchmarkFig20SIFTAttack(b *testing.B) {
+	b.ReportAllocs()
 	var last *experiments.Fig20Result
 	for i := 0; i < b.N; i++ {
 		res, _, err := experiments.Fig20(benchCfg)
@@ -170,6 +184,7 @@ func BenchmarkFig20SIFTAttack(b *testing.B) {
 }
 
 func BenchmarkFig21EdgeAttack(b *testing.B) {
+	b.ReportAllocs()
 	var last *experiments.Fig21Result
 	for i := 0; i < b.N; i++ {
 		res, _, err := experiments.Fig21(benchCfg)
@@ -184,6 +199,7 @@ func BenchmarkFig21EdgeAttack(b *testing.B) {
 }
 
 func BenchmarkFig22FaceRecognition(b *testing.B) {
+	b.ReportAllocs()
 	var last *experiments.Fig22Result
 	for i := 0; i < b.N; i++ {
 		res, _, err := experiments.Fig22(benchCfg)
@@ -200,6 +216,7 @@ func BenchmarkFig22FaceRecognition(b *testing.B) {
 }
 
 func BenchmarkFig23CorrelationAttacks(b *testing.B) {
+	b.ReportAllocs()
 	var last []experiments.Fig23Result
 	for i := 0; i < b.N; i++ {
 		res, _, err := experiments.Fig23(benchCfg)
@@ -216,6 +233,7 @@ func BenchmarkFig23CorrelationAttacks(b *testing.B) {
 }
 
 func BenchmarkFigFaceDetectionAttack(b *testing.B) {
+	b.ReportAllocs()
 	var last *experiments.FaceDetectionResult
 	for i := 0; i < b.N; i++ {
 		res, _, err := experiments.FaceDetection(benchCfg)
@@ -232,6 +250,7 @@ func BenchmarkFigFaceDetectionAttack(b *testing.B) {
 }
 
 func BenchmarkROIDetection(b *testing.B) {
+	b.ReportAllocs()
 	var last *experiments.ROITimingResult
 	for i := 0; i < b.N; i++ {
 		res, _, err := experiments.ROITiming(benchCfg)
@@ -257,4 +276,38 @@ func itoa(v int) string {
 		v /= 10
 	}
 	return string(buf[i:])
+}
+
+// BenchmarkProtectRecoverPerMP measures the end-to-end protect + recover
+// pipeline on a one-megapixel image, so ns/op reads directly as
+// nanoseconds per megapixel.
+func BenchmarkProtectRecoverPerMP(b *testing.B) {
+	b.ReportAllocs()
+	src := image.NewRGBA(image.Rect(0, 0, 1024, 1024))
+	for y := 0; y < 1024; y++ {
+		for x := 0; x < 1024; x++ {
+			i := src.PixOffset(x, y)
+			src.Pix[i+0] = uint8(128 + 90*math.Sin(float64(x)/11)*math.Cos(float64(y)/7))
+			src.Pix[i+1] = uint8(128 + 70*math.Sin(float64(x+y)/13))
+			src.Pix[i+2] = uint8(128 + 50*math.Cos(float64(x-2*y)/17))
+			src.Pix[i+3] = 255
+		}
+	}
+	pair := keys.NewPairDeterministic(99)
+	opts := puppies.ProtectOptions{
+		Variant: puppies.VariantZ,
+		Regions: []puppies.Rect{{X: 128, Y: 128, W: 512, H: 512}},
+		Keys:    []*puppies.KeyPair{pair},
+	}
+	b.SetBytes(1024 * 1024 * 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := puppies.Protect(src, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := puppies.UnprotectJPEG(p.JPEG, p.Params, p.Keys); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

@@ -1,0 +1,215 @@
+// Command benchfmt converts `go test -bench` output into a stable JSON
+// benchmark report, and compares two such reports for regressions.
+//
+// Format mode (default) reads benchmark output from stdin or the named
+// files and writes a JSON array of results:
+//
+//	go test -bench . -benchmem ./... | benchfmt -o BENCH.json
+//
+// Compare mode diffs two reports and exits non-zero when a named hot
+// benchmark regressed by more than the threshold:
+//
+//	benchfmt -compare -hot BenchmarkTable5EncDecTime,BenchmarkEncryptThroughput old.json new.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's parsed measurements.
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	MBPerS      float64            `json:"mb_per_s,omitempty"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+// parse reads `go test -bench` output and returns one Result per benchmark
+// line, sorted by name. A benchmark appearing more than once keeps its last
+// measurement.
+func parse(r io.Reader) ([]Result, error) {
+	byName := map[string]Result{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		// Strip the -GOMAXPROCS suffix so reports from different machines
+		// compare by logical benchmark name.
+		name := regexp.MustCompile(`-\d+$`).ReplaceAllString(m[1], "")
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchfmt: bad iteration count in %q: %w", sc.Text(), err)
+		}
+		res := Result{Name: name, Iterations: iters}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchfmt: bad value %q in %q: %w", fields[i], sc.Text(), err)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp = v
+			case "MB/s":
+				res.MBPerS = v
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			default:
+				if res.Metrics == nil {
+					res.Metrics = map[string]float64{}
+				}
+				res.Metrics[unit] = v
+			}
+		}
+		byName[name] = res
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]Result, 0, len(byName))
+	for _, r := range byName {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+func readReport(path string) (map[string]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var list []Result
+	if err := json.Unmarshal(data, &list); err != nil {
+		return nil, fmt.Errorf("benchfmt: %s: %w", path, err)
+	}
+	m := make(map[string]Result, len(list))
+	for _, r := range list {
+		m[r.Name] = r
+	}
+	return m, nil
+}
+
+// compare reports hot benchmarks whose ns/op regressed beyond threshold.
+func compare(oldPath, newPath string, hot []string, threshold float64, w io.Writer) (failed bool, err error) {
+	oldR, err := readReport(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newR, err := readReport(newPath)
+	if err != nil {
+		return false, err
+	}
+	for _, name := range hot {
+		o, okO := oldR[name]
+		n, okN := newR[name]
+		switch {
+		case !okO:
+			fmt.Fprintf(w, "%-45s missing from %s (skipped)\n", name, oldPath)
+		case !okN:
+			fmt.Fprintf(w, "%-45s MISSING from %s\n", name, newPath)
+			failed = true
+		case o.NsPerOp <= 0:
+			fmt.Fprintf(w, "%-45s old ns/op is zero (skipped)\n", name)
+		default:
+			ratio := n.NsPerOp/o.NsPerOp - 1
+			status := "ok"
+			if ratio > threshold {
+				status = "REGRESSION"
+				failed = true
+			}
+			fmt.Fprintf(w, "%-45s %14.0f -> %14.0f ns/op  %+7.2f%%  %s\n",
+				name, o.NsPerOp, n.NsPerOp, 100*ratio, status)
+		}
+	}
+	return failed, nil
+}
+
+func main() {
+	var (
+		out       = flag.String("o", "", "write JSON report to this file (default stdout)")
+		doCompare = flag.Bool("compare", false, "compare two JSON reports: benchfmt -compare old.json new.json")
+		hot       = flag.String("hot", "", "comma-separated hot benchmark names checked in -compare mode")
+		threshold = flag.Float64("threshold", 0.10, "allowed ns/op regression fraction in -compare mode")
+	)
+	flag.Parse()
+
+	if *doCompare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchfmt: -compare needs exactly two report files")
+			os.Exit(2)
+		}
+		var names []string
+		for _, n := range strings.Split(*hot, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+		if len(names) == 0 {
+			fmt.Fprintln(os.Stderr, "benchfmt: -compare needs -hot benchmark names")
+			os.Exit(2)
+		}
+		failed, err := compare(flag.Arg(0), flag.Arg(1), names, *threshold, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if failed {
+			os.Exit(1)
+		}
+		return
+	}
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		readers := make([]io.Reader, 0, flag.NArg())
+		for _, path := range flag.Args() {
+			f, err := os.Open(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			defer f.Close()
+			readers = append(readers, f)
+		}
+		in = io.MultiReader(readers...)
+	}
+	results, err := parse(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: puppies
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkEncryptThroughput-4 	    3433	    681571 ns/op	 865.39 MB/s	 2365632 B/op	      53 allocs/op
+BenchmarkTable5EncDecTime 	       1	 412534317 ns/op	        11.54 inria-ms	         0.8863 pascal-ms
+PASS
+ok  	puppies	5.109s
+`
+
+func TestParse(t *testing.T) {
+	results, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(results))
+	}
+	// Sorted by name; -GOMAXPROCS suffix stripped.
+	if results[0].Name != "BenchmarkEncryptThroughput" {
+		t.Errorf("name %q, want suffix-stripped BenchmarkEncryptThroughput", results[0].Name)
+	}
+	if results[0].NsPerOp != 681571 || results[0].MBPerS != 865.39 || results[0].AllocsPerOp != 53 {
+		t.Errorf("unexpected measurements: %+v", results[0])
+	}
+	if got := results[1].Metrics["inria-ms"]; got != 11.54 {
+		t.Errorf("custom metric inria-ms = %v, want 11.54", got)
+	}
+}
+
+func writeReport(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompare(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "old.json",
+		`[{"name":"BenchmarkA","iterations":1,"ns_per_op":1000},{"name":"BenchmarkB","iterations":1,"ns_per_op":1000}]`)
+	newOK := writeReport(t, dir, "new_ok.json",
+		`[{"name":"BenchmarkA","iterations":1,"ns_per_op":1050},{"name":"BenchmarkB","iterations":1,"ns_per_op":500}]`)
+	newBad := writeReport(t, dir, "new_bad.json",
+		`[{"name":"BenchmarkA","iterations":1,"ns_per_op":1200},{"name":"BenchmarkB","iterations":1,"ns_per_op":1000}]`)
+
+	var sb strings.Builder
+	failed, err := compare(oldP, newOK, []string{"BenchmarkA", "BenchmarkB"}, 0.10, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Fatalf("5%% slowdown flagged as regression:\n%s", sb.String())
+	}
+
+	sb.Reset()
+	failed, err = compare(oldP, newBad, []string{"BenchmarkA"}, 0.10, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Fatalf("20%% slowdown not flagged:\n%s", sb.String())
+	}
+
+	// A hot benchmark missing from the new report is a failure.
+	sb.Reset()
+	failed, err = compare(oldP, newOK, []string{"BenchmarkMissing", "BenchmarkA"}, 0.10, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Fatalf("benchmark missing from OLD report should be skipped, not failed:\n%s", sb.String())
+	}
+	onlyOld := writeReport(t, dir, "only_old.json",
+		`[{"name":"BenchmarkGone","iterations":1,"ns_per_op":1000}]`)
+	sb.Reset()
+	failed, err = compare(onlyOld, newOK, []string{"BenchmarkGone"}, 0.10, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Fatalf("benchmark missing from NEW report should fail:\n%s", sb.String())
+	}
+}

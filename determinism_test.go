@@ -1,0 +1,170 @@
+// Parallel determinism tests: the entire protect/encode/recover pipeline
+// must produce byte-identical artifacts at any worker count, because the
+// parallel substrate fixes chunk boundaries independently of parallelism
+// (see internal/parallel). Run under -race via `make race`.
+package puppies_test
+
+import (
+	"bytes"
+	"image"
+	"math"
+	"runtime"
+	"testing"
+
+	"puppies"
+	"puppies/internal/imgplane"
+	"puppies/internal/keys"
+	"puppies/internal/parallel"
+)
+
+// determinismImage builds a natural-statistics RGBA test image.
+func determinismImage(w, h int) image.Image {
+	img := image.NewRGBA(image.Rect(0, 0, w, h))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := img.PixOffset(x, y)
+			img.Pix[i+0] = uint8(128 + 90*math.Sin(float64(x)/11)*math.Cos(float64(y)/7))
+			img.Pix[i+1] = uint8(128 + 70*math.Sin(float64(x+y)/13))
+			img.Pix[i+2] = uint8(128 + 50*math.Cos(float64(x-2*y)/17))
+			img.Pix[i+3] = 255
+		}
+	}
+	return img
+}
+
+// workerSweep returns the parallelism levels the determinism suite checks:
+// serial, two workers, and the machine's CPU count.
+func workerSweep() []int {
+	levels := []int{1, 2}
+	if n := runtime.NumCPU(); n > 2 {
+		levels = append(levels, n)
+	}
+	return levels
+}
+
+// TestParallelDeterminismProtectRecover protects and recovers an image at
+// every parallelism level and requires byte-identical JPEG bytes, public
+// parameters, and recovered pixels.
+func TestParallelDeterminismProtectRecover(t *testing.T) {
+	src := determinismImage(160, 120)
+	pair := keys.NewPairDeterministic(42)
+	opts := puppies.ProtectOptions{
+		Variant:          puppies.VariantZ,
+		Regions:          []puppies.Rect{{X: 16, Y: 8, W: 96, H: 80}},
+		Keys:             []*puppies.KeyPair{pair},
+		TransformSupport: true,
+	}
+
+	type artifacts struct {
+		jpeg, params, recovered []byte
+	}
+	run := func(workers int) artifacts {
+		prev := parallel.SetWorkers(workers)
+		defer parallel.SetWorkers(prev)
+		p, err := puppies.Protect(src, opts)
+		if err != nil {
+			t.Fatalf("workers=%d: Protect: %v", workers, err)
+		}
+		rec, err := puppies.UnprotectJPEG(p.JPEG, p.Params, p.Keys)
+		if err != nil {
+			t.Fatalf("workers=%d: UnprotectJPEG: %v", workers, err)
+		}
+		return artifacts{jpeg: p.JPEG, params: p.Params, recovered: rec}
+	}
+
+	levels := workerSweep()
+	base := run(levels[0])
+	for _, w := range levels[1:] {
+		got := run(w)
+		if !bytes.Equal(got.jpeg, base.jpeg) {
+			t.Errorf("workers=%d: protected JPEG differs from workers=%d", w, levels[0])
+		}
+		if !bytes.Equal(got.params, base.params) {
+			t.Errorf("workers=%d: public params differ from workers=%d", w, levels[0])
+		}
+		if !bytes.Equal(got.recovered, base.recovered) {
+			t.Errorf("workers=%d: recovered JPEG differs from workers=%d", w, levels[0])
+		}
+	}
+}
+
+// TestParallelDeterminismPixelPipeline covers the pixel-domain paths: the
+// shadow reconstruction after a PSP-side scale must produce identical
+// recovered planes at every parallelism level.
+func TestParallelDeterminismPixelPipeline(t *testing.T) {
+	src := determinismImage(160, 120)
+	pair := keys.NewPairDeterministic(43)
+	opts := puppies.ProtectOptions{
+		Variant:          puppies.VariantZ,
+		Regions:          []puppies.Rect{{X: 0, Y: 0, W: 80, H: 80}},
+		Keys:             []*puppies.KeyPair{pair},
+		TransformSupport: true,
+	}
+	spec := puppies.TransformSpec{Op: "scale", FactorX: 0.5, FactorY: 0.5}
+
+	run := func(workers int) []byte {
+		prev := parallel.SetWorkers(workers)
+		defer parallel.SetWorkers(prev)
+		p, err := puppies.Protect(src, opts)
+		if err != nil {
+			t.Fatalf("workers=%d: Protect: %v", workers, err)
+		}
+		plnr, err := puppies.PSPTransformPixels(p.JPEG, spec)
+		if err != nil {
+			t.Fatalf("workers=%d: PSPTransformPixels: %v", workers, err)
+		}
+		rec, err := puppies.UnprotectTransformedPixels(plnr, p.Params, spec, p.Keys)
+		if err != nil {
+			t.Fatalf("workers=%d: UnprotectTransformedPixels: %v", workers, err)
+		}
+		out, err := puppies.EncodeJPEG(rec, 90)
+		if err != nil {
+			t.Fatalf("workers=%d: EncodeJPEG: %v", workers, err)
+		}
+		return out
+	}
+
+	levels := workerSweep()
+	base := run(levels[0])
+	for _, w := range levels[1:] {
+		if got := run(w); !bytes.Equal(got, base) {
+			t.Errorf("workers=%d: pixel-path recovery differs from workers=%d", w, levels[0])
+		}
+	}
+}
+
+// TestParallelDeterminismMetrics pins the chunked metric reductions: PSNR
+// and SSIM must return bit-identical float64 values at every worker count.
+func TestParallelDeterminismMetrics(t *testing.T) {
+	a := imgplane.NewPlane(333, 217)
+	b := imgplane.NewPlane(333, 217)
+	for i := range a.Pix {
+		a.Pix[i] = float32(128 + 60*math.Sin(float64(i)/29))
+		b.Pix[i] = a.Pix[i] + float32(3*math.Cos(float64(i)/5))
+	}
+	type metrics struct{ mse, psnr, ssim float64 }
+	run := func(workers int) metrics {
+		prev := parallel.SetWorkers(workers)
+		defer parallel.SetWorkers(prev)
+		mse, err := imgplane.MSE(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		psnr, err := imgplane.PSNR(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ssim, err := imgplane.SSIM(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return metrics{mse, psnr, ssim}
+	}
+	levels := workerSweep()
+	base := run(levels[0])
+	for _, w := range levels[1:] {
+		if got := run(w); got != base {
+			t.Errorf("workers=%d: metrics %+v differ from workers=%d %+v", w, got, levels[0], base)
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 // fidelity after a pixel-domain PSP transform, with and without the wrap
 // index.
 func BenchmarkAblationWrapPolicy(b *testing.B) {
+	b.ReportAllocs()
 	base := benchNaturalImage(b, 128, 96)
 	spec := transform.Spec{Op: transform.OpScale, FactorX: 0.5, FactorY: 0.5}
 	roi := ROI{X: 0, Y: 0, W: 128, H: 96}
@@ -77,6 +78,7 @@ func BenchmarkAblationWrapPolicy(b *testing.B) {
 // same perturbed image encoded with default Annex K tables vs per-image
 // optimized tables.
 func BenchmarkAblationHuffmanTables(b *testing.B) {
+	b.ReportAllocs()
 	base := benchNaturalImage(b, 128, 96)
 	sch, err := NewScheme(Params{Variant: VariantC, MR: 32, K: 8})
 	if err != nil {
@@ -109,6 +111,7 @@ func BenchmarkAblationHuffmanTables(b *testing.B) {
 // BenchmarkAblationZeroSkip quantifies the -Z mechanism against -C on the
 // same image: perturbed size plus public-parameter cost.
 func BenchmarkAblationZeroSkip(b *testing.B) {
+	b.ReportAllocs()
 	base := benchNaturalImage(b, 128, 96)
 	origSize, err := base.EncodedSize(jpegc.EncodeOptions{})
 	if err != nil {

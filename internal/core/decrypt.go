@@ -6,6 +6,7 @@ import (
 	"puppies/internal/dct"
 	"puppies/internal/jpegc"
 	"puppies/internal/keys"
+	"puppies/internal/parallel"
 	"puppies/internal/transform"
 )
 
@@ -41,43 +42,45 @@ func decryptRegionBlocks(img *jpegc.Image, rp *RegionParams, getPair func(k int)
 		return err
 	}
 
-	zind := rp.ZInd.toSet()
 	bx0, by0, bw, bh := rp.ROI.Blocks()
 	baseBW := rp.BaseBW
 	if baseBW == 0 {
 		baseBW = bw
 	}
+	zind := newPosBitset(rp.ZInd, len(img.Comps), rp, bw, bh, baseBW)
+	defer zind.release()
+	variantZ := rp.Variant == VariantZ
 
-	for ci := range img.Comps {
-		comp := &img.Comps[ci]
-		for by := 0; by < bh; by++ {
+	// (channel, block-row) units mutate disjoint blocks in place; no output
+	// ordering is involved, so results are identical at any worker count.
+	parallel.For(len(img.Comps)*bh, regionRowGrain, func(lo, hi int) {
+		cache := newDeltaCache(sch)
+		for r := lo; r < hi; r++ {
+			ci, by := r/bh, r%bh
+			comp := &img.Comps[ci]
 			for bx := 0; bx < bw; bx++ {
 				k := (rp.BaseBY+by)*baseBW + (rp.BaseBX + bx)
 				pair := getPair(k)
 				if pair == nil {
 					continue
 				}
+				tbl := cache.table(pair)
 				b := comp.Block(bx0+bx, by0+by)
 
 				b[0] = wrapSub(b[0], sch.dcDelta(pair, k), dcOffset, dcModulus)
 
-				for zz := 1; zz < dct.BlockLen; zz++ {
+				for _, zz8 := range tbl.Active {
+					zz := int(zz8)
 					nat := dct.ZigZag[zz]
-					if rp.Variant == VariantZ {
-						// A stored zero was perturbed only if recorded in ZInd.
-						if b[nat] == 0 && !zind[CoeffPos{Channel: uint8(ci), Block: uint32(k), Coeff: uint8(zz)}] {
-							continue
-						}
-					}
-					delta := sch.acDelta(pair, zz)
-					if delta == 0 {
+					// A stored zero was perturbed only if recorded in ZInd.
+					if variantZ && b[nat] == 0 && !zind.test(ci, k, zz) {
 						continue
 					}
-					b[nat] = wrapSub(b[nat], delta, acOffset, acModulus)
+					b[nat] = wrapSub(b[nat], tbl.Deltas[zz], acOffset, acModulus)
 				}
 			}
 		}
-	}
+	})
 	return nil
 }
 

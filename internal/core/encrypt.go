@@ -6,8 +6,14 @@ import (
 	"puppies/internal/dct"
 	"puppies/internal/jpegc"
 	"puppies/internal/keys"
+	"puppies/internal/parallel"
 	"puppies/internal/transform"
 )
+
+// regionRowGrain is the parallel chunk size for region loops, in
+// (channel, block-row) units. Chunk boundaries depend only on the region
+// size, so results are deterministic at any worker count.
+const regionRowGrain = 4
 
 // Scheme is a configured PuPPIeS encryptor.
 type Scheme struct {
@@ -187,62 +193,89 @@ func (s *Scheme) encryptRegion(img *jpegc.Image, roi ROI, pairs []*keys.Pair) (*
 			rp.KeyIDs[i] = p.ID
 		}
 	}
-	st := &Stats{}
 	recordWraps := s.params.wrap() == WrapRecorded
 	recordSupport := s.params.Variant == VariantZ && s.params.TransformSupport
+	variantZ := s.params.Variant == VariantZ
 
-	for ci := range img.Comps {
-		comp := &img.Comps[ci]
-		for by := 0; by < bh; by++ {
+	// Per-pair AC delta tables, computed once per region instead of once per
+	// coefficient (the range-matrix modulo chain is block-invariant).
+	tables := make([]acDeltas, len(pairs))
+	for i := range pairs {
+		tables[i] = s.acDeltaTable(pairs[i])
+	}
+
+	// (channel, block-row) units are independent: each writes a disjoint set
+	// of blocks and collects its own stats and index lists. Chunk results are
+	// merged in chunk order below, reproducing the exact (ci, by, bx, zz)
+	// append order of the serial loop at any worker count.
+	type rowOut struct {
+		st                  Stats
+		wInd, zInd, support PosList
+	}
+	parts := parallel.Map(len(img.Comps)*bh, regionRowGrain, func(lo, hi int) *rowOut {
+		out := &rowOut{}
+		for r := lo; r < hi; r++ {
+			ci, by := r/bh, r%bh
+			comp := &img.Comps[ci]
 			for bx := 0; bx < bw; bx++ {
 				k := by*bw + bx // original-grid region-local block index
-				pair := pairs[(k/keys.MatrixLen)%len(pairs)]
+				pi := (k / keys.MatrixLen) % len(pairs)
+				pair, tbl := pairs[pi], &tables[pi]
 				b := comp.Block(bx0+bx, by0+by)
-				st.Blocks++
+				out.st.Blocks++
 
 				// DC (always perturbed, all variants).
 				e, wrapped := wrapAdd(b[0], s.dcDelta(pair, k), dcOffset, dcModulus)
 				b[0] = e
-				st.Perturbed++
+				out.st.Perturbed++
 				if wrapped {
-					st.Wraps++
+					out.st.Wraps++
 					if recordWraps {
-						rp.WInd = append(rp.WInd, CoeffPos{Channel: uint8(ci), Block: uint32(k), Coeff: 0})
+						out.wInd = append(out.wInd, CoeffPos{Channel: uint8(ci), Block: uint32(k), Coeff: 0})
 					}
 				}
 
-				// AC coefficients in zigzag order.
-				for zz := 1; zz < dct.BlockLen; zz++ {
+				// AC positions with a nonzero delta, in zigzag order.
+				for _, zz8 := range tbl.Active {
+					zz := int(zz8)
 					nat := dct.ZigZag[zz]
-					if s.params.Variant == VariantZ && b[nat] == 0 {
+					if variantZ && b[nat] == 0 {
 						continue // Algorithm 2 skips original zeros
 					}
-					delta := s.acDelta(pair, zz)
-					if delta == 0 {
-						continue
-					}
-					e, wrapped := wrapAdd(b[nat], delta, acOffset, acModulus)
+					e, wrapped := wrapAdd(b[nat], tbl.Deltas[zz], acOffset, acModulus)
 					b[nat] = e
-					st.Perturbed++
+					out.st.Perturbed++
 					pos := CoeffPos{Channel: uint8(ci), Block: uint32(k), Coeff: uint8(zz)}
 					if wrapped {
-						st.Wraps++
+						out.st.Wraps++
 						if recordWraps {
-							rp.WInd = append(rp.WInd, pos)
+							out.wInd = append(out.wInd, pos)
 						}
 					}
-					if s.params.Variant == VariantZ {
+					if variantZ {
 						if e == 0 {
-							st.NewZeros++
-							rp.ZInd = append(rp.ZInd, pos)
+							out.st.NewZeros++
+							out.zInd = append(out.zInd, pos)
 						}
 						if recordSupport {
-							rp.Support = append(rp.Support, pos)
+							out.support = append(out.support, pos)
 						}
 					}
 				}
 			}
 		}
+		return out
+	})
+
+	st := &Stats{}
+	for _, p := range parts {
+		st.Blocks += p.st.Blocks
+		st.Perturbed += p.st.Perturbed
+		st.Wraps += p.st.Wraps
+		st.NewZeros += p.st.NewZeros
+		rp.WInd = append(rp.WInd, p.wInd...)
+		rp.ZInd = append(rp.ZInd, p.zInd...)
+		rp.Support = append(rp.Support, p.support...)
 	}
 	return rp, st, nil
 }

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"puppies/internal/dct"
+	"puppies/internal/keys"
+	"puppies/internal/parallel"
+)
+
+// Hot-path support for the per-block perturbation loops: precomputed
+// per-pair delta tables (the AC delta at a zigzag position is invariant
+// across blocks, so the range-matrix modulo chain runs once per pair, not
+// once per coefficient) and pooled bitsets replacing the map-backed
+// position sets on the decrypt and shadow paths.
+
+// acDeltas is a per-pair AC perturbation table: Deltas[zz] is the delta at
+// zigzag position zz, and Active lists the positions with nonzero delta in
+// ascending order — for -C/-Z at K perturbed coefficients the block loop
+// shrinks from 63 modulo chains to ~K table lookups.
+type acDeltas struct {
+	Deltas [dct.BlockLen]int32
+	Active []uint8
+}
+
+// acDeltaTable materializes the AC delta table for one pair.
+func (s *Scheme) acDeltaTable(pair *keys.Pair) acDeltas {
+	var t acDeltas
+	t.Active = make([]uint8, 0, dct.BlockLen-1)
+	for zz := 1; zz < dct.BlockLen; zz++ {
+		d := s.acDelta(pair, zz)
+		t.Deltas[zz] = d
+		if d != 0 {
+			t.Active = append(t.Active, uint8(zz))
+		}
+	}
+	return t
+}
+
+// deltaCache resolves pairs to their delta tables. Region loops see at
+// most a handful of pairs (one, or the §IV-D cycle), so a linear scan
+// beats a map.
+type deltaCache struct {
+	scheme *Scheme
+	pairs  []*keys.Pair
+	tables []acDeltas
+}
+
+func newDeltaCache(s *Scheme) *deltaCache { return &deltaCache{scheme: s} }
+
+func (c *deltaCache) table(pair *keys.Pair) *acDeltas {
+	for i, p := range c.pairs {
+		if p == pair {
+			return &c.tables[i]
+		}
+	}
+	c.pairs = append(c.pairs, pair)
+	c.tables = append(c.tables, c.scheme.acDeltaTable(pair))
+	return &c.tables[len(c.tables)-1]
+}
+
+// posBitset is a region-shaped coefficient position set: one bit per
+// (channel, region-local block, zigzag position). It replaces
+// PosList.toSet's map on the decrypt/shadow hot paths — a test is two
+// shifts and a mask instead of a map probe — and its backing array is
+// pooled. Positions are stored with original-grid block indices (stable
+// across PSP crops), so lookups rebase through the region's Base geometry;
+// list entries outside the current window (cropped away) are dropped.
+type posBitset struct {
+	words                  []uint64
+	bw, bh                 int
+	baseBW, baseBX, baseBY int
+	channels               int
+}
+
+// newPosBitset builds the set for a region window. A nil return means the
+// empty set.
+func newPosBitset(list PosList, channels int, rp *RegionParams, bw, bh, baseBW int) *posBitset {
+	if len(list) == 0 {
+		return nil
+	}
+	s := &posBitset{
+		words:    parallel.GetUint64(channels * bw * bh), // 64 bits per block
+		bw:       bw,
+		bh:       bh,
+		baseBW:   baseBW,
+		baseBX:   rp.BaseBX,
+		baseBY:   rp.BaseBY,
+		channels: channels,
+	}
+	for _, p := range list {
+		k := int(p.Block)
+		bx := k%baseBW - s.baseBX
+		by := k/baseBW - s.baseBY
+		if int(p.Channel) >= channels || bx < 0 || bx >= bw || by < 0 || by >= bh {
+			continue
+		}
+		word := (int(p.Channel)*bh+by)*bw + bx
+		s.words[word] |= 1 << (p.Coeff & 63)
+	}
+	return s
+}
+
+// test reports whether (ci, k, zz) is in the set; k is an original-grid
+// block index inside the window.
+func (s *posBitset) test(ci, k, zz int) bool {
+	if s == nil {
+		return false
+	}
+	bx := k%s.baseBW - s.baseBX
+	by := k/s.baseBW - s.baseBY
+	word := (ci*s.bh+by)*s.bw + bx
+	return s.words[word]&(1<<(zz&63)) != 0
+}
+
+// release returns the backing array to the pool.
+func (s *posBitset) release() {
+	if s != nil {
+		parallel.PutUint64(s.words)
+		s.words = nil
+	}
+}

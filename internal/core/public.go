@@ -128,15 +128,6 @@ func (l *PosList) UnmarshalJSON(data []byte) error {
 // 28-bits-per-record accounting.
 func (l PosList) SizeBytes() int { return (len(l)*posBits + 7) / 8 }
 
-// toSet builds a lookup set from the list.
-func (l PosList) toSet() map[CoeffPos]bool {
-	s := make(map[CoeffPos]bool, len(l))
-	for _, p := range l {
-		s[p] = true
-	}
-	return s
-}
-
 // RegionParams is the public (non-secret) per-region data stored alongside
 // the perturbed image (paper §III-C: "mR, K, position and size of ROI,
 // ZInd, ID of the private matrix"). Leaking it does not break privacy.

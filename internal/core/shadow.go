@@ -6,6 +6,7 @@ import (
 	"puppies/internal/dct"
 	"puppies/internal/imgplane"
 	"puppies/internal/keys"
+	"puppies/internal/parallel"
 	"puppies/internal/transform"
 )
 
@@ -55,48 +56,53 @@ func addRegionShadow(shadow *imgplane.Image, pd *PublicData, rp *RegionParams, p
 		return fmt.Errorf("core: %s region has no support list; encrypt with TransformSupport for pixel-domain recovery", rp.Variant)
 	}
 
-	wind := rp.WInd.toSet()
-	support := rp.Support.toSet()
 	bx0, by0, bw, bh := rp.ROI.Blocks()
 	baseBW := rp.BaseBW
 	if baseBW == 0 {
 		baseBW = bw
 	}
+	wind := newPosBitset(rp.WInd, pd.Channels, rp, bw, bh, baseBW)
+	defer wind.release()
+	support := newPosBitset(rp.Support, pd.Channels, rp, bw, bh, baseBW)
+	defer support.release()
+	variantZ := rp.Variant == VariantZ
 
-	for ci := 0; ci < pd.Channels; ci++ {
-		quant := &pd.LumQuant
-		if ci > 0 {
-			quant = &pd.ChromQuant
-		}
-		plane := shadow.Planes[ci]
-		for by := 0; by < bh; by++ {
+	// Each (channel, block-row) unit writes a disjoint 8-pixel band of its
+	// plane, so the accumulation is race-free and order-independent.
+	parallel.For(pd.Channels*bh, regionRowGrain, func(lo, hi int) {
+		cache := newDeltaCache(sch)
+		for r := lo; r < hi; r++ {
+			ci, by := r/bh, r%bh
+			quant := &pd.LumQuant
+			if ci > 0 {
+				quant = &pd.ChromQuant
+			}
+			plane := shadow.Planes[ci]
 			for bx := 0; bx < bw; bx++ {
 				k := (rp.BaseBY+by)*baseBW + (rp.BaseBX + bx)
 				pair := pairs[rp.KeyIDForBlock(k)]
 				if pair == nil {
 					continue // stripe key not held: block stays perturbed
 				}
+				tbl := cache.table(pair)
 
 				var raw dct.FloatBlock
 				// DC contribution.
 				delta := sch.dcDelta(pair, k)
-				if wind[CoeffPos{Channel: uint8(ci), Block: uint32(k), Coeff: 0}] {
+				if wind.test(ci, k, 0) {
 					delta -= dcModulus
 				}
 				raw[0] = float64(delta) * float64(quant[0])
 
-				// AC contributions.
-				for zz := 1; zz < dct.BlockLen; zz++ {
+				// AC contributions at positions with a nonzero delta.
+				for _, zz8 := range tbl.Active {
+					zz := int(zz8)
+					if variantZ && !support.test(ci, k, zz) {
+						continue
+					}
 					nat := dct.ZigZag[zz]
-					pos := CoeffPos{Channel: uint8(ci), Block: uint32(k), Coeff: uint8(zz)}
-					if rp.Variant == VariantZ && !support[pos] {
-						continue
-					}
-					d := sch.acDelta(pair, zz)
-					if d == 0 {
-						continue
-					}
-					if wind[pos] {
+					d := tbl.Deltas[zz]
+					if wind.test(ci, k, zz) {
 						d -= acModulus
 					}
 					raw[nat] = float64(d) * float64(quant[nat])
@@ -112,7 +118,7 @@ func addRegionShadow(shadow *imgplane.Image, pd *PublicData, rp *RegionParams, p
 				}
 			}
 		}
-	}
+	})
 	return nil
 }
 

@@ -20,11 +20,36 @@ func init() {
 	}
 }
 
-// Forward computes the two-dimensional type-II DCT of an 8x8 spatial block.
-// The input samples are expected to be level-shifted (e.g. pixel-128 for
-// 8-bit samples); the output is the raw (unquantized) coefficient block.
+// Forward computes the two-dimensional type-II DCT of an 8x8 spatial block
+// using the AAN fast kernel (aan.go). The input samples are expected to be
+// level-shifted (e.g. pixel-128 for 8-bit samples); the output is the raw
+// (unquantized) coefficient block, equal to ForwardReference up to float
+// rounding (~1e-12 over the 8-bit input domain).
 func Forward(spatial *FloatBlock) FloatBlock {
-	// Separable implementation: rows, then columns.
+	out := *spatial
+	fdctAAN(&out)
+	for i := 0; i < BlockLen; i++ {
+		out[i] *= forwardScale[i]
+	}
+	return out
+}
+
+// Inverse computes the two-dimensional inverse DCT (type-III) using the AAN
+// fast kernel, mapping a raw coefficient block back to level-shifted spatial
+// samples. Equal to InverseReference up to float rounding.
+func Inverse(coeff *FloatBlock) FloatBlock {
+	var in FloatBlock
+	for i := 0; i < BlockLen; i++ {
+		in[i] = coeff[i] * inverseScale[i]
+	}
+	idctAAN(&in)
+	return in
+}
+
+// ForwardReference is the naive separable O(8^3) DCT kept as the
+// equivalence oracle for the fast kernel (rows, then columns, explicit
+// basis dot products).
+func ForwardReference(spatial *FloatBlock) FloatBlock {
 	var tmp, out FloatBlock
 	for r := 0; r < BlockSize; r++ {
 		for u := 0; u < BlockSize; u++ {
@@ -47,9 +72,9 @@ func Forward(spatial *FloatBlock) FloatBlock {
 	return out
 }
 
-// Inverse computes the two-dimensional inverse DCT (type-III), mapping a raw
-// coefficient block back to level-shifted spatial samples.
-func Inverse(coeff *FloatBlock) FloatBlock {
+// InverseReference is the naive separable inverse DCT kept as the
+// equivalence oracle for the fast kernel.
+func InverseReference(coeff *FloatBlock) FloatBlock {
 	var tmp, out FloatBlock
 	for c := 0; c < BlockSize; c++ {
 		for y := 0; y < BlockSize; y++ {
@@ -73,15 +98,38 @@ func Inverse(coeff *FloatBlock) FloatBlock {
 }
 
 // ForwardQuantized performs forward DCT followed by quantization with the
-// given table, producing a JPEG-range coefficient block.
+// given table, producing a JPEG-range coefficient block. It runs the AAN
+// butterfly with the scale factors folded into the quantization step and is
+// bit-identical to Quantize(ForwardReference(spatial), q) over the JPEG
+// coefficient range (see quantizeFolded).
 func ForwardQuantized(spatial *FloatBlock, q *QuantTable) Block {
-	raw := Forward(spatial)
+	scaled := *spatial
+	fdctAAN(&scaled)
+	return quantizeFolded(&scaled, spatial, q)
+}
+
+// ForwardQuantizedReference is the pre-AAN quantizing path (reference DCT
+// then Quantize), kept for equivalence testing.
+func ForwardQuantizedReference(spatial *FloatBlock, q *QuantTable) Block {
+	raw := ForwardReference(spatial)
 	return Quantize(&raw, q)
 }
 
 // InverseQuantized dequantizes a coefficient block with the given table and
-// applies the inverse DCT, producing level-shifted spatial samples.
+// applies the inverse DCT, producing level-shifted spatial samples. The
+// dequantization step sizes are folded into the AAN input scaling.
 func InverseQuantized(b *Block, q *QuantTable) FloatBlock {
+	var in FloatBlock
+	for i := 0; i < BlockLen; i++ {
+		in[i] = float64(b[i]) * (float64(q[i]) * inverseScale[i])
+	}
+	idctAAN(&in)
+	return in
+}
+
+// InverseQuantizedReference is the pre-AAN dequantizing path (Dequantize
+// then reference inverse DCT), kept for equivalence testing.
+func InverseQuantizedReference(b *Block, q *QuantTable) FloatBlock {
 	raw := Dequantize(b, q)
-	return Inverse(&raw)
+	return InverseReference(&raw)
 }

@@ -3,17 +3,33 @@ package imgplane
 import (
 	"fmt"
 	"math"
+
+	"puppies/internal/parallel"
 )
+
+// metricGrain is the parallel chunk size for metric reductions, in samples
+// (MSE) or window rows (SSIM). Chunk boundaries are fixed by the input size,
+// and per-chunk partial sums are merged in chunk order, so the result is
+// bit-identical at any worker count (though chunked summation may differ
+// from a single serial sum in the last ulp).
+const metricGrain = 1 << 15
 
 // MSE returns the mean squared error between two planes of equal size.
 func MSE(a, b *Plane) (float64, error) {
 	if a.W != b.W || a.H != b.H {
 		return 0, fmt.Errorf("imgplane: MSE size mismatch %dx%d vs %dx%d", a.W, a.H, b.W, b.H)
 	}
+	parts := parallel.Map(len(a.Pix), metricGrain, func(lo, hi int) float64 {
+		var sum float64
+		for i := lo; i < hi; i++ {
+			d := float64(a.Pix[i]) - float64(b.Pix[i])
+			sum += d * d
+		}
+		return sum
+	})
 	var sum float64
-	for i := range a.Pix {
-		d := float64(a.Pix[i]) - float64(b.Pix[i])
-		sum += d * d
+	for _, p := range parts {
+		sum += p
 	}
 	return sum / float64(len(a.Pix)), nil
 }
@@ -66,37 +82,52 @@ func SSIM(a, b *Plane) (float64, error) {
 	if a.W < win || a.H < win {
 		return 0, fmt.Errorf("imgplane: SSIM needs at least %dx%d pixels", win, win)
 	}
+	type partial struct {
+		total float64
+		count int
+	}
+	// One unit per window row; per-row partial sums merge in chunk order.
+	winRows := a.H / win
+	parts := parallel.Map(winRows, 4, func(lo, hi int) partial {
+		var pt partial
+		for wr := lo; wr < hi; wr++ {
+			wy := wr * win
+			for wx := 0; wx+win <= a.W; wx += win {
+				var ma, mb float64
+				for y := 0; y < win; y++ {
+					for x := 0; x < win; x++ {
+						ma += float64(a.Pix[(wy+y)*a.W+wx+x])
+						mb += float64(b.Pix[(wy+y)*b.W+wx+x])
+					}
+				}
+				n := float64(win * win)
+				ma /= n
+				mb /= n
+				var va, vb, cov float64
+				for y := 0; y < win; y++ {
+					for x := 0; x < win; x++ {
+						da := float64(a.Pix[(wy+y)*a.W+wx+x]) - ma
+						db := float64(b.Pix[(wy+y)*b.W+wx+x]) - mb
+						va += da * da
+						vb += db * db
+						cov += da * db
+					}
+				}
+				va /= n - 1
+				vb /= n - 1
+				cov /= n - 1
+				s := ((2*ma*mb + c1) * (2*cov + c2)) / ((ma*ma + mb*mb + c1) * (va + vb + c2))
+				pt.total += s
+				pt.count++
+			}
+		}
+		return pt
+	})
 	var total float64
 	var count int
-	for wy := 0; wy+win <= a.H; wy += win {
-		for wx := 0; wx+win <= a.W; wx += win {
-			var ma, mb float64
-			for y := 0; y < win; y++ {
-				for x := 0; x < win; x++ {
-					ma += float64(a.Pix[(wy+y)*a.W+wx+x])
-					mb += float64(b.Pix[(wy+y)*b.W+wx+x])
-				}
-			}
-			n := float64(win * win)
-			ma /= n
-			mb /= n
-			var va, vb, cov float64
-			for y := 0; y < win; y++ {
-				for x := 0; x < win; x++ {
-					da := float64(a.Pix[(wy+y)*a.W+wx+x]) - ma
-					db := float64(b.Pix[(wy+y)*b.W+wx+x]) - mb
-					va += da * da
-					vb += db * db
-					cov += da * db
-				}
-			}
-			va /= n - 1
-			vb /= n - 1
-			cov /= n - 1
-			s := ((2*ma*mb + c1) * (2*cov + c2)) / ((ma*ma + mb*mb + c1) * (va + vb + c2))
-			total += s
-			count++
-		}
+	for _, pt := range parts {
+		total += pt.total
+		count += pt.count
 	}
 	return total / float64(count), nil
 }

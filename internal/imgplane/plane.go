@@ -15,7 +15,13 @@ import (
 	"image"
 	"image/color"
 	"math"
+
+	"puppies/internal/parallel"
 )
+
+// rowGrain is the parallel chunk size for per-pixel conversion loops, in
+// image rows.
+const rowGrain = 64
 
 // Plane is a single image channel with unclamped float32 samples in
 // row-major order.
@@ -217,16 +223,20 @@ func clamp8(v float32) uint8 {
 func FromStdImage(src image.Image) *Image {
 	b := src.Bounds()
 	img, _ := New(b.Dx(), b.Dy(), 3)
-	for y := 0; y < b.Dy(); y++ {
-		for x := 0; x < b.Dx(); x++ {
-			r16, g16, b16, _ := src.At(b.Min.X+x, b.Min.Y+y).RGBA()
-			yy, uu, vv := RGBToYUV(float32(r16>>8), float32(g16>>8), float32(b16>>8))
-			i := y*img.W() + x
-			img.Planes[ChannelY].Pix[i] = yy
-			img.Planes[ChannelU].Pix[i] = uu
-			img.Planes[ChannelV].Pix[i] = vv
+	w := img.W()
+	// Rows write disjoint plane indices; src is only read.
+	parallel.For(b.Dy(), rowGrain, func(lo, hi int) {
+		for y := lo; y < hi; y++ {
+			for x := 0; x < b.Dx(); x++ {
+				r16, g16, b16, _ := src.At(b.Min.X+x, b.Min.Y+y).RGBA()
+				yy, uu, vv := RGBToYUV(float32(r16>>8), float32(g16>>8), float32(b16>>8))
+				i := y*w + x
+				img.Planes[ChannelY].Pix[i] = yy
+				img.Planes[ChannelU].Pix[i] = uu
+				img.Planes[ChannelV].Pix[i] = vv
+			}
 		}
-	}
+	})
 	return img
 }
 
@@ -236,20 +246,24 @@ func (m *Image) ToStdImage() image.Image {
 	w, h := m.W(), m.H()
 	if m.Channels() == 1 {
 		out := image.NewGray(image.Rect(0, 0, w, h))
-		for y := 0; y < h; y++ {
-			for x := 0; x < w; x++ {
-				out.SetGray(x, y, color.Gray{Y: clamp8(m.Planes[0].Pix[y*w+x])})
+		parallel.For(h, rowGrain, func(lo, hi int) {
+			for y := lo; y < hi; y++ {
+				for x := 0; x < w; x++ {
+					out.SetGray(x, y, color.Gray{Y: clamp8(m.Planes[0].Pix[y*w+x])})
+				}
 			}
-		}
+		})
 		return out
 	}
 	out := image.NewRGBA(image.Rect(0, 0, w, h))
-	for y := 0; y < h; y++ {
-		for x := 0; x < w; x++ {
-			i := y*w + x
-			r, g, b := YUVToRGB(m.Planes[ChannelY].Pix[i], m.Planes[ChannelU].Pix[i], m.Planes[ChannelV].Pix[i])
-			out.SetRGBA(x, y, color.RGBA{R: clamp8(r), G: clamp8(g), B: clamp8(b), A: 255})
+	parallel.For(h, rowGrain, func(lo, hi int) {
+		for y := lo; y < hi; y++ {
+			for x := 0; x < w; x++ {
+				i := y*w + x
+				r, g, b := YUVToRGB(m.Planes[ChannelY].Pix[i], m.Planes[ChannelU].Pix[i], m.Planes[ChannelV].Pix[i])
+				out.SetRGBA(x, y, color.RGBA{R: clamp8(r), G: clamp8(g), B: clamp8(b), A: 255})
+			}
 		}
-	}
+	})
 	return out
 }

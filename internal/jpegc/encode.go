@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"puppies/internal/dct"
+	"puppies/internal/parallel"
 )
 
 // TableMode selects how Huffman tables are chosen at encode time.
@@ -274,25 +275,57 @@ func (m *Image) forEachMCU(onMCU func(), fn func(ci int, b *dct.Block)) {
 	}
 }
 
-// forEachMCUBlock is forEachMCU without the per-MCU hook.
-func (m *Image) forEachMCUBlock(fn func(ci int, b *dct.Block)) {
-	m.forEachMCU(func() {}, fn)
-}
+// histGrain is the number of MCUs per chunk in the parallel statistics
+// pass; at ~64 symbols per MCU a chunk is enough work to amortize the
+// per-chunk histogram.
+const histGrain = 256
 
 func (m *Image) gatherOptimalTables() (tableSet, error) {
-	var dcFreq, acFreq [2][256]int64
-	pred := make([]int32, len(m.Comps))
-	m.forEachMCUBlock(func(ci int, b *dct.Block) {
-		ti := 0
-		if ci > 0 {
-			ti = 1
+	// The statistics pass is embarrassingly parallel: the DC symbol of MCU
+	// i depends only on the stored DC of MCU i-1 (the predictor is the
+	// previous block's coefficient, not an encoder-state value), so each
+	// chunk seeds its predictors from the MCU just before it. Histograms
+	// are integer counts, so merging per-chunk partials is exact and
+	// order-independent.
+	type hist struct {
+		dc, ac [2][256]int64
+	}
+	bw, bh := m.Comps[0].BlocksW, m.Comps[0].BlocksH
+	nMCU := bw * bh
+	parts := parallel.Map(nMCU, histGrain, func(lo, hi int) *hist {
+		h := &hist{}
+		pred := make([]int32, len(m.Comps))
+		if lo > 0 {
+			prevBX, prevBY := (lo-1)%bw, (lo-1)/bw
+			for ci := range m.Comps {
+				pred[ci] = m.Comps[ci].Block(prevBX, prevBY)[0]
+			}
 		}
-		coder := blockCoder{
-			writeDC: func(sym byte, _ uint32, _ int) { dcFreq[ti][sym]++ },
-			writeAC: func(sym byte, _ uint32, _ int) { acFreq[ti][sym]++ },
+		for mcu := lo; mcu < hi; mcu++ {
+			bx, by := mcu%bw, mcu/bw
+			for ci := range m.Comps {
+				ti := 0
+				if ci > 0 {
+					ti = 1
+				}
+				coder := blockCoder{
+					writeDC: func(sym byte, _ uint32, _ int) { h.dc[ti][sym]++ },
+					writeAC: func(sym byte, _ uint32, _ int) { h.ac[ti][sym]++ },
+				}
+				pred[ci] = codeBlock(m.Comps[ci].Block(bx, by), pred[ci], &coder)
+			}
 		}
-		pred[ci] = codeBlock(b, pred[ci], &coder)
+		return h
 	})
+	var dcFreq, acFreq [2][256]int64
+	for _, h := range parts {
+		for ti := 0; ti < 2; ti++ {
+			for s := 0; s < 256; s++ {
+				dcFreq[ti][s] += h.dc[ti][s]
+				acFreq[ti][s] += h.ac[ti][s]
+			}
+		}
+	}
 
 	var ts tableSet
 	var err error

@@ -26,6 +26,7 @@ import (
 
 	"puppies/internal/dct"
 	"puppies/internal/imgplane"
+	"puppies/internal/parallel"
 )
 
 // ACMin is the minimum representable AC coefficient in baseline JPEG.
@@ -164,6 +165,11 @@ func FromPlanarWithQuant(src *imgplane.Image, lum, chrom *dct.QuantTable) (*Imag
 	return out, nil
 }
 
+// blockRowGrain is the parallel chunk size for block-grid loops: a few
+// block rows per chunk amortizes scheduling without starving the pool on
+// small images.
+const blockRowGrain = 4
+
 func componentFromPlane(p *imgplane.Plane, q *dct.QuantTable) (Component, error) {
 	bw, bh := blocksFor(p.W), blocksFor(p.H)
 	comp := Component{
@@ -172,20 +178,25 @@ func componentFromPlane(p *imgplane.Plane, q *dct.QuantTable) (Component, error)
 		Blocks:  make([]dct.Block, bw*bh),
 		Quant:   *q,
 	}
-	var spatial dct.FloatBlock
-	for by := 0; by < bh; by++ {
-		for bx := 0; bx < bw; bx++ {
-			for y := 0; y < dct.BlockSize; y++ {
-				for x := 0; x < dct.BlockSize; x++ {
-					// Plane.At replicates edges, which pads partial blocks.
-					spatial[y*dct.BlockSize+x] = float64(p.At(bx*dct.BlockSize+x, by*dct.BlockSize+y)) - 128
+	// Block rows are independent: each worker owns its own scratch block
+	// and writes a disjoint slice of comp.Blocks, so output is identical
+	// at any worker count.
+	parallel.For(bh, blockRowGrain, func(lo, hi int) {
+		var spatial dct.FloatBlock
+		for by := lo; by < hi; by++ {
+			for bx := 0; bx < bw; bx++ {
+				for y := 0; y < dct.BlockSize; y++ {
+					for x := 0; x < dct.BlockSize; x++ {
+						// Plane.At replicates edges, which pads partial blocks.
+						spatial[y*dct.BlockSize+x] = float64(p.At(bx*dct.BlockSize+x, by*dct.BlockSize+y)) - 128
+					}
 				}
+				b := dct.ForwardQuantized(&spatial, q)
+				clampBaselineAC(&b)
+				comp.Blocks[by*bw+bx] = b
 			}
-			b := dct.ForwardQuantized(&spatial, q)
-			clampBaselineAC(&b)
-			comp.Blocks[by*bw+bx] = b
 		}
-	}
+	})
 	return comp, nil
 }
 
@@ -212,24 +223,27 @@ func (m *Image) ToPlanar() (*imgplane.Image, error) {
 	for ci := range m.Comps {
 		comp := &m.Comps[ci]
 		plane := out.Planes[ci]
-		for by := 0; by < comp.BlocksH; by++ {
-			for bx := 0; bx < comp.BlocksW; bx++ {
-				spatial := dct.InverseQuantized(comp.Block(bx, by), &comp.Quant)
-				for y := 0; y < dct.BlockSize; y++ {
-					py := by*dct.BlockSize + y
-					if py >= m.H {
-						break
-					}
-					for x := 0; x < dct.BlockSize; x++ {
-						px := bx*dct.BlockSize + x
-						if px >= m.W {
+		// Each block row writes a disjoint horizontal band of the plane.
+		parallel.For(comp.BlocksH, blockRowGrain, func(lo, hi int) {
+			for by := lo; by < hi; by++ {
+				for bx := 0; bx < comp.BlocksW; bx++ {
+					spatial := dct.InverseQuantized(comp.Block(bx, by), &comp.Quant)
+					for y := 0; y < dct.BlockSize; y++ {
+						py := by*dct.BlockSize + y
+						if py >= m.H {
 							break
 						}
-						plane.Pix[py*m.W+px] = float32(spatial[y*dct.BlockSize+x]) + 128
+						for x := 0; x < dct.BlockSize; x++ {
+							px := bx*dct.BlockSize + x
+							if px >= m.W {
+								break
+							}
+							plane.Pix[py*m.W+px] = float32(spatial[y*dct.BlockSize+x]) + 128
+						}
 					}
 				}
 			}
-		}
+		})
 	}
 	return out, nil
 }

@@ -447,3 +447,54 @@ func BenchmarkDecode(b *testing.B) {
 		}
 	}
 }
+
+// benchPlanar builds a natural-statistics planar image for the block-grid
+// conversion benchmarks.
+func benchPlanar(b *testing.B, w, h int) *imgplane.Image {
+	b.Helper()
+	planar, err := imgplane.New(w, h, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := y*w + x
+			planar.Planes[0].Pix[i] = float32(128 + 80*math.Sin(float64(x)/7)*math.Cos(float64(y)/9))
+			planar.Planes[1].Pix[i] = float32(128 + 30*math.Sin(float64(x+2*y)/17))
+			planar.Planes[2].Pix[i] = float32(128 + 30*math.Cos(float64(2*x-y)/19))
+		}
+	}
+	return planar
+}
+
+// BenchmarkFromPlanar measures the pixel -> quantized-coefficient block-grid
+// conversion (forward DCT over every block).
+func BenchmarkFromPlanar(b *testing.B) {
+	planar := benchPlanar(b, 512, 384)
+	b.ReportAllocs()
+	b.SetBytes(512 * 384 * 3 * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FromPlanar(planar, Options{Quality: 75}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkToPlanar measures the coefficient -> pixel conversion (inverse
+// DCT over every block).
+func BenchmarkToPlanar(b *testing.B) {
+	planar := benchPlanar(b, 512, 384)
+	img, err := FromPlanar(planar, Options{Quality: 75})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(512 * 384 * 3 * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := img.ToPlanar(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+// Package parallel provides the shared work-distribution substrate for the
+// block-grid hot paths: a GOMAXPROCS-aware chunked worker pool and
+// sync.Pool-backed scratch buffers.
+//
+// Determinism contract: For and ForChunks split the index space [0, n) into
+// fixed-size chunks whose boundaries depend only on n and grain — never on
+// the worker count. Workers only decide how many chunks execute
+// concurrently. A caller that (a) writes each output location from exactly
+// one index, or (b) accumulates per-chunk partial results and merges them in
+// chunk order, therefore produces bit-identical output at any parallelism,
+// including the serial fallback. The codec determinism tests
+// (TestParallelDeterminism*) enforce this across the pipeline.
+package parallel
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// workerOverride holds a positive worker-count override, or 0 for the
+// GOMAXPROCS default. Stored atomically so tests can flip it under -race.
+var workerOverride atomic.Int64
+
+func init() {
+	// PUPPIES_WORKERS pins the worker count for reproducible measurements
+	// (e.g. PUPPIES_WORKERS=1 serializes every pipeline).
+	if s := os.Getenv("PUPPIES_WORKERS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			workerOverride.Store(int64(n))
+		}
+	}
+}
+
+// Workers returns the effective worker count: the SetWorkers override if
+// set, otherwise GOMAXPROCS.
+func Workers() int {
+	if n := workerOverride.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetWorkers overrides the worker count (n <= 0 restores the GOMAXPROCS
+// default) and returns the previous override (0 if none). Intended for
+// tests and benchmarks that sweep parallelism levels.
+func SetWorkers(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(workerOverride.Swap(int64(n)))
+}
+
+// MinGrain is the default smallest chunk size: below this, goroutine
+// scheduling overhead outweighs the work.
+const MinGrain = 1
+
+// numChunks returns how many fixed-size chunks [0, n) splits into.
+func numChunks(n, grain int) int {
+	if grain < 1 {
+		grain = 1
+	}
+	return (n + grain - 1) / grain
+}
+
+// ForChunks runs fn once per fixed-size chunk of [0, n): fn(chunk, lo, hi)
+// with lo/hi the chunk's half-open index range. Chunk boundaries depend only
+// on n and grain, so per-chunk partial results merged in chunk order are
+// identical at any worker count. fn runs concurrently across chunks when
+// more than one worker is available; it must not touch state shared with
+// other chunks except through its own chunk-indexed slot.
+func ForChunks(n, grain int, fn func(chunk, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	chunks := numChunks(n, grain)
+	workers := Workers()
+	if workers > chunks {
+		workers = chunks
+	}
+	if workers <= 1 {
+		for c := 0; c < chunks; c++ {
+			lo := c * grain
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			fn(c, lo, hi)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= chunks {
+					return
+				}
+				lo := c * grain
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				fn(c, lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// For runs fn over [0, n) in deterministic fixed-size chunks of at most
+// grain indices. fn(lo, hi) must write only state owned by indices in
+// [lo, hi).
+func For(n, grain int, fn func(lo, hi int)) {
+	ForChunks(n, grain, func(_, lo, hi int) { fn(lo, hi) })
+}
+
+// Map runs fn once per chunk and returns the per-chunk results in chunk
+// order, for deterministic reductions: merge the returned slice left to
+// right and the result is independent of the worker count.
+func Map[T any](n, grain int, fn func(lo, hi int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, numChunks(n, grain))
+	ForChunks(n, grain, func(chunk, lo, hi int) {
+		out[chunk] = fn(lo, hi)
+	})
+	return out
+}

@@ -1,0 +1,36 @@
+package parallel
+
+import "sync"
+
+// slicePool recycles variable-length scratch slices. Get returns a zeroed
+// slice of length n; Put recycles the backing array for a later Get of any
+// length that fits its capacity.
+type slicePool[T any] struct{ p sync.Pool }
+
+func (sp *slicePool[T]) get(n int) []T {
+	if v := sp.p.Get(); v != nil {
+		s := *v.(*[]T)
+		if cap(s) >= n {
+			s = s[:n]
+			clear(s)
+			return s
+		}
+	}
+	return make([]T, n)
+}
+
+func (sp *slicePool[T]) put(s []T) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:0]
+	sp.p.Put(&s)
+}
+
+var u64Pool slicePool[uint64]
+
+// GetUint64 returns a zeroed scratch []uint64 of length n (bitset backing).
+func GetUint64(n int) []uint64 { return u64Pool.get(n) }
+
+// PutUint64 recycles a scratch slice obtained from GetUint64.
+func PutUint64(s []uint64) { u64Pool.put(s) }

@@ -5,7 +5,13 @@ import (
 	"math"
 
 	"puppies/internal/imgplane"
+	"puppies/internal/parallel"
 )
+
+// pixelRowGrain is the parallel chunk size for per-pixel resampling loops,
+// in output rows. Each row's samples are computed independently from the
+// (read-only) source plane, so output is identical at any worker count.
+const pixelRowGrain = 32
 
 // Kernel is a linear convolution kernel with odd side length.
 type Kernel struct {
@@ -63,20 +69,22 @@ func ScaleBilinear(p *imgplane.Plane, fx, fy float64) (*imgplane.Plane, error) {
 		oh = 1
 	}
 	out := imgplane.NewPlane(ow, oh)
-	for oy := 0; oy < oh; oy++ {
-		// Center-aligned sampling.
-		sy := (float64(oy)+0.5)/fy - 0.5
-		y0 := int(math.Floor(sy))
-		wy := float32(sy - float64(y0))
-		for ox := 0; ox < ow; ox++ {
-			sx := (float64(ox)+0.5)/fx - 0.5
-			x0 := int(math.Floor(sx))
-			wx := float32(sx - float64(x0))
-			v := (1-wy)*((1-wx)*p.At(x0, y0)+wx*p.At(x0+1, y0)) +
-				wy*((1-wx)*p.At(x0, y0+1)+wx*p.At(x0+1, y0+1))
-			out.Pix[oy*ow+ox] = v
+	parallel.For(oh, pixelRowGrain, func(lo, hi int) {
+		for oy := lo; oy < hi; oy++ {
+			// Center-aligned sampling.
+			sy := (float64(oy)+0.5)/fy - 0.5
+			y0 := int(math.Floor(sy))
+			wy := float32(sy - float64(y0))
+			for ox := 0; ox < ow; ox++ {
+				sx := (float64(ox)+0.5)/fx - 0.5
+				x0 := int(math.Floor(sx))
+				wx := float32(sx - float64(x0))
+				v := (1-wy)*((1-wx)*p.At(x0, y0)+wx*p.At(x0+1, y0)) +
+					wy*((1-wx)*p.At(x0, y0+1)+wx*p.At(x0+1, y0+1))
+				out.Pix[oy*ow+ox] = v
+			}
 		}
-	}
+	})
 	return out, nil
 }
 
@@ -101,22 +109,24 @@ func RotatePlane(p *imgplane.Plane, angleDeg float64) *imgplane.Plane {
 	sin, cos := math.Sin(rad), math.Cos(rad)
 	cx, cy := float64(p.W-1)/2, float64(p.H-1)/2
 	out := imgplane.NewPlane(p.W, p.H)
-	for oy := 0; oy < p.H; oy++ {
-		for ox := 0; ox < p.W; ox++ {
-			// Inverse map: rotate output coordinate by -angle.
-			dx, dy := float64(ox)-cx, float64(oy)-cy
-			sx := cos*dx + sin*dy + cx
-			sy := -sin*dx + cos*dy + cy
-			x0, y0 := int(math.Floor(sx)), int(math.Floor(sy))
-			if x0 < -1 || y0 < -1 || x0 > p.W-1 || y0 > p.H-1 {
-				continue // outside source: leave zero
+	parallel.For(p.H, pixelRowGrain, func(lo, hi int) {
+		for oy := lo; oy < hi; oy++ {
+			for ox := 0; ox < p.W; ox++ {
+				// Inverse map: rotate output coordinate by -angle.
+				dx, dy := float64(ox)-cx, float64(oy)-cy
+				sx := cos*dx + sin*dy + cx
+				sy := -sin*dx + cos*dy + cy
+				x0, y0 := int(math.Floor(sx)), int(math.Floor(sy))
+				if x0 < -1 || y0 < -1 || x0 > p.W-1 || y0 > p.H-1 {
+					continue // outside source: leave zero
+				}
+				wx, wy := float32(sx-float64(x0)), float32(sy-float64(y0))
+				v := (1-wy)*((1-wx)*atZero(p, x0, y0)+wx*atZero(p, x0+1, y0)) +
+					wy*((1-wx)*atZero(p, x0, y0+1)+wx*atZero(p, x0+1, y0+1))
+				out.Pix[oy*p.W+ox] = v
 			}
-			wx, wy := float32(sx-float64(x0)), float32(sy-float64(y0))
-			v := (1-wy)*((1-wx)*atZero(p, x0, y0)+wx*atZero(p, x0+1, y0)) +
-				wy*((1-wx)*atZero(p, x0, y0+1)+wx*atZero(p, x0+1, y0+1))
-			out.Pix[oy*p.W+ox] = v
 		}
-	}
+	})
 	return out
 }
 
@@ -136,17 +146,19 @@ func Convolve(p *imgplane.Plane, k Kernel) (*imgplane.Plane, error) {
 	}
 	half := k.Side / 2
 	out := imgplane.NewPlane(p.W, p.H)
-	for y := 0; y < p.H; y++ {
-		for x := 0; x < p.W; x++ {
-			var sum float32
-			for ky := 0; ky < k.Side; ky++ {
-				for kx := 0; kx < k.Side; kx++ {
-					sum += k.Weights[ky*k.Side+kx] * atZero(p, x+kx-half, y+ky-half)
+	parallel.For(p.H, pixelRowGrain, func(lo, hi int) {
+		for y := lo; y < hi; y++ {
+			for x := 0; x < p.W; x++ {
+				var sum float32
+				for ky := 0; ky < k.Side; ky++ {
+					for kx := 0; kx < k.Side; kx++ {
+						sum += k.Weights[ky*k.Side+kx] * atZero(p, x+kx-half, y+ky-half)
+					}
 				}
+				out.Pix[y*p.W+x] = sum
 			}
-			out.Pix[y*p.W+x] = sum
 		}
-	}
+	})
 	return out, nil
 }
 
