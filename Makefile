@@ -10,7 +10,7 @@ GO ?= go
 BENCH_OUT ?= BENCH_PR2.json
 HOT_BENCHMARKS ?= BenchmarkTable5EncDecTime,BenchmarkEncryptThroughput,BenchmarkDecryptThroughput,BenchmarkProtectRecoverPerMP,BenchmarkForwardQuantized,BenchmarkInverseQuantized,BenchmarkFromPlanar,BenchmarkToPlanar
 
-.PHONY: all build test check fmt race bench bench-compare
+.PHONY: all build test check fmt race fuzz-smoke bench bench-compare
 
 all: build
 
@@ -21,11 +21,20 @@ test:
 	$(GO) test ./...
 
 # race runs the PSP pipeline tests (client retries, fault injection,
-# concurrent clients, pspd graceful shutdown) and the parallel-pipeline
-# determinism suite under -race.
+# concurrent clients, pspd graceful shutdown), the durable-store crash
+# matrix, and the parallel-pipeline determinism suite under -race.
 race:
-	$(GO) test -race -count=1 ./internal/psp/... ./internal/faults/... ./cmd/pspd/... ./internal/parallel/...
+	$(GO) test -race -count=1 ./internal/psp/... ./internal/faults/... ./internal/blobstore/... ./cmd/pspd/... ./internal/parallel/...
 	$(GO) test -race -count=1 -run 'TestParallelDeterminism' .
+
+# fuzz-smoke gives each fuzz target a short budget so `make check` exercises
+# the decoders against the native fuzzer on every run (corpus regressions
+# under testdata/ always run as plain tests regardless).
+FUZZTIME ?= 5s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME) ./internal/jpegc
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodePublicData$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz '^FuzzEnvelope$$' -fuzztime $(FUZZTIME) ./internal/blobstore
 
 # bench runs every benchmark (paper tables/figures plus the kernel and
 # pipeline micro-benchmarks) and writes a JSON report to $(BENCH_OUT).
@@ -53,3 +62,4 @@ check: fmt
 	$(GO) build ./...
 	$(GO) test ./...
 	$(MAKE) race
+	$(MAKE) fuzz-smoke

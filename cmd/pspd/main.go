@@ -9,6 +9,15 @@
 // shutdown exits 0. Each request is bounded by -request-timeout, and
 // GET /v1/healthz reports liveness plus the store size.
 //
+// With -data-dir the daemon stores images durably via internal/blobstore:
+// every upload is written as a checksummed envelope with write-to-temp,
+// fsync, and atomic rename, so a crash (even SIGKILL or power loss) never
+// corrupts an acknowledged image. On start the directory is scanned, bad
+// files are quarantined (never deleted), and a recovery report is logged.
+// Without -data-dir images live in memory only; either way the idempotency
+// key index is bounded by -idempotency-cap (and -idempotency-ttl in memory
+// mode).
+//
 // For resilience testing, -fault-seed with -fault-rate/-fault-latency wires
 // the deterministic internal/faults middleware in front of the API.
 //
@@ -36,6 +45,7 @@ import (
 	"syscall"
 	"time"
 
+	"puppies/internal/blobstore"
 	"puppies/internal/faults"
 	"puppies/internal/psp"
 )
@@ -54,6 +64,9 @@ func main() {
 func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- string) error {
 	fs := flag.NewFlagSet("pspd", flag.ContinueOnError)
 	addr := fs.String("addr", ":8754", "listen address")
+	dataDir := fs.String("data-dir", "", "durable storage directory; empty keeps images in memory only")
+	idemCap := fs.Int("idempotency-cap", psp.DefaultMaxKeys, "max idempotency keys remembered (LRU eviction beyond)")
+	idemTTL := fs.Duration("idempotency-ttl", psp.DefaultKeyTTL, "idempotency key lifetime (memory store; 0 disables expiry)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 	reqTimeout := fs.Duration("request-timeout", 60*time.Second, "per-request handler timeout (0 disables)")
 	faultSeed := fs.Int64("fault-seed", 0, "enable fault-injection middleware with this RNG seed (0 disables)")
@@ -63,7 +76,26 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- stri
 		return err
 	}
 
-	handler := psp.NewServer().Handler()
+	var store psp.Store
+	if *dataDir != "" {
+		bs, report, err := blobstore.Open(*dataDir, blobstore.Options{MaxKeys: *idemCap})
+		if err != nil {
+			return fmt.Errorf("pspd: open data dir %s: %w", *dataDir, err)
+		}
+		defer bs.Close()
+		fmt.Fprintf(stdout, "pspd recovery: %d records loaded, %d quarantined, %d unsupported, %d uploads pending at crash\n",
+			report.Loaded, len(report.Quarantined), len(report.Unsupported), len(report.PendingUploads))
+		for _, q := range report.Quarantined {
+			fmt.Fprintf(stdout, "pspd quarantined %s -> %s: %s\n", q.From, q.To, q.Reason)
+		}
+		for _, u := range report.Unsupported {
+			fmt.Fprintf(stdout, "pspd skipped future-version record %s\n", u)
+		}
+		store = bs
+	} else {
+		store = psp.NewMemStoreBounded(*idemCap, *idemTTL, nil)
+	}
+	handler := psp.NewServerWith(store).Handler()
 	if *faultSeed != 0 {
 		fault := faults.Fault{Kind: faults.Status503}
 		if *faultLatency > 0 {

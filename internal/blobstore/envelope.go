@@ -1,0 +1,143 @@
+package blobstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Envelope format v1. All integers are big-endian.
+//
+//	offset size  field
+//	0      4     magic "PSPB"
+//	4      2     format version (currently 1)
+//	6      2     reserved flags (must be 0)
+//	8      2     id length
+//	10     2     idempotency-key length
+//	12     8     JPEG payload length
+//	20     8     params payload length
+//	28     4     CRC32C over header bytes [0, 28)
+//	32     -     id, key, JPEG, params (concatenated, no padding)
+//	end    4     CRC32C over the concatenated payload
+//
+// The header checksum lets recovery distinguish a torn/garbage header
+// (quarantine, lengths untrustworthy) from payload corruption, and keeps a
+// corrupt length field from driving a huge allocation. The payload checksum
+// guarantees that every byte served back to a client is the byte that was
+// acknowledged at upload time.
+const (
+	envMagic      = "PSPB"
+	envVersion    = 1
+	envHeaderLen  = 32
+	envTrailerLen = 4
+
+	// maxIDLen / maxKeyLen / maxBlobLen bound decoded lengths so a header
+	// that passes its CRC by chance still cannot demand absurd allocations.
+	maxIDLen   = 1 << 10
+	maxKeyLen  = 1 << 10
+	maxBlobLen = 1 << 31
+)
+
+// castagnoli is the CRC32C table (the polynomial with hardware support on
+// amd64/arm64, and the one used by ext4, btrfs, and iSCSI).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Typed envelope decode failures. ErrCorrupt covers checksum and framing
+// damage; ErrUnsupportedVersion means a structurally sound envelope from a
+// future format that this build must not guess its way through.
+var (
+	ErrCorrupt            = errors.New("blobstore: corrupt envelope")
+	ErrUnsupportedVersion = errors.New("blobstore: unsupported envelope version")
+)
+
+// Record is one stored image: the acknowledged JPEG bytes, the opaque
+// public-parameter document, and the idempotency key (empty if the upload
+// carried none).
+type Record struct {
+	ID     string
+	JPEG   []byte
+	Params []byte
+	Key    string
+}
+
+// encodeEnvelope serializes the record into the v1 envelope.
+func encodeEnvelope(rec *Record) ([]byte, error) {
+	if len(rec.ID) == 0 || len(rec.ID) > maxIDLen {
+		return nil, fmt.Errorf("blobstore: id length %d out of range", len(rec.ID))
+	}
+	if len(rec.Key) > maxKeyLen {
+		return nil, fmt.Errorf("blobstore: key length %d exceeds %d", len(rec.Key), maxKeyLen)
+	}
+	if len(rec.JPEG) >= maxBlobLen || len(rec.Params) >= maxBlobLen {
+		return nil, fmt.Errorf("blobstore: payload too large (%d + %d bytes)", len(rec.JPEG), len(rec.Params))
+	}
+	payloadLen := len(rec.ID) + len(rec.Key) + len(rec.JPEG) + len(rec.Params)
+	buf := make([]byte, envHeaderLen+payloadLen+envTrailerLen)
+	copy(buf[0:4], envMagic)
+	binary.BigEndian.PutUint16(buf[4:6], envVersion)
+	binary.BigEndian.PutUint16(buf[6:8], 0)
+	binary.BigEndian.PutUint16(buf[8:10], uint16(len(rec.ID)))
+	binary.BigEndian.PutUint16(buf[10:12], uint16(len(rec.Key)))
+	binary.BigEndian.PutUint64(buf[12:20], uint64(len(rec.JPEG)))
+	binary.BigEndian.PutUint64(buf[20:28], uint64(len(rec.Params)))
+	binary.BigEndian.PutUint32(buf[28:32], crc32.Checksum(buf[0:28], castagnoli))
+	p := buf[envHeaderLen:envHeaderLen]
+	p = append(p, rec.ID...)
+	p = append(p, rec.Key...)
+	p = append(p, rec.JPEG...)
+	p = append(p, rec.Params...)
+	binary.BigEndian.PutUint32(buf[envHeaderLen+payloadLen:], crc32.Checksum(p, castagnoli))
+	return buf, nil
+}
+
+// decodeEnvelope parses and verifies an envelope. Any framing or checksum
+// damage yields ErrCorrupt; a valid header from a newer format version
+// yields ErrUnsupportedVersion. The returned slices alias data.
+func decodeEnvelope(data []byte) (*Record, error) {
+	if len(data) < envHeaderLen+envTrailerLen {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the minimum envelope", ErrCorrupt, len(data))
+	}
+	if string(data[0:4]) != envMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, data[0:4])
+	}
+	if got, want := binary.BigEndian.Uint32(data[28:32]), crc32.Checksum(data[0:28], castagnoli); got != want {
+		return nil, fmt.Errorf("%w: header checksum %08x, want %08x", ErrCorrupt, got, want)
+	}
+	if v := binary.BigEndian.Uint16(data[4:6]); v != envVersion {
+		return nil, fmt.Errorf("%w: version %d (this build reads %d)", ErrUnsupportedVersion, v, envVersion)
+	}
+	if f := binary.BigEndian.Uint16(data[6:8]); f != 0 {
+		return nil, fmt.Errorf("%w: reserved flags %#x set", ErrCorrupt, f)
+	}
+	idLen := int(binary.BigEndian.Uint16(data[8:10]))
+	keyLen := int(binary.BigEndian.Uint16(data[10:12]))
+	jpegLen := binary.BigEndian.Uint64(data[12:20])
+	paramsLen := binary.BigEndian.Uint64(data[20:28])
+	if idLen == 0 || idLen > maxIDLen || keyLen > maxKeyLen ||
+		jpegLen >= maxBlobLen || paramsLen >= maxBlobLen {
+		return nil, fmt.Errorf("%w: implausible lengths id=%d key=%d jpeg=%d params=%d",
+			ErrCorrupt, idLen, keyLen, jpegLen, paramsLen)
+	}
+	payloadLen := idLen + keyLen + int(jpegLen) + int(paramsLen)
+	if len(data) != envHeaderLen+payloadLen+envTrailerLen {
+		return nil, fmt.Errorf("%w: %d bytes, header promises %d", ErrCorrupt, len(data), envHeaderLen+payloadLen+envTrailerLen)
+	}
+	payload := data[envHeaderLen : envHeaderLen+payloadLen]
+	if got, want := binary.BigEndian.Uint32(data[envHeaderLen+payloadLen:]), crc32.Checksum(payload, castagnoli); got != want {
+		return nil, fmt.Errorf("%w: payload checksum %08x, want %08x", ErrCorrupt, got, want)
+	}
+	rec := &Record{
+		ID:     string(payload[:idLen]),
+		Key:    string(payload[idLen : idLen+keyLen]),
+		JPEG:   payload[idLen+keyLen : idLen+keyLen+int(jpegLen)],
+		Params: payload[idLen+keyLen+int(jpegLen):],
+	}
+	if len(rec.Params) == 0 {
+		rec.Params = nil
+	}
+	if len(rec.JPEG) == 0 {
+		rec.JPEG = nil
+	}
+	return rec, nil
+}

@@ -1,0 +1,131 @@
+package blobstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"strings"
+	"testing"
+)
+
+func sampleRecord() *Record {
+	return &Record{
+		ID:     "0123456789abcdef01234567",
+		JPEG:   bytes.Repeat([]byte{0xFF, 0xD8, 0x42, 0x00}, 200),
+		Params: []byte(`{"v":1,"w":64,"h":48}`),
+		Key:    "ik-roundtrip",
+	}
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	rec := sampleRecord()
+	env, err := encodeEnvelope(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeEnvelope(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != rec.ID || got.Key != rec.Key ||
+		!bytes.Equal(got.JPEG, rec.JPEG) || !bytes.Equal(got.Params, rec.Params) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestEnvelopeRoundTripEmptyOptionalFields(t *testing.T) {
+	rec := &Record{ID: "x", JPEG: []byte{1}}
+	env, err := encodeEnvelope(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeEnvelope(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Key != "" || got.Params != nil || !bytes.Equal(got.JPEG, []byte{1}) {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+// TestEnvelopeDetectsEveryByteCorruption flips every byte of a small
+// envelope in turn; decode must either fail (ErrCorrupt /
+// ErrUnsupportedVersion) or — never — return a record that differs from the
+// original. This is the acceptance criterion "checksum catches every
+// injected corruption" in exhaustive form.
+func TestEnvelopeDetectsEveryByteCorruption(t *testing.T) {
+	rec := &Record{ID: "abc123", JPEG: []byte("jpeg-payload-bytes"), Params: []byte(`{"p":2}`), Key: "k1"}
+	env, err := encodeEnvelope(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range env {
+		for _, delta := range []byte{0x01, 0x80, 0xFF} {
+			mut := append([]byte(nil), env...)
+			mut[i] ^= delta
+			got, derr := decodeEnvelope(mut)
+			if derr != nil {
+				if !errors.Is(derr, ErrCorrupt) && !errors.Is(derr, ErrUnsupportedVersion) {
+					t.Fatalf("byte %d ^ %#x: untyped error %v", i, delta, derr)
+				}
+				continue
+			}
+			if got.ID != rec.ID || got.Key != rec.Key ||
+				!bytes.Equal(got.JPEG, rec.JPEG) || !bytes.Equal(got.Params, rec.Params) {
+				t.Fatalf("byte %d ^ %#x: corruption decoded as a different record", i, delta)
+			}
+		}
+	}
+}
+
+func TestEnvelopeTruncationDetected(t *testing.T) {
+	env, err := encodeEnvelope(sampleRecord())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 3, envHeaderLen - 1, envHeaderLen, len(env) / 2, len(env) - 1} {
+		if _, derr := decodeEnvelope(env[:n]); !errors.Is(derr, ErrCorrupt) {
+			t.Errorf("truncation to %d bytes: err = %v, want ErrCorrupt", n, derr)
+		}
+	}
+	// Trailing garbage must also be rejected, not silently ignored.
+	if _, derr := decodeEnvelope(append(append([]byte(nil), env...), 0x00)); !errors.Is(derr, ErrCorrupt) {
+		t.Errorf("trailing byte: err = %v, want ErrCorrupt", derr)
+	}
+}
+
+// TestEnvelopeFutureVersionTyped rebuilds a structurally valid envelope
+// with a bumped version (header CRC recomputed, so only the version field
+// differs) and demands the typed sentinel, not ErrCorrupt.
+func TestEnvelopeFutureVersionTyped(t *testing.T) {
+	env, err := encodeEnvelope(sampleRecord())
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.BigEndian.PutUint16(env[4:6], envVersion+1)
+	binary.BigEndian.PutUint32(env[28:32], crc32Header(env))
+	_, derr := decodeEnvelope(env)
+	if !errors.Is(derr, ErrUnsupportedVersion) {
+		t.Fatalf("future version: err = %v, want ErrUnsupportedVersion", derr)
+	}
+	if errors.Is(derr, ErrCorrupt) {
+		t.Fatal("future version misclassified as corruption")
+	}
+}
+
+func crc32Header(env []byte) uint32 {
+	return crc32.Checksum(env[:28], castagnoli)
+}
+
+func TestEnvelopeRejectsOversizedFields(t *testing.T) {
+	if _, err := encodeEnvelope(&Record{ID: strings.Repeat("a", maxIDLen+1), JPEG: []byte{1}}); err == nil {
+		t.Error("oversized id accepted")
+	}
+	if _, err := encodeEnvelope(&Record{ID: "x", JPEG: []byte{1}, Key: strings.Repeat("k", maxKeyLen+1)}); err == nil {
+		t.Error("oversized key accepted")
+	}
+	if _, err := encodeEnvelope(&Record{JPEG: []byte{1}}); err == nil {
+		t.Error("empty id accepted")
+	}
+}

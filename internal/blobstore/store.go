@@ -1,0 +1,452 @@
+package blobstore
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Store layout under the data directory:
+//
+//	records/<id>.psp   committed envelopes (one per image)
+//	tmp/               staging area for in-flight uploads
+//	quarantine/        damaged files set aside by recovery, never deleted
+//	journal            upload intent log (begin/commit, CRC per line)
+//
+// Durability protocol for Put: journal BEGIN (fsync) -> write envelope to
+// tmp (fsync) -> rename into records/ (atomic) -> fsync records/ -> journal
+// COMMIT. A crash at any point leaves either a complete, checksummed record
+// or staged garbage that recovery quarantines; the envelope checksums — not
+// the journal — are the authority on whether a record is served.
+const (
+	recordsDir    = "records"
+	tmpDir        = "tmp"
+	quarantineDir = "quarantine"
+	journalName   = "journal"
+	recordExt     = ".psp"
+
+	// DefaultMaxKeys bounds the rebuilt idempotency-key index. Keys beyond
+	// the cap are evicted oldest-first; an evicted key simply falls back to
+	// normal upload semantics (a retry stores a second copy under a new ID
+	// instead of deduplicating — safe, just not deduplicated).
+	DefaultMaxKeys = 1 << 16
+)
+
+// Options configure Open.
+type Options struct {
+	// FS overrides the filesystem (fault injection in tests). Nil means
+	// the real OS filesystem.
+	FS FS
+	// MaxKeys caps the in-memory idempotency index. Zero means
+	// DefaultMaxKeys; negative disables the index entirely.
+	MaxKeys int
+}
+
+// QuarantinedFile describes one damaged file recovery set aside.
+type QuarantinedFile struct {
+	// From is the original path, To where it now lives under quarantine/.
+	From, To string
+	// Reason is the decode failure that condemned it.
+	Reason string
+}
+
+// RecoveryReport is the structured result of the startup scan.
+type RecoveryReport struct {
+	// Loaded counts records that passed both checksums.
+	Loaded int
+	// Quarantined lists torn/corrupt files renamed into quarantine/.
+	Quarantined []QuarantinedFile
+	// Unsupported lists record files from a newer envelope version: left
+	// exactly where they are (a newer build can still read them), not
+	// loaded, not quarantined.
+	Unsupported []string
+	// PendingUploads are journaled BEGIN entries with no COMMIT: uploads
+	// in flight at crash time. Their staged temp files (if any) appear in
+	// Quarantined; the IDs here are informational.
+	PendingUploads []string
+}
+
+// Store is a crash-safe on-disk record store. All methods are safe for
+// concurrent use; writes are serialized (one durable upload at a time).
+type Store struct {
+	dir     string
+	fsys    FS
+	maxKeys int
+
+	mu      sync.RWMutex
+	recs    map[string]*Record
+	byKey   map[string]string
+	keyAge  []string // oldest-first insertion order for cap eviction
+	journal File
+	closed  bool
+}
+
+// Open loads (or creates) a store rooted at dir, verifying every record's
+// checksums and quarantining damage. It never deletes data: damaged files
+// are renamed into quarantine/ for forensics.
+func Open(dir string, opts Options) (*Store, *RecoveryReport, error) {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = OSFS{}
+	}
+	maxKeys := opts.MaxKeys
+	if maxKeys == 0 {
+		maxKeys = DefaultMaxKeys
+	}
+	s := &Store{
+		dir:     dir,
+		fsys:    fsys,
+		maxKeys: maxKeys,
+		recs:    make(map[string]*Record),
+		byKey:   make(map[string]string),
+	}
+	for _, d := range []string{dir, filepath.Join(dir, recordsDir), filepath.Join(dir, tmpDir), filepath.Join(dir, quarantineDir)} {
+		if err := fsys.MkdirAll(d, 0o755); err != nil {
+			return nil, nil, fmt.Errorf("blobstore: create %s: %w", d, err)
+		}
+	}
+	report := &RecoveryReport{}
+	if err := s.recover(report); err != nil {
+		return nil, nil, err
+	}
+	// Compact the journal now that every pending upload is resolved, then
+	// keep it open for appends.
+	if err := s.resetJournal(); err != nil {
+		return nil, nil, err
+	}
+	return s, report, nil
+}
+
+// recover scans the journal, record files, and staging area.
+func (s *Store) recover(report *RecoveryReport) error {
+	pending, err := s.readJournal()
+	if err != nil {
+		return err
+	}
+	recDir := filepath.Join(s.dir, recordsDir)
+	entries, err := s.fsys.ReadDir(recDir)
+	if err != nil {
+		return fmt.Errorf("blobstore: scan %s: %w", recDir, err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names) // deterministic load and key-index order
+	for _, name := range names {
+		path := filepath.Join(recDir, name)
+		data, err := s.fsys.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("blobstore: read %s: %w", path, err)
+		}
+		rec, derr := decodeEnvelope(data)
+		switch {
+		case errors.Is(derr, ErrUnsupportedVersion):
+			report.Unsupported = append(report.Unsupported, path)
+			continue
+		case derr != nil:
+			if err := s.quarantine(path, derr.Error(), report); err != nil {
+				return err
+			}
+			continue
+		}
+		if want := strings.TrimSuffix(name, recordExt); rec.ID != want {
+			if err := s.quarantine(path, fmt.Sprintf("envelope id %q does not match filename", rec.ID), report); err != nil {
+				return err
+			}
+			continue
+		}
+		s.recs[rec.ID] = rec
+		if rec.Key != "" {
+			s.addKeyLocked(rec.Key, rec.ID)
+		}
+		report.Loaded++
+		delete(pending, rec.ID)
+	}
+	// Anything still staged never committed: a crash mid-upload. Set it
+	// aside rather than deleting — the operator may want the evidence.
+	stageDir := filepath.Join(s.dir, tmpDir)
+	staged, err := s.fsys.ReadDir(stageDir)
+	if err != nil {
+		return fmt.Errorf("blobstore: scan %s: %w", stageDir, err)
+	}
+	for _, e := range staged {
+		if e.IsDir() {
+			continue
+		}
+		path := filepath.Join(stageDir, e.Name())
+		if err := s.quarantine(path, "staged upload never committed (crash mid-upload)", report); err != nil {
+			return err
+		}
+	}
+	for id := range pending {
+		report.PendingUploads = append(report.PendingUploads, id)
+	}
+	sort.Strings(report.PendingUploads)
+	return nil
+}
+
+// quarantine renames a damaged file into quarantine/, avoiding name
+// collisions across repeated recoveries.
+func (s *Store) quarantine(path, reason string, report *RecoveryReport) error {
+	base := filepath.Base(path)
+	dst := filepath.Join(s.dir, quarantineDir, base)
+	for n := 1; ; n++ {
+		if _, err := s.fsys.Stat(dst); os.IsNotExist(err) {
+			break
+		}
+		dst = filepath.Join(s.dir, quarantineDir, fmt.Sprintf("%s.%d", base, n))
+	}
+	if err := s.fsys.Rename(path, dst); err != nil {
+		return fmt.Errorf("blobstore: quarantine %s: %w", path, err)
+	}
+	report.Quarantined = append(report.Quarantined, QuarantinedFile{From: path, To: dst, Reason: reason})
+	return nil
+}
+
+// Journal lines are "crc32c(hex) op id\n" with op B (begin) or C (commit).
+// Each line carries its own checksum so a torn tail (crash mid-append) is
+// detected and ignored rather than misparsed.
+
+func journalLine(op, id string) string {
+	body := op + " " + id
+	return fmt.Sprintf("%08x %s\n", crc32.Checksum([]byte(body), castagnoli), body)
+}
+
+// readJournal returns the set of BEGIN ids with no matching COMMIT.
+// Malformed or checksum-failing lines end the useful prefix (they can only
+// come from a torn final append or external damage; everything after them
+// is untrustworthy).
+func (s *Store) readJournal() (map[string]bool, error) {
+	pending := make(map[string]bool)
+	data, err := s.fsys.ReadFile(filepath.Join(s.dir, journalName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return pending, nil
+		}
+		return nil, fmt.Errorf("blobstore: read journal: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if line == "" {
+			continue
+		}
+		parts := strings.SplitN(line, " ", 3)
+		if len(parts) != 3 {
+			return pending, nil
+		}
+		var crc uint32
+		if _, err := fmt.Sscanf(parts[0], "%08x", &crc); err != nil {
+			return pending, nil
+		}
+		body := parts[1] + " " + parts[2]
+		if crc32.Checksum([]byte(body), castagnoli) != crc {
+			return pending, nil
+		}
+		switch parts[1] {
+		case "B":
+			pending[parts[2]] = true
+		case "C":
+			delete(pending, parts[2])
+		default:
+			return pending, nil
+		}
+	}
+	return pending, nil
+}
+
+// resetJournal truncates the journal (every recovered upload is resolved)
+// and keeps the handle open for future appends.
+func (s *Store) resetJournal() error {
+	f, err := s.fsys.OpenFile(filepath.Join(s.dir, journalName), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("blobstore: open journal: %w", err)
+	}
+	s.journal = f
+	return nil
+}
+
+// appendJournal writes one line; sync is required only for BEGIN entries
+// (a lost COMMIT is harmless: recovery re-verifies the record itself).
+func (s *Store) appendJournal(op, id string, sync bool) error {
+	if _, err := s.journal.Write([]byte(journalLine(op, id))); err != nil {
+		return fmt.Errorf("blobstore: journal append: %w", err)
+	}
+	if sync {
+		if err := s.journal.Sync(); err != nil {
+			return fmt.Errorf("blobstore: journal sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// validID rejects ids that cannot serve as safe file names.
+func validID(id string) error {
+	if id == "" || len(id) > maxIDLen {
+		return fmt.Errorf("blobstore: id length %d out of range", len(id))
+	}
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+		default:
+			return fmt.Errorf("blobstore: id %q contains unsafe character %q", id, r)
+		}
+	}
+	if strings.HasPrefix(id, ".") {
+		return fmt.Errorf("blobstore: id %q may not start with a dot", id)
+	}
+	return nil
+}
+
+// Put durably stores a record. If key is non-empty and already mapped, the
+// previously assigned ID is returned and nothing is written (idempotent
+// retry); otherwise the returned ID equals the argument. When Put returns
+// an error the record is not acknowledged: a crash right now leaves at most
+// staged garbage that the next Open quarantines.
+func (s *Store) Put(id string, jpeg, params []byte, key string) (string, error) {
+	if err := validID(id); err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return "", errors.New("blobstore: store is closed")
+	}
+	if key != "" {
+		if prev, ok := s.byKey[key]; ok {
+			return prev, nil
+		}
+	}
+	if _, ok := s.recs[id]; ok {
+		return "", fmt.Errorf("blobstore: id %q already stored", id)
+	}
+	rec := &Record{ID: id, JPEG: jpeg, Params: params, Key: key}
+	env, err := encodeEnvelope(rec)
+	if err != nil {
+		return "", err
+	}
+	if err := s.appendJournal("B", id, true); err != nil {
+		return "", err
+	}
+	tmpPath := filepath.Join(s.dir, tmpDir, id+recordExt)
+	finalPath := filepath.Join(s.dir, recordsDir, id+recordExt)
+	if err := s.writeFileDurable(tmpPath, env); err != nil {
+		// Best-effort unstage; recovery quarantines whatever remains.
+		_ = s.fsys.Remove(tmpPath)
+		return "", err
+	}
+	if err := s.fsys.Rename(tmpPath, finalPath); err != nil {
+		_ = s.fsys.Remove(tmpPath)
+		return "", fmt.Errorf("blobstore: commit %s: %w", id, err)
+	}
+	if err := s.fsys.SyncDir(filepath.Join(s.dir, recordsDir)); err != nil {
+		// The rename happened but may not survive a power cut, so the
+		// upload must not be acknowledged. The complete record file stays
+		// behind; if it does survive, a later recovery loads it and its
+		// embedded idempotency key, so the client's retry still
+		// deduplicates (at-least-once, never silent loss).
+		return "", fmt.Errorf("blobstore: sync records dir: %w", err)
+	}
+	if err := s.appendJournal("C", id, false); err != nil {
+		return "", err
+	}
+	s.recs[id] = rec
+	if key != "" {
+		s.addKeyLocked(key, id)
+	}
+	return id, nil
+}
+
+// writeFileDurable creates path exclusively, writes data, and fsyncs it.
+func (s *Store) writeFileDurable(path string, data []byte) error {
+	f, err := s.fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("blobstore: stage %s: %w", path, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("blobstore: write %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("blobstore: fsync %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("blobstore: close %s: %w", path, err)
+	}
+	return nil
+}
+
+// addKeyLocked indexes key -> id, evicting oldest entries beyond the cap.
+// Caller holds mu.
+func (s *Store) addKeyLocked(key, id string) {
+	if s.maxKeys < 0 {
+		return
+	}
+	if _, ok := s.byKey[key]; ok {
+		return
+	}
+	s.byKey[key] = id
+	s.keyAge = append(s.keyAge, key)
+	for len(s.byKey) > s.maxKeys && len(s.keyAge) > 0 {
+		delete(s.byKey, s.keyAge[0])
+		s.keyAge = s.keyAge[1:]
+	}
+}
+
+// Get returns the stored record's payloads. The slices alias store-internal
+// buffers and must not be mutated.
+func (s *Store) Get(id string) (jpeg, params []byte, ok bool, err error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rec, ok := s.recs[id]
+	if !ok {
+		return nil, nil, false, nil
+	}
+	return rec.JPEG, rec.Params, true, nil
+}
+
+// IDForKey resolves an idempotency key to its assigned image ID.
+func (s *Store) IDForKey(key string) (string, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	id, ok := s.byKey[key]
+	return id, ok
+}
+
+// IDs returns every stored image ID in sorted order.
+func (s *Store) IDs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.recs))
+	for id := range s.recs {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len reports how many records are loaded.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.recs)
+}
+
+// Close releases the journal handle. Further Puts fail; Gets keep working
+// from memory.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.journal.Close()
+}

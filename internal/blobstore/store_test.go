@@ -1,0 +1,430 @@
+package blobstore_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"puppies/internal/blobstore"
+	"puppies/internal/faults"
+)
+
+func mustOpen(t *testing.T, dir string, opts blobstore.Options) (*blobstore.Store, *blobstore.RecoveryReport) {
+	t.Helper()
+	s, report, err := blobstore.Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, report
+}
+
+func jpegBytes(i int) []byte {
+	return bytes.Repeat([]byte{0xFF, 0xD8, byte(i), byte(i >> 8)}, 100+i)
+}
+
+func paramsBytes(i int) []byte {
+	return []byte(fmt.Sprintf(`{"v":1,"n":%d}`, i))
+}
+
+func TestPutGetSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	s, report := mustOpen(t, dir, blobstore.Options{})
+	if report.Loaded != 0 || len(report.Quarantined) != 0 {
+		t.Fatalf("fresh dir report: %+v", report)
+	}
+	const n = 7
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("img-%04d", i)
+		got, err := s.Put(id, jpegBytes(i), paramsBytes(i), fmt.Sprintf("key-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != id {
+			t.Fatalf("Put returned %q, want %q", got, id)
+		}
+	}
+	s.Close()
+
+	s2, report2 := mustOpen(t, dir, blobstore.Options{})
+	if report2.Loaded != n {
+		t.Fatalf("restart loaded %d records, want %d; report %+v", report2.Loaded, n, report2)
+	}
+	if len(report2.Quarantined) != 0 || len(report2.PendingUploads) != 0 {
+		t.Fatalf("clean restart produced noise: %+v", report2)
+	}
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("img-%04d", i)
+		jpeg, params, ok, err := s2.Get(id)
+		if err != nil || !ok {
+			t.Fatalf("Get(%s) after restart: ok=%v err=%v", id, ok, err)
+		}
+		if !bytes.Equal(jpeg, jpegBytes(i)) || !bytes.Equal(params, paramsBytes(i)) {
+			t.Fatalf("record %s not byte-identical after restart", id)
+		}
+		// The idempotency index must survive the restart too.
+		if got, ok := s2.IDForKey(fmt.Sprintf("key-%d", i)); !ok || got != id {
+			t.Fatalf("IDForKey(key-%d) = %q,%v after restart", i, got, ok)
+		}
+	}
+}
+
+func TestPutIdempotencyAndDuplicateID(t *testing.T) {
+	s, _ := mustOpen(t, t.TempDir(), blobstore.Options{})
+	id1, err := s.Put("a1", jpegBytes(1), nil, "same-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := s.Put("a2", jpegBytes(2), nil, "same-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 != id1 {
+		t.Fatalf("retry with same key stored a duplicate: %q vs %q", id2, id1)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	if _, err := s.Put("a1", jpegBytes(3), nil, ""); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+	if _, err := s.Put("../evil", jpegBytes(4), nil, ""); err == nil {
+		t.Fatal("path-traversal id accepted")
+	}
+}
+
+func TestKeyIndexCapEvictsOldest(t *testing.T) {
+	s, _ := mustOpen(t, t.TempDir(), blobstore.Options{MaxKeys: 3})
+	for i := 0; i < 5; i++ {
+		if _, err := s.Put(fmt.Sprintf("b%d", i), jpegBytes(i), nil, fmt.Sprintf("k%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := s.IDForKey("k0"); ok {
+		t.Error("k0 should have been evicted")
+	}
+	if _, ok := s.IDForKey("k4"); !ok {
+		t.Error("k4 should be present")
+	}
+	// Evicted key falls back to normal upload semantics: a new store.
+	id, err := s.Put("b9", jpegBytes(9), nil, "k0")
+	if err != nil || id != "b9" {
+		t.Fatalf("evicted-key re-upload: %q, %v", id, err)
+	}
+}
+
+// TestOnDiskCorruptionQuarantined flips one byte of a committed record and
+// verifies the next open refuses to serve wrong bytes: the file is
+// quarantined (not deleted) with a reason, and the good records still load.
+func TestOnDiskCorruptionQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir, blobstore.Options{})
+	if _, err := s.Put("good", jpegBytes(1), paramsBytes(1), ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put("bad", jpegBytes(2), paramsBytes(2), ""); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	path := filepath.Join(dir, "records", "bad.psp")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x10
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, report := mustOpen(t, dir, blobstore.Options{})
+	if report.Loaded != 1 {
+		t.Fatalf("loaded %d, want 1", report.Loaded)
+	}
+	if len(report.Quarantined) != 1 {
+		t.Fatalf("quarantined %d files, want 1: %+v", len(report.Quarantined), report)
+	}
+	q := report.Quarantined[0]
+	if q.Reason == "" || !strings.Contains(q.To, "quarantine") {
+		t.Fatalf("bad quarantine entry: %+v", q)
+	}
+	if _, err := os.Stat(q.To); err != nil {
+		t.Fatalf("quarantined file missing (deleted?): %v", err)
+	}
+	if _, _, ok, _ := s2.Get("bad"); ok {
+		t.Fatal("corrupt record served")
+	}
+	jpeg, _, ok, _ := s2.Get("good")
+	if !ok || !bytes.Equal(jpeg, jpegBytes(1)) {
+		t.Fatal("good record damaged by recovery")
+	}
+}
+
+// TestIDFilenameMismatchQuarantined renames a valid record file so the
+// embedded ID no longer matches; recovery must set it aside.
+func TestIDFilenameMismatchQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir, blobstore.Options{})
+	if _, err := s.Put("original", jpegBytes(1), nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if err := os.Rename(filepath.Join(dir, "records", "original.psp"),
+		filepath.Join(dir, "records", "impostor.psp")); err != nil {
+		t.Fatal(err)
+	}
+	_, report := mustOpen(t, dir, blobstore.Options{})
+	if report.Loaded != 0 || len(report.Quarantined) != 1 {
+		t.Fatalf("report %+v", report)
+	}
+}
+
+// crashPoint is one entry in the crash matrix: a fault script applied to a
+// fresh store, after which the Put must fail, and a reopen with a clean
+// filesystem must leave the acknowledged world intact.
+type crashPoint struct {
+	name string
+	// fault configures the injector for the second Put.
+	fault func(*faults.FaultFS)
+	// wantStored reports whether the crashed record may legitimately be
+	// complete on disk after recovery (kill after rename).
+	wantStored bool
+}
+
+// TestCrashMatrix drives a Put through every injected fault point. In all
+// cases: Put reports an error (never a false ack), a restart over the same
+// directory serves the earlier acknowledged record byte-identically, and
+// the unacknowledged record is either absent/quarantined or — only for
+// faults after the atomic rename — complete and valid. Never torn, never
+// silently wrong.
+func TestCrashMatrix(t *testing.T) {
+	points := []crashPoint{
+		{
+			name: "torn write then crash",
+			fault: func(f *faults.FaultFS) {
+				f.ScriptOn(faults.OpWrite, "tmp/", faults.FSFault{Kind: faults.FSTornCrash})
+			},
+		},
+		{
+			name: "torn write transient",
+			fault: func(f *faults.FaultFS) {
+				f.ScriptOn(faults.OpWrite, "tmp/", faults.FSFault{Kind: faults.FSTorn, KeepBytes: 10})
+			},
+		},
+		{
+			name: "fsync error on staged file",
+			fault: func(f *faults.FaultFS) {
+				f.ScriptOn(faults.OpSync, "tmp/", faults.FSFault{Kind: faults.FSErr})
+			},
+		},
+		{
+			name: "crash before rename",
+			fault: func(f *faults.FaultFS) {
+				f.ScriptOn(faults.OpRename, "records/", faults.FSFault{Kind: faults.FSCrashBefore})
+			},
+		},
+		{
+			name: "crash after rename",
+			fault: func(f *faults.FaultFS) {
+				f.ScriptOn(faults.OpRename, "records/", faults.FSFault{Kind: faults.FSCrashAfter})
+			},
+			wantStored: true,
+		},
+		{
+			name: "rename fails transiently",
+			fault: func(f *faults.FaultFS) {
+				f.ScriptOn(faults.OpRename, "records/", faults.FSFault{Kind: faults.FSErr})
+			},
+		},
+		{
+			name: "crash during journal begin sync",
+			fault: func(f *faults.FaultFS) {
+				f.ScriptOn(faults.OpSync, "journal", faults.FSFault{Kind: faults.FSCrashAfter})
+			},
+		},
+		{
+			name: "directory fsync error",
+			fault: func(f *faults.FaultFS) {
+				f.ScriptOn(faults.OpSyncDir, "records", faults.FSFault{Kind: faults.FSErr})
+			},
+			// The rename completed; the record is durable-modulo-dirent
+			// and recovery may legitimately serve it.
+			wantStored: true,
+		},
+	}
+
+	for _, pt := range points {
+		t.Run(pt.name, func(t *testing.T) {
+			dir := t.TempDir()
+			inj := faults.NewFS(nil)
+			s, _ := mustOpen(t, dir, blobstore.Options{FS: inj})
+			if _, err := s.Put("acked", jpegBytes(1), paramsBytes(1), "key-acked"); err != nil {
+				t.Fatal(err)
+			}
+			pt.fault(inj)
+			if _, err := s.Put("doomed", jpegBytes(2), paramsBytes(2), "key-doomed"); err == nil {
+				t.Fatal("faulted Put acknowledged the upload")
+			}
+
+			// "Reboot": reopen over the same directory with a clean FS.
+			s2, report := mustOpen(t, dir, blobstore.Options{})
+			jpeg, params, ok, err := s2.Get("acked")
+			if err != nil || !ok {
+				t.Fatalf("acknowledged record lost: ok=%v err=%v report=%+v", ok, err, report)
+			}
+			if !bytes.Equal(jpeg, jpegBytes(1)) || !bytes.Equal(params, paramsBytes(1)) {
+				t.Fatal("acknowledged record not byte-identical after crash recovery")
+			}
+			jpeg2, _, ok2, err := s2.Get("doomed")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok2 {
+				if !pt.wantStored {
+					t.Fatalf("%s: unacknowledged record served", pt.name)
+				}
+				// If served at all it must be complete, never torn.
+				if !bytes.Equal(jpeg2, jpegBytes(2)) {
+					t.Fatal("recovered record is torn/wrong")
+				}
+			}
+			// Whatever is neither loaded nor still staged must have been
+			// quarantined, never deleted silently: staged leftovers from
+			// the crash show up in the report.
+			for _, q := range report.Quarantined {
+				if q.Reason == "" {
+					t.Fatalf("quarantine without reason: %+v", q)
+				}
+			}
+		})
+	}
+}
+
+// TestCrashAfterRenameKeepsIdempotency covers the nastiest corner: the
+// record hit disk (rename done) but the client never got the ack. On
+// recovery the embedded idempotency key must be re-indexed so the client's
+// retry deduplicates instead of double-storing.
+func TestCrashAfterRenameKeepsIdempotency(t *testing.T) {
+	dir := t.TempDir()
+	inj := faults.NewFS(nil)
+	s, _ := mustOpen(t, dir, blobstore.Options{FS: inj})
+	inj.ScriptOn(faults.OpRename, "records/", faults.FSFault{Kind: faults.FSCrashAfter})
+	if _, err := s.Put("ghost", jpegBytes(3), nil, "retry-key"); err == nil {
+		t.Fatal("crashed Put acked")
+	}
+
+	s2, report := mustOpen(t, dir, blobstore.Options{})
+	if report.Loaded != 1 {
+		t.Fatalf("loaded %d, want 1", report.Loaded)
+	}
+	id, err := s2.Put("ghost2", jpegBytes(3), nil, "retry-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "ghost" {
+		t.Fatalf("retry after crash stored duplicate: got id %q", id)
+	}
+	if s2.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s2.Len())
+	}
+}
+
+func TestConcurrentPutsDistinctIDs(t *testing.T) {
+	s, _ := mustOpen(t, t.TempDir(), blobstore.Options{})
+	const n = 16
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = s.Put(fmt.Sprintf("c%02d", i), jpegBytes(i), paramsBytes(i), "")
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	if s.Len() != n {
+		t.Fatalf("Len = %d, want %d", s.Len(), n)
+	}
+	if got := len(s.IDs()); got != n {
+		t.Fatalf("IDs() returned %d entries", got)
+	}
+}
+
+func TestConcurrentSameKeySingleStore(t *testing.T) {
+	s, _ := mustOpen(t, t.TempDir(), blobstore.Options{})
+	const n = 8
+	ids := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id, err := s.Put(fmt.Sprintf("d%02d", i), jpegBytes(0), nil, "shared-key")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ids[i] = id
+		}(i)
+	}
+	wg.Wait()
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (concurrent retries double-stored)", s.Len())
+	}
+	for i := 1; i < n; i++ {
+		if ids[i] != ids[0] {
+			t.Fatalf("divergent ids %q vs %q", ids[i], ids[0])
+		}
+	}
+}
+
+// TestTornJournalTailTolerated chops the journal mid-line; open must not
+// fail and must not misparse the torn tail.
+func TestTornJournalTailTolerated(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir, blobstore.Options{})
+	if _, err := s.Put("j1", jpegBytes(1), nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	jpath := filepath.Join(dir, "journal")
+	data, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, []byte("deadbeef B half-written-lin")...)
+	if err := os.WriteFile(jpath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, report := mustOpen(t, dir, blobstore.Options{})
+	if report.Loaded != 1 {
+		t.Fatalf("loaded %d, want 1", report.Loaded)
+	}
+	if _, _, ok, _ := s2.Get("j1"); !ok {
+		t.Fatal("record lost to torn journal")
+	}
+}
+
+func TestClosedStoreRefusesPuts(t *testing.T) {
+	s, _ := mustOpen(t, t.TempDir(), blobstore.Options{})
+	s.Close()
+	if _, err := s.Put("x", jpegBytes(1), nil, ""); err == nil {
+		t.Fatal("Put after Close succeeded")
+	}
+}
+
+func TestUnsupportedVersionSentinelExported(t *testing.T) {
+	if !errors.Is(fmt.Errorf("wrap: %w", blobstore.ErrUnsupportedVersion), blobstore.ErrUnsupportedVersion) {
+		t.Fatal("sentinel identity broken")
+	}
+}

@@ -2,11 +2,23 @@ package core
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 
 	"puppies/internal/dct"
 	"puppies/internal/transform"
 )
+
+// PublicDataVersion is the current public-parameter envelope format. Encode
+// stamps it; DecodePublicData accepts this version and the pre-versioning
+// legacy form (0) and rejects anything newer with ErrUnsupportedVersion —
+// silently misreading a future format would hand receivers wrong recovery
+// parameters, which is worse than failing.
+const PublicDataVersion = 1
+
+// ErrUnsupportedVersion marks a public-parameter document written by a
+// newer format than this build understands. Branch with errors.Is.
+var ErrUnsupportedVersion = errors.New("core: unsupported public data version")
 
 // CoeffPos identifies one coefficient inside a perturbed region: channel,
 // region-local block index (in the *original* region grid, stable across
@@ -198,6 +210,10 @@ func (rp *RegionParams) AllKeyIDs() []string {
 // PublicData is everything the PSP stores publicly next to the perturbed
 // image bytes.
 type PublicData struct {
+	// Version is the envelope format version. Zero (legacy documents
+	// predating versioning) is read as the v1 layout; Encode always
+	// stamps PublicDataVersion.
+	Version  int `json:"v,omitempty"`
 	W        int `json:"w"`
 	H        int `json:"h"`
 	Channels int `json:"channels"`
@@ -214,6 +230,9 @@ type PublicData struct {
 
 // Validate checks structural consistency.
 func (pd *PublicData) Validate() error {
+	if pd.Version < 0 || pd.Version > PublicDataVersion {
+		return fmt.Errorf("%w: %d (this build reads <= %d)", ErrUnsupportedVersion, pd.Version, PublicDataVersion)
+	}
 	if pd.W <= 0 || pd.H <= 0 {
 		return fmt.Errorf("core: public data has invalid dimensions %dx%d", pd.W, pd.H)
 	}
@@ -255,12 +274,15 @@ func (pd *PublicData) Validate() error {
 	return nil
 }
 
-// Encode serializes the public data as JSON.
+// Encode serializes the public data as JSON, stamping the current format
+// version.
 func (pd *PublicData) Encode() ([]byte, error) {
 	if err := pd.Validate(); err != nil {
 		return nil, err
 	}
-	return json.Marshal(pd)
+	out := *pd
+	out.Version = PublicDataVersion
+	return json.Marshal(&out)
 }
 
 // DecodePublicData parses and validates serialized public data.

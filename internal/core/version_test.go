@@ -1,0 +1,71 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"puppies/internal/dct"
+)
+
+func versionFixture() *PublicData {
+	return &PublicData{
+		W: 64, H: 48, Channels: 3,
+		LumQuant:   dct.StdLuminanceQuant,
+		ChromQuant: dct.StdChrominanceQuant,
+		Regions: []RegionParams{{
+			ROI:     ROI{X: 0, Y: 0, W: 16, H: 16},
+			Variant: VariantC, MR: 32, K: 8,
+			KeyID: "pair-1",
+		}},
+	}
+}
+
+func TestEncodeStampsCurrentVersion(t *testing.T) {
+	raw, err := versionFixture().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(raw, []byte(`"v":1`)) {
+		t.Fatalf("encoded params missing version stamp: %s", raw[:80])
+	}
+	pd, err := DecodePublicData(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pd.Version != PublicDataVersion {
+		t.Fatalf("decoded version %d, want %d", pd.Version, PublicDataVersion)
+	}
+}
+
+func TestDecodeAcceptsLegacyUnversioned(t *testing.T) {
+	pd := versionFixture()
+	raw, err := pd.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := bytes.Replace(raw, []byte(`"v":1,`), nil, 1)
+	got, err := DecodePublicData(legacy)
+	if err != nil {
+		t.Fatalf("legacy document rejected: %v", err)
+	}
+	if got.Version != 0 {
+		t.Fatalf("legacy version = %d, want 0", got.Version)
+	}
+}
+
+func TestDecodeRejectsFutureVersionTyped(t *testing.T) {
+	raw, err := versionFixture().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	future := bytes.Replace(raw, []byte(`"v":1`), []byte(`"v":2`), 1)
+	_, derr := DecodePublicData(future)
+	if !errors.Is(derr, ErrUnsupportedVersion) {
+		t.Fatalf("future version err = %v, want ErrUnsupportedVersion", derr)
+	}
+	negative := bytes.Replace(raw, []byte(`"v":1`), []byte(`"v":-3`), 1)
+	if _, derr := DecodePublicData(negative); !errors.Is(derr, ErrUnsupportedVersion) {
+		t.Fatalf("negative version err = %v", derr)
+	}
+}

@@ -12,10 +12,17 @@ type canvas struct {
 	img *imgplane.Image
 }
 
+// newCanvas allocates a drawing surface.
+//
+// Invariant (panic audit): the panic is unreachable from user config —
+// NewGenerator is the only config entry point and rejects profiles smaller
+// than 64x64 before any canvas is created, and every internal caller passes
+// the validated profile's W/H. It stays a panic because a failure here can
+// only mean a bug in this package.
 func newCanvas(w, h int) *canvas {
 	img, err := imgplane.New(w, h, 3)
 	if err != nil {
-		panic(err) // dimensions are generator-controlled
+		panic(err)
 	}
 	return &canvas{img: img}
 }

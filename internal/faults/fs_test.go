@@ -1,0 +1,103 @@
+package faults_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"puppies/internal/faults"
+)
+
+func TestFaultFSTornWriteLeavesPrefix(t *testing.T) {
+	dir := t.TempDir()
+	fsys := faults.NewFS(nil)
+	fsys.ScriptOn(faults.OpWrite, "victim", faults.FSFault{Kind: faults.FSTorn, KeepBytes: 5})
+
+	path := filepath.Join(dir, "victim")
+	f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, werr := f.Write([]byte("0123456789"))
+	if !errors.Is(werr, faults.ErrInjected) {
+		t.Fatalf("torn write err = %v", werr)
+	}
+	f.Close()
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "01234" {
+		t.Fatalf("on-disk prefix %q, want %q", got, "01234")
+	}
+	if fsys.Count(faults.FSTorn) != 1 {
+		t.Fatalf("torn count = %d", fsys.Count(faults.FSTorn))
+	}
+}
+
+func TestFaultFSCrashFreezesEverything(t *testing.T) {
+	dir := t.TempDir()
+	fsys := faults.NewFS(nil)
+	fsys.ScriptOn(faults.OpRename, "", faults.FSFault{Kind: faults.FSCrashBefore})
+
+	src := filepath.Join(dir, "a")
+	if err := os.WriteFile(src, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := fsys.Rename(src, filepath.Join(dir, "b"))
+	if !errors.Is(err, faults.ErrCrashed) {
+		t.Fatalf("rename err = %v", err)
+	}
+	if _, serr := os.Stat(src); serr != nil {
+		t.Fatal("crash-before performed the rename anyway")
+	}
+	if !fsys.Crashed() {
+		t.Fatal("Crashed() = false")
+	}
+	// Every later operation on the dead filesystem fails too.
+	if _, err := fsys.ReadFile(src); !errors.Is(err, faults.ErrCrashed) {
+		t.Fatalf("post-crash read err = %v", err)
+	}
+	if err := fsys.SyncDir(dir); !errors.Is(err, faults.ErrCrashed) {
+		t.Fatalf("post-crash syncdir err = %v", err)
+	}
+}
+
+func TestFaultFSCrashAfterPerformsOp(t *testing.T) {
+	dir := t.TempDir()
+	fsys := faults.NewFS(nil)
+	fsys.ScriptOn(faults.OpRename, "", faults.FSFault{Kind: faults.FSCrashAfter})
+	src, dst := filepath.Join(dir, "a"), filepath.Join(dir, "b")
+	if err := os.WriteFile(src, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Rename(src, dst); !errors.Is(err, faults.ErrCrashed) {
+		t.Fatalf("rename err = %v", err)
+	}
+	if _, serr := os.Stat(dst); serr != nil {
+		t.Fatal("crash-after did not perform the rename")
+	}
+}
+
+func TestFaultFSScriptOrderAndPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	fsys := faults.NewFS(nil)
+	fsys.ScriptOn(faults.OpSync, "", faults.FSFault{Kind: faults.FSNone}, faults.FSFault{Kind: faults.FSErr})
+
+	path := filepath.Join(dir, "f")
+	f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("first sync (scripted None) failed: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("second sync err = %v, want injected", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("third sync (script exhausted) failed: %v", err)
+	}
+}

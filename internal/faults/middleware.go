@@ -10,6 +10,13 @@ import (
 // and DropResponse abort the connection via http.ErrAbortHandler, which the
 // net/http server turns into a mid-stream close — clients observe a reset
 // or unexpected EOF, exactly like a crashed backend.
+//
+// Invariant (panic audit): the two panic(http.ErrAbortHandler) calls below
+// are the net/http-documented mechanism for aborting a connection — the
+// server recovers this specific value itself and never crashes the process.
+// They are deliberate, are not reachable as crashes from untrusted input,
+// and must stay panics: returning an error cannot sever a connection
+// mid-response.
 func (in *Injector) Middleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		f := in.next(r)

@@ -31,6 +31,14 @@ type Plane struct {
 }
 
 // NewPlane allocates a zeroed plane of the given dimensions.
+//
+// Invariant (audited): w and h must be positive. This panic is a
+// programmer-error guard, not an input validator — every path that starts
+// from untrusted bytes or caller-supplied values validates dimensions
+// before reaching it (jpegc.parseSOF rejects zero/oversized SOF dims,
+// imgplane.DecodeBinary and imgplane.New return errors, FromStdImage
+// rejects empty bounds), so all remaining callers pass dimensions derived
+// from an already-validated image.
 func NewPlane(w, h int) *Plane {
 	if w <= 0 || h <= 0 {
 		panic(fmt.Sprintf("imgplane: invalid plane size %dx%d", w, h))
@@ -109,6 +117,9 @@ const (
 
 // New allocates a zeroed image with the given number of channels (1 or 3).
 func New(w, h, channels int) (*Image, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("imgplane: invalid image size %dx%d", w, h)
+	}
 	if channels != 1 && channels != 3 {
 		return nil, fmt.Errorf("imgplane: channels must be 1 or 3, got %d", channels)
 	}
@@ -220,9 +231,14 @@ func clamp8(v float32) uint8 {
 }
 
 // FromStdImage converts any stdlib image to a 3-channel planar YUV image.
-func FromStdImage(src image.Image) *Image {
+// Images with empty bounds (possible in caller-supplied decoded images) are
+// rejected with an error rather than panicking downstream.
+func FromStdImage(src image.Image) (*Image, error) {
 	b := src.Bounds()
-	img, _ := New(b.Dx(), b.Dy(), 3)
+	img, err := New(b.Dx(), b.Dy(), 3)
+	if err != nil {
+		return nil, err
+	}
 	w := img.W()
 	// Rows write disjoint plane indices; src is only read.
 	parallel.For(b.Dy(), rowGrain, func(lo, hi int) {
@@ -237,7 +253,7 @@ func FromStdImage(src image.Image) *Image {
 			}
 		}
 	})
-	return img
+	return img, nil
 }
 
 // ToStdImage converts the planar image to an 8-bit stdlib image, clamping

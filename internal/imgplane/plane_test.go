@@ -132,7 +132,10 @@ func TestStdImageRoundTrip(t *testing.T) {
 			})
 		}
 	}
-	planar := FromStdImage(src)
+	planar, err := FromStdImage(src)
+	if err != nil {
+		t.Fatal(err)
+	}
 	back := planar.ToStdImage()
 	for y := 0; y < 12; y++ {
 		for x := 0; x < 16; x++ {

@@ -469,6 +469,13 @@ func decodeBlock(br *bitReader, dcT, acT *decTable, pred *int32) (dct.Block, err
 	}
 	diff := extendMagnitude(bits, int(cat))
 	*pred += diff
+	// A conforming baseline stream keeps the accumulated DC inside the
+	// 11-bit coefficient range; a hostile diff sequence can walk the
+	// predictor anywhere, so bound it here or the image would decode to
+	// coefficients the encoder (correctly) refuses to represent.
+	if *pred < dct.CoeffMin || *pred > dct.CoeffMax {
+		return b, fmt.Errorf("jpegc: DC coefficient %d out of range [%d,%d]", *pred, dct.CoeffMin, dct.CoeffMax)
+	}
 	b[0] = *pred
 
 	zz := 1
@@ -486,6 +493,10 @@ func decodeBlock(br *bitReader, dcT, acT *decTable, pred *int32) (dct.Block, err
 			zz += 16
 		case size == 0:
 			return b, fmt.Errorf("jpegc: invalid AC symbol %#x", sym)
+		case size > 10:
+			// Baseline AC categories stop at 10; larger sizes would decode
+			// to coefficients outside [-1023, 1023].
+			return b, fmt.Errorf("jpegc: AC category %d out of range", size)
 		default:
 			zz += run
 			if zz >= dct.BlockLen {

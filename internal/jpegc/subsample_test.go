@@ -67,7 +67,10 @@ func TestDecodeSubsampledStreams(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			refPlanar := imgplane.FromStdImage(ref)
+			refPlanar, err := imgplane.FromStdImage(ref)
+			if err != nil {
+				t.Fatal(err)
+			}
 			psnr, err := imgplane.ImagePSNR(ours.Quantize8(), refPlanar)
 			if err != nil {
 				t.Fatal(err)

@@ -270,6 +270,20 @@ func (c *Client) Upload(ctx context.Context, img *jpegc.Image, pd *core.PublicDa
 	return resp.ID, nil
 }
 
+// ListImages returns every stored image ID (sorted), the recovery-audit
+// view of the PSP: after a server restart, each listed ID is fetchable.
+func (c *Client) ListImages(ctx context.Context) ([]string, error) {
+	body, err := c.do(ctx, http.MethodGet, c.BaseURL+"/v1/images", nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	var resp ListResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return nil, &corruptError{fmt.Errorf("decode list response: %w", err)}
+	}
+	return resp.IDs, nil
+}
+
 // FetchImage downloads the stored (untransformed) perturbed image.
 func (c *Client) FetchImage(ctx context.Context, id string) (*jpegc.Image, error) {
 	body, err := c.do(ctx, http.MethodGet, c.BaseURL+"/v1/images/"+url.PathEscape(id), nil, nil)

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
 
@@ -34,30 +35,38 @@ type entry struct {
 	params json.RawMessage
 }
 
-// Server is the in-memory PSP.
+// Server is the PSP HTTP service over a pluggable Store.
 type Server struct {
 	// MaxUpload caps upload body size in bytes; larger requests get
 	// HTTP 413. Zero means DefaultMaxUpload. Set before Handler is used.
 	MaxUpload int64
 
-	mu    sync.RWMutex
-	store map[string]*entry
-	// byKey maps idempotency keys to assigned IDs so a retried upload
-	// returns the original ID instead of storing a duplicate.
-	byKey map[string]string
+	storeOnce sync.Once
+	store     Store
 }
 
-// NewServer returns an empty PSP.
+// NewServer returns a PSP over an ephemeral in-memory store.
 func NewServer() *Server {
-	return &Server{store: make(map[string]*entry), byKey: make(map[string]string)}
+	return NewServerWith(NewMemStore())
+}
+
+// NewServerWith returns a PSP over the given store — e.g. a
+// blobstore.Store for crash-safe durability.
+func NewServerWith(st Store) *Server {
+	s := &Server{}
+	s.storeOnce.Do(func() {}) // mark initialized
+	s.store = st
+	return s
+}
+
+// st returns the store, lazily defaulting a zero-value Server to memory.
+func (s *Server) st() Store {
+	s.storeOnce.Do(func() { s.store = NewMemStore() })
+	return s.store
 }
 
 // Len reports how many images are stored.
-func (s *Server) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.store)
-}
+func (s *Server) Len() int { return s.st().Len() }
 
 func (s *Server) maxUpload() int64 {
 	if s.MaxUpload > 0 {
@@ -79,6 +88,11 @@ type UploadResponse struct {
 	ID string `json:"id"`
 }
 
+// ListResponse is the GET /v1/images body.
+type ListResponse struct {
+	IDs []string `json:"ids"`
+}
+
 // HealthResponse is the GET /v1/healthz body.
 type HealthResponse struct {
 	Status string `json:"status"`
@@ -88,6 +102,7 @@ type HealthResponse struct {
 // Handler returns the HTTP API:
 //
 //	GET  /v1/healthz                     liveness + store size
+//	GET  /v1/images                      list stored image IDs
 //	POST /v1/images                      upload {image, params} -> {id}
 //	GET  /v1/images/{id}                 stored JPEG bytes
 //	GET  /v1/images/{id}/params          public parameters
@@ -100,6 +115,7 @@ type HealthResponse struct {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/images", s.handleList)
 	mux.HandleFunc("POST /v1/images", s.handleUpload)
 	mux.HandleFunc("GET /v1/images/{id}", s.handleGet)
 	mux.HandleFunc("GET /v1/images/{id}/params", s.handleParams)
@@ -115,6 +131,16 @@ func httpError(w http.ResponseWriter, code int, format string, args ...interface
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(HealthResponse{Status: "ok", Images: s.Len()})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	ids := s.st().IDs()
+	sort.Strings(ids)
+	if ids == nil {
+		ids = []string{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(ListResponse{IDs: ids})
 }
 
 func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
@@ -142,10 +168,7 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 
 	key := strings.TrimSpace(r.Header.Get(idempotencyHeader))
 	if key != "" {
-		s.mu.RLock()
-		id, seen := s.byKey[key]
-		s.mu.RUnlock()
-		if seen {
+		if id, seen := s.st().IDForKey(key); seen {
 			writeUploadResponse(w, id)
 			return
 		}
@@ -163,20 +186,14 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := hex.EncodeToString(idBytes[:])
-	s.mu.Lock()
-	// Re-check the key under the write lock so concurrent retries of the
-	// same upload cannot both store.
-	if key != "" {
-		if prev, seen := s.byKey[key]; seen {
-			s.mu.Unlock()
-			writeUploadResponse(w, prev)
-			return
-		}
-		s.byKey[key] = id
+	// Put re-checks the key atomically so concurrent retries of the same
+	// upload cannot both store; the canonical ID wins.
+	canonical, err := s.st().Put(id, req.Image, req.Params, key)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "store: %v", err)
+		return
 	}
-	s.store[id] = &entry{jpeg: req.Image, params: req.Params}
-	s.mu.Unlock()
-	writeUploadResponse(w, id)
+	writeUploadResponse(w, canonical)
 }
 
 func writeUploadResponse(w http.ResponseWriter, id string) {
@@ -188,14 +205,16 @@ func writeUploadResponse(w http.ResponseWriter, id string) {
 
 func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *entry {
 	id := r.PathValue("id")
-	s.mu.RLock()
-	e := s.store[id]
-	s.mu.RUnlock()
-	if e == nil {
+	jpeg, params, ok, err := s.st().Get(id)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "store: %v", err)
+		return nil
+	}
+	if !ok {
 		httpError(w, http.StatusNotFound, "image %q not found", id)
 		return nil
 	}
-	return e
+	return &entry{jpeg: jpeg, params: params}
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {

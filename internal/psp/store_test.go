@@ -1,0 +1,161 @@
+package psp
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"puppies/internal/core"
+	"puppies/internal/jpegc"
+)
+
+func TestMemStoreKeyIndexLRUCap(t *testing.T) {
+	m := NewMemStoreBounded(3, 0, nil)
+	for i := 0; i < 3; i++ {
+		if _, err := m.Put(fmt.Sprintf("id%d", i), []byte{1}, nil, fmt.Sprintf("k%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch k0 so it becomes most-recently-used; k1 is now the LRU victim.
+	if _, ok := m.IDForKey("k0"); !ok {
+		t.Fatal("k0 missing")
+	}
+	if _, err := m.Put("id3", []byte{1}, nil, "k3"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.IDForKey("k1"); ok {
+		t.Error("k1 survived past the cap (LRU not honored)")
+	}
+	if _, ok := m.IDForKey("k0"); !ok {
+		t.Error("recently used k0 evicted")
+	}
+	if got := m.KeyCount(); got != 3 {
+		t.Errorf("KeyCount = %d, want 3", got)
+	}
+	// Images themselves are never evicted — only the dedupe index is.
+	if m.Len() != 4 {
+		t.Errorf("Len = %d, want 4", m.Len())
+	}
+}
+
+func TestMemStoreKeyTTLExpiry(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	m := NewMemStoreBounded(100, time.Minute, clock)
+	if _, err := m.Put("a", []byte{1}, nil, "key"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.IDForKey("key"); !ok {
+		t.Fatal("fresh key missing")
+	}
+	now = now.Add(2 * time.Minute)
+	if _, ok := m.IDForKey("key"); ok {
+		t.Fatal("expired key still resolves")
+	}
+	// Expired key falls back to a normal store: the image is duplicated,
+	// never lost.
+	id, err := m.Put("b", []byte{2}, nil, "key")
+	if err != nil || id != "b" {
+		t.Fatalf("post-expiry Put = %q, %v", id, err)
+	}
+}
+
+func TestMemStoreZeroCapDisablesIndex(t *testing.T) {
+	m := NewMemStoreBounded(0, 0, nil)
+	if _, err := m.Put("a", []byte{1}, nil, "key"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.IDForKey("key"); ok {
+		t.Fatal("disabled index resolved a key")
+	}
+	if m.Len() != 1 {
+		t.Fatal("image not stored")
+	}
+}
+
+// uploadRaw posts an upload body directly, bypassing Client-side encoding,
+// and returns the assigned ID.
+func uploadRaw(t *testing.T, baseURL string, jpeg, params []byte) string {
+	t.Helper()
+	body, err := json.Marshal(UploadRequest{Image: jpeg, Params: params})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(baseURL+"/v1/images", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("upload: HTTP %d: %s", resp.StatusCode, raw)
+	}
+	var up UploadResponse
+	if err := json.Unmarshal(raw, &up); err != nil {
+		t.Fatal(err)
+	}
+	return up.ID
+}
+
+// TestParamsVersionRoundTrip drives the versioned public-parameter envelope
+// through a real client/server round trip: Upload stamps the current
+// version, FetchParams accepts it, and a future-version document fetched
+// from the (opaque-storage) PSP surfaces the typed ErrUnsupportedVersion.
+func TestParamsVersionRoundTrip(t *testing.T) {
+	client, _, perturbed, pd, _ := fixture(t)
+	ctx := context.Background()
+
+	id, err := client.Upload(ctx, perturbed, pd, jpegc.EncodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.FetchParams(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != core.PublicDataVersion {
+		t.Fatalf("fetched params version = %d, want %d", got.Version, core.PublicDataVersion)
+	}
+}
+
+func TestParamsFutureVersionRejectedTyped(t *testing.T) {
+	srv := httptest.NewServer(NewServer().Handler())
+	t.Cleanup(srv.Close)
+	client := &Client{BaseURL: srv.URL}
+	ctx := context.Background()
+
+	// Hand-craft a future-version params document. The PSP stores params
+	// opaquely (privacy by design), so the version gate lives client-side.
+	_, _, perturbed, pd, _ := fixture(t)
+	raw, err := pd.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	future := bytes.Replace(raw, []byte(`"v":1`), []byte(`"v":999`), 1)
+	if bytes.Equal(future, raw) {
+		t.Fatal("failed to bump version in fixture params")
+	}
+	var buf bytes.Buffer
+	if err := perturbed.Encode(&buf, jpegc.EncodeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	id := uploadRaw(t, srv.URL, buf.Bytes(), future)
+
+	_, err = client.FetchParams(ctx, id)
+	if !errors.Is(err, core.ErrUnsupportedVersion) {
+		t.Fatalf("FetchParams on future version = %v, want ErrUnsupportedVersion", err)
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("future-version error should still classify as ErrCorrupt for fallback logic, got %v", err)
+	}
+}

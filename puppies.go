@@ -98,7 +98,12 @@ func NewKeyStore() *KeyStore { return keys.NewStore() }
 // DetectRegions runs the sender-side ROI recommendation (face, text and
 // object detectors; overlaps split into disjoint block-aligned rectangles).
 func DetectRegions(img image.Image) []Rect {
-	return roi.NewDetector().Recommend(imgplane.FromStdImage(img))
+	planar, err := imgplane.FromStdImage(img)
+	if err != nil {
+		// An empty/degenerate image has no detectable regions.
+		return nil
+	}
+	return roi.NewDetector().Recommend(planar)
 }
 
 // ProtectOptions configure Protect.
@@ -166,7 +171,10 @@ func Protect(src image.Image, opts ProtectOptions) (*Protected, error) {
 		return nil, err
 	}
 
-	planar := imgplane.FromStdImage(src)
+	planar, err := imgplane.FromStdImage(src)
+	if err != nil {
+		return nil, err
+	}
 	img, err := jpegc.FromPlanar(planar, jpegc.Options{Quality: opts.Quality})
 	if err != nil {
 		return nil, err
@@ -405,7 +413,11 @@ func EncodeJPEG(src image.Image, quality int) ([]byte, error) {
 	if src == nil {
 		return nil, fmt.Errorf("puppies: nil image")
 	}
-	img, err := jpegc.FromPlanar(imgplane.FromStdImage(src), jpegc.Options{Quality: quality})
+	planar, err := imgplane.FromStdImage(src)
+	if err != nil {
+		return nil, err
+	}
+	img, err := jpegc.FromPlanar(planar, jpegc.Options{Quality: quality})
 	if err != nil {
 		return nil, err
 	}
