@@ -5,10 +5,12 @@
 
 GO ?= go
 
-# BENCH_OUT is the JSON report `make bench` writes; HOT_BENCHMARKS are the
-# named hot paths `make bench-compare` gates on (>10% ns/op regression fails).
-BENCH_OUT ?= BENCH_PR2.json
-HOT_BENCHMARKS ?= BenchmarkTable5EncDecTime,BenchmarkEncryptThroughput,BenchmarkDecryptThroughput,BenchmarkProtectRecoverPerMP,BenchmarkForwardQuantized,BenchmarkInverseQuantized,BenchmarkFromPlanar,BenchmarkToPlanar
+# BENCH_OUT is the JSON report `make bench` writes. `make bench-compare`
+# gates every benchmark common to OLD and NEW on >10% ns/op or allocs/op
+# regressions; set HOT_BENCHMARKS to restrict the gate to named benchmarks
+# (their absence from NEW then also fails).
+BENCH_OUT ?= BENCH_PR4.json
+HOT_BENCHMARKS ?=
 
 .PHONY: all build test check fmt race fuzz-smoke bench bench-compare
 
@@ -22,10 +24,12 @@ test:
 
 # race runs the PSP pipeline tests (client retries, fault injection,
 # concurrent clients, pspd graceful shutdown), the durable-store crash
-# matrix, and the parallel-pipeline determinism suite under -race.
+# matrix, the parallel-pipeline determinism suite, and the restart-segment
+# parallel scan decode under -race.
 race:
 	$(GO) test -race -count=1 ./internal/psp/... ./internal/faults/... ./internal/blobstore/... ./cmd/pspd/... ./internal/parallel/...
 	$(GO) test -race -count=1 -run 'TestParallelDeterminism' .
+	$(GO) test -race -count=1 -run 'TestRestart' ./internal/jpegc
 
 # fuzz-smoke gives each fuzz target a short budget so `make check` exercises
 # the decoders against the native fuzzer on every run (corpus regressions
@@ -41,15 +45,15 @@ fuzz-smoke:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./... | tee /dev/stderr | $(GO) run ./cmd/benchfmt -o $(BENCH_OUT)
 
-# bench-compare diffs two bench reports and fails on a >10% ns/op
-# regression of any hot benchmark:
+# bench-compare diffs two bench reports, printing per-benchmark deltas, and
+# fails on a >10% ns/op or allocs/op regression:
 #   make bench BENCH_OUT=old.json   # on the baseline commit
 #   make bench BENCH_OUT=new.json   # on the candidate
 #   make bench-compare OLD=old.json NEW=new.json
-OLD ?= BENCH_PR1.json
+OLD ?= BENCH_PR2.json
 NEW ?= $(BENCH_OUT)
 bench-compare:
-	$(GO) run ./cmd/benchfmt -compare -hot '$(HOT_BENCHMARKS)' $(OLD) $(NEW)
+	$(GO) run ./cmd/benchfmt -old $(OLD) -new $(NEW) $(if $(HOT_BENCHMARKS),-hot '$(HOT_BENCHMARKS)')
 
 fmt:
 	@out="$$(gofmt -l .)"; \

@@ -17,6 +17,7 @@ import (
 	"puppies"
 	"puppies/internal/experiments"
 	"puppies/internal/keys"
+	"puppies/internal/transform"
 )
 
 // benchCfg keeps benchmark iterations affordable; cmd/experiments -full
@@ -307,6 +308,41 @@ func BenchmarkProtectRecoverPerMP(b *testing.B) {
 			b.Fatal(err)
 		}
 		if _, err := puppies.UnprotectJPEG(p.JPEG, p.Params, p.Keys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPSPRecompress drives the full entropy path end-to-end the way a
+// PSP does on every shared image: decode the protected JPEG, requantize,
+// and re-encode with per-image optimized tables. This is the path the
+// LUT/word-I/O fast path (DESIGN.md §11) accelerates.
+func BenchmarkPSPRecompress(b *testing.B) {
+	b.ReportAllocs()
+	src := image.NewRGBA(image.Rect(0, 0, 512, 512))
+	for y := 0; y < 512; y++ {
+		for x := 0; x < 512; x++ {
+			i := src.PixOffset(x, y)
+			src.Pix[i+0] = uint8(128 + 90*math.Sin(float64(x)/11)*math.Cos(float64(y)/7))
+			src.Pix[i+1] = uint8(128 + 70*math.Sin(float64(x+y)/13))
+			src.Pix[i+2] = uint8(128 + 50*math.Cos(float64(x-2*y)/17))
+			src.Pix[i+3] = 255
+		}
+	}
+	pair := keys.NewPairDeterministic(41)
+	p, err := puppies.Protect(src, puppies.ProtectOptions{
+		Variant: puppies.VariantZ,
+		Regions: []puppies.Rect{{X: 64, Y: 64, W: 256, H: 256}},
+		Keys:    []*puppies.KeyPair{pair},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := puppies.TransformSpec{Op: transform.OpCompress, Quality: 60}
+	b.SetBytes(int64(len(p.JPEG)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := puppies.PSPTransform(p.JPEG, spec); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -6,10 +6,16 @@
 //
 //	go test -bench . -benchmem ./... | benchfmt -o BENCH.json
 //
-// Compare mode diffs two reports and exits non-zero when a named hot
-// benchmark regressed by more than the threshold:
+// Compare mode diffs two reports, printing a per-benchmark delta line, and
+// exits non-zero when any benchmark regressed by more than the threshold in
+// ns/op or allocs/op:
 //
-//	benchfmt -compare -hot BenchmarkTable5EncDecTime,BenchmarkEncryptThroughput old.json new.json
+//	benchfmt -old BENCH_PR2.json -new BENCH_PR4.json
+//
+// By default every benchmark present in both reports is checked; -hot
+// restricts the gate to named benchmarks (and makes their absence from the
+// new report a failure). The older positional spelling
+// `benchfmt -compare -hot Name1,Name2 old.json new.json` is kept working.
 package main
 
 import (
@@ -109,7 +115,10 @@ func readReport(path string) (map[string]Result, error) {
 	return m, nil
 }
 
-// compare reports hot benchmarks whose ns/op regressed beyond threshold.
+// compare prints a delta line per benchmark and reports whether any
+// regressed beyond threshold in ns/op or allocs/op. With an empty hot list
+// it checks every benchmark common to both reports; with an explicit list,
+// a benchmark missing from the new report is itself a failure.
 func compare(oldPath, newPath string, hot []string, threshold float64, w io.Writer) (failed bool, err error) {
 	oldR, err := readReport(oldPath)
 	if err != nil {
@@ -119,7 +128,23 @@ func compare(oldPath, newPath string, hot []string, threshold float64, w io.Writ
 	if err != nil {
 		return false, err
 	}
-	for _, name := range hot {
+	names := hot
+	if len(names) == 0 {
+		for name := range oldR {
+			if _, ok := newR[name]; ok {
+				names = append(names, name)
+			} else {
+				fmt.Fprintf(w, "%-45s only in %s (skipped)\n", name, oldPath)
+			}
+		}
+		for name := range newR {
+			if _, ok := oldR[name]; !ok {
+				fmt.Fprintf(w, "%-45s only in %s (skipped)\n", name, newPath)
+			}
+		}
+		sort.Strings(names)
+	}
+	for _, name := range names {
 		o, okO := oldR[name]
 		n, okN := newR[name]
 		switch {
@@ -134,11 +159,20 @@ func compare(oldPath, newPath string, hot []string, threshold float64, w io.Writ
 			ratio := n.NsPerOp/o.NsPerOp - 1
 			status := "ok"
 			if ratio > threshold {
-				status = "REGRESSION"
+				status = "REGRESSION(ns/op)"
 				failed = true
 			}
-			fmt.Fprintf(w, "%-45s %14.0f -> %14.0f ns/op  %+7.2f%%  %s\n",
-				name, o.NsPerOp, n.NsPerOp, 100*ratio, status)
+			allocs := ""
+			if o.AllocsPerOp > 0 {
+				aRatio := n.AllocsPerOp/o.AllocsPerOp - 1
+				allocs = fmt.Sprintf("  %8.0f -> %8.0f allocs/op  %+7.2f%%", o.AllocsPerOp, n.AllocsPerOp, 100*aRatio)
+				if aRatio > threshold {
+					status = "REGRESSION(allocs/op)"
+					failed = true
+				}
+			}
+			fmt.Fprintf(w, "%-45s %14.0f -> %14.0f ns/op  %+7.2f%%%s  %s\n",
+				name, o.NsPerOp, n.NsPerOp, 100*ratio, allocs, status)
 		}
 	}
 	return failed, nil
@@ -148,21 +182,40 @@ func main() {
 	var (
 		out       = flag.String("o", "", "write JSON report to this file (default stdout)")
 		doCompare = flag.Bool("compare", false, "compare two JSON reports: benchfmt -compare old.json new.json")
-		hot       = flag.String("hot", "", "comma-separated hot benchmark names checked in -compare mode")
-		threshold = flag.Float64("threshold", 0.10, "allowed ns/op regression fraction in -compare mode")
+		oldPath   = flag.String("old", "", "baseline JSON report; with -new, enters compare mode")
+		newPath   = flag.String("new", "", "candidate JSON report; with -old, enters compare mode")
+		hot       = flag.String("hot", "", "comma-separated benchmark names to gate on (default: all common)")
+		threshold = flag.Float64("threshold", 0.10, "allowed ns/op and allocs/op regression fraction in compare mode")
 	)
 	flag.Parse()
+
+	var names []string
+	for _, n := range strings.Split(*hot, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+
+	if *oldPath != "" || *newPath != "" {
+		if *oldPath == "" || *newPath == "" || flag.NArg() != 0 {
+			fmt.Fprintln(os.Stderr, "benchfmt: compare mode needs both -old and -new (and no positional files)")
+			os.Exit(2)
+		}
+		failed, err := compare(*oldPath, *newPath, names, *threshold, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if failed {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *doCompare {
 		if flag.NArg() != 2 {
 			fmt.Fprintln(os.Stderr, "benchfmt: -compare needs exactly two report files")
 			os.Exit(2)
-		}
-		var names []string
-		for _, n := range strings.Split(*hot, ",") {
-			if n = strings.TrimSpace(n); n != "" {
-				names = append(names, n)
-			}
 		}
 		if len(names) == 0 {
 			fmt.Fprintln(os.Stderr, "benchfmt: -compare needs -hot benchmark names")

@@ -93,3 +93,47 @@ func TestCompare(t *testing.T) {
 		t.Fatalf("benchmark missing from NEW report should fail:\n%s", sb.String())
 	}
 }
+
+func TestCompareAllCommon(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "old.json",
+		`[{"name":"BenchmarkA","iterations":1,"ns_per_op":1000,"allocs_per_op":100},
+		  {"name":"BenchmarkB","iterations":1,"ns_per_op":1000},
+		  {"name":"BenchmarkGone","iterations":1,"ns_per_op":1000}]`)
+	newOK := writeReport(t, dir, "new_ok.json",
+		`[{"name":"BenchmarkA","iterations":1,"ns_per_op":900,"allocs_per_op":105},
+		  {"name":"BenchmarkB","iterations":1,"ns_per_op":1050},
+		  {"name":"BenchmarkNew","iterations":1,"ns_per_op":1}]`)
+
+	// Empty hot list: every common benchmark is compared; benchmarks present
+	// in only one report are reported but do not fail the gate.
+	var sb strings.Builder
+	failed, err := compare(oldP, newOK, nil, 0.10, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Fatalf("within-threshold deltas flagged as regression:\n%s", sb.String())
+	}
+	for _, want := range []string{"BenchmarkA", "BenchmarkB", "BenchmarkGone", "BenchmarkNew"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("output missing %s:\n%s", want, sb.String())
+		}
+	}
+
+	// An allocs/op regression beyond threshold fails even when ns/op improved.
+	newAllocs := writeReport(t, dir, "new_allocs.json",
+		`[{"name":"BenchmarkA","iterations":1,"ns_per_op":500,"allocs_per_op":150},
+		  {"name":"BenchmarkB","iterations":1,"ns_per_op":1000}]`)
+	sb.Reset()
+	failed, err = compare(oldP, newAllocs, nil, 0.10, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Fatalf("50%% allocs/op growth not flagged:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "REGRESSION(allocs/op)") {
+		t.Errorf("output does not name the allocs/op regression:\n%s", sb.String())
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"math"
 	"testing"
 
@@ -144,6 +145,41 @@ func BenchmarkAblationZeroSkip(b *testing.B) {
 	b.ReportMetric(cRatio, "C-image-ratio")
 	b.ReportMetric(zRatio, "Z-image-ratio")
 	b.ReportMetric(zParams, "Z-params-bytes")
+}
+
+// BenchmarkScanPathAllocs isolates the entropy scan path the PR 4 fast path
+// targets: one optimized-tables encode (statistics pass + table build +
+// scan write) and one decode of a perturbed image, with allocations as the
+// headline number. Before the pooled zero-allocation rework this path cost
+// ~14.7k allocs/op (see BENCH_PR2.json, BenchmarkAblationHuffmanTables).
+func BenchmarkScanPathAllocs(b *testing.B) {
+	base := benchNaturalImage(b, 128, 96)
+	sch, err := NewScheme(Params{Variant: VariantC, MR: 32, K: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	img := base.Clone()
+	pair := keys.NewPairDeterministic(6)
+	if _, _, err := sch.EncryptImage(img, []RegionAssignment{
+		{ROI: ROI{X: 0, Y: 0, W: 128, H: 96}, Pair: pair},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := img.Encode(&buf, jpegc.EncodeOptions{Tables: jpegc.TablesOptimized}); err != nil {
+		b.Fatal(err)
+	}
+	encoded := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := img.EncodedSize(jpegc.EncodeOptions{Tables: jpegc.TablesOptimized}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := jpegc.Decode(bytes.NewReader(encoded)); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkEncryptThroughput measures raw perturbation speed (pixels/op

@@ -2,10 +2,12 @@ package jpegc
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 
 	"puppies/internal/dct"
+	"puppies/internal/parallel"
 )
 
 // Decode parses a baseline JFIF stream into a coefficient image. Supported
@@ -51,6 +53,9 @@ type decoder struct {
 	sawSOF          bool
 	sawScan         bool
 	maxH, maxV      int
+	// pending is a marker byte captured while buffering entropy-coded data,
+	// handed back to the marker loop by nextMarker.
+	pending byte
 }
 
 func (d *decoder) run() error {
@@ -113,6 +118,12 @@ func (d *decoder) run() error {
 
 // nextMarker reads until the next 0xFF <nonzero> marker.
 func (d *decoder) nextMarker() (byte, error) {
+	if m := d.pending; m != 0 {
+		d.pending = 0
+		if m != 0xff { // a pending 0xFF is a fill byte, not a marker
+			return m, nil
+		}
+	}
 	for {
 		b, err := d.r.ReadByte()
 		if err != nil {
@@ -394,78 +405,170 @@ func (d *decoder) parseSOSAndScan() error {
 	return nil
 }
 
-func (d *decoder) decodeScan() error {
-	br := newBitReader(d.r)
-	pred := make([]int32, len(d.comps))
-	mcusX := d.img.Comps[0].BlocksW / d.comps[0].hSamp
-	mcusY := d.img.Comps[0].BlocksH / d.comps[0].vSamp
+// segGrainMCUs sizes the parallel chunks of the restart-segment decode: a
+// chunk always covers at least this many MCUs' worth of segments, so tiny
+// restart intervals do not drown the pool in single-MCU tasks.
+const segGrainMCUs = 64
 
-	mcusSinceRestart := 0
-	for my := 0; my < mcusY; my++ {
-		for mx := 0; mx < mcusX; mx++ {
-			if d.restartInterval > 0 && mcusSinceRestart == d.restartInterval {
-				if err := d.consumeRestart(br); err != nil {
-					return err
-				}
-				for i := range pred {
-					pred[i] = 0
-				}
-				mcusSinceRestart = 0
-			}
-			for ci := range d.comps {
-				dcT := d.dcDec[d.comps[ci].dcTable]
-				acT := d.acDec[d.comps[ci].acTable]
-				if dcT == nil || acT == nil {
-					return fmt.Errorf("jpegc: scan uses undefined huffman table (component %d)", ci)
-				}
-				for v := 0; v < d.comps[ci].vSamp; v++ {
-					for hh := 0; hh < d.comps[ci].hSamp; hh++ {
-						bx := mx*d.comps[ci].hSamp + hh
-						by := my*d.comps[ci].vSamp + v
-						blk, err := decodeBlock(br, dcT, acT, &pred[ci])
-						if err != nil {
-							return fmt.Errorf("jpegc: block (%d,%d) component %d: %w", bx, by, ci, err)
-						}
-						*d.img.Comps[ci].Block(bx, by) = blk
-					}
-				}
-			}
-			mcusSinceRestart++
+// decodeScan buffers the scan's entropy-coded data, splits it at restart
+// markers, and decodes the segments — concurrently when the stream has
+// restart intervals and more than one segment. Each segment starts with
+// fresh DC predictors and writes a disjoint MCU range, so parallel and
+// serial decodes are bit-identical (TestRestartParallelDecodeDeterministic).
+func (d *decoder) decodeScan() error {
+	for ci := range d.comps {
+		if d.dcDec[d.comps[ci].dcTable] == nil || d.acDec[d.comps[ci].acTable] == nil {
+			return fmt.Errorf("jpegc: scan uses undefined huffman table (component %d)", ci)
 		}
 	}
-	return nil
-}
+	buf, err := d.readEntropyData(getByteBuf())
+	defer putByteBuf(buf)
+	if err != nil {
+		return err
+	}
+	segs := splitRestartSegments(buf)
 
-func (d *decoder) consumeRestart(br *bitReader) error {
-	br.Align()
-	// The pending marker may already have been captured by the bit reader;
-	// otherwise read it from the stream.
-	m := br.PendingMarker()
-	if m == 0 {
-		var err error
-		m, err = d.nextMarker()
+	mcusX := d.img.Comps[0].BlocksW / d.comps[0].hSamp
+	mcusY := d.img.Comps[0].BlocksH / d.comps[0].vSamp
+	totalMCUs := mcusX * mcusY
+	interval := d.restartInterval
+	if interval <= 0 {
+		if len(segs) != 1 {
+			return fmt.Errorf("jpegc: restart marker in scan without DRI")
+		}
+		return d.decodeSegment(segs[0], 0, totalMCUs, mcusX)
+	}
+	if want := (totalMCUs + interval - 1) / interval; len(segs) != want {
+		return fmt.Errorf("jpegc: scan has %d restart segments, want %d", len(segs), want)
+	}
+	// Batch whole segments so each chunk decodes >= segGrainMCUs MCUs.
+	grain := 1
+	if interval < segGrainMCUs {
+		grain = (segGrainMCUs + interval - 1) / interval
+	}
+	errs := make([]error, len(segs))
+	parallel.For(len(segs), grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			mcuLo := i * interval
+			mcuHi := mcuLo + interval
+			if mcuHi > totalMCUs {
+				mcuHi = totalMCUs
+			}
+			errs[i] = d.decodeSegment(segs[i], mcuLo, mcuHi, mcusX)
+		}
+	})
+	for _, err := range errs {
 		if err != nil {
 			return err
 		}
 	}
-	if m < markerRST0 || m > markerRST7 {
-		return fmt.Errorf("jpegc: expected restart marker, got %#x", m)
+	return nil
+}
+
+// readEntropyData appends the scan's entropy-coded bytes (stuffing and
+// restart markers included) to buf until a non-restart marker or EOF, and
+// returns the extended buffer. A terminating marker is stashed in d.pending
+// for the outer marker loop.
+func (d *decoder) readEntropyData(buf []byte) ([]byte, error) {
+	for {
+		chunk, err := d.r.ReadSlice(0xff)
+		// chunk aliases the bufio internal buffer and is invalidated by the
+		// next read, so it must be copied into buf before touching d.r again.
+		buf = append(buf, chunk...)
+		if err == bufio.ErrBufferFull {
+			continue
+		}
+		if err != nil {
+			// EOF with no 0xFF: keep what we have; the bit readers will
+			// report precise truncation errors if MCUs are missing.
+			if err == io.EOF {
+				return buf, nil
+			}
+			return buf, fmt.Errorf("jpegc: read entropy data: %w", err)
+		}
+		next, err := d.r.ReadByte()
+		if err != nil {
+			return buf, nil // dangling 0xFF at EOF
+		}
+		switch {
+		case next == 0x00:
+			buf = append(buf, 0x00) // stuffed data byte, keep 0xFF00
+		case next >= markerRST0 && next <= markerRST7:
+			buf = append(buf, next) // segment boundary, keep the marker
+		case next == 0xff:
+			// Fill byte; drop it and rescan from the second 0xFF.
+			buf = buf[:len(buf)-1]
+			if err := d.r.UnreadByte(); err != nil {
+				return buf, err
+			}
+		default:
+			buf = buf[:len(buf)-1]
+			d.pending = next
+			return buf, nil
+		}
+	}
+}
+
+// splitRestartSegments splits buffered entropy data at RSTn markers,
+// returning per-segment sub-slices with the markers stripped. Stuffed
+// 0xFF00 pairs stay inside their segment for the bit readers to unstuff.
+func splitRestartSegments(data []byte) [][]byte {
+	segs := make([][]byte, 0, 1)
+	start, p := 0, 0
+	for {
+		i := bytes.IndexByte(data[p:], 0xff)
+		if i < 0 || p+i+1 >= len(data) {
+			break
+		}
+		p += i
+		if next := data[p+1]; next >= markerRST0 && next <= markerRST7 {
+			segs = append(segs, data[start:p])
+			p += 2
+			start = p
+		} else {
+			p += 2 // stuffed byte (or stray marker the bit reader will reject)
+		}
+	}
+	return append(segs, data[start:])
+}
+
+// decodeSegment entropy-decodes MCUs [mcuLo, mcuHi) from one restart
+// segment, starting from zeroed DC predictors.
+func (d *decoder) decodeSegment(data []byte, mcuLo, mcuHi, mcusX int) error {
+	br := newBitReader(data)
+	var pred [4]int32
+	for mcu := mcuLo; mcu < mcuHi; mcu++ {
+		mx, my := mcu%mcusX, mcu/mcusX
+		for ci := range d.comps {
+			dcT := d.dcDec[d.comps[ci].dcTable]
+			acT := d.acDec[d.comps[ci].acTable]
+			for v := 0; v < d.comps[ci].vSamp; v++ {
+				for hh := 0; hh < d.comps[ci].hSamp; hh++ {
+					bx := mx*d.comps[ci].hSamp + hh
+					by := my*d.comps[ci].vSamp + v
+					if err := decodeBlock(&br, dcT, acT, &pred[ci], d.img.Comps[ci].Block(bx, by)); err != nil {
+						return fmt.Errorf("jpegc: block (%d,%d) component %d: %w", bx, by, ci, err)
+					}
+				}
+			}
+		}
 	}
 	return nil
 }
 
-func decodeBlock(br *bitReader, dcT, acT *decTable, pred *int32) (dct.Block, error) {
-	var b dct.Block
+// decodeBlock entropy-decodes one block into *b, which must be zeroed
+// (freshly allocated component storage is).
+func decodeBlock(br *bitReader, dcT, acT *decTable, pred *int32, b *dct.Block) error {
 	cat, err := dcT.decode(br)
 	if err != nil {
-		return b, err
+		return err
 	}
 	if cat > 11 {
-		return b, fmt.Errorf("jpegc: DC category %d out of range", cat)
+		return fmt.Errorf("jpegc: DC category %d out of range", cat)
 	}
 	bits, err := br.ReadBits(int(cat))
 	if err != nil {
-		return b, err
+		return err
 	}
 	diff := extendMagnitude(bits, int(cat))
 	*pred += diff
@@ -474,7 +577,7 @@ func decodeBlock(br *bitReader, dcT, acT *decTable, pred *int32) (dct.Block, err
 	// predictor anywhere, so bound it here or the image would decode to
 	// coefficients the encoder (correctly) refuses to represent.
 	if *pred < dct.CoeffMin || *pred > dct.CoeffMax {
-		return b, fmt.Errorf("jpegc: DC coefficient %d out of range [%d,%d]", *pred, dct.CoeffMin, dct.CoeffMax)
+		return fmt.Errorf("jpegc: DC coefficient %d out of range [%d,%d]", *pred, dct.CoeffMin, dct.CoeffMax)
 	}
 	b[0] = *pred
 
@@ -482,33 +585,33 @@ func decodeBlock(br *bitReader, dcT, acT *decTable, pred *int32) (dct.Block, err
 	for zz < dct.BlockLen {
 		sym, err := acT.decode(br)
 		if err != nil {
-			return b, err
+			return err
 		}
 		run := int(sym >> 4)
 		size := int(sym & 0x0f)
 		switch {
 		case size == 0 && run == 0: // EOB
-			return b, nil
+			return nil
 		case size == 0 && run == 15: // ZRL
 			zz += 16
 		case size == 0:
-			return b, fmt.Errorf("jpegc: invalid AC symbol %#x", sym)
+			return fmt.Errorf("jpegc: invalid AC symbol %#x", sym)
 		case size > 10:
 			// Baseline AC categories stop at 10; larger sizes would decode
 			// to coefficients outside [-1023, 1023].
-			return b, fmt.Errorf("jpegc: AC category %d out of range", size)
+			return fmt.Errorf("jpegc: AC category %d out of range", size)
 		default:
 			zz += run
 			if zz >= dct.BlockLen {
-				return b, fmt.Errorf("jpegc: AC run overflows block")
+				return fmt.Errorf("jpegc: AC run overflows block")
 			}
 			bits, err := br.ReadBits(size)
 			if err != nil {
-				return b, err
+				return err
 			}
 			b[dct.ZigZag[zz]] = extendMagnitude(bits, size)
 			zz++
 		}
 	}
-	return b, nil
+	return nil
 }

@@ -225,19 +225,18 @@ func writeMarkers(w io.Writer, m *Image, tables *tableSet, restartInterval int) 
 	return writeSegment(w, markerSOS, sos)
 }
 
-// blockCoder abstracts "emit a symbol" so that the statistics pass and the
-// real encoding pass share one traversal.
-type blockCoder struct {
-	writeDC func(sym byte, bits uint32, n int) // n is the bit count of the magnitude field
-	writeAC func(sym byte, bits uint32, n int)
-}
-
-// codeBlock encodes a single block given its DC predictor, returning the new
-// predictor value.
-func codeBlock(b *dct.Block, pred int32, c *blockCoder) int32 {
+// encodeBlock entropy-codes one block given its DC predictor, returning
+// the new predictor value. Each Huffman code is packed together with its
+// magnitude bits into a single WriteBits call (at most 16+11 = 27 bits).
+// countBlock must emit the identical symbol stream — the two walks are
+// deliberately parallel; TestEncodeOptimizedRoundTrip breaks if they drift.
+func encodeBlock(bw *bitWriter, b *dct.Block, pred int32, dcT, acT *encTable) (int32, error) {
 	diff := b[0] - pred
 	cat := magnitudeCategory(diff)
-	c.writeDC(byte(cat), magnitudeBits(diff, cat), cat)
+	if dcT.size[cat] == 0 {
+		return 0, fmt.Errorf("jpegc: DC symbol %#x has no huffman code", cat)
+	}
+	bw.WriteBits(dcT.code[cat]<<cat|magnitudeBits(diff, cat), uint(dcT.size[cat])+uint(cat))
 
 	run := 0
 	for zz := 1; zz < dct.BlockLen; zz++ {
@@ -247,32 +246,55 @@ func codeBlock(b *dct.Block, pred int32, c *blockCoder) int32 {
 			continue
 		}
 		for run > 15 {
-			c.writeAC(0xf0, 0, 0) // ZRL
+			if acT.size[0xf0] == 0 {
+				return 0, fmt.Errorf("jpegc: AC symbol %#x has no huffman code", 0xf0)
+			}
+			bw.WriteBits(acT.code[0xf0], uint(acT.size[0xf0])) // ZRL
 			run -= 16
 		}
 		size := magnitudeCategory(v)
-		c.writeAC(byte(run<<4|size), magnitudeBits(v, size), size)
+		sym := byte(run<<4 | size)
+		if acT.size[sym] == 0 {
+			return 0, fmt.Errorf("jpegc: AC symbol %#x has no huffman code", sym)
+		}
+		bw.WriteBits(acT.code[sym]<<size|magnitudeBits(v, size), uint(acT.size[sym])+uint(size))
 		run = 0
 	}
 	if run > 0 {
-		c.writeAC(0x00, 0, 0) // EOB
+		if acT.size[0x00] == 0 {
+			return 0, fmt.Errorf("jpegc: AC symbol %#x has no huffman code", 0x00)
+		}
+		bw.WriteBits(acT.code[0x00], uint(acT.size[0x00])) // EOB
 	}
-	return b[0]
+	return b[0], nil
 }
 
-// forEachMCU walks the scan in MCU order (interleaved for color), invoking
-// onMCU before each MCU and fn once per block. In the 4:4:4 layout an MCU
-// is one block per component.
-func (m *Image) forEachMCU(onMCU func(), fn func(ci int, b *dct.Block)) {
-	bw, bh := m.Comps[0].BlocksW, m.Comps[0].BlocksH
-	for by := 0; by < bh; by++ {
-		for bx := 0; bx < bw; bx++ {
-			onMCU()
-			for ci := range m.Comps {
-				fn(ci, m.Comps[ci].Block(bx, by))
-			}
+// countBlock walks one block exactly like encodeBlock but accumulates
+// symbol frequencies instead of emitting bits (the statistics pass of the
+// optimized-tables mode), returning the new DC predictor.
+func countBlock(b *dct.Block, pred int32, dc, ac *[256]int64) int32 {
+	diff := b[0] - pred
+	dc[magnitudeCategory(diff)]++
+
+	run := 0
+	for zz := 1; zz < dct.BlockLen; zz++ {
+		v := b[dct.ZigZag[zz]]
+		if v == 0 {
+			run++
+			continue
 		}
+		for run > 15 {
+			ac[0xf0]++ // ZRL
+			run -= 16
+		}
+		size := magnitudeCategory(v)
+		ac[byte(run<<4|size)]++
+		run = 0
 	}
+	if run > 0 {
+		ac[0x00]++ // EOB
+	}
+	return b[0]
 }
 
 // histGrain is the number of MCUs per chunk in the parallel statistics
@@ -286,15 +308,13 @@ func (m *Image) gatherOptimalTables() (tableSet, error) {
 	// previous block's coefficient, not an encoder-state value), so each
 	// chunk seeds its predictors from the MCU just before it. Histograms
 	// are integer counts, so merging per-chunk partials is exact and
-	// order-independent.
-	type hist struct {
-		dc, ac [2][256]int64
-	}
+	// order-independent. The per-chunk histograms (8 KiB each) come from a
+	// pool and go back after the merge.
 	bw, bh := m.Comps[0].BlocksW, m.Comps[0].BlocksH
 	nMCU := bw * bh
-	parts := parallel.Map(nMCU, histGrain, func(lo, hi int) *hist {
-		h := &hist{}
-		pred := make([]int32, len(m.Comps))
+	parts := parallel.Map(nMCU, histGrain, func(lo, hi int) *symbolHist {
+		h := getHist()
+		var pred [4]int32
 		if lo > 0 {
 			prevBX, prevBY := (lo-1)%bw, (lo-1)/bw
 			for ci := range m.Comps {
@@ -308,11 +328,7 @@ func (m *Image) gatherOptimalTables() (tableSet, error) {
 				if ci > 0 {
 					ti = 1
 				}
-				coder := blockCoder{
-					writeDC: func(sym byte, _ uint32, _ int) { h.dc[ti][sym]++ },
-					writeAC: func(sym byte, _ uint32, _ int) { h.ac[ti][sym]++ },
-				}
-				pred[ci] = codeBlock(m.Comps[ci].Block(bx, by), pred[ci], &coder)
+				pred[ci] = countBlock(m.Comps[ci].Block(bx, by), pred[ci], &h.dc[ti], &h.ac[ti])
 			}
 		}
 		return h
@@ -325,6 +341,7 @@ func (m *Image) gatherOptimalTables() (tableSet, error) {
 				acFreq[ti][s] += h.ac[ti][s]
 			}
 		}
+		putHist(h)
 	}
 
 	var ts tableSet
@@ -366,50 +383,32 @@ func (m *Image) writeScan(w io.Writer, tables *tableSet, restartInterval int) er
 	}
 
 	bw := newBitWriter(w)
-	pred := make([]int32, len(m.Comps))
-	mcu := 0
-	rstIndex := 0
-	m.forEachMCU(func() {
-		if restartInterval > 0 && mcu > 0 && mcu%restartInterval == 0 {
-			// Pad to a byte boundary, emit RSTn, reset DC prediction.
-			if err := bw.Flush(); err != nil {
-				bw.setErr(err)
-				return
+	defer bw.release()
+	var pred [4]int32
+	gridW, gridH := m.Comps[0].BlocksW, m.Comps[0].BlocksH
+	mcu, rstIndex := 0, 0
+	for by := 0; by < gridH; by++ {
+		for bx := 0; bx < gridW; bx++ {
+			if restartInterval > 0 && mcu > 0 && mcu%restartInterval == 0 {
+				bw.WriteRestart(rstIndex) // pad, emit RSTn, reset DC prediction
+				rstIndex++
+				pred = [4]int32{}
 			}
-			if _, err := w.Write([]byte{0xff, markerRST0 + byte(rstIndex&7)}); err != nil {
-				bw.setErr(err)
-				return
-			}
-			rstIndex++
-			for i := range pred {
-				pred[i] = 0
-			}
-		}
-		mcu++
-	}, func(ci int, b *dct.Block) {
-		ti := 0
-		if ci > 0 {
-			ti = 1
-		}
-		coder := blockCoder{
-			writeDC: func(sym byte, bits uint32, n int) {
-				if dcEnc[ti].size[sym] == 0 {
-					bw.setErr(fmt.Errorf("jpegc: DC symbol %#x has no huffman code", sym))
-					return
+			mcu++
+			// In the 4:4:4 layout an MCU is one block per component.
+			for ci := range m.Comps {
+				ti := 0
+				if ci > 0 {
+					ti = 1
 				}
-				bw.WriteBits(dcEnc[ti].code[sym], uint(dcEnc[ti].size[sym]))
-				bw.WriteBits(bits, uint(n))
-			},
-			writeAC: func(sym byte, bits uint32, n int) {
-				if acEnc[ti].size[sym] == 0 {
-					bw.setErr(fmt.Errorf("jpegc: AC symbol %#x has no huffman code", sym))
-					return
+				next, err := encodeBlock(bw, m.Comps[ci].Block(bx, by), pred[ci], dcEnc[ti], acEnc[ti])
+				if err != nil {
+					bw.setErr(err)
+					return bw.Flush()
 				}
-				bw.WriteBits(acEnc[ti].code[sym], uint(acEnc[ti].size[sym]))
-				bw.WriteBits(bits, uint(n))
-			},
+				pred[ci] = next
+			}
 		}
-		pred[ci] = codeBlock(b, pred[ci], &coder)
-	})
+	}
 	return bw.Flush()
 }

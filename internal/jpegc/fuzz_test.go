@@ -25,6 +25,20 @@ func FuzzDecode(f *testing.F) {
 	}
 	f.Add([]byte{0xff, 0xd8, 0xff, 0xd9})
 	f.Add([]byte{0xff, 0xd8, 0xff, 0xc0, 0x00, 0x0b, 8, 0xff, 0xff, 0xff, 0xff, 1, 1, 0x11, 0, 0xff, 0xd9})
+	// Seeds for the restart-segment scanner and the 16-bit-code tail of the
+	// LUT decoder: a stream with RSTn markers every other MCU and one with
+	// per-image optimized tables (their tails reach full 16-bit codes).
+	restartImg := randomCoeffImage(rng, 24, 16, 3)
+	var rbuf bytes.Buffer
+	if err := restartImg.Encode(&rbuf, EncodeOptions{RestartInterval: 2}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(rbuf.Bytes())
+	var obuf bytes.Buffer
+	if err := restartImg.Encode(&obuf, EncodeOptions{Tables: TablesOptimized}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(obuf.Bytes())
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		out, err := Decode(bytes.NewReader(data))

@@ -1,9 +1,6 @@
 package jpegc
 
-import (
-	"fmt"
-	"sort"
-)
+import "fmt"
 
 // maxCodeLength is the longest Huffman code baseline JPEG permits.
 const maxCodeLength = 16
@@ -37,7 +34,7 @@ func (s *HuffmanSpec) Validate() error {
 	if total > 256 {
 		return fmt.Errorf("jpegc: huffman spec has %d symbols, max 256", total)
 	}
-	seen := make(map[byte]bool, total)
+	var seen [256]bool
 	for _, v := range s.Values {
 		if seen[v] {
 			return fmt.Errorf("jpegc: duplicate symbol %#x in huffman spec", v)
@@ -73,9 +70,19 @@ func newEncTable(s *HuffmanSpec) (*encTable, error) {
 	return t, nil
 }
 
-// decTable supports canonical Huffman decoding via the standard
-// mincode/maxcode/valptr method (JPEG spec F.2.2.3).
+// lutBits is the first-level lookup width of the decoder: every code of at
+// most lutBits bits resolves with a single table probe.
+const lutBits = 8
+
+// decTable supports two decoding strategies over the same canonical code:
+// a two-level fast path (an 8-bit first-level LUT resolving codes of up to
+// 8 bits in one probe, with a mincode/maxcode walk for the longer tail)
+// and the standard bit-at-a-time method (JPEG spec F.2.2.3), kept as
+// decodeReference to verify the fast path against.
 type decTable struct {
+	// lut maps the next 8 bits of the stream to symbol<<8 | codeLength for
+	// codes of at most 8 bits; 0 means "longer code, take the slow path".
+	lut     [1 << lutBits]uint16
 	mincode [maxCodeLength + 1]int32
 	maxcode [maxCodeLength + 1]int32 // -1 when no codes of this length
 	valptr  [maxCodeLength + 1]int
@@ -96,6 +103,17 @@ func newDecTable(s *HuffmanSpec) (*decTable, error) {
 		} else {
 			t.valptr[length] = vi
 			t.mincode[length] = code
+			if length <= lutBits {
+				// Every LUT slot whose top `length` bits equal the code
+				// decodes to this symbol.
+				for i := 0; i < n; i++ {
+					base := int(code+int32(i)) << (lutBits - length)
+					entry := uint16(s.Values[vi+i])<<8 | uint16(length)
+					for j := 0; j < 1<<(lutBits-length); j++ {
+						t.lut[base+j] = entry
+					}
+				}
+			}
 			code += int32(n)
 			vi += n
 			t.maxcode[length] = code - 1
@@ -105,8 +123,41 @@ func newDecTable(s *HuffmanSpec) (*decTable, error) {
 	return t, nil
 }
 
-// decode reads one symbol from the bit reader.
+// decode reads one symbol from the bit reader via the two-level fast path.
+// It is bit-exact with decodeReference (TestLUTDecodeMatchesReference).
 func (t *decTable) decode(br *bitReader) (byte, error) {
+	if br.nAcc < maxCodeLength {
+		br.fill()
+	}
+	n := br.nAcc
+	if n >= lutBits {
+		if e := t.lut[uint8(br.acc>>(n-lutBits))]; e != 0 {
+			br.nAcc = n - uint(e&0xff)
+			return byte(e >> 8), nil
+		}
+		// The next code is longer than lutBits; resolve it with the
+		// canonical mincode/maxcode walk over the remaining lengths.
+		if n >= maxCodeLength {
+			w := int32(br.acc>>(n-maxCodeLength)) & (1<<maxCodeLength - 1)
+			for length := lutBits + 1; length <= maxCodeLength; length++ {
+				code := w >> (maxCodeLength - length)
+				if t.maxcode[length] >= 0 && code <= t.maxcode[length] {
+					br.nAcc = n - uint(length)
+					return t.values[t.valptr[length]+int(code-t.mincode[length])], nil
+				}
+			}
+			return 0, fmt.Errorf("jpegc: invalid huffman code")
+		}
+	}
+	// Fewer than 16 bits remain before the segment ends: fall back to the
+	// bit-at-a-time path, which reports exhaustion precisely.
+	return t.decodeReference(br)
+}
+
+// decodeReference reads one symbol bit-at-a-time per JPEG spec F.2.2.3.
+// It is the verification baseline for the LUT fast path and the tail
+// decoder near the end of a segment.
+func (t *decTable) decodeReference(br *bitReader) (byte, error) {
 	code := int32(0)
 	for length := 1; length <= maxCodeLength; length++ {
 		bit, err := br.ReadBit()
@@ -220,34 +271,24 @@ func BuildOptimalSpec(freq *[256]int64) (HuffmanSpec, error) {
 		}
 	}
 
-	// Sort real symbols by (code length, symbol value).
-	type symLen struct {
-		sym byte
-		len int
-	}
-	syms := make([]symLen, 0, 257)
-	for i := 0; i < 256; i++ {
-		if codesize[i] > 0 {
-			syms = append(syms, symLen{sym: byte(i), len: codesize[i]})
-		}
-	}
-	sort.Slice(syms, func(a, b int) bool {
-		if syms[a].len != syms[b].len {
-			return syms[a].len < syms[b].len
-		}
-		return syms[a].sym < syms[b].sym
-	})
-
 	var spec HuffmanSpec
+	nSyms := 0
 	for i := 1; i <= maxCodeLength; i++ {
 		spec.Counts[i-1] = byte(bits[i])
+		nSyms += bits[i]
 	}
-	// Values are listed in increasing code-length order; the bit-count
+	// Values are listed in increasing (code length, symbol) order; a
+	// counting pass over the lengths replaces the old sort.Slice (this runs
+	// once per table per image on the optimized-tables path). The bit-count
 	// adjustment preserved relative symbol ordering well enough for a valid
 	// canonical code because total counts per length match the symbol list.
-	spec.Values = make([]byte, len(syms))
-	for i, s := range syms {
-		spec.Values[i] = s.sym
+	spec.Values = make([]byte, 0, nSyms)
+	for length := 1; length <= 32; length++ {
+		for i := 0; i < 256; i++ {
+			if codesize[i] == length {
+				spec.Values = append(spec.Values, byte(i))
+			}
+		}
 	}
 	if err := spec.Validate(); err != nil {
 		return HuffmanSpec{}, err

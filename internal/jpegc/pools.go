@@ -1,0 +1,54 @@
+package jpegc
+
+import "sync"
+
+// Scratch pools for the entropy-coding hot path. Contract: everything a
+// Get returns is fully reset (zero counts, zero length), so callers never
+// observe another image's data. TestPoolsResetPoisonedBuffers enforces this
+// by poisoning buffers before returning them.
+
+// byteBufPool recycles the large, short-lived byte buffers of the scan
+// path: the decoder's whole-scan entropy buffer and the encoder's staged
+// bit-stream output.
+var byteBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 1<<16)
+		return &b
+	},
+}
+
+// getByteBuf returns an empty byte buffer with nonzero capacity.
+func getByteBuf() []byte {
+	b := *byteBufPool.Get().(*[]byte)
+	return b[:0]
+}
+
+// putByteBuf recycles a buffer obtained from getByteBuf. The caller must
+// not retain any slice aliasing it.
+func putByteBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	byteBufPool.Put(&b)
+}
+
+// symbolHist accumulates DC and AC symbol frequencies for one table pair
+// (index 0 = luminance, 1 = chrominance) during the optimized-tables
+// statistics pass.
+type symbolHist struct {
+	dc, ac [2][256]int64
+}
+
+var histPool = sync.Pool{New: func() any { return &symbolHist{} }}
+
+// getHist returns a zeroed histogram.
+func getHist() *symbolHist {
+	h := histPool.Get().(*symbolHist)
+	h.dc = [2][256]int64{}
+	h.ac = [2][256]int64{}
+	return h
+}
+
+// putHist recycles a histogram obtained from getHist.
+func putHist(h *symbolHist) { histPool.Put(h) }

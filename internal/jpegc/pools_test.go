@@ -1,0 +1,82 @@
+package jpegc
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestPoolsResetPoisonedBuffers enforces the pools.go contract: whatever
+// state an object is returned in, the next Get hands out fully reset data.
+func TestPoolsResetPoisonedBuffers(t *testing.T) {
+	// Byte buffers: poison the contents, recycle, and check a fresh Get is
+	// empty — stale bytes must only ever be reachable by appends that
+	// overwrite them.
+	b := getByteBuf()
+	b = append(b, 0xde, 0xad, 0xbe, 0xef)
+	putByteBuf(b)
+	for i := 0; i < 4; i++ {
+		got := getByteBuf()
+		if len(got) != 0 {
+			t.Fatalf("recycled byte buffer has length %d, want 0", len(got))
+		}
+		got = append(got, byte(i))
+		if got[0] != byte(i) {
+			t.Fatalf("append after recycle read back %#x, want %#x", got[0], i)
+		}
+		putByteBuf(got)
+	}
+
+	// Histograms: poison every counter, recycle, and check the next Get is
+	// zeroed; a leak here would silently skew optimized Huffman tables.
+	h := getHist()
+	for ti := range h.dc {
+		for s := range h.dc[ti] {
+			h.dc[ti][s] = -1
+			h.ac[ti][s] = 1 << 40
+		}
+	}
+	putHist(h)
+	for i := 0; i < 4; i++ {
+		got := getHist()
+		for ti := range got.dc {
+			for s := range got.dc[ti] {
+				if got.dc[ti][s] != 0 || got.ac[ti][s] != 0 {
+					t.Fatalf("recycled histogram not zeroed: dc[%d][%d]=%d ac[%d][%d]=%d",
+						ti, s, got.dc[ti][s], ti, s, got.ac[ti][s])
+				}
+			}
+		}
+		putHist(got)
+	}
+}
+
+// TestPoolsConcurrentReuse hammers the byte-buffer pool from several
+// goroutines, each poisoning its buffer before recycling, to catch reuse
+// races the single-threaded poison test cannot see. Run under `make race`.
+func TestPoolsConcurrentReuse(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				b := getByteBuf()
+				if len(b) != 0 {
+					t.Errorf("goroutine %d: got buffer of length %d", g, len(b))
+					return
+				}
+				for j := 0; j < 64; j++ {
+					b = append(b, byte(g))
+				}
+				for j, v := range b {
+					if v != byte(g) {
+						t.Errorf("goroutine %d: buffer byte %d is %#x", g, j, v)
+						return
+					}
+				}
+				putByteBuf(b)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -5,6 +5,8 @@ import (
 	"image/jpeg"
 	"math/rand"
 	"testing"
+
+	"puppies/internal/parallel"
 )
 
 func TestRestartMarkersRoundTrip(t *testing.T) {
@@ -80,5 +82,58 @@ func TestRestartMarkersLimitCorruptionSpread(t *testing.T) {
 		if vErr := out.Validate(); vErr != nil {
 			t.Fatalf("corrupted stream produced invalid image: %v", vErr)
 		}
+	}
+}
+
+// TestRestartParallelDecodeDeterministic is the determinism contract of the
+// restart-segment scan decoder: for restart intervals from one MCU per
+// segment to one segment for the whole image, decoding with a single worker
+// and with several workers yields bit-identical coefficient planes (and both
+// match what was encoded).
+func TestRestartParallelDecodeDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, interval := range []int{1, 4, 1000} {
+		for _, channels := range []int{1, 3} {
+			img := randomCoeffImage(rng, 96, 64, channels)
+			var buf bytes.Buffer
+			if err := img.Encode(&buf, EncodeOptions{RestartInterval: interval}); err != nil {
+				t.Fatalf("interval %d: %v", interval, err)
+			}
+
+			prev := parallel.SetWorkers(1)
+			serial, errSerial := Decode(bytes.NewReader(buf.Bytes()))
+			parallel.SetWorkers(8)
+			wide, errWide := Decode(bytes.NewReader(buf.Bytes()))
+			parallel.SetWorkers(prev)
+
+			if errSerial != nil || errWide != nil {
+				t.Fatalf("interval %d channels %d: serial err %v, parallel err %v",
+					interval, channels, errSerial, errWide)
+			}
+			assertCoeffEqual(t, img, serial)
+			assertCoeffEqual(t, serial, wide)
+		}
+	}
+}
+
+// TestRestartSegmentCountMismatch rejects streams whose RSTn markers do not
+// match the DRI interval instead of silently misplacing MCUs.
+func TestRestartSegmentCountMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	img := randomCoeffImage(rng, 64, 48, 1)
+	var buf bytes.Buffer
+	if err := img.Encode(&buf, EncodeOptions{RestartInterval: 4}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Remove the first restart marker: the segment count no longer matches.
+	for i := 0; i+1 < len(data); i++ {
+		if data[i] == 0xff && data[i+1] >= 0xd0 && data[i+1] <= 0xd7 {
+			data = append(data[:i], data[i+2:]...)
+			break
+		}
+	}
+	if _, err := Decode(bytes.NewReader(data)); err == nil {
+		t.Error("stream with a missing restart marker decoded without error")
 	}
 }

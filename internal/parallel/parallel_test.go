@@ -108,5 +108,25 @@ func TestScratchPoolsReturnZeroed(t *testing.T) {
 			t.Fatalf("recycled slice not zeroed at %d: %x", i, v)
 		}
 	}
+	// Growing within the recycled capacity must expose only zeroed memory,
+	// including the poisoned bytes past the previous length.
+	for i := range s2 {
+		s2[i] = ^uint64(0)
+	}
 	PutUint64(s2)
+	s3 := GetUint64(16)
+	for i, v := range s3 {
+		if v != 0 {
+			t.Fatalf("regrown slice not zeroed at %d: %x", i, v)
+		}
+	}
+	PutUint64(s3)
+	// A request past any recycled capacity allocates fresh (zeroed) memory.
+	big := GetUint64(1 << 12)
+	for i, v := range big {
+		if v != 0 {
+			t.Fatalf("oversized slice not zeroed at %d: %x", i, v)
+		}
+	}
+	PutUint64(big)
 }

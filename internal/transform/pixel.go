@@ -13,10 +13,14 @@ import (
 // (read-only) source plane, so output is identical at any worker count.
 const pixelRowGrain = 32
 
-// Kernel is a linear convolution kernel with odd side length.
+// Kernel is a linear convolution kernel with odd side length. When Sep is
+// non-nil the kernel is separable — Weights equals the outer product of Sep
+// with itself — and Convolve runs two 1-D passes instead of one 2-D pass,
+// dropping the per-pixel work from Side² to 2·Side multiplies.
 type Kernel struct {
 	Side    int
 	Weights []float32
+	Sep     []float32
 }
 
 // Kernels holds the named linear filters the PSP offers. All are linear
@@ -26,12 +30,14 @@ var Kernels = map[string]Kernel{
 		1.0 / 9, 1.0 / 9, 1.0 / 9,
 		1.0 / 9, 1.0 / 9, 1.0 / 9,
 		1.0 / 9, 1.0 / 9, 1.0 / 9,
-	}},
+	}, Sep: []float32{1.0 / 3, 1.0 / 3, 1.0 / 3}},
 	"gaussian3": {Side: 3, Weights: []float32{
 		1.0 / 16, 2.0 / 16, 1.0 / 16,
 		2.0 / 16, 4.0 / 16, 2.0 / 16,
 		1.0 / 16, 2.0 / 16, 1.0 / 16,
-	}},
+	}, Sep: []float32{1.0 / 4, 2.0 / 4, 1.0 / 4}},
+	// sharpen3 is not an outer product of any 1-D factor, so it has no Sep
+	// and always takes the full 2-D path.
 	"sharpen3": {Side: 3, Weights: []float32{
 		0, -1, 0,
 		-1, 5, -1,
@@ -51,7 +57,7 @@ var Kernels = map[string]Kernel{
 			w[i] /= sum
 		}
 		return w
-	}()},
+	}(), Sep: []float32{1.0 / 16, 4.0 / 16, 6.0 / 16, 4.0 / 16, 1.0 / 16}},
 }
 
 // ScaleBilinear resizes a plane by the given factors using bilinear
@@ -140,10 +146,21 @@ func atZero(p *imgplane.Plane, x, y int) float32 {
 }
 
 // Convolve applies the linear kernel with zero padding at the borders.
+// Separable kernels (Kernel.Sep set) run as two 1-D passes, which is
+// mathematically the same linear map as the full 2-D kernel.
 func Convolve(p *imgplane.Plane, k Kernel) (*imgplane.Plane, error) {
 	if k.Side%2 != 1 || len(k.Weights) != k.Side*k.Side {
 		return nil, fmt.Errorf("transform: malformed kernel (side %d, %d weights)", k.Side, len(k.Weights))
 	}
+	if len(k.Sep) == k.Side && (k.Side == 3 || k.Side == 5) {
+		return convolveSeparable(p, k.Sep), nil
+	}
+	return convolveFull(p, k), nil
+}
+
+// convolveFull is the direct 2-D convolution used by non-separable kernels
+// and as the reference for TestConvolveSeparableMatchesFull.
+func convolveFull(p *imgplane.Plane, k Kernel) *imgplane.Plane {
 	half := k.Side / 2
 	out := imgplane.NewPlane(p.W, p.H)
 	parallel.For(p.H, pixelRowGrain, func(lo, hi int) {
@@ -159,7 +176,85 @@ func Convolve(p *imgplane.Plane, k Kernel) (*imgplane.Plane, error) {
 			}
 		}
 	})
-	return out, nil
+	return out
+}
+
+// convolveSeparable convolves with outer(sep, sep) as a vertical 1-D pass
+// followed by a horizontal one, both zero-padded (the passes commute, so
+// this equals the horizontal-then-vertical order and the 2-D kernel). Both
+// passes are fused into one parallel sweep with no scratch: the vertical
+// pass reads only the source and writes this chunk's output rows, and the
+// horizontal pass then filters those same rows in place, carrying the
+// half-width of overwritten original samples in locals. Inner loops over
+// row interiors run without bounds tests.
+func convolveSeparable(p *imgplane.Plane, sep []float32) *imgplane.Plane {
+	half := len(sep) / 2
+	w, h := p.W, p.H
+	out := imgplane.NewPlane(w, h)
+	parallel.For(h, pixelRowGrain, func(lo, hi int) {
+		for y := lo; y < hi; y++ {
+			dst := out.Pix[y*w : (y+1)*w]
+			for i, wt := range sep {
+				sy := y + i - half
+				if sy < 0 || sy >= h {
+					continue
+				}
+				src := p.Pix[sy*w : (sy+1)*w]
+				for x, v := range src {
+					dst[x] += wt * v
+				}
+			}
+		}
+		for y := lo; y < hi; y++ {
+			row := out.Pix[y*w : (y+1)*w]
+			if half == 1 {
+				sepRow3(row, sep)
+			} else {
+				sepRow5(row, sep)
+			}
+		}
+	})
+	return out
+}
+
+// sepRow3 applies a zero-padded 3-tap filter to row in place; prev carries
+// the original value the previous iteration overwrote.
+func sepRow3(row, sep []float32) {
+	s0, s1, s2 := sep[0], sep[1], sep[2]
+	w := len(row)
+	prev := float32(0)
+	x := 0
+	for ; x+1 < w; x++ {
+		cur := row[x]
+		row[x] = s0*prev + s1*cur + s2*row[x+1]
+		prev = cur
+	}
+	if x < w {
+		row[x] = s0*prev + s1*row[x]
+	}
+}
+
+// sepRow5 applies a zero-padded 5-tap filter to row in place, carrying the
+// two overwritten originals.
+func sepRow5(row, sep []float32) {
+	s0, s1, s2, s3, s4 := sep[0], sep[1], sep[2], sep[3], sep[4]
+	w := len(row)
+	var p2, p1 float32
+	x := 0
+	for ; x+2 < w; x++ {
+		cur := row[x]
+		row[x] = s0*p2 + s1*p1 + s2*cur + s3*row[x+1] + s4*row[x+2]
+		p2, p1 = p1, cur
+	}
+	for ; x < w; x++ {
+		cur := row[x]
+		var n1 float32
+		if x+1 < w {
+			n1 = row[x+1]
+		}
+		row[x] = s0*p2 + s1*p1 + s2*cur + s3*n1
+		p2, p1 = p1, cur
+	}
 }
 
 // Overlay adds src onto dst at offset (x, y), sample-wise, returning a new

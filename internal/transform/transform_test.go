@@ -417,3 +417,44 @@ func TestApplyPlanarRejectsCompress(t *testing.T) {
 		t.Error("ApplyPlanar must reject compression")
 	}
 }
+
+// TestConvolveSeparableMatchesFull checks that the two-pass separable fast
+// path computes the same convolution as the direct 2-D kernel, including the
+// zero-padded borders, across awkward plane shapes (narrower than the kernel
+// half-width included).
+func TestConvolveSeparableMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	shapes := []struct{ w, h int }{{64, 48}, {1, 1}, {2, 5}, {3, 3}, {17, 1}, {1, 17}, {33, 7}}
+	for name, k := range Kernels {
+		if k.Sep == nil {
+			continue
+		}
+		if len(k.Sep) != k.Side {
+			t.Fatalf("%s: Sep has %d taps, Side is %d", name, len(k.Sep), k.Side)
+		}
+		// The declared 2-D weights must be the outer product of Sep.
+		for y := 0; y < k.Side; y++ {
+			for x := 0; x < k.Side; x++ {
+				want := k.Sep[y] * k.Sep[x]
+				got := k.Weights[y*k.Side+x]
+				if math.Abs(float64(got-want)) > 1e-6 {
+					t.Fatalf("%s: weight (%d,%d) = %g, outer product gives %g", name, x, y, got, want)
+				}
+			}
+		}
+		for _, sh := range shapes {
+			p := randomPlane(rng, sh.w, sh.h)
+			fast, err := Convolve(p, k)
+			if err != nil {
+				t.Fatalf("%s %dx%d: %v", name, sh.w, sh.h, err)
+			}
+			full := convolveFull(p, k)
+			for i := range full.Pix {
+				if diff := math.Abs(float64(fast.Pix[i] - full.Pix[i])); diff > 1e-3 {
+					t.Fatalf("%s %dx%d: pixel %d differs by %g (separable %g, full %g)",
+						name, sh.w, sh.h, i, diff, fast.Pix[i], full.Pix[i])
+				}
+			}
+		}
+	}
+}
