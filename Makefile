@@ -9,8 +9,13 @@ GO ?= go
 # gates every benchmark common to OLD and NEW on >10% ns/op or allocs/op
 # regressions; set HOT_BENCHMARKS to restrict the gate to named benchmarks
 # (their absence from NEW then also fails).
-BENCH_OUT ?= BENCH_PR4.json
+BENCH_OUT ?= BENCH_PR5.json
 HOT_BENCHMARKS ?=
+
+# SERVE_BENCHMARKS are the PR 5 serving-path benchmarks; bench-compare
+# additionally requires them to be present in NEW (they gate the cache
+# layer's hot path and collapse behavior).
+SERVE_BENCHMARKS ?= BenchmarkServeTransformedCold,BenchmarkServeTransformedHot,BenchmarkServeTransformedConcurrent,BenchmarkServeTransformedCollapse
 
 .PHONY: all build test check fmt race fuzz-smoke bench bench-compare
 
@@ -27,7 +32,7 @@ test:
 # matrix, the parallel-pipeline determinism suite, and the restart-segment
 # parallel scan decode under -race.
 race:
-	$(GO) test -race -count=1 ./internal/psp/... ./internal/faults/... ./internal/blobstore/... ./cmd/pspd/... ./internal/parallel/...
+	$(GO) test -race -count=1 ./internal/psp/... ./internal/servecache/... ./internal/faults/... ./internal/blobstore/... ./cmd/pspd/... ./internal/parallel/...
 	$(GO) test -race -count=1 -run 'TestParallelDeterminism' .
 	$(GO) test -race -count=1 -run 'TestRestart' ./internal/jpegc
 
@@ -39,21 +44,28 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME) ./internal/jpegc
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodePublicData$$' -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run '^$$' -fuzz '^FuzzEnvelope$$' -fuzztime $(FUZZTIME) ./internal/blobstore
+	$(GO) test -run '^$$' -fuzz '^FuzzSpecKey$$' -fuzztime $(FUZZTIME) ./internal/transform
 
 # bench runs every benchmark (paper tables/figures plus the kernel and
 # pipeline micro-benchmarks) and writes a JSON report to $(BENCH_OUT).
+# BENCH_COUNT runs each benchmark N times; benchfmt keeps the fastest, so
+# the report is best-of-N — noise on a busy machine only ever slows a run.
+BENCH_COUNT ?= 3
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem ./... | tee /dev/stderr | $(GO) run ./cmd/benchfmt -o $(BENCH_OUT)
+	$(GO) test -run '^$$' -bench . -benchmem -count $(BENCH_COUNT) ./... | tee /dev/stderr | $(GO) run ./cmd/benchfmt -o $(BENCH_OUT)
 
 # bench-compare diffs two bench reports, printing per-benchmark deltas, and
 # fails on a >10% ns/op or allocs/op regression:
 #   make bench BENCH_OUT=old.json   # on the baseline commit
 #   make bench BENCH_OUT=new.json   # on the candidate
 #   make bench-compare OLD=old.json NEW=new.json
-OLD ?= BENCH_PR2.json
+# The second pass gates the serving-path benchmarks: their absence from NEW
+# fails the build even when the baseline predates them.
+OLD ?= BENCH_PR4.json
 NEW ?= $(BENCH_OUT)
 bench-compare:
 	$(GO) run ./cmd/benchfmt -old $(OLD) -new $(NEW) $(if $(HOT_BENCHMARKS),-hot '$(HOT_BENCHMARKS)')
+	$(GO) run ./cmd/benchfmt -old $(OLD) -new $(NEW) -hot '$(SERVE_BENCHMARKS)'
 
 fmt:
 	@out="$$(gofmt -l .)"; \

@@ -2,9 +2,10 @@
 // benchmark report, and compares two such reports for regressions.
 //
 // Format mode (default) reads benchmark output from stdin or the named
-// files and writes a JSON array of results:
+// files and writes a JSON array of results. Repeated runs of a benchmark
+// (`-count N`) collapse to the fastest, so reports are best-of-N:
 //
-//	go test -bench . -benchmem ./... | benchfmt -o BENCH.json
+//	go test -bench . -benchmem -count 3 ./... | benchfmt -o BENCH.json
 //
 // Compare mode diffs two reports, printing a per-benchmark delta line, and
 // exits non-zero when any benchmark regressed by more than the threshold in
@@ -45,8 +46,11 @@ type Result struct {
 var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
 
 // parse reads `go test -bench` output and returns one Result per benchmark
-// line, sorted by name. A benchmark appearing more than once keeps its last
-// measurement.
+// line, sorted by name. A benchmark appearing more than once (e.g. from
+// `-count N`) keeps its fastest run — measurement noise on a shared box is
+// purely additive, so best-of-N is the run closest to the true cost. The
+// whole fastest line is kept, not per-metric minima, so a report row is
+// always one self-consistent measurement.
 func parse(r io.Reader) ([]Result, error) {
 	byName := map[string]Result{}
 	sc := bufio.NewScanner(r)
@@ -86,7 +90,9 @@ func parse(r io.Reader) ([]Result, error) {
 				res.Metrics[unit] = v
 			}
 		}
-		byName[name] = res
+		if prev, ok := byName[name]; !ok || res.NsPerOp < prev.NsPerOp {
+			byName[name] = res
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err

@@ -37,6 +37,28 @@ func TestParse(t *testing.T) {
 	}
 }
 
+// TestParseBestOfN: with -count N a benchmark appears N times; the report
+// keeps the fastest whole line (not per-metric minima across lines).
+func TestParseBestOfN(t *testing.T) {
+	const repeated = `BenchmarkX-4 	     100	    2000 ns/op	      60 allocs/op
+BenchmarkX-4 	     100	    1000 ns/op	      80 allocs/op
+BenchmarkX-4 	     100	    3000 ns/op	      40 allocs/op
+`
+	results, err := parse(strings.NewReader(repeated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("parsed %d results, want 1", len(results))
+	}
+	if results[0].NsPerOp != 1000 {
+		t.Errorf("ns/op = %v, want the fastest run's 1000", results[0].NsPerOp)
+	}
+	if results[0].AllocsPerOp != 80 {
+		t.Errorf("allocs/op = %v, want the fastest run's own 80", results[0].AllocsPerOp)
+	}
+}
+
 func writeReport(t *testing.T, dir, name, body string) string {
 	t.Helper()
 	path := filepath.Join(dir, name)

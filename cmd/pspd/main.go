@@ -18,12 +18,20 @@
 // key index is bounded by -idempotency-cap (and -idempotency-ttl in memory
 // mode).
 //
+// The serving path is cached (see internal/servecache): -cache-bytes
+// budgets the encoded transform-output LRU and -coeff-cache-bytes the
+// decoded-coefficient LRU (0 disables either). Concurrent identical
+// requests collapse into one computation, image GETs carry strong ETags
+// with Cache-Control: immutable, and GET /v1/statz reports hit/miss/
+// eviction/collapse counters as JSON.
+//
 // For resilience testing, -fault-seed with -fault-rate/-fault-latency wires
 // the deterministic internal/faults middleware in front of the API.
 //
 // API (see internal/psp):
 //
 //	GET  /v1/healthz                         liveness + store size
+//	GET  /v1/statz                           serving-cache statistics
 //	POST /v1/images                          upload {image, params} -> {id}
 //	GET  /v1/images/{id}                     stored JPEG
 //	GET  /v1/images/{id}/params              public parameters
@@ -50,6 +58,13 @@ import (
 	"puppies/internal/psp"
 )
 
+func cacheBudgetString(v int64) string {
+	if v < 0 {
+		return "off"
+	}
+	return fmt.Sprintf("%dB", v)
+}
+
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -67,6 +82,8 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- stri
 	dataDir := fs.String("data-dir", "", "durable storage directory; empty keeps images in memory only")
 	idemCap := fs.Int("idempotency-cap", psp.DefaultMaxKeys, "max idempotency keys remembered (LRU eviction beyond)")
 	idemTTL := fs.Duration("idempotency-ttl", psp.DefaultKeyTTL, "idempotency key lifetime (memory store; 0 disables expiry)")
+	cacheBytes := fs.Int64("cache-bytes", psp.DefaultVariantCacheBytes, "encoded transform-output cache budget in bytes (0 disables)")
+	coeffCacheBytes := fs.Int64("coeff-cache-bytes", psp.DefaultCoeffCacheBytes, "decoded-coefficient cache budget in bytes (0 disables)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 	reqTimeout := fs.Duration("request-timeout", 60*time.Second, "per-request handler timeout (0 disables)")
 	faultSeed := fs.Int64("fault-seed", 0, "enable fault-injection middleware with this RNG seed (0 disables)")
@@ -95,7 +112,19 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- stri
 	} else {
 		store = psp.NewMemStoreBounded(*idemCap, *idemTTL, nil)
 	}
-	handler := psp.NewServerWith(store).Handler()
+	server := psp.NewServerWith(store)
+	// Flag semantics: 0 disables a cache; the Server field spells that -1.
+	server.VariantCacheBytes = *cacheBytes
+	if *cacheBytes <= 0 {
+		server.VariantCacheBytes = -1
+	}
+	server.CoeffCacheBytes = *coeffCacheBytes
+	if *coeffCacheBytes <= 0 {
+		server.CoeffCacheBytes = -1
+	}
+	fmt.Fprintf(stdout, "pspd serve cache: variants=%s coeffs=%s\n",
+		cacheBudgetString(server.VariantCacheBytes), cacheBudgetString(server.CoeffCacheBytes))
+	handler := server.Handler()
 	if *faultSeed != 0 {
 		fault := faults.Fault{Kind: faults.Status503}
 		if *faultLatency > 0 {

@@ -191,6 +191,141 @@ func TestHealthzAndCleanIdleShutdown(t *testing.T) {
 	}
 }
 
+// TestStatzAndConditionalGet boots the daemon with small explicit cache
+// budgets, drives the transformed route twice plus a conditional GET, and
+// checks /v1/statz reflects the hit, the single computation, and the 304.
+func TestStatzAndConditionalGet(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	var out bytes.Buffer
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-cache-bytes", "8388608",
+			"-coeff-cache-bytes", "8388608",
+		}, &out, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-runErr:
+		t.Fatalf("run exited before ready: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("run never became ready")
+	}
+	base := "http://" + addr
+
+	body, err := json.Marshal(map[string]interface{}{
+		"image":  base64.StdEncoding.EncodeToString(testJPEG(t)),
+		"params": nil,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/images", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("upload: HTTP %d: %s", resp.StatusCode, raw)
+	}
+	var up struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(raw, &up); err != nil {
+		t.Fatal(err)
+	}
+
+	url := base + "/v1/images/" + up.ID + "/transformed?spec=%7B%22op%22%3A%22rotate90%22%7D"
+	get := func() *http.Response {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp
+	}
+	first := get()
+	if first.StatusCode != http.StatusOK {
+		t.Fatalf("transform: HTTP %d", first.StatusCode)
+	}
+	etag := first.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("transformed response missing ETag")
+	}
+	second := get()
+	if second.StatusCode != http.StatusOK {
+		t.Fatalf("repeat transform: HTTP %d", second.StatusCode)
+	}
+
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("If-None-Match", etag)
+	cond, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, cond.Body)
+	cond.Body.Close()
+	if cond.StatusCode != http.StatusNotModified {
+		t.Fatalf("conditional GET: HTTP %d, want 304", cond.StatusCode)
+	}
+
+	statz, err := http.Get(base + "/v1/statz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	statzBody, _ := io.ReadAll(statz.Body)
+	statz.Body.Close()
+	if statz.StatusCode != http.StatusOK {
+		t.Fatalf("statz: HTTP %d", statz.StatusCode)
+	}
+	var stats struct {
+		Variants struct {
+			Hits     uint64 `json:"hits"`
+			MaxBytes int64  `json:"maxBytes"`
+		} `json:"variants"`
+		TransformsComputed uint64 `json:"transformsComputed"`
+		NotModified        uint64 `json:"notModified"`
+	}
+	if err := json.Unmarshal(statzBody, &stats); err != nil {
+		t.Fatalf("statz not JSON: %v\n%s", err, statzBody)
+	}
+	if stats.TransformsComputed != 1 {
+		t.Errorf("transformsComputed = %d, want 1", stats.TransformsComputed)
+	}
+	if stats.Variants.Hits == 0 {
+		t.Error("no variant cache hits recorded")
+	}
+	if stats.NotModified != 1 {
+		t.Errorf("notModified = %d, want 1", stats.NotModified)
+	}
+	if stats.Variants.MaxBytes != 8388608 {
+		t.Errorf("variant cache budget = %d, want the -cache-bytes value", stats.Variants.MaxBytes)
+	}
+	if !strings.Contains(out.String(), "pspd serve cache: variants=8388608B coeffs=8388608B") {
+		t.Errorf("missing cache startup log; output:\n%s", out.String())
+	}
+
+	cancel()
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Errorf("shutdown returned error: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not return after cancel")
+	}
+}
+
 func TestListenFailureIsReported(t *testing.T) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

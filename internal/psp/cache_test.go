@@ -1,0 +1,483 @@
+package psp
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"puppies/internal/jpegc"
+	"puppies/internal/transform"
+)
+
+// testJPEG encodes a synthetic image to JPEG bytes.
+func testJPEG(t testing.TB, w, h int) []byte {
+	t.Helper()
+	img, err := jpegc.FromPlanar(testPlanar(w, h), jpegc.Options{Quality: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := img.Encode(&buf, jpegc.EncodeOptions{Tables: jpegc.TablesOptimized}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// storeImage puts JPEG bytes straight into a server's store under a fixed
+// ID, bypassing the upload route.
+func storeImage(t testing.TB, st Store, id string, jpeg []byte) {
+	t.Helper()
+	if _, err := st.Put(id, jpeg, nil, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func transformedPath(id string, spec transform.Spec) string {
+	raw, _ := json.Marshal(spec)
+	return "/v1/images/" + id + "/transformed?spec=" + url.QueryEscape(string(raw))
+}
+
+func pixelsPath(id string, spec transform.Spec) string {
+	raw, _ := json.Marshal(spec)
+	return "/v1/images/" + id + "/pixels?spec=" + url.QueryEscape(string(raw))
+}
+
+func doGet(h http.Handler, path string, header http.Header) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	for k, vs := range header {
+		req.Header[k] = vs
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestTransformedCacheContention hammers one (image, spec) pair from many
+// goroutines on a cold cache and requires exactly one decode and one
+// transform+encode to have run — every other request either collapsed into
+// the flight or hit the variant cache — with all responses bit-identical.
+func TestTransformedCacheContention(t *testing.T) {
+	srv := NewServer()
+	st := srv.st()
+	storeImage(t, st, "img1", testJPEG(t, 64, 48))
+	h := srv.Handler()
+	spec := transform.Spec{Op: transform.OpScale, FactorX: 0.5, FactorY: 0.5}
+	path := transformedPath("img1", spec)
+
+	const goroutines = 32
+	const perG = 4
+	bodies := make([][]byte, goroutines*perG)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < perG; i++ {
+				rec := doGet(h, path, nil)
+				if rec.Code != http.StatusOK {
+					t.Errorf("status %d: %s", rec.Code, rec.Body.String())
+					return
+				}
+				bodies[g*perG+i] = rec.Body.Bytes()
+			}
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+
+	stats := srv.CacheStats()
+	if stats.TransformsComputed != 1 {
+		t.Errorf("transforms computed = %d, want exactly 1", stats.TransformsComputed)
+	}
+	if stats.DecodesComputed != 1 {
+		t.Errorf("decodes computed = %d, want exactly 1", stats.DecodesComputed)
+	}
+	for i, b := range bodies {
+		if !bytes.Equal(b, bodies[0]) {
+			t.Fatalf("response %d differs from response 0", i)
+		}
+	}
+	// Every request either led, collapsed, or hit the cache.
+	total := uint64(goroutines * perG)
+	accounted := stats.TransformsComputed + stats.CollapsedTransforms + stats.Variants.Hits
+	if accounted < total {
+		t.Errorf("only %d of %d requests accounted for (computed+collapsed+hits): %+v",
+			accounted, total, stats)
+	}
+}
+
+// TestVariantEvictionRecomputesIdentical proves the byte budget is
+// respected under a working set larger than the cache, and that an evicted
+// entry recomputes to bit-identical bytes.
+func TestVariantEvictionRecomputesIdentical(t *testing.T) {
+	jpeg := testJPEG(t, 64, 48)
+	specAt := func(i int) transform.Spec {
+		return transform.Spec{Op: transform.OpScale, FactorX: 0.5 + float64(i)/1000, FactorY: 0.5}
+	}
+
+	// Measure one output body to size a budget that holds roughly one
+	// entry per shard.
+	probe := NewServer()
+	storeImage(t, probe.st(), "img1", jpeg)
+	rec := doGet(probe.Handler(), transformedPath("img1", specAt(0)), nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("probe status %d", rec.Code)
+	}
+	bodySize := int64(rec.Body.Len())
+
+	srv := NewServer()
+	srv.VariantCacheBytes = 16 * (bodySize + bodySize/2) // ~1.5 bodies per shard
+	storeImage(t, srv.st(), "img1", jpeg)
+	h := srv.Handler()
+
+	const distinct = 48 // >> 16 shards: some shard must overflow
+	first := make([][]byte, distinct)
+	for i := 0; i < distinct; i++ {
+		rec := doGet(h, transformedPath("img1", specAt(i)), nil)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("spec %d: status %d: %s", i, rec.Code, rec.Body.String())
+		}
+		first[i] = append([]byte(nil), rec.Body.Bytes()...)
+	}
+	stats := srv.CacheStats()
+	if stats.Variants.Evictions == 0 {
+		t.Error("no evictions despite working set exceeding budget")
+	}
+	if stats.Variants.Bytes > stats.Variants.MaxBytes {
+		t.Errorf("cache holds %d bytes, budget %d", stats.Variants.Bytes, stats.Variants.MaxBytes)
+	}
+
+	// Re-request everything: evicted entries must recompute bit-identical.
+	for i := 0; i < distinct; i++ {
+		rec := doGet(h, transformedPath("img1", specAt(i)), nil)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("re-request %d: status %d", i, rec.Code)
+		}
+		if !bytes.Equal(rec.Body.Bytes(), first[i]) {
+			t.Fatalf("spec %d: recomputed bytes differ from original response", i)
+		}
+	}
+	if after := srv.CacheStats(); after.TransformsComputed <= stats.TransformsComputed {
+		t.Error("expected recomputation of evicted entries on the second pass")
+	}
+}
+
+// TestConditionalGetRoundTrip covers the ETag scheme: strong validator +
+// Cache-Control: immutable + Content-Length on 200s, and 304 on
+// If-None-Match — including on a cold cache, where the validator alone
+// proves the client's copy is current.
+func TestConditionalGetRoundTrip(t *testing.T) {
+	jpeg := testJPEG(t, 64, 48)
+	st := NewMemStore()
+	storeImage(t, st, "img1", jpeg)
+	srv := NewServerWith(st)
+	h := srv.Handler()
+	spec := transform.Spec{Op: transform.OpRotate90}
+	path := transformedPath("img1", spec)
+
+	rec := doGet(h, path, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	etag := rec.Header().Get("ETag")
+	if etag == "" || etag[0] != '"' {
+		t.Fatalf("missing/weak ETag %q", etag)
+	}
+	if cc := rec.Header().Get("Cache-Control"); cc != immutableCacheControl {
+		t.Errorf("Cache-Control = %q", cc)
+	}
+	if cl := rec.Header().Get("Content-Length"); cl != strconv.Itoa(rec.Body.Len()) {
+		t.Errorf("Content-Length %q vs body %d", cl, rec.Body.Len())
+	}
+
+	// Warm 304.
+	rec2 := doGet(h, path, http.Header{"If-None-Match": {etag}})
+	if rec2.Code != http.StatusNotModified {
+		t.Fatalf("warm revalidation: status %d, want 304", rec2.Code)
+	}
+	if rec2.Body.Len() != 0 {
+		t.Errorf("304 carried a %d-byte body", rec2.Body.Len())
+	}
+
+	// Cold 304: a fresh server over the same store has computed nothing,
+	// but the validator still proves freshness (immutability).
+	cold := NewServerWith(st)
+	rec3 := doGet(cold.Handler(), path, http.Header{"If-None-Match": {etag}})
+	if rec3.Code != http.StatusNotModified {
+		t.Fatalf("cold revalidation: status %d, want 304", rec3.Code)
+	}
+	if stats := cold.CacheStats(); stats.TransformsComputed != 0 {
+		t.Errorf("cold 304 computed %d transforms", stats.TransformsComputed)
+	}
+
+	// Weak-compare and list forms.
+	rec4 := doGet(h, path, http.Header{"If-None-Match": {`"zzz", W/` + etag}})
+	if rec4.Code != http.StatusNotModified {
+		t.Errorf("list+weak If-None-Match: status %d, want 304", rec4.Code)
+	}
+
+	// Stale validator re-serves the body.
+	rec5 := doGet(h, path, http.Header{"If-None-Match": {`"stale"`}})
+	if rec5.Code != http.StatusOK {
+		t.Errorf("stale validator: status %d, want 200", rec5.Code)
+	}
+
+	// 304 must not fire for a missing image even with a matching-format tag.
+	recMissing := doGet(h, transformedPath("missing", spec), http.Header{"If-None-Match": {"*"}})
+	if recMissing.Code != http.StatusNotFound {
+		t.Errorf("missing image with If-None-Match: status %d, want 404", recMissing.Code)
+	}
+
+	// The raw image route also revalidates.
+	raw := doGet(h, "/v1/images/img1", nil)
+	rawTag := raw.Header().Get("ETag")
+	if rawTag == "" {
+		t.Fatal("raw image GET missing ETag")
+	}
+	if got := doGet(h, "/v1/images/img1", http.Header{"If-None-Match": {rawTag}}); got.Code != http.StatusNotModified {
+		t.Errorf("raw image revalidation: status %d, want 304", got.Code)
+	}
+	// Different routes for the same image never share a validator.
+	if rawTag == etag {
+		t.Error("raw and transformed routes share an ETag")
+	}
+}
+
+// TestSpecAliasesShareCacheEntry: two JSON spellings of the same transform
+// must hit the same cache entry (the canonical Spec.Key at work end-to-end).
+func TestSpecAliasesShareCacheEntry(t *testing.T) {
+	srv := NewServer()
+	storeImage(t, srv.st(), "img1", testJPEG(t, 64, 48))
+	h := srv.Handler()
+
+	a := doGet(h, "/v1/images/img1/transformed?spec="+url.QueryEscape(`{"op":"compress","quality":50}`), nil)
+	b := doGet(h, "/v1/images/img1/transformed?spec="+url.QueryEscape(`{"quality":50,"op":"compress","x":0,"angle":0}`), nil)
+	if a.Code != http.StatusOK || b.Code != http.StatusOK {
+		t.Fatalf("statuses %d, %d", a.Code, b.Code)
+	}
+	if !bytes.Equal(a.Body.Bytes(), b.Body.Bytes()) {
+		t.Fatal("alias spellings produced different bytes")
+	}
+	stats := srv.CacheStats()
+	if stats.TransformsComputed != 1 {
+		t.Errorf("transforms computed = %d, want 1 (aliases must share the entry)", stats.TransformsComputed)
+	}
+	if stats.Variants.Hits != 1 {
+		t.Errorf("variant hits = %d, want 1", stats.Variants.Hits)
+	}
+}
+
+// corruptingStore injects storage-layer damage: it serves a truncated copy
+// of the stored JPEG, simulating bit rot past upload validation.
+type corruptingStore struct {
+	Store
+	corrupt atomic.Bool
+}
+
+func (c *corruptingStore) Get(id string) ([]byte, []byte, bool, error) {
+	jpeg, params, ok, err := c.Store.Get(id)
+	if ok && c.corrupt.Load() && len(jpeg) > 16 {
+		jpeg = jpeg[:16]
+	}
+	return jpeg, params, ok, err
+}
+
+// TestCorruptStoredImageIsTypedCorrupt injects a corrupt stored image and
+// requires the transformed route to answer with the corrupt error class so
+// the client classifies it as ErrCorrupt — terminal, not retried.
+func TestCorruptStoredImageIsTypedCorrupt(t *testing.T) {
+	cs := &corruptingStore{Store: NewMemStore()}
+	storeImage(t, cs, "img1", testJPEG(t, 64, 48))
+	cs.corrupt.Store(true)
+	psp := NewServerWith(cs)
+
+	var requests atomic.Int64
+	counted := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		requests.Add(1)
+		psp.Handler().ServeHTTP(w, r)
+	})
+	srv := httptest.NewServer(counted)
+	defer srv.Close()
+
+	noSleep := func(ctx context.Context, d time.Duration) error { return nil }
+	client := &Client{BaseURL: srv.URL, sleep: noSleep}
+
+	_, err := client.FetchTransformed(context.Background(),
+		"img1", transform.Spec{Op: transform.OpRotate90})
+	if err == nil {
+		t.Fatal("corrupt stored image served successfully")
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Errorf("error not classified as ErrCorrupt: %v", err)
+	}
+	if errors.Is(err, ErrRetryable) {
+		t.Errorf("corrupt stored image classified retryable: %v", err)
+	}
+	if n := requests.Load(); n != 1 {
+		t.Errorf("client made %d requests, want 1 (no retries on corrupt data)", n)
+	}
+
+	// The pixels route types it the same way.
+	requests.Store(0)
+	_, err = client.FetchTransformedPixels(context.Background(),
+		"img1", transform.Spec{Op: transform.OpNone})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Errorf("pixels route: error not ErrCorrupt: %v", err)
+	}
+	if n := requests.Load(); n != 1 {
+		t.Errorf("pixels route retried: %d requests", n)
+	}
+}
+
+// TestClientConditionalGetUsesValidatorCache: a client with a RespCache
+// revalidates instead of re-downloading, and the server answers 304 from
+// the validator alone.
+func TestClientConditionalGetUsesValidatorCache(t *testing.T) {
+	psp := NewServer()
+	storeImage(t, psp.st(), "img1", testJPEG(t, 64, 48))
+	srv := httptest.NewServer(psp.Handler())
+	defer srv.Close()
+
+	client := &Client{BaseURL: srv.URL, RespCache: NewValidatorCache(1 << 20)}
+	spec := transform.Spec{Op: transform.OpFlipH}
+
+	first, err := client.FetchTransformed(context.Background(), "img1", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := client.FetchTransformed(context.Background(), "img1", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci := range first.Comps {
+		for bi := range first.Comps[ci].Blocks {
+			if first.Comps[ci].Blocks[bi] != second.Comps[ci].Blocks[bi] {
+				t.Fatal("revalidated fetch returned different coefficients")
+			}
+		}
+	}
+	stats := psp.CacheStats()
+	if stats.NotModified != 1 {
+		t.Errorf("server answered %d 304s, want 1", stats.NotModified)
+	}
+	if stats.TransformsComputed != 1 {
+		t.Errorf("transforms computed = %d, want 1", stats.TransformsComputed)
+	}
+
+	// The raw image route revalidates through the same cache.
+	if _, err := client.FetchImage(context.Background(), "img1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.FetchImage(context.Background(), "img1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := psp.CacheStats().NotModified; got != 2 {
+		t.Errorf("after raw refetch: %d 304s, want 2", got)
+	}
+}
+
+// TestStatzEndpoint checks the JSON statistics surface end to end.
+func TestStatzEndpoint(t *testing.T) {
+	srv := NewServer()
+	storeImage(t, srv.st(), "img1", testJPEG(t, 64, 48))
+	h := srv.Handler()
+	path := transformedPath("img1", transform.Spec{Op: transform.OpRotate180})
+
+	for i := 0; i < 3; i++ {
+		if rec := doGet(h, path, nil); rec.Code != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, rec.Code)
+		}
+	}
+	rec := doGet(h, "/v1/statz", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("statz status %d", rec.Code)
+	}
+	var stats CacheStatsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatalf("statz not JSON: %v\n%s", err, rec.Body.String())
+	}
+	if stats.TransformsComputed != 1 || stats.Variants.Hits != 2 {
+		t.Errorf("statz = %+v, want 1 computation and 2 hits", stats)
+	}
+	if stats.Variants.Bytes <= 0 || stats.Variants.MaxBytes <= 0 {
+		t.Errorf("statz byte accounting empty: %+v", stats.Variants)
+	}
+	if stats.Coeffs.Entries != 1 {
+		t.Errorf("coefficient cache holds %d entries, want 1", stats.Coeffs.Entries)
+	}
+}
+
+// TestCacheDisabledStillServes: negative budgets turn both caches off; the
+// routes still work and recompute every request.
+func TestCacheDisabledStillServes(t *testing.T) {
+	srv := NewServer()
+	srv.VariantCacheBytes = -1
+	srv.CoeffCacheBytes = -1
+	storeImage(t, srv.st(), "img1", testJPEG(t, 64, 48))
+	h := srv.Handler()
+	path := transformedPath("img1", transform.Spec{Op: transform.OpFlipV})
+
+	a := doGet(h, path, nil)
+	b := doGet(h, path, nil)
+	if a.Code != http.StatusOK || b.Code != http.StatusOK {
+		t.Fatalf("statuses %d, %d", a.Code, b.Code)
+	}
+	if !bytes.Equal(a.Body.Bytes(), b.Body.Bytes()) {
+		t.Fatal("uncached recomputation not deterministic")
+	}
+	stats := srv.CacheStats()
+	if stats.TransformsComputed != 2 || stats.DecodesComputed != 2 {
+		t.Errorf("disabled caches: computed %d transforms / %d decodes, want 2/2", stats.TransformsComputed, stats.DecodesComputed)
+	}
+	if stats.Variants.Entries != 0 || stats.Coeffs.Entries != 0 {
+		t.Errorf("disabled caches hold entries: %+v", stats)
+	}
+	// ETags still work without caches.
+	etag := a.Header().Get("ETag")
+	if rec := doGet(h, path, http.Header{"If-None-Match": {etag}}); rec.Code != http.StatusNotModified {
+		t.Errorf("disabled-cache revalidation: status %d, want 304", rec.Code)
+	}
+}
+
+// TestPixelsRouteCached: the /pixels route shares the coefficient cache
+// with /transformed but caches its own encoded representation.
+func TestPixelsRouteCached(t *testing.T) {
+	srv := NewServer()
+	storeImage(t, srv.st(), "img1", testJPEG(t, 64, 48))
+	h := srv.Handler()
+	spec := transform.Spec{Op: transform.OpScale, FactorX: 0.5, FactorY: 0.5}
+
+	tp := doGet(h, transformedPath("img1", spec), nil)
+	pp := doGet(h, pixelsPath("img1", spec), nil)
+	pp2 := doGet(h, pixelsPath("img1", spec), nil)
+	if tp.Code != http.StatusOK || pp.Code != http.StatusOK || pp2.Code != http.StatusOK {
+		t.Fatalf("statuses %d, %d, %d", tp.Code, pp.Code, pp2.Code)
+	}
+	if !bytes.Equal(pp.Body.Bytes(), pp2.Body.Bytes()) {
+		t.Fatal("pixel responses differ")
+	}
+	stats := srv.CacheStats()
+	if stats.DecodesComputed != 1 {
+		t.Errorf("decodes = %d, want 1 (coefficient cache shared across routes)", stats.DecodesComputed)
+	}
+	if stats.TransformsComputed != 2 {
+		t.Errorf("computations = %d, want 2 (one per representation)", stats.TransformsComputed)
+	}
+	if stats.Variants.Hits != 1 {
+		t.Errorf("variant hits = %d, want 1", stats.Variants.Hits)
+	}
+	if tp.Header().Get("ETag") == pp.Header().Get("ETag") {
+		t.Error("transformed and pixels share an ETag")
+	}
+}

@@ -18,8 +18,22 @@ import (
 	"puppies/internal/core"
 	"puppies/internal/imgplane"
 	"puppies/internal/jpegc"
+	"puppies/internal/servecache"
 	"puppies/internal/transform"
 )
+
+// CachedResponse is one validated GET response held by a client-side
+// validator cache: the body plus the strong ETag the server issued for it.
+type CachedResponse struct {
+	ETag string
+	Body []byte
+}
+
+// NewValidatorCache returns a response cache suitable for Client.RespCache,
+// budgeted to maxBytes of body bytes.
+func NewValidatorCache(maxBytes int64) *servecache.Cache[CachedResponse] {
+	return servecache.New[CachedResponse](maxBytes)
+}
 
 // Default client resilience knobs; override per Client field.
 const (
@@ -59,6 +73,13 @@ type Client struct {
 	// read; a larger body yields ErrTooLarge rather than silent
 	// truncation. Zero means DefaultMaxUpload.
 	MaxResponseBytes int64
+
+	// RespCache, when non-nil, enables conditional GETs: the client
+	// remembers (ETag, body) per URL, revalidates with If-None-Match, and
+	// serves 304 answers from the cache without re-downloading the body.
+	// PSP image representations are immutable, so revalidation virtually
+	// always short-circuits. Use NewValidatorCache to build one.
+	RespCache *servecache.Cache[CachedResponse]
 
 	// sleep is stubbed in tests to make backoff instantaneous.
 	sleep func(ctx context.Context, d time.Duration) error
@@ -169,6 +190,14 @@ func (c *Client) doOnce(ctx context.Context, method, rawURL string, body []byte,
 	for k, vs := range header {
 		req.Header[k] = vs
 	}
+	// Conditional GET: revalidate a cached body instead of re-downloading.
+	var cached CachedResponse
+	var haveCached bool
+	if method == http.MethodGet && c.RespCache != nil {
+		if cached, haveCached = c.RespCache.Get(rawURL); haveCached {
+			req.Header.Set("If-None-Match", cached.ETag)
+		}
+	}
 	resp, err := c.http().Do(req)
 	if err != nil {
 		timedOut := attemptCtx.Err() != nil && ctx.Err() == nil
@@ -184,6 +213,9 @@ func (c *Client) doOnce(ctx context.Context, method, rawURL string, body []byte,
 	if int64(len(respBody)) > limit {
 		return nil, fmt.Errorf("%w: response exceeds %d bytes", ErrTooLarge, limit)
 	}
+	if resp.StatusCode == http.StatusNotModified && haveCached {
+		return cached.Body, nil
+	}
 	if resp.StatusCode != http.StatusOK {
 		return nil, &StatusError{
 			Method:     method,
@@ -191,6 +223,13 @@ func (c *Client) doOnce(ctx context.Context, method, rawURL string, body []byte,
 			Code:       resp.StatusCode,
 			Body:       string(bytes.TrimSpace(respBody)),
 			RetryAfter: parseRetryAfter(resp.Header),
+			Class:      resp.Header.Get(errorClassHeader),
+		}
+	}
+	if method == http.MethodGet && c.RespCache != nil {
+		if et := resp.Header.Get("ETag"); et != "" {
+			c.RespCache.Add(rawURL, CachedResponse{ETag: et, Body: respBody},
+				int64(len(respBody)+len(et)+len(rawURL)))
 		}
 	}
 	return respBody, nil

@@ -33,6 +33,14 @@ var (
 	ErrTooLarge  = errors.New("psp: payload too large")
 )
 
+// errorClassHeader lets the server refine how clients classify a status
+// code: a 500 carrying class "corrupt" means the *stored data* is damaged,
+// which no amount of retrying the same route will fix.
+const (
+	errorClassHeader  = "X-PSP-Error-Class"
+	errorClassCorrupt = "corrupt"
+)
+
 // StatusError reports a non-2xx HTTP response from the PSP.
 type StatusError struct {
 	Method string
@@ -41,6 +49,8 @@ type StatusError struct {
 	Body   string
 	// RetryAfter is the parsed Retry-After header, zero if absent.
 	RetryAfter time.Duration
+	// Class is the server's X-PSP-Error-Class refinement, empty if absent.
+	Class string
 }
 
 func (e *StatusError) Error() string {
@@ -52,13 +62,20 @@ func (e *StatusError) Error() string {
 }
 
 // Is maps HTTP status classes onto the package sentinels so that
-// errors.Is(err, ErrRetryable) etc. work on status errors.
+// errors.Is(err, ErrRetryable) etc. work on status errors. A 5xx tagged
+// with the corrupt class is ErrCorrupt and not retryable: the server is
+// healthy, its stored copy of the image is not.
 func (e *StatusError) Is(target error) bool {
 	switch target {
 	case ErrRetryable:
+		if e.Class == errorClassCorrupt {
+			return false
+		}
 		return e.Code >= 500 || e.Code == http.StatusTooManyRequests
 	case ErrNotFound:
 		return e.Code == http.StatusNotFound
+	case ErrCorrupt:
+		return e.Class == errorClassCorrupt
 	case ErrTooLarge:
 		return e.Code == http.StatusRequestEntityTooLarge
 	}

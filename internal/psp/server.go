@@ -12,6 +12,7 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -41,8 +42,18 @@ type Server struct {
 	// HTTP 413. Zero means DefaultMaxUpload. Set before Handler is used.
 	MaxUpload int64
 
+	// VariantCacheBytes budgets the encoded-output cache (re-encoded
+	// transform JPEGs and pixel payloads) and CoeffCacheBytes the
+	// decoded-coefficient cache. Zero means the package defaults;
+	// negative disables that cache. Set before the first request.
+	VariantCacheBytes int64
+	CoeffCacheBytes   int64
+
 	storeOnce sync.Once
 	store     Store
+
+	cacheOnce sync.Once
+	scache    *serveCache
 }
 
 // NewServer returns a PSP over an ephemeral in-memory store.
@@ -63,6 +74,23 @@ func NewServerWith(st Store) *Server {
 func (s *Server) st() Store {
 	s.storeOnce.Do(func() { s.store = NewMemStore() })
 	return s.store
+}
+
+// cache returns the serving-path cache layer, built on first use from the
+// configured budgets.
+func (s *Server) cache() *serveCache {
+	s.cacheOnce.Do(func() {
+		s.scache = newServeCache(
+			budgetOrDefault(s.VariantCacheBytes, DefaultVariantCacheBytes),
+			budgetOrDefault(s.CoeffCacheBytes, DefaultCoeffCacheBytes),
+		)
+	})
+	return s.scache
+}
+
+// CacheStats snapshots the serving-cache counters (the /v1/statz body).
+func (s *Server) CacheStats() CacheStatsResponse {
+	return s.cache().statsResponse()
 }
 
 // Len reports how many images are stored.
@@ -102,6 +130,7 @@ type HealthResponse struct {
 // Handler returns the HTTP API:
 //
 //	GET  /v1/healthz                     liveness + store size
+//	GET  /v1/statz                       serving-cache statistics
 //	GET  /v1/images                      list stored image IDs
 //	POST /v1/images                      upload {image, params} -> {id}
 //	GET  /v1/images/{id}                 stored JPEG bytes
@@ -112,9 +141,16 @@ type HealthResponse struct {
 // where J is a URL-encoded transform.Spec JSON document. Uploads may carry
 // an Idempotency-Key header; repeats with the same key return the
 // originally assigned ID without storing a second copy.
+//
+// Image representations are immutable, so every image GET carries a strong
+// ETag and Cache-Control: immutable, and honors If-None-Match with 304.
+// Transformed and pixel outputs are served through the cache layer (see
+// cache.go): an encoded-variant LRU over a decoded-coefficient LRU, with
+// concurrent identical requests collapsed into one computation.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/statz", s.handleStatz)
 	mux.HandleFunc("GET /v1/images", s.handleList)
 	mux.HandleFunc("POST /v1/images", s.handleUpload)
 	mux.HandleFunc("GET /v1/images/{id}", s.handleGet)
@@ -131,6 +167,11 @@ func httpError(w http.ResponseWriter, code int, format string, args ...interface
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(HealthResponse{Status: "ok", Images: s.Len()})
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(s.CacheStats())
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -218,31 +259,31 @@ func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *entry {
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	etag := strongETag("R", id, "")
+	sc := s.cache()
+	// The raw bytes live in the store already; the conditional check still
+	// needs the lookup so an unknown ID stays a 404, not a bogus 304.
 	e := s.lookup(w, r)
 	if e == nil {
 		return
 	}
-	w.Header().Set("Content-Type", "image/jpeg")
-	if _, err := w.Write(e.jpeg); err != nil {
-		return
-	}
+	sc.serveBytes(w, r, etag, "image/jpeg", e.jpeg)
 }
 
 func (s *Server) handleParams(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	etag := strongETag("M", id, "")
+	sc := s.cache()
 	e := s.lookup(w, r)
 	if e == nil {
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	if len(e.params) == 0 {
-		if _, err := w.Write([]byte("null")); err != nil {
-			return
-		}
-		return
+	body := []byte(e.params)
+	if len(body) == 0 {
+		body = []byte("null")
 	}
-	if _, err := w.Write(e.params); err != nil {
-		return
-	}
+	sc.serveBytes(w, r, etag, "application/json", body)
 }
 
 func parseSpec(r *http.Request) (transform.Spec, error) {
@@ -257,68 +298,137 @@ func parseSpec(r *http.Request) (transform.Spec, error) {
 	return spec, nil
 }
 
-func (s *Server) handleTransformed(w http.ResponseWriter, r *http.Request) {
-	e := s.lookup(w, r)
-	if e == nil {
+// handlerError carries an HTTP status (and optional error class) out of a
+// singleflight computation so every collapsed waiter reports it the same
+// way.
+type handlerError struct {
+	code  int
+	class string
+	msg   string
+}
+
+func (e *handlerError) Error() string { return e.msg }
+
+// writeComputeError maps a computation failure onto the HTTP response; a
+// classed error additionally sets the X-PSP-Error-Class header so clients
+// type it (e.g. a corrupt stored image becomes ErrCorrupt, not a retried
+// 500).
+func writeComputeError(w http.ResponseWriter, err error) {
+	var he *handlerError
+	if errors.As(err, &he) {
+		if he.class != "" {
+			w.Header().Set(errorClassHeader, he.class)
+		}
+		httpError(w, he.code, "%s", he.msg)
 		return
 	}
-	spec, err := parseSpec(r)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "bad spec: %v", err)
-		return
-	}
-	img, err := jpegc.Decode(bytes.NewReader(e.jpeg))
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, "stored image corrupt: %v", err)
-		return
-	}
-	out, err := transform.Apply(img, spec)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "transform: %v", err)
-		return
-	}
-	var buf bytes.Buffer
-	if err := out.Encode(&buf, jpegc.EncodeOptions{Tables: jpegc.TablesOptimized}); err != nil {
-		httpError(w, http.StatusInternalServerError, "encode: %v", err)
-		return
-	}
-	w.Header().Set("Content-Type", "image/jpeg")
-	if _, err := w.Write(buf.Bytes()); err != nil {
-		return
+	httpError(w, http.StatusInternalServerError, "%v", err)
+}
+
+// corruptStoredError marks a stored image that no longer decodes: upload
+// validated it, so this is storage-layer damage. Served as a 500 with the
+// corrupt class — terminal for retry logic, not a transient failure.
+func corruptStoredError(err error) *handlerError {
+	return &handlerError{
+		code:  http.StatusInternalServerError,
+		class: errorClassCorrupt,
+		msg:   fmt.Sprintf("stored image corrupt: %v", err),
 	}
 }
 
-func (s *Server) handlePixels(w http.ResponseWriter, r *http.Request) {
-	e := s.lookup(w, r)
-	if e == nil {
-		return
-	}
+// serveVariant is the shared serving path of /transformed and /pixels:
+// variant-cache fast path, conditional GET, then singleflight-collapsed
+// compute with the result admitted to the cache.
+func (s *Server) serveVariant(w http.ResponseWriter, r *http.Request, route, contentType string, compute func(e *entry, spec transform.Spec) ([]byte, error)) {
+	id := r.PathValue("id")
 	spec, err := parseSpec(r)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "bad spec: %v", err)
 		return
 	}
-	if spec.Op == transform.OpCompress {
+	if route == "P" && spec.Op == transform.OpCompress {
 		httpError(w, http.StatusBadRequest, "compression has no pixel form; use /transformed")
 		return
 	}
-	img, err := jpegc.Decode(bytes.NewReader(e.jpeg))
+	key := variantKey(route, id, spec.Key())
+	etag := strongETag(route, id, spec.Key())
+	sc := s.cache()
+
+	// Hot path: encoded bytes already cached — no store read, no decode.
+	if body, ok := sc.variants.Get(key); ok {
+		sc.serveBytes(w, r, etag, contentType, body)
+		return
+	}
+	e := s.lookup(w, r)
+	if e == nil {
+		return
+	}
+	// The image exists and is immutable, so a matching validator is
+	// authoritative even though the variant bytes were never computed (or
+	// were evicted): the client already holds them.
+	if etagMatches(r, etag) {
+		sc.writeNotModified(w, etag)
+		return
+	}
+	body, err, _ := sc.tflight.Do(key, func() ([]byte, error) {
+		if body, ok := sc.variants.Get(key); ok {
+			return body, nil
+		}
+		body, err := compute(e, spec)
+		if err != nil {
+			return nil, err
+		}
+		sc.transformsComputed.Add(1)
+		sc.variants.Add(key, body, int64(len(body)))
+		return body, nil
+	})
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, "stored image corrupt: %v", err)
+		writeComputeError(w, err)
 		return
 	}
-	pix, err := img.ToPlanar()
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, "decode: %v", err)
-		return
-	}
-	out, err := transform.ApplyPlanar(pix, spec)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "transform: %v", err)
-		return
-	}
-	w.Header().Set("Content-Type", "application/octet-stream")
-	if err := out.EncodeBinary(w); err != nil {
-		return
-	}
+	sc.serveBytes(w, r, etag, contentType, body)
+}
+
+func (s *Server) handleTransformed(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.serveVariant(w, r, "T", "image/jpeg", func(e *entry, spec transform.Spec) ([]byte, error) {
+		img, err := s.cache().decodeStored(id, e.jpeg)
+		if err != nil {
+			return nil, corruptStoredError(err)
+		}
+		out, err := transform.Apply(img, spec)
+		if err != nil {
+			return nil, &handlerError{code: http.StatusBadRequest, msg: fmt.Sprintf("transform: %v", err)}
+		}
+		buf := getBuf()
+		defer putBuf(buf)
+		if err := out.Encode(buf, jpegc.EncodeOptions{Tables: jpegc.TablesOptimized}); err != nil {
+			return nil, &handlerError{code: http.StatusInternalServerError, msg: fmt.Sprintf("encode: %v", err)}
+		}
+		return cloneBytes(buf), nil
+	})
+}
+
+func (s *Server) handlePixels(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.serveVariant(w, r, "P", "application/octet-stream", func(e *entry, spec transform.Spec) ([]byte, error) {
+		img, err := s.cache().decodeStored(id, e.jpeg)
+		if err != nil {
+			return nil, corruptStoredError(err)
+		}
+		pix, err := img.ToPlanar()
+		if err != nil {
+			return nil, &handlerError{code: http.StatusInternalServerError, msg: fmt.Sprintf("decode: %v", err)}
+		}
+		out, err := transform.ApplyPlanar(pix, spec)
+		if err != nil {
+			return nil, &handlerError{code: http.StatusBadRequest, msg: fmt.Sprintf("transform: %v", err)}
+		}
+		buf := getBuf()
+		defer putBuf(buf)
+		if err := out.EncodeBinary(buf); err != nil {
+			return nil, &handlerError{code: http.StatusInternalServerError, msg: fmt.Sprintf("encode: %v", err)}
+		}
+		return cloneBytes(buf), nil
+	})
 }

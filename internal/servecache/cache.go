@@ -1,0 +1,213 @@
+// Package servecache provides the serving-path caching primitives for the
+// PSP: a byte-budgeted, sharded LRU cache and a singleflight group that
+// collapses concurrent identical computations.
+//
+// The package is deliberately generic — it knows nothing about JPEGs or
+// transform specs. The PSP composes two Cache instances (encoded transform
+// outputs over decoded coefficient images) plus two Groups (one per
+// computation kind) into its serving path; see internal/psp. Entries are
+// never invalidated, only evicted: stored images are immutable once
+// uploaded, so a cached value can only become cold, never wrong.
+package servecache
+
+import (
+	"container/list"
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultShards is the shard count used by New. Sharding bounds lock
+// contention under concurrent serving: a Get/Add only locks the shard its
+// key hashes to.
+const DefaultShards = 16
+
+// Stats is a point-in-time snapshot of a cache's counters. Counters are
+// read individually without a global lock, so a snapshot taken under
+// concurrent traffic is approximate (each number is exact at *some* recent
+// instant, but not all at the same one).
+type Stats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+	MaxBytes  int64  `json:"maxBytes"`
+}
+
+// Cache is a sharded, byte-budgeted LRU map from string keys to values.
+// All methods are safe for concurrent use. A nil *Cache is a valid,
+// always-miss cache: Get misses, Add drops, Stats is zero — callers can
+// disable caching by leaving the pointer nil.
+type Cache[V any] struct {
+	shardMax int64 // per-shard byte budget
+	seed     maphash.Seed
+	shards   []shard[V]
+
+	hits, misses, evictions atomic.Uint64
+}
+
+type shard[V any] struct {
+	mu    sync.Mutex
+	bytes int64
+	byKey map[string]*list.Element
+	order *list.List // front = most recently used
+}
+
+type centry[V any] struct {
+	key  string
+	val  V
+	cost int64
+}
+
+// New returns a cache holding at most maxBytes of entry cost across
+// DefaultShards shards. maxBytes must be positive.
+func New[V any](maxBytes int64) *Cache[V] {
+	return NewSharded[V](maxBytes, DefaultShards)
+}
+
+// NewSharded is New with an explicit shard count (tests use 1 shard for a
+// deterministic global LRU order). The byte budget is split evenly across
+// shards, so a single entry can never exceed maxBytes/nShards.
+func NewSharded[V any](maxBytes int64, nShards int) *Cache[V] {
+	if maxBytes <= 0 {
+		panic("servecache: non-positive byte budget")
+	}
+	if nShards < 1 {
+		nShards = 1
+	}
+	if int64(nShards) > maxBytes {
+		nShards = 1
+	}
+	c := &Cache[V]{
+		shardMax: maxBytes / int64(nShards),
+		seed:     maphash.MakeSeed(),
+		shards:   make([]shard[V], nShards),
+	}
+	for i := range c.shards {
+		c.shards[i].byKey = make(map[string]*list.Element)
+		c.shards[i].order = list.New()
+	}
+	return c
+}
+
+func (c *Cache[V]) shard(key string) *shard[V] {
+	return &c.shards[maphash.String(c.seed, key)%uint64(len(c.shards))]
+}
+
+// Get returns the cached value and marks it most recently used.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	var zero V
+	if c == nil {
+		return zero, false
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	el, ok := s.byKey[key]
+	if !ok {
+		s.mu.Unlock()
+		c.misses.Add(1)
+		return zero, false
+	}
+	s.order.MoveToFront(el)
+	v := el.Value.(*centry[V]).val
+	s.mu.Unlock()
+	c.hits.Add(1)
+	return v, true
+}
+
+// Contains reports whether key is cached without touching LRU order or
+// hit/miss counters (used for conditional-GET existence checks).
+func (c *Cache[V]) Contains(key string) bool {
+	if c == nil {
+		return false
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	_, ok := s.byKey[key]
+	s.mu.Unlock()
+	return ok
+}
+
+// Add inserts or refreshes an entry, evicting least-recently-used entries
+// from the key's shard until the shard fits its budget. cost must be the
+// entry's resident size in bytes; entries costing more than one shard's
+// budget are rejected (returns false) rather than wiping the shard.
+func (c *Cache[V]) Add(key string, v V, cost int64) bool {
+	if c == nil || cost <= 0 || cost > c.shardMax {
+		return false
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	if el, ok := s.byKey[key]; ok {
+		e := el.Value.(*centry[V])
+		s.bytes += cost - e.cost
+		e.val, e.cost = v, cost
+		s.order.MoveToFront(el)
+	} else {
+		s.byKey[key] = s.order.PushFront(&centry[V]{key: key, val: v, cost: cost})
+		s.bytes += cost
+	}
+	var evicted uint64
+	for s.bytes > c.shardMax {
+		oldest := s.order.Back()
+		if oldest == nil {
+			break
+		}
+		e := oldest.Value.(*centry[V])
+		s.order.Remove(oldest)
+		delete(s.byKey, e.key)
+		s.bytes -= e.cost
+		evicted++
+	}
+	s.mu.Unlock()
+	if evicted > 0 {
+		c.evictions.Add(evicted)
+	}
+	return true
+}
+
+// Len reports the live entry count.
+func (c *Cache[V]) Len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.byKey)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Bytes reports the summed cost of live entries.
+func (c *Cache[V]) Bytes() int64 {
+	if c == nil {
+		return 0
+	}
+	var n int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.bytes
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache[V]) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   c.Len(),
+		Bytes:     c.Bytes(),
+		MaxBytes:  c.shardMax * int64(len(c.shards)),
+	}
+}

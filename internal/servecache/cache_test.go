@@ -1,0 +1,229 @@
+package servecache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCacheBasicHitMiss(t *testing.T) {
+	c := NewSharded[string](1<<20, 4)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache hit")
+	}
+	if !c.Add("a", "va", 10) {
+		t.Fatal("add rejected")
+	}
+	v, ok := c.Get("a")
+	if !ok || v != "va" {
+		t.Fatalf("get = %q, %v", v, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.Bytes != 10 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.MaxBytes != 1<<20 {
+		t.Errorf("maxBytes = %d", st.MaxBytes)
+	}
+}
+
+func TestCacheByteBudgetEviction(t *testing.T) {
+	// Single shard => deterministic global LRU order.
+	c := NewSharded[int](100, 1)
+	for i := 0; i < 10; i++ {
+		c.Add(fmt.Sprintf("k%d", i), i, 30)
+	}
+	if got := c.Bytes(); got > 100 {
+		t.Errorf("bytes %d exceeds budget 100", got)
+	}
+	if got := c.Len(); got != 3 {
+		t.Errorf("len = %d, want 3 (3*30 <= 100 < 4*30)", got)
+	}
+	// Only the most recent three survive.
+	for i := 0; i < 7; i++ {
+		if _, ok := c.Get(fmt.Sprintf("k%d", i)); ok {
+			t.Errorf("k%d should have been evicted", i)
+		}
+	}
+	for i := 7; i < 10; i++ {
+		if _, ok := c.Get(fmt.Sprintf("k%d", i)); !ok {
+			t.Errorf("k%d missing", i)
+		}
+	}
+	if ev := c.Stats().Evictions; ev != 7 {
+		t.Errorf("evictions = %d, want 7", ev)
+	}
+}
+
+func TestCacheLRUOrderRespectsGets(t *testing.T) {
+	c := NewSharded[int](90, 1) // fits 3 x 30
+	c.Add("a", 1, 30)
+	c.Add("b", 2, 30)
+	c.Add("c", 3, 30)
+	c.Get("a") // a becomes MRU; b is now LRU
+	c.Add("d", 4, 30)
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted (LRU)")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("recently used a evicted")
+	}
+}
+
+func TestCacheOversizedEntryRejected(t *testing.T) {
+	c := NewSharded[int](100, 1)
+	c.Add("small", 1, 40)
+	if c.Add("huge", 2, 101) {
+		t.Fatal("entry above budget accepted")
+	}
+	if _, ok := c.Get("small"); !ok {
+		t.Error("oversized add disturbed existing entries")
+	}
+	if c.Add("zero", 3, 0) {
+		t.Error("zero-cost entry accepted")
+	}
+}
+
+func TestCacheUpdateExistingAdjustsBytes(t *testing.T) {
+	c := NewSharded[int](100, 1)
+	c.Add("a", 1, 30)
+	c.Add("a", 2, 50)
+	if got := c.Bytes(); got != 50 {
+		t.Errorf("bytes = %d, want 50 after in-place update", got)
+	}
+	if v, _ := c.Get("a"); v != 2 {
+		t.Errorf("value = %d, want 2", v)
+	}
+	if got := c.Len(); got != 1 {
+		t.Errorf("len = %d, want 1", got)
+	}
+}
+
+func TestCacheContainsDoesNotTouchStats(t *testing.T) {
+	c := NewSharded[int](100, 1)
+	c.Add("a", 1, 10)
+	c.Contains("a")
+	c.Contains("missing")
+	st := c.Stats()
+	if st.Hits != 0 || st.Misses != 0 {
+		t.Errorf("Contains moved counters: %+v", st)
+	}
+}
+
+func TestNilCacheIsAlwaysMiss(t *testing.T) {
+	var c *Cache[[]byte]
+	if _, ok := c.Get("a"); ok {
+		t.Error("nil cache hit")
+	}
+	if c.Add("a", nil, 10) {
+		t.Error("nil cache accepted add")
+	}
+	if c.Contains("a") || c.Len() != 0 || c.Bytes() != 0 {
+		t.Error("nil cache reports contents")
+	}
+	if st := c.Stats(); st != (Stats{}) {
+		t.Errorf("nil cache stats = %+v", st)
+	}
+}
+
+func TestCacheConcurrentBudgetHeld(t *testing.T) {
+	const budget = 64 << 10
+	c := New[[]byte](budget)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("g%d-i%d", g, i%50)
+				if _, ok := c.Get(key); !ok {
+					c.Add(key, make([]byte, 512), 512)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := c.Bytes(); got > budget {
+		t.Errorf("bytes %d exceeds budget %d", got, budget)
+	}
+}
+
+func TestGroupCollapsesConcurrentCalls(t *testing.T) {
+	var g Group[int]
+	var computations atomic.Int64
+	gate := make(chan struct{})
+	const callers = 32
+
+	var wg sync.WaitGroup
+	results := make([]int, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err, _ := g.Do("key", func() (int, error) {
+				computations.Add(1)
+				<-gate // hold all followers in the collapse window
+				return 42, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+		}(i)
+	}
+	// Let the followers queue up behind the leader, then release it.
+	for g.Collapsed() < callers-1 {
+	}
+	close(gate)
+	wg.Wait()
+
+	if n := computations.Load(); n != 1 {
+		t.Errorf("%d computations, want 1", n)
+	}
+	if got := g.Collapsed(); got != callers-1 {
+		t.Errorf("collapsed = %d, want %d", got, callers-1)
+	}
+	for i, v := range results {
+		if v != 42 {
+			t.Errorf("caller %d got %d", i, v)
+		}
+	}
+}
+
+func TestGroupSequentialCallsRecompute(t *testing.T) {
+	var g Group[int]
+	n := 0
+	for i := 0; i < 3; i++ {
+		v, err, shared := g.Do("k", func() (int, error) { n++; return n, nil })
+		if err != nil || shared || v != i+1 {
+			t.Fatalf("call %d: v=%d err=%v shared=%v", i, v, err, shared)
+		}
+	}
+	if g.Collapsed() != 0 {
+		t.Errorf("sequential calls collapsed: %d", g.Collapsed())
+	}
+}
+
+func TestGroupLeaderPanicReleasesWaiters(t *testing.T) {
+	var g Group[int]
+	gate := make(chan struct{})
+	waiterDone := make(chan error, 1)
+
+	go func() {
+		defer func() { recover() }()
+		g.Do("k", func() (int, error) {
+			close(gate)
+			// Wait for the second caller to be enqueued before panicking.
+			for g.Collapsed() == 0 {
+			}
+			panic("boom")
+		})
+	}()
+	<-gate
+	_, err, _ := g.Do("k", func() (int, error) { return 7, nil })
+	waiterDone <- err
+	if err := <-waiterDone; err == nil {
+		t.Fatal("waiter got nil error from panicked leader")
+	}
+}

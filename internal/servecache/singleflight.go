@@ -1,0 +1,74 @@
+package servecache
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Group collapses concurrent calls with the same key into one execution of
+// fn; every caller gets the leader's result. The zero value is ready to
+// use. Unlike golang.org/x/sync/singleflight this Group is typed and counts
+// collapsed calls, which the PSP exposes through /v1/statz.
+//
+// Results are not cached: once the leader finishes, the next Do with the
+// same key runs fn again. Pair a Group with a Cache so that only genuinely
+// concurrent duplicate work is collapsed.
+type Group[V any] struct {
+	mu       sync.Mutex
+	inflight map[string]*call[V]
+	// collapsed counts calls that waited on another caller's execution
+	// instead of running fn themselves.
+	collapsed atomic.Uint64
+}
+
+type call[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Do executes fn once per key per concurrent burst. The returned shared
+// flag is true for callers that received another execution's result. If the
+// leader's fn panics, the panic propagates to the leader and waiters
+// receive the error form of the panic rather than blocking forever.
+func (g *Group[V]) Do(key string, fn func() (V, error)) (v V, err error, shared bool) {
+	g.mu.Lock()
+	if g.inflight == nil {
+		g.inflight = make(map[string]*call[V])
+	}
+	if c, ok := g.inflight[key]; ok {
+		g.mu.Unlock()
+		g.collapsed.Add(1)
+		<-c.done
+		return c.val, c.err, true
+	}
+	c := &call[V]{done: make(chan struct{})}
+	g.inflight[key] = c
+	g.mu.Unlock()
+
+	normal := false
+	defer func() {
+		if !normal {
+			// fn panicked: release waiters with an error before the
+			// panic unwinds through the leader.
+			c.err = &panicError{key: key}
+		}
+		g.mu.Lock()
+		delete(g.inflight, key)
+		g.mu.Unlock()
+		close(c.done)
+	}()
+	c.val, c.err = fn()
+	normal = true
+	return c.val, c.err, false
+}
+
+// Collapsed reports how many calls were collapsed into another execution
+// since the Group was created.
+func (g *Group[V]) Collapsed() uint64 { return g.collapsed.Load() }
+
+type panicError struct{ key string }
+
+func (e *panicError) Error() string {
+	return "servecache: singleflight leader panicked for key " + e.key
+}

@@ -19,6 +19,9 @@ package transform
 import (
 	"encoding/json"
 	"fmt"
+	"math"
+	"strconv"
+	"strings"
 )
 
 // Op identifies a transformation type. The string values are part of the
@@ -117,6 +120,75 @@ func (s *Spec) IsCoefficientDomain() bool {
 // requantization path (§IV-C.2).
 func (s *Spec) IsLinear() bool {
 	return s.Op != OpCompress
+}
+
+// Canonical returns the spec with every field the operation does not read
+// zeroed and op-specific parameters normalized: an empty op becomes OpNone,
+// and rotation angles are reduced to [0, 360). Two specs that command the
+// same transformation have the same canonical form even if they were built
+// with junk in unrelated fields (e.g. a rotate90 carrying a leftover
+// quality from a reused struct).
+func (s Spec) Canonical() Spec {
+	out := Spec{Op: s.Op}
+	if out.Op == "" {
+		out.Op = OpNone
+	}
+	switch out.Op {
+	case OpScale:
+		out.FactorX, out.FactorY = s.FactorX, s.FactorY
+	case OpCrop:
+		out.X, out.Y, out.W, out.H = s.X, s.Y, s.W, s.H
+	case OpRotate:
+		a := math.Mod(s.Angle, 360)
+		if a < 0 {
+			a += 360
+		}
+		if a == 0 {
+			a = 0 // squash -0 so FormatFloat emits "0"
+		}
+		out.Angle = a
+	case OpFilter:
+		out.Kernel = s.Kernel
+	case OpCompress:
+		out.Quality = s.Quality
+	}
+	return out
+}
+
+// Key returns a canonical cache key for the spec: equal keys iff the specs
+// command byte-identical PSP output on the same input image. The key is
+// independent of JSON field order, of defaulted/omitted fields, and of
+// values in fields the operation ignores (see Canonical). It is a short
+// printable string, suitable as a cache-map key or for hashing into an
+// ETag.
+func (s Spec) Key() string {
+	c := s.Canonical()
+	var b strings.Builder
+	b.WriteString(string(c.Op))
+	switch c.Op {
+	case OpScale:
+		b.WriteString("|fx=")
+		b.WriteString(fmtFloat(c.FactorX))
+		b.WriteString("|fy=")
+		b.WriteString(fmtFloat(c.FactorY))
+	case OpCrop:
+		fmt.Fprintf(&b, "|x=%d|y=%d|w=%d|h=%d", c.X, c.Y, c.W, c.H)
+	case OpRotate:
+		b.WriteString("|a=")
+		b.WriteString(fmtFloat(c.Angle))
+	case OpFilter:
+		b.WriteString("|k=")
+		b.WriteString(c.Kernel)
+	case OpCompress:
+		fmt.Fprintf(&b, "|q=%d", c.Quality)
+	}
+	return b.String()
+}
+
+// fmtFloat renders a float parameter exactly (round-trippable via
+// strconv.ParseFloat), so distinct factors never collide in a key.
+func fmtFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
 }
 
 // MarshalJSON/UnmarshalJSON use the default struct encoding; Spec is a plain

@@ -1,0 +1,147 @@
+package transform
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func keyOfJSON(t *testing.T, doc string) string {
+	t.Helper()
+	var s Spec
+	if err := json.Unmarshal([]byte(doc), &s); err != nil {
+		t.Fatalf("unmarshal %s: %v", doc, err)
+	}
+	return s.Key()
+}
+
+func TestSpecKeyFieldOrderIndependent(t *testing.T) {
+	a := keyOfJSON(t, `{"op":"scale","factorX":0.5,"factorY":0.25}`)
+	b := keyOfJSON(t, `{"factorY":0.25,"op":"scale","factorX":0.5}`)
+	if a != b {
+		t.Errorf("field order changed key: %q vs %q", a, b)
+	}
+}
+
+func TestSpecKeyDefaultedFieldsEquivalent(t *testing.T) {
+	cases := []struct{ name, a, b string }{
+		{"explicit zero quality", `{"op":"rotate90"}`, `{"op":"rotate90","quality":0}`},
+		{"explicit zero crop on scale", `{"op":"scale","factorX":2,"factorY":2}`, `{"op":"scale","factorX":2,"factorY":2,"x":0,"w":0}`},
+		{"empty op is none", `{}`, `{"op":"none"}`},
+		{"angle zero", `{"op":"rotate"}`, `{"op":"rotate","angle":0}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if ka, kb := keyOfJSON(t, tc.a), keyOfJSON(t, tc.b); ka != kb {
+				t.Errorf("%s vs %s: keys %q != %q", tc.a, tc.b, ka, kb)
+			}
+		})
+	}
+}
+
+func TestSpecKeyIgnoresIrrelevantFields(t *testing.T) {
+	// A reused struct with junk in fields the op never reads must key the
+	// same as a clean one.
+	dirty := Spec{Op: OpRotate90, Quality: 50, FactorX: 2, Kernel: "box3", Angle: 13}
+	clean := Spec{Op: OpRotate90}
+	if dirty.Key() != clean.Key() {
+		t.Errorf("irrelevant fields leak into key: %q vs %q", dirty.Key(), clean.Key())
+	}
+}
+
+func TestSpecKeyAngleNormalization(t *testing.T) {
+	if a, b := (Spec{Op: OpRotate, Angle: 450}).Key(), (Spec{Op: OpRotate, Angle: 90}).Key(); a != b {
+		t.Errorf("450deg != 90deg: %q vs %q", a, b)
+	}
+	if a, b := (Spec{Op: OpRotate, Angle: -90}).Key(), (Spec{Op: OpRotate, Angle: 270}).Key(); a != b {
+		t.Errorf("-90deg != 270deg: %q vs %q", a, b)
+	}
+	if a, b := (Spec{Op: OpRotate, Angle: -360}).Key(), (Spec{Op: OpRotate}).Key(); a != b {
+		t.Errorf("-360deg != 0deg: %q vs %q", a, b)
+	}
+}
+
+func TestSpecKeyJSONRoundTripStable(t *testing.T) {
+	specs := []Spec{
+		{Op: OpNone},
+		{Op: OpScale, FactorX: 0.3333333333333333, FactorY: 1e-9},
+		{Op: OpCrop, X: 8, Y: 16, W: 64, H: 32},
+		{Op: OpRotate, Angle: 33.75},
+		{Op: OpFilter, Kernel: "gaussian5"},
+		{Op: OpCompress, Quality: 35},
+		{Op: OpFlipH},
+	}
+	for _, s := range specs {
+		raw, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Spec
+		if err := json.Unmarshal(raw, &back); err != nil {
+			t.Fatalf("round trip %s: %v", raw, err)
+		}
+		if back.Key() != s.Key() {
+			t.Errorf("JSON round trip changed key: %q -> %q (%s)", s.Key(), back.Key(), raw)
+		}
+	}
+}
+
+func TestSpecKeyDistinguishesUnequalSpecs(t *testing.T) {
+	specs := []Spec{
+		{Op: OpNone},
+		{Op: OpScale, FactorX: 0.5, FactorY: 0.5},
+		{Op: OpScale, FactorX: 0.5, FactorY: 0.25},
+		{Op: OpScale, FactorX: 0.25, FactorY: 0.5},
+		{Op: OpCrop, X: 0, Y: 0, W: 32, H: 32},
+		{Op: OpCrop, X: 8, Y: 0, W: 32, H: 32},
+		{Op: OpRotate90},
+		{Op: OpRotate180},
+		{Op: OpRotate270},
+		{Op: OpFlipH},
+		{Op: OpFlipV},
+		{Op: OpRotate, Angle: 45},
+		{Op: OpRotate, Angle: 45.5},
+		{Op: OpFilter, Kernel: "box3"},
+		{Op: OpFilter, Kernel: "gaussian3"},
+		{Op: OpCompress, Quality: 50},
+		{Op: OpCompress, Quality: 51},
+	}
+	seen := map[string]Spec{}
+	for _, s := range specs {
+		k := s.Key()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("specs %+v and %+v collide on key %q", prev, s, k)
+		}
+		seen[k] = s
+	}
+}
+
+// FuzzSpecKey checks that Key never panics on any spec the JSON decoder
+// accepts, and that keys are stable across a marshal/unmarshal round trip
+// (the wire trip a spec takes from client to PSP must not change its cache
+// identity).
+func FuzzSpecKey(f *testing.F) {
+	f.Add(`{"op":"scale","factorX":0.5,"factorY":0.5}`)
+	f.Add(`{"op":"crop","x":8,"y":8,"w":16,"h":16}`)
+	f.Add(`{"op":"rotate","angle":-721.25}`)
+	f.Add(`{"op":"compress","quality":1}`)
+	f.Add(`{"op":"filter","kernel":"box3"}`)
+	f.Add(`{}`)
+	f.Fuzz(func(t *testing.T, doc string) {
+		var s Spec
+		if err := json.Unmarshal([]byte(doc), &s); err != nil {
+			t.Skip()
+		}
+		k1 := s.Key()
+		raw, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("marshal accepted spec %+v: %v", s, err)
+		}
+		var back Spec
+		if err := json.Unmarshal(raw, &back); err != nil {
+			t.Fatalf("re-unmarshal %s: %v", raw, err)
+		}
+		if k2 := back.Key(); k1 != k2 {
+			t.Errorf("key unstable across JSON round trip: %q -> %q (%s)", k1, k2, raw)
+		}
+	})
+}
