@@ -17,7 +17,7 @@ HOT_BENCHMARKS ?=
 # layer's hot path and collapse behavior).
 SERVE_BENCHMARKS ?= BenchmarkServeTransformedCold,BenchmarkServeTransformedHot,BenchmarkServeTransformedConcurrent,BenchmarkServeTransformedCollapse
 
-.PHONY: all build test check fmt race fuzz-smoke bench bench-compare
+.PHONY: all build test check fmt race fuzz-smoke bench bench-compare cluster-e2e cluster-demo
 
 all: build
 
@@ -29,12 +29,33 @@ test:
 
 # race runs the PSP pipeline tests (client retries, fault injection,
 # concurrent clients, pspd graceful shutdown), the durable-store crash
-# matrix, the parallel-pipeline determinism suite, and the restart-segment
-# parallel scan decode under -race.
+# matrix, the cluster gateway (ring, breakers, quorum replication, fault
+# matrix) with its daemon, the parallel-pipeline determinism suite, and the
+# restart-segment parallel scan decode under -race.
 race:
-	$(GO) test -race -count=1 ./internal/psp/... ./internal/servecache/... ./internal/faults/... ./internal/blobstore/... ./cmd/pspd/... ./internal/parallel/...
+	$(GO) test -race -count=1 ./internal/psp/... ./internal/servecache/... ./internal/faults/... ./internal/blobstore/... ./internal/cluster/... ./cmd/pspd/... ./cmd/pspgw/...
 	$(GO) test -race -count=1 -run 'TestParallelDeterminism' .
 	$(GO) test -race -count=1 -run 'TestRestart' ./internal/jpegc
+
+# cluster-e2e runs the full crash/partition e2e on its own: a real 3-shard
+# cluster behind the gateway, one shard SIGKILLed mid-traffic, an asymmetric
+# partition on a second, zero failed client requests, and byte-identical
+# replicas after restart + repair. The -timeout guard keeps a wedged cluster
+# from hanging CI.
+cluster-e2e:
+	$(GO) test -count=1 -timeout 120s -run 'TestClusterSurvives' ./cmd/pspgw/
+
+# cluster-demo boots three in-memory shards plus the gateway on local ports
+# and leaves them running for manual poking (Ctrl-C stops everything).
+cluster-demo: build
+	@bash -c 'set -e; trap "kill 0" EXIT INT TERM; \
+	$(GO) run ./cmd/pspd -addr 127.0.0.1:8754 & \
+	$(GO) run ./cmd/pspd -addr 127.0.0.1:8755 & \
+	$(GO) run ./cmd/pspd -addr 127.0.0.1:8756 & \
+	sleep 1; \
+	$(GO) run ./cmd/pspgw -addr 127.0.0.1:8750 \
+		-shards http://127.0.0.1:8754,http://127.0.0.1:8755,http://127.0.0.1:8756; \
+	wait'
 
 # fuzz-smoke gives each fuzz target a short budget so `make check` exercises
 # the decoders against the native fuzzer on every run (corpus regressions
@@ -78,4 +99,5 @@ check: fmt
 	$(GO) build ./...
 	$(GO) test ./...
 	$(MAKE) race
+	$(MAKE) cluster-e2e
 	$(MAKE) fuzz-smoke

@@ -4,10 +4,12 @@
 //
 //	pspd -addr :8754
 //
-// The daemon shuts down gracefully on SIGINT/SIGTERM: the listener closes
-// immediately, in-flight requests get -drain to finish, and a clean
-// shutdown exits 0. Each request is bounded by -request-timeout, and
-// GET /v1/healthz reports liveness plus the store size.
+// The daemon shuts down gracefully on SIGINT/SIGTERM: GET /v1/healthz
+// flips to 503 (with Retry-After) immediately so routing gateways stop
+// sending traffic, the listener stays open for -drain-grace, then in-flight
+// requests get -drain to finish and a clean shutdown exits 0. Each request
+// is bounded by -request-timeout, and while healthy GET /v1/healthz reports
+// liveness plus the store size.
 //
 // With -data-dir the daemon stores images durably via internal/blobstore:
 // every upload is written as a checksummed envelope with write-to-temp,
@@ -85,6 +87,7 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- stri
 	cacheBytes := fs.Int64("cache-bytes", psp.DefaultVariantCacheBytes, "encoded transform-output cache budget in bytes (0 disables)")
 	coeffCacheBytes := fs.Int64("coeff-cache-bytes", psp.DefaultCoeffCacheBytes, "decoded-coefficient cache budget in bytes (0 disables)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+	drainGrace := fs.Duration("drain-grace", 250*time.Millisecond, "how long healthz advertises draining (503) before the listener closes")
 	reqTimeout := fs.Duration("request-timeout", 60*time.Second, "per-request handler timeout (0 disables)")
 	faultSeed := fs.Int64("fault-seed", 0, "enable fault-injection middleware with this RNG seed (0 disables)")
 	faultRate := fs.Float64("fault-rate", 0, "probability of injecting the configured fault per request")
@@ -165,6 +168,19 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- stri
 		// Serve only returns before shutdown on a real listener error.
 		return fmt.Errorf("pspd: serve: %w", err)
 	case <-ctx.Done():
+	}
+
+	// Flip healthz to 503 the moment shutdown begins and keep the listener
+	// open for a grace period: health-checking gateways observe the drain
+	// and stop routing here before connections start being refused.
+	server.SetDraining(true)
+	fmt.Fprintf(stdout, "pspd draining: healthz now 503, closing listener in %s\n", *drainGrace)
+	if *drainGrace > 0 {
+		select {
+		case <-time.After(*drainGrace):
+		case err := <-serveErr:
+			return fmt.Errorf("pspd: serve: %w", err)
+		}
 	}
 
 	fmt.Fprintf(stdout, "pspd shutting down, draining for up to %s\n", *drain)

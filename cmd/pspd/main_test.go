@@ -326,6 +326,83 @@ func TestStatzAndConditionalGet(t *testing.T) {
 	}
 }
 
+// TestShutdownAdvertisesDrainingOnHealthz: the moment shutdown begins,
+// /v1/healthz answers 503 with Retry-After while the listener is still
+// accepting — the window a routing gateway needs to take the shard out of
+// rotation before connections start failing.
+func TestShutdownAdvertisesDrainingOnHealthz(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	var out bytes.Buffer
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-drain-grace", "600ms",
+		}, &out, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-runErr:
+		t.Fatalf("run exited before ready: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("run never became ready")
+	}
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz before shutdown: HTTP %d", resp.StatusCode)
+	}
+
+	cancel()
+	// Within the grace window healthz must flip to 503 + Retry-After while
+	// still being served (no connection errors).
+	deadline := time.Now().Add(500 * time.Millisecond)
+	sawDraining := false
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/v1/healthz")
+		if err != nil {
+			t.Fatalf("healthz during drain grace failed at transport level: %v", err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			if resp.Header.Get("Retry-After") == "" {
+				t.Fatal("draining healthz missing Retry-After")
+			}
+			if !bytes.Contains(raw, []byte(`"draining"`)) {
+				t.Fatalf("draining healthz body: %s", raw)
+			}
+			sawDraining = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !sawDraining {
+		t.Fatal("healthz never advertised draining inside the grace window")
+	}
+
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("drain shutdown returned error: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not return after cancel")
+	}
+	if !strings.Contains(out.String(), "pspd draining: healthz now 503") {
+		t.Errorf("missing draining log; output:\n%s", out.String())
+	}
+}
+
 func TestListenFailureIsReported(t *testing.T) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

@@ -1,0 +1,352 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"puppies/internal/cluster"
+	"puppies/internal/faults"
+	"puppies/internal/psp"
+)
+
+// buildPspd compiles the real shard daemon. The e2e test exercises the
+// actual process boundary — SIGKILL has no in-process equivalent.
+func buildPspd(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "pspd")
+	cmd := exec.Command("go", "build", "-o", bin, "puppies/cmd/pspd")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build pspd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+type shardProc struct {
+	cmd  *exec.Cmd
+	addr string
+}
+
+func (s *shardProc) url() string  { return "http://" + s.addr }
+func (s *shardProc) host() string { return s.addr }
+
+// startShard launches a pspd on addr ("" picks a free port) with durable
+// storage in dataDir, waiting for its listen line.
+func startShard(t *testing.T, bin, addr, dataDir string) *shardProc {
+	t.Helper()
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	cmd := exec.Command(bin,
+		"-addr", addr,
+		"-data-dir", dataDir,
+		"-drain", "2s",
+		"-drain-grace", "50ms",
+	)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sp := &shardProc{cmd: cmd}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if a, ok := strings.CutPrefix(sc.Text(), "pspd listening on "); ok {
+				select {
+				case addrCh <- a:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case sp.addr = <-addrCh:
+	case <-time.After(15 * time.Second):
+		_ = cmd.Process.Kill()
+		t.Fatal("pspd never reported its listen address")
+	}
+	t.Cleanup(func() {
+		if sp.cmd.ProcessState == nil {
+			_ = sp.cmd.Process.Kill()
+			_, _ = sp.cmd.Process.Wait()
+		}
+	})
+	return sp
+}
+
+// kill SIGKILLs the shard — the crash under test, not a graceful stop.
+func (s *shardProc) kill(t *testing.T) {
+	t.Helper()
+	if err := s.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = s.cmd.Process.Wait()
+}
+
+// gwUpload uploads jpeg through the gateway under key; returns the image ID.
+func gwUpload(t *testing.T, base string, jpeg []byte, key string) string {
+	t.Helper()
+	body, err := json.Marshal(psp.UploadRequest{Image: jpeg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/images", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Idempotency-Key", key)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("upload %s: HTTP %d: %s", key, resp.StatusCode, raw)
+	}
+	var up psp.UploadResponse
+	if err := json.Unmarshal(raw, &up); err != nil {
+		t.Fatal(err)
+	}
+	return up.ID
+}
+
+func directGet(url string) (int, []byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, body, err
+}
+
+// TestClusterSurvivesShardCrashAndPartition is the tentpole e2e: a real
+// 3-shard cluster behind the gateway, one shard SIGKILLed mid-traffic and a
+// second link asymmetrically partitioned, with zero failed client requests
+// throughout — and after restart + repair the killed shard holds
+// byte-identical replicas of every image, including those uploaded while it
+// was down.
+func TestClusterSurvivesShardCrashAndPartition(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e cluster test in -short mode")
+	}
+	dir := t.TempDir()
+	bin := buildPspd(t, dir)
+
+	var procs []*shardProc
+	var urls []string
+	for i := 0; i < 3; i++ {
+		sp := startShard(t, bin, "", filepath.Join(dir, fmt.Sprintf("shard%d", i)))
+		procs = append(procs, sp)
+		urls = append(urls, sp.url())
+	}
+
+	part := faults.NewPartition(42)
+	gw, err := cluster.New(cluster.Config{
+		Shards:          urls,
+		Replicas:        3,
+		WriteQuorum:     2,
+		Transport:       part.Transport(nil),
+		ShardTimeout:    2 * time.Second,
+		HedgeDelay:      50 * time.Millisecond,
+		FailThreshold:   2,
+		BreakerCooldown: 100 * time.Millisecond,
+		ProbeInterval:   50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probeCtx, stopProbes := context.WithCancel(context.Background())
+	defer stopProbes()
+	gw.Start(probeCtx)
+	gwSrv := httptest.NewServer(gw.Handler())
+	defer gwSrv.Close()
+
+	// Phase 1: upload set S1 while everything is healthy and wait until all
+	// three replicas hold each image.
+	canonical := map[string][]byte{}
+	var s1 []string
+	for i := 0; i < 3; i++ {
+		jpeg := testJPEG(t)
+		id := gwUpload(t, gwSrv.URL, jpeg, fmt.Sprintf("e2e-s1-%d", i))
+		canonical[id] = jpeg
+		s1 = append(s1, id)
+	}
+	waitReplicated := func(ids []string, onShards []string) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			all := true
+			for _, id := range ids {
+				for _, u := range onShards {
+					status, body, err := directGet(u + "/v1/images/" + id)
+					if err != nil || status != http.StatusOK || !bytes.Equal(body, canonical[id]) {
+						all = false
+					}
+				}
+			}
+			if all {
+				return
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+		t.Fatal("replication did not complete")
+	}
+	waitReplicated(s1, urls)
+
+	// Phase 2: background client traffic through the gateway via the typed
+	// psp.Client — every request across the whole fault sequence must
+	// succeed.
+	client := &psp.Client{BaseURL: gwSrv.URL}
+	trafficCtx, stopTraffic := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	var reqTotal, reqFailed atomic.Int64
+	var firstErr atomic.Value
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; trafficCtx.Err() == nil; i++ {
+				id := s1[(w+i)%len(s1)]
+				if _, err := client.FetchImage(trafficCtx, id); err != nil {
+					if trafficCtx.Err() != nil {
+						return // shutdown race, not a served failure
+					}
+					reqFailed.Add(1)
+					firstErr.CompareAndSwap(nil, err)
+				}
+				reqTotal.Add(1)
+				time.Sleep(5 * time.Millisecond)
+			}
+		}(w)
+	}
+	time.Sleep(150 * time.Millisecond) // let traffic establish
+
+	// Phase 3: SIGKILL shard 0 mid-traffic.
+	procs[0].kill(t)
+
+	// Uploads keep working at quorum 2/3 while shard 0 is down.
+	var s2 []string
+	for i := 0; i < 3; i++ {
+		jpeg := testJPEG(t)
+		id := gwUpload(t, gwSrv.URL, jpeg, fmt.Sprintf("e2e-s2-%d", i))
+		canonical[id] = jpeg
+		s2 = append(s2, id)
+	}
+	waitReplicated(s2, urls[1:])
+
+	// Wait for the health probes to eject the dead shard.
+	deadline := time.Now().Add(5 * time.Second)
+	for gw.Stats().OpenBreakers < 1 && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if gw.Stats().OpenBreakers < 1 {
+		t.Fatal("dead shard was never ejected by health probes")
+	}
+
+	// Phase 4: asymmetric partition on shard 1 — requests are delivered but
+	// replies drop. Reads must fail over to shard 2 without client errors.
+	part.Isolate(procs[1].host(), faults.LinkDropReplies)
+	for i, id := range append(append([]string{}, s1...), s2...) {
+		img, err := client.FetchImage(context.Background(), id)
+		if err != nil || img == nil {
+			t.Fatalf("GET %d during asymmetric partition: %v", i, err)
+		}
+	}
+	part.Heal(procs[1].host())
+
+	// Phase 5: stop traffic; the client must have seen zero failures.
+	stopTraffic()
+	wg.Wait()
+	if reqTotal.Load() == 0 {
+		t.Fatal("background traffic made no requests")
+	}
+	if n := reqFailed.Load(); n != 0 {
+		t.Fatalf("%d of %d client requests failed during the fault sequence; first: %v",
+			n, reqTotal.Load(), firstErr.Load())
+	}
+
+	// Phase 6: restart the killed shard on its old address with its old
+	// data dir, run the admin repair walk, and verify byte-identical
+	// replicas of S1 ∪ S2 on the restarted shard.
+	restarted := startShard(t, bin, procs[0].addr, filepath.Join(dir, "shard0"))
+	if restarted.url() != urls[0] {
+		t.Fatalf("restarted shard on %s, want original %s", restarted.url(), urls[0])
+	}
+	resp, err := http.Post(gwSrv.URL+"/v1/admin/repair", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("repair walk: HTTP %d: %s", resp.StatusCode, raw)
+	}
+	var rep cluster.RepairReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("repair walk left %d replicas unrepaired: %+v", rep.Failed, rep)
+	}
+	for id, jpeg := range canonical {
+		status, body, err := directGet(urls[0] + "/v1/images/" + id)
+		if err != nil || status != http.StatusOK {
+			t.Fatalf("restarted shard missing %s: status %d err %v", id, status, err)
+		}
+		if !bytes.Equal(body, jpeg) {
+			t.Fatalf("restarted shard holds %d bytes for %s, not byte-identical to the %d canonical", len(body), id, len(jpeg))
+		}
+	}
+
+	// The cluster-wide listing shows exactly S1 ∪ S2.
+	lstatus, lbody, err := directGet(gwSrv.URL + "/v1/images")
+	if err != nil || lstatus != http.StatusOK {
+		t.Fatalf("merged list: status %d err %v", lstatus, err)
+	}
+	var lr psp.ListResponse
+	if err := json.Unmarshal(lbody, &lr); err != nil {
+		t.Fatal(err)
+	}
+	if len(lr.IDs) != len(canonical) {
+		t.Fatalf("merged list has %d ids, want %d", len(lr.IDs), len(canonical))
+	}
+
+	// Phase 7: statz reflects the whole story.
+	st := gw.Stats()
+	if st.RingShards != 3 {
+		t.Errorf("ringShards = %d, want 3", st.RingShards)
+	}
+	if st.Failovers == 0 {
+		t.Error("no failovers recorded across a crash plus a partition")
+	}
+	if st.ReadRepairs < uint64(len(s2)) {
+		t.Errorf("readRepairs = %d, want >= %d (S2 restored onto the crashed shard)", st.ReadRepairs, len(s2))
+	}
+	if st.Shards[urls[0]].BreakerOpens < 1 {
+		t.Error("crashed shard's breaker never opened")
+	}
+	if st.UploadQuorumFailures != 0 {
+		t.Errorf("uploadQuorumFailures = %d, want 0", st.UploadQuorumFailures)
+	}
+}

@@ -1,0 +1,208 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"puppies/internal/cluster"
+	"puppies/internal/imgplane"
+	"puppies/internal/jpegc"
+	"puppies/internal/psp"
+)
+
+func testJPEG(t testing.TB) []byte {
+	t.Helper()
+	const w, h = 48, 48
+	img, err := imgplane.New(w, h, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := y*w + x
+			img.Planes[0].Pix[i] = float32(100 + 80*math.Sin(float64(x)/6)*math.Cos(float64(y)/8))
+			img.Planes[1].Pix[i] = float32(128 + 25*math.Sin(float64(x+y)/9))
+			img.Planes[2].Pix[i] = float32(128 + 25*math.Cos(float64(x-y)/7))
+		}
+	}
+	jimg, err := jpegc.FromPlanar(img, jpegc.Options{Quality: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := jimg.Encode(&buf, jpegc.EncodeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// startGateway boots run() over the given shard URLs and returns its base
+// URL plus the error channel.
+func startGateway(t *testing.T, ctx context.Context, out *bytes.Buffer, extraArgs []string, shards ...string) (string, chan error) {
+	t.Helper()
+	ready := make(chan string, 1)
+	runErr := make(chan error, 1)
+	args := append([]string{
+		"-addr", "127.0.0.1:0",
+		"-shards", strings.Join(shards, ","),
+	}, extraArgs...)
+	go func() { runErr <- run(ctx, args, out, ready) }()
+	select {
+	case addr := <-ready:
+		return "http://" + addr, runErr
+	case err := <-runErr:
+		t.Fatalf("run exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("run never became ready")
+	}
+	return "", nil
+}
+
+func TestRunRequiresShards(t *testing.T) {
+	err := run(context.Background(), []string{"-addr", "127.0.0.1:0"}, io.Discard, nil)
+	if err == nil || !strings.Contains(err.Error(), "-shards") {
+		t.Fatalf("run without -shards: %v, want usage error", err)
+	}
+}
+
+// TestDaemonServesClusterAndStatz boots the real daemon over three
+// in-process shards, drives uploads and reads through it with a plain
+// psp-protocol client, and checks /v1/statz reports the cluster shape and
+// per-shard counters (the satellite's statz wiring acceptance).
+func TestDaemonServesClusterAndStatz(t *testing.T) {
+	var shards []*httptest.Server
+	var urls []string
+	for i := 0; i < 3; i++ {
+		s := httptest.NewServer(psp.NewServer().Handler())
+		defer s.Close()
+		shards = append(shards, s)
+		urls = append(urls, s.URL)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out bytes.Buffer
+	base, runErr := startGateway(t, ctx, &out, []string{
+		"-replicas", "3", "-write-quorum", "2",
+		"-probe-interval", "50ms",
+	}, urls...)
+
+	// Upload through the gateway.
+	body, err := json.Marshal(map[string]any{
+		"image": base64.StdEncoding.EncodeToString(testJPEG(t)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/images", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Idempotency-Key", "daemon-key-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("upload: HTTP %d: %s", resp.StatusCode, raw)
+	}
+	var up psp.UploadResponse
+	if err := json.Unmarshal(raw, &up); err != nil {
+		t.Fatal(err)
+	}
+
+	// Read it back and list it.
+	get, err := http.Get(base + "/v1/images/" + up.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, get.Body)
+	get.Body.Close()
+	if get.StatusCode != http.StatusOK {
+		t.Fatalf("read-back: HTTP %d", get.StatusCode)
+	}
+
+	// Crash one shard; the health probes must eject it and healthz must
+	// degrade, while reads keep working.
+	shards[0].Close()
+	deadline := time.Now().Add(5 * time.Second)
+	var st cluster.Statz
+	for {
+		sresp, err := http.Get(base + "/v1/statz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sraw, _ := io.ReadAll(sresp.Body)
+		sresp.Body.Close()
+		if sresp.StatusCode != http.StatusOK {
+			t.Fatalf("statz: HTTP %d", sresp.StatusCode)
+		}
+		if err := json.Unmarshal(sraw, &st); err != nil {
+			t.Fatalf("statz not JSON: %v\n%s", err, sraw)
+		}
+		if st.OpenBreakers >= 1 || !time.Now().Before(deadline) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if st.OpenBreakers < 1 {
+		t.Fatalf("crashed shard never ejected; statz: %+v", st)
+	}
+	if st.RingShards != 3 || st.Replicas != 3 || st.WriteQuorum != 2 {
+		t.Errorf("statz shape = ring %d R %d W %d, want 3/3/2", st.RingShards, st.Replicas, st.WriteQuorum)
+	}
+	if st.Uploads != 1 {
+		t.Errorf("statz uploads = %d, want 1", st.Uploads)
+	}
+	if len(st.Shards) != 3 {
+		t.Fatalf("statz has %d per-shard blocks, want 3", len(st.Shards))
+	}
+	dead := st.Shards[urls[0]]
+	if dead.BreakerState != "open" || dead.BreakerOpens < 1 || dead.Failures < 1 {
+		t.Errorf("dead shard statz = %+v, want open breaker with failures", dead)
+	}
+	var liveRequests uint64
+	for _, u := range urls[1:] {
+		liveRequests += st.Shards[u].Requests
+	}
+	if liveRequests == 0 {
+		t.Error("statz shows no requests on the surviving shards")
+	}
+
+	get, err = http.Get(base + "/v1/images/" + up.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, get.Body)
+	get.Body.Close()
+	if get.StatusCode != http.StatusOK {
+		t.Fatalf("read with one shard crashed: HTTP %d", get.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("shutdown returned error: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not return after cancel")
+	}
+	if !strings.Contains(out.String(), "pspgw stopped cleanly") {
+		t.Errorf("missing clean-stop log; output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "pspgw fronting 3 shards (R=3 W=2") {
+		t.Errorf("missing startup shape log; output:\n%s", out.String())
+	}
+}

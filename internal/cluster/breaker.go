@@ -1,0 +1,169 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit-breaker state for one shard.
+type BreakerState int
+
+const (
+	// BreakerClosed routes traffic normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen ejects the shard: requests are not routed to it until
+	// the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen admits exactly one probe request; its outcome
+	// decides between closing and re-opening with a longer cooldown.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// Breaker default knobs; see Config for the gateway-level overrides.
+const (
+	DefaultFailThreshold      = 3
+	DefaultBreakerCooldown    = 500 * time.Millisecond
+	DefaultBreakerCooldownMax = 15 * time.Second
+)
+
+// Breaker is a per-shard circuit breaker. failThreshold consecutive
+// failures open it; after the cooldown a single half-open probe is
+// admitted. A successful probe closes the breaker and resets the cooldown;
+// a failed probe re-opens it with the cooldown doubled (capped at max), so
+// a flapping shard is ejected for exponentially longer stretches — the same
+// backoff shape the PR 1 client uses between retries, applied to
+// membership instead of requests.
+type Breaker struct {
+	mu            sync.Mutex
+	failThreshold int
+	cooldownBase  time.Duration
+	cooldownMax   time.Duration
+	now           func() time.Time
+
+	state       BreakerState
+	consecFails int
+	cooldown    time.Duration
+	openUntil   time.Time
+	probing     bool
+	opens       uint64
+}
+
+// NewBreaker builds a closed breaker. Zero arguments take the package
+// defaults; now is stubbed in tests (nil means time.Now).
+func NewBreaker(failThreshold int, cooldownBase, cooldownMax time.Duration, now func() time.Time) *Breaker {
+	if failThreshold <= 0 {
+		failThreshold = DefaultFailThreshold
+	}
+	if cooldownBase <= 0 {
+		cooldownBase = DefaultBreakerCooldown
+	}
+	if cooldownMax <= 0 {
+		cooldownMax = DefaultBreakerCooldownMax
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Breaker{
+		failThreshold: failThreshold,
+		cooldownBase:  cooldownBase,
+		cooldownMax:   cooldownMax,
+		now:           now,
+		cooldown:      cooldownBase,
+	}
+}
+
+// Allow reports whether a request may be routed to the shard right now.
+// When the cooldown of an open breaker has elapsed, the first Allow call
+// transitions to half-open and admits that caller as the probe; concurrent
+// callers keep being refused until the probe resolves.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Before(b.openUntil) {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	case BreakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+	return true
+}
+
+// OnSuccess records a successful request or health probe.
+func (b *Breaker) OnSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecFails = 0
+	b.probing = false
+	if b.state != BreakerClosed {
+		b.state = BreakerClosed
+		b.cooldown = b.cooldownBase
+	}
+}
+
+// OnFailure records a failed request or health probe.
+func (b *Breaker) OnFailure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	switch b.state {
+	case BreakerClosed:
+		b.consecFails++
+		if b.consecFails >= b.failThreshold {
+			b.open()
+		}
+	case BreakerHalfOpen:
+		// The probe failed: back off twice as long before the next one.
+		b.cooldown *= 2
+		if b.cooldown > b.cooldownMax {
+			b.cooldown = b.cooldownMax
+		}
+		b.open()
+	case BreakerOpen:
+		// Failures while open (e.g. last-resort routing) keep it open but
+		// do not extend the window: recovery probing must still happen.
+	}
+}
+
+func (b *Breaker) open() {
+	b.state = BreakerOpen
+	b.openUntil = b.now().Add(b.cooldown)
+	b.consecFails = 0
+	b.opens++
+}
+
+// State returns the current state without advancing open→half-open.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Opens reports how many times the breaker has opened.
+func (b *Breaker) Opens() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}

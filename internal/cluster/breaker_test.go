@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// stubClock is a manually advanced clock for breaker tests.
+type stubClock struct{ t time.Time }
+
+func newStubClock() *stubClock               { return &stubClock{t: time.Unix(1000, 0)} }
+func (c *stubClock) now() time.Time          { return c.t }
+func (c *stubClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	clk := newStubClock()
+	b := NewBreaker(3, 100*time.Millisecond, time.Second, clk.now)
+
+	for i := 0; i < 2; i++ {
+		b.OnFailure()
+		if b.State() != BreakerClosed {
+			t.Fatalf("after %d failures state=%v, want closed", i+1, b.State())
+		}
+		if !b.Allow() {
+			t.Fatalf("closed breaker refused a request after %d failures", i+1)
+		}
+	}
+	b.OnFailure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("after 3 failures state=%v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request inside the cooldown")
+	}
+	if b.Opens() != 1 {
+		t.Fatalf("Opens()=%d, want 1", b.Opens())
+	}
+}
+
+func TestBreakerSuccessResetsConsecutiveCount(t *testing.T) {
+	clk := newStubClock()
+	b := NewBreaker(3, 100*time.Millisecond, time.Second, clk.now)
+	b.OnFailure()
+	b.OnFailure()
+	b.OnSuccess()
+	b.OnFailure()
+	b.OnFailure()
+	if b.State() != BreakerClosed {
+		t.Fatalf("non-consecutive failures opened the breaker: state=%v", b.State())
+	}
+}
+
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	clk := newStubClock()
+	b := NewBreaker(1, 100*time.Millisecond, time.Second, clk.now)
+	b.OnFailure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state=%v, want open", b.State())
+	}
+
+	clk.advance(99 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("breaker admitted a request before cooldown elapsed")
+	}
+	clk.advance(1 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("breaker refused the half-open probe after cooldown")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state=%v, want half-open", b.State())
+	}
+	// Only one probe is admitted while the first is outstanding.
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+
+	b.OnSuccess()
+	if b.State() != BreakerClosed {
+		t.Fatalf("successful probe left state=%v, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker refused a request after recovery")
+	}
+}
+
+// TestBreakerCooldownDoubling: each failed half-open probe doubles the
+// ejection window (capped), so a flapping shard is routed to exponentially
+// less often; one success resets the window to base.
+func TestBreakerCooldownDoubling(t *testing.T) {
+	clk := newStubClock()
+	base := 100 * time.Millisecond
+	b := NewBreaker(1, base, 350*time.Millisecond, clk.now)
+
+	b.OnFailure() // open, cooldown=100ms
+	wantCooldowns := []time.Duration{
+		200 * time.Millisecond, // after 1st failed probe
+		350 * time.Millisecond, // doubled 400ms capped at max
+		350 * time.Millisecond, // stays at cap
+	}
+	cooldown := base
+	for i, want := range wantCooldowns {
+		clk.advance(cooldown)
+		if !b.Allow() {
+			t.Fatalf("round %d: probe refused after %v cooldown", i, cooldown)
+		}
+		b.OnFailure() // failed probe: reopen with doubled cooldown
+		if b.State() != BreakerOpen {
+			t.Fatalf("round %d: state=%v, want open", i, b.State())
+		}
+		clk.advance(want - time.Millisecond)
+		if b.Allow() {
+			t.Fatalf("round %d: admitted before doubled cooldown %v elapsed", i, want)
+		}
+		clk.advance(time.Millisecond)
+		cooldown = 0 // already advanced to the boundary
+	}
+
+	if !b.Allow() {
+		t.Fatal("probe refused at final cooldown boundary")
+	}
+	b.OnSuccess()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state=%v, want closed", b.State())
+	}
+	if got := b.Opens(); got != 4 {
+		t.Fatalf("Opens()=%d, want 4", got)
+	}
+
+	// Cooldown reset to base after success: next open ejects for 100ms only.
+	b.OnFailure()
+	clk.advance(base)
+	if !b.Allow() {
+		t.Fatal("cooldown did not reset to base after a successful probe")
+	}
+}
+
+func TestBreakerFailureWhileOpenDoesNotExtendWindow(t *testing.T) {
+	clk := newStubClock()
+	b := NewBreaker(1, 100*time.Millisecond, time.Second, clk.now)
+	b.OnFailure()
+	clk.advance(50 * time.Millisecond)
+	// Last-resort routing may still hit an ejected shard and fail; that must
+	// not push out the recovery probe.
+	b.OnFailure()
+	clk.advance(50 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("failure while open extended the cooldown window")
+	}
+	if b.Opens() != 1 {
+		t.Fatalf("Opens()=%d, want 1", b.Opens())
+	}
+}
+
+func TestBreakerDefaults(t *testing.T) {
+	b := NewBreaker(0, 0, 0, nil)
+	for i := 0; i < DefaultFailThreshold-1; i++ {
+		b.OnFailure()
+	}
+	if b.State() != BreakerClosed {
+		t.Fatal("breaker opened before the default threshold")
+	}
+	b.OnFailure()
+	if b.State() != BreakerOpen {
+		t.Fatal("breaker did not open at the default threshold")
+	}
+}

@@ -1,0 +1,890 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"puppies/internal/psp"
+)
+
+// Gateway defaults; every knob is a Config field.
+const (
+	DefaultReplicas      = 3
+	DefaultHedgeDelay    = 100 * time.Millisecond
+	DefaultShardTimeout  = 15 * time.Second
+	DefaultProbeInterval = 1 * time.Second
+)
+
+// Config parameterizes a Gateway.
+type Config struct {
+	// Shards is the initial shard membership (base URLs, e.g.
+	// "http://127.0.0.1:8754"). At least one is required; membership can
+	// change later through the admin endpoint.
+	Shards []string
+	// Replicas (R) is how many shards store each image. Zero means
+	// DefaultReplicas; values above the member count are capped per key.
+	Replicas int
+	// WriteQuorum (W) is how many replica acks an upload needs before the
+	// client is answered. Zero means R/2+1. Must not exceed Replicas.
+	WriteQuorum int
+	// VNodes is the virtual-node count per shard on the ring (0 means
+	// DefaultVNodes).
+	VNodes int
+	// Transport carries gateway→shard traffic; nil means
+	// http.DefaultTransport. Tests inject faults.Partition here.
+	Transport http.RoundTripper
+	// ShardTimeout bounds each shard attempt (0 means
+	// DefaultShardTimeout).
+	ShardTimeout time.Duration
+	// HedgeDelay is how long a GET waits on one replica before hedging
+	// the request to the next one (0 means DefaultHedgeDelay; the slow
+	// attempt keeps running and the first success wins).
+	HedgeDelay time.Duration
+	// MaxBody caps request/response bodies (0 means psp.DefaultMaxUpload).
+	MaxBody int64
+	// FailThreshold consecutive failures open a shard's breaker;
+	// BreakerCooldown/BreakerCooldownMax shape the doubling ejection
+	// window. Zeros take the Breaker defaults.
+	FailThreshold      int
+	BreakerCooldown    time.Duration
+	BreakerCooldownMax time.Duration
+	// ProbeInterval is the health-check period for Start (0 means
+	// DefaultProbeInterval).
+	ProbeInterval time.Duration
+	// DisableReadVerify turns off the asynchronous quorum read
+	// verification that runs behind raw-image GETs.
+	DisableReadVerify bool
+	// Now is stubbed in tests (nil means time.Now).
+	Now func() time.Time
+}
+
+// shard is the gateway's live state for one member.
+type shard struct {
+	url     string
+	breaker *Breaker
+
+	requests    atomic.Uint64
+	failures    atomic.Uint64
+	readRepairs atomic.Uint64
+}
+
+// Gateway fronts N pspd shards as a single PSP endpoint: consistent-hash
+// placement, R-way replicated uploads with quorum acks, hedged failover
+// reads with asynchronous read repair, per-shard circuit breakers fed by
+// health probes and live traffic, and an online rebalance walk on
+// membership changes. The shard API it speaks is exactly internal/psp's
+// HTTP surface, so clients talk to the gateway with an unchanged
+// psp.Client.
+type Gateway struct {
+	cfg    Config
+	client *http.Client
+
+	mu     sync.RWMutex // guards ring + shards
+	ring   *Ring
+	shards map[string]*shard
+
+	draining atomic.Bool
+
+	uploads              atomic.Uint64
+	uploadQuorumFailures atomic.Uint64
+	failovers            atomic.Uint64
+	hedges               atomic.Uint64
+	readRepairs          atomic.Uint64
+	divergences          atomic.Uint64
+
+	repairMu       sync.Mutex
+	repairInflight map[string]bool
+
+	verifyMu sync.Mutex
+	verified map[string]bool
+}
+
+// New builds a Gateway over the configured shards.
+func New(cfg Config) (*Gateway, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("cluster: no shards configured")
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = DefaultReplicas
+	}
+	if cfg.WriteQuorum <= 0 {
+		cfg.WriteQuorum = cfg.Replicas/2 + 1
+	}
+	if cfg.WriteQuorum > cfg.Replicas {
+		return nil, fmt.Errorf("cluster: write quorum %d exceeds replicas %d", cfg.WriteQuorum, cfg.Replicas)
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	g := &Gateway{
+		cfg:            cfg,
+		client:         &http.Client{Transport: cfg.Transport},
+		ring:           NewRing(cfg.VNodes),
+		shards:         make(map[string]*shard),
+		repairInflight: make(map[string]bool),
+		verified:       make(map[string]bool),
+	}
+	for _, raw := range cfg.Shards {
+		if _, err := g.addShard(raw); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+func normalizeShardURL(raw string) (string, error) {
+	u := strings.TrimRight(strings.TrimSpace(raw), "/")
+	if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
+		return "", fmt.Errorf("cluster: shard %q is not an http(s) URL", raw)
+	}
+	return u, nil
+}
+
+// addShard registers url on the ring; reports whether membership changed.
+// Caller must not hold g.mu.
+func (g *Gateway) addShard(raw string) (bool, error) {
+	u, err := normalizeShardURL(raw)
+	if err != nil {
+		return false, err
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.ring.Add(u) {
+		return false, nil
+	}
+	g.shards[u] = &shard{
+		url:     u,
+		breaker: NewBreaker(g.cfg.FailThreshold, g.cfg.BreakerCooldown, g.cfg.BreakerCooldownMax, g.cfg.Now),
+	}
+	return true, nil
+}
+
+// removeShard drops url from the ring; reports whether membership changed.
+func (g *Gateway) removeShard(raw string) (bool, error) {
+	u, err := normalizeShardURL(raw)
+	if err != nil {
+		return false, err
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.ring.Remove(u) {
+		return false, nil
+	}
+	delete(g.shards, u)
+	return true, nil
+}
+
+func (g *Gateway) shardTimeout() time.Duration {
+	if g.cfg.ShardTimeout > 0 {
+		return g.cfg.ShardTimeout
+	}
+	return DefaultShardTimeout
+}
+
+func (g *Gateway) hedgeDelay() time.Duration {
+	if g.cfg.HedgeDelay > 0 {
+		return g.cfg.HedgeDelay
+	}
+	return DefaultHedgeDelay
+}
+
+func (g *Gateway) maxBody() int64 {
+	if g.cfg.MaxBody > 0 {
+		return g.cfg.MaxBody
+	}
+	return psp.DefaultMaxUpload
+}
+
+// SetDraining flips the gateway's own healthz to 503 so an upstream load
+// balancer stops routing to it before shutdown.
+func (g *Gateway) SetDraining(v bool) { g.draining.Store(v) }
+
+// replicaShards returns the shard structs for key's replica set, ring
+// order.
+func (g *Gateway) replicaShards(key string) []*shard {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	reps := g.ring.Replicas(key, g.cfg.Replicas)
+	out := make([]*shard, 0, len(reps))
+	for _, u := range reps {
+		if sh := g.shards[u]; sh != nil {
+			out = append(out, sh)
+		}
+	}
+	return out
+}
+
+// ReplicaOrder exposes key's replica URLs in ring order (debugging, tests).
+func (g *Gateway) ReplicaOrder(key string) []string {
+	shs := g.replicaShards(key)
+	out := make([]string, len(shs))
+	for i, sh := range shs {
+		out[i] = sh.url
+	}
+	return out
+}
+
+// routeOrder is replicaShards reordered for reads: breaker-admitted shards
+// first (ring order preserved), ejected shards appended as a last resort so
+// a stale breaker can never turn a servable request into an error.
+func (g *Gateway) routeOrder(key string) []*shard {
+	reps := g.replicaShards(key)
+	allowed := make([]*shard, 0, len(reps))
+	var blocked []*shard
+	for _, sh := range reps {
+		if sh.breaker.Allow() {
+			allowed = append(allowed, sh)
+		} else {
+			blocked = append(blocked, sh)
+		}
+	}
+	return append(allowed, blocked...)
+}
+
+// otherMembers returns members outside key's replica set — the rescue path
+// for GETs racing a rebalance.
+func (g *Gateway) otherMembers(key string) []*shard {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	reps := g.ring.Replicas(key, g.cfg.Replicas)
+	in := make(map[string]bool, len(reps))
+	for _, u := range reps {
+		in[u] = true
+	}
+	var out []*shard
+	for _, u := range g.ring.Members() {
+		if !in[u] {
+			out = append(out, g.shards[u])
+		}
+	}
+	return out
+}
+
+// shardResp is one fully buffered shard response.
+type shardResp struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+// attempt performs one bounded HTTP exchange with a shard and buffers the
+// response. Bodies over MaxBody surface as errors, never truncated bytes.
+func (g *Gateway) attempt(ctx context.Context, sh *shard, method, pathQuery string, body []byte, hdr http.Header) (*shardResp, error) {
+	ctx, cancel := context.WithTimeout(ctx, g.shardTimeout())
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, sh.url+pathQuery, rd)
+	if err != nil {
+		return nil, err
+	}
+	for k, vs := range hdr {
+		req.Header[k] = vs
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	limit := g.maxBody()
+	respBody, err := io.ReadAll(io.LimitReader(resp.Body, limit+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(respBody)) > limit {
+		return nil, fmt.Errorf("cluster: response from %s exceeds %d bytes", sh.url, limit)
+	}
+	return &shardResp{status: resp.StatusCode, header: resp.Header, body: respBody}, nil
+}
+
+// passthroughHeaders are copied from shard responses verbatim so clients
+// keep the single-node response contract: strong ETags stay revalidatable
+// and X-PSP-Error-Class/Retry-After keep psp.Client's typed-error and
+// backoff semantics end-to-end.
+var passthroughHeaders = []string{
+	"Content-Type",
+	"ETag",
+	"Cache-Control",
+	"Retry-After",
+	psp.ErrorClassHeader,
+}
+
+func writeShardResp(w http.ResponseWriter, resp *shardResp) {
+	for _, k := range passthroughHeaders {
+		if v := resp.header.Get(k); v != "" {
+			w.Header().Set(k, v)
+		}
+	}
+	if resp.status != http.StatusNotModified {
+		w.Header().Set("Content-Length", strconv.Itoa(len(resp.body)))
+	}
+	w.WriteHeader(resp.status)
+	if resp.status != http.StatusNotModified {
+		_, _ = w.Write(resp.body)
+	}
+}
+
+// writeUnavailable answers 503 with a Retry-After of at least one second
+// (or the largest shard-provided value), keeping gateway failures inside
+// the client's retry protocol.
+func (g *Gateway) writeUnavailable(w http.ResponseWriter, retryAfter time.Duration, msg string) {
+	secs := int64(1)
+	if s := int64((retryAfter + time.Second - 1) / time.Second); s > secs {
+		secs = s
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	http.Error(w, msg, http.StatusServiceUnavailable)
+}
+
+// isCorrupt reports whether a shard response carries the corrupt error
+// class: the shard is healthy but its stored copy is damaged.
+func isCorrupt(resp *shardResp) bool {
+	return resp.header.Get(psp.ErrorClassHeader) == psp.ErrorClassCorrupt
+}
+
+// Handler returns the gateway HTTP API. Client-facing routes mirror
+// internal/psp exactly; /v1/admin/* adds membership and repair control:
+//
+//	GET  /v1/healthz                      gateway + shard health
+//	GET  /v1/statz                        cluster + per-shard counters
+//	GET  /v1/images                       merged listing across shards
+//	POST /v1/images                       replicated upload (quorum W)
+//	GET  /v1/images/{id}[...]             failover proxy to replicas
+//	GET  /v1/admin/shards                 membership + breaker states
+//	POST /v1/admin/shards                 {"op":"join"|"leave","shard":URL}
+//	POST /v1/admin/repair                 full verify/re-replicate walk
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", g.handleHealthz)
+	mux.HandleFunc("GET /v1/statz", g.handleStatz)
+	mux.HandleFunc("GET /v1/admin/shards", g.handleShardsGet)
+	mux.HandleFunc("POST /v1/admin/shards", g.handleShardsPost)
+	mux.HandleFunc("POST /v1/admin/repair", g.handleRepair)
+	mux.HandleFunc("GET /v1/images", g.handleList)
+	mux.HandleFunc("POST /v1/images", g.handleUpload)
+	mux.HandleFunc("GET /v1/images/{id}", g.handleProxy)
+	mux.HandleFunc("GET /v1/images/{id}/params", g.handleProxy)
+	mux.HandleFunc("GET /v1/images/{id}/transformed", g.handleProxy)
+	mux.HandleFunc("GET /v1/images/{id}/pixels", g.handleProxy)
+	return mux
+}
+
+// GatewayHealth is the gateway's GET /v1/healthz body.
+type GatewayHealth struct {
+	Status  string `json:"status"`
+	Shards  int    `json:"shards"`
+	Healthy int    `json:"healthy"`
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if g.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(GatewayHealth{Status: "draining"})
+		return
+	}
+	g.mu.RLock()
+	total := len(g.shards)
+	healthy := 0
+	for _, sh := range g.shards {
+		if sh.breaker.State() != BreakerOpen {
+			healthy++
+		}
+	}
+	g.mu.RUnlock()
+	h := GatewayHealth{Status: "ok", Shards: total, Healthy: healthy}
+	w.Header().Set("Content-Type", "application/json")
+	if healthy == 0 {
+		h.Status = "unavailable"
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	} else if healthy < total {
+		h.Status = "degraded"
+	}
+	_ = json.NewEncoder(w).Encode(h)
+}
+
+// ShardStatz is the per-shard block of the statz body.
+type ShardStatz struct {
+	Requests     uint64 `json:"requests"`
+	Failures     uint64 `json:"failures"`
+	ReadRepairs  uint64 `json:"readRepairs"`
+	BreakerState string `json:"breakerState"`
+	BreakerOpens uint64 `json:"breakerOpens"`
+}
+
+// Statz is the gateway's GET /v1/statz body.
+type Statz struct {
+	RingShards           int                   `json:"ringShards"`
+	RingPoints           int                   `json:"ringPoints"`
+	Replicas             int                   `json:"replicas"`
+	WriteQuorum          int                   `json:"writeQuorum"`
+	Uploads              uint64                `json:"uploads"`
+	UploadQuorumFailures uint64                `json:"uploadQuorumFailures"`
+	Failovers            uint64                `json:"failovers"`
+	Hedges               uint64                `json:"hedges"`
+	ReadRepairs          uint64                `json:"readRepairs"`
+	Divergences          uint64                `json:"divergences"`
+	OpenBreakers         int                   `json:"openBreakers"`
+	Shards               map[string]ShardStatz `json:"shards"`
+}
+
+// Stats snapshots the cluster counters (the /v1/statz body).
+func (g *Gateway) Stats() Statz {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := Statz{
+		RingShards:           g.ring.Size(),
+		RingPoints:           g.ring.Points(),
+		Replicas:             g.cfg.Replicas,
+		WriteQuorum:          g.cfg.WriteQuorum,
+		Uploads:              g.uploads.Load(),
+		UploadQuorumFailures: g.uploadQuorumFailures.Load(),
+		Failovers:            g.failovers.Load(),
+		Hedges:               g.hedges.Load(),
+		ReadRepairs:          g.readRepairs.Load(),
+		Divergences:          g.divergences.Load(),
+		Shards:               make(map[string]ShardStatz, len(g.shards)),
+	}
+	for u, sh := range g.shards {
+		st := sh.breaker.State()
+		if st == BreakerOpen {
+			out.OpenBreakers++
+		}
+		out.Shards[u] = ShardStatz{
+			Requests:     sh.requests.Load(),
+			Failures:     sh.failures.Load(),
+			ReadRepairs:  sh.readRepairs.Load(),
+			BreakerState: st.String(),
+			BreakerOpens: sh.breaker.Opens(),
+		}
+	}
+	return out
+}
+
+func (g *Gateway) handleStatz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(g.Stats())
+}
+
+// deriveID maps an idempotency key to the image ID deterministically, so a
+// client retry (same key) re-targets the same ID and the same replica set,
+// and per-shard PUT-by-ID dedupe makes the retry a no-op. The gateway holds
+// no upload state at all.
+func deriveID(key string) string {
+	sum := sha256.Sum256([]byte("psp-gw-id\x00" + key))
+	return hex.EncodeToString(sum[:12])
+}
+
+func newUploadKey() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("gwk-%d", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// uploadAck is one shard's classified PUT outcome.
+type uploadAck struct {
+	sh *shard
+	// ok means the shard durably stored the image under the derived ID.
+	ok bool
+	// repairable marks failures worth re-replicating later (down shard,
+	// 5xx); a deterministic 4xx rejection is not.
+	repairable bool
+	resp       *shardResp
+}
+
+func (g *Gateway) handleUpload(w http.ResponseWriter, r *http.Request) {
+	limit := g.maxBody()
+	body, err := io.ReadAll(io.LimitReader(r.Body, limit+1))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("read body: %v", err), http.StatusBadRequest)
+		return
+	}
+	if int64(len(body)) > limit {
+		http.Error(w, fmt.Sprintf("body exceeds %d bytes", limit), http.StatusRequestEntityTooLarge)
+		return
+	}
+	key := strings.TrimSpace(r.Header.Get("Idempotency-Key"))
+	if key == "" {
+		key = newUploadKey()
+	}
+	id := deriveID(key)
+	replicas := g.replicaShards(id)
+	if len(replicas) == 0 {
+		g.writeUnavailable(w, 0, "cluster: no shards")
+		return
+	}
+	hdr := http.Header{
+		"Content-Type":    {"application/json"},
+		"Idempotency-Key": {key},
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		hdr.Set("Content-Type", ct)
+	}
+
+	// Fan out to every replica on a detached context: the client is
+	// answered at quorum W, and straggler acks (or failures feeding read
+	// repair) complete in the background — a canceled fan-out would
+	// under-replicate silently.
+	acks := make(chan uploadAck, len(replicas))
+	for _, sh := range replicas {
+		sh.requests.Add(1)
+		go func(sh *shard) {
+			ctx, cancel := context.WithTimeout(context.Background(), g.shardTimeout())
+			defer cancel()
+			resp, err := g.attempt(ctx, sh, http.MethodPut, "/v1/images/"+id, body, hdr)
+			acks <- g.classifyUpload(sh, id, resp, err)
+		}(sh)
+	}
+
+	g.uploads.Add(1)
+	ackCount := 0
+	var failed []*shard
+	var clientErr *shardResp
+	var retryAfter time.Duration
+	for i := 0; i < len(replicas); i++ {
+		a := <-acks
+		switch {
+		case a.ok:
+			ackCount++
+		case a.repairable:
+			failed = append(failed, a.sh)
+			if a.resp != nil {
+				if ra := psp.ParseRetryAfter(a.resp.header); ra > retryAfter {
+					retryAfter = ra
+				}
+			}
+		default:
+			clientErr = a.resp
+		}
+		if ackCount >= g.cfg.WriteQuorum {
+			// Quorum reached: ack the client now, then keep collecting
+			// straggler outcomes so failed replicas get re-replicated.
+			remaining := len(replicas) - i - 1
+			toRepair := append([]*shard(nil), failed...)
+			go func() {
+				for j := 0; j < remaining; j++ {
+					if a := <-acks; !a.ok && a.repairable {
+						toRepair = append(toRepair, a.sh)
+					}
+				}
+				for _, sh := range toRepair {
+					g.goRepair(id, sh)
+				}
+			}()
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(psp.UploadResponse{ID: id})
+			return
+		}
+	}
+	// Quorum unreachable. A unanimous deterministic rejection (bad JSON,
+	// undecodable JPEG, key conflict) passes through as the shard said it;
+	// anything else is a retryable 503.
+	if clientErr != nil && ackCount == 0 && len(failed) == 0 {
+		writeShardResp(w, clientErr)
+		return
+	}
+	g.uploadQuorumFailures.Add(1)
+	g.writeUnavailable(w, retryAfter,
+		fmt.Sprintf("cluster: %d/%d replica acks, write quorum %d not met", ackCount, len(replicas), g.cfg.WriteQuorum))
+}
+
+// classifyUpload folds one PUT outcome into breaker state and an ack.
+func (g *Gateway) classifyUpload(sh *shard, id string, resp *shardResp, err error) uploadAck {
+	if err != nil {
+		sh.failures.Add(1)
+		sh.breaker.OnFailure()
+		return uploadAck{sh: sh, repairable: true}
+	}
+	switch {
+	case resp.status == http.StatusOK:
+		var ur psp.UploadResponse
+		if json.Unmarshal(resp.body, &ur) == nil && ur.ID == id {
+			sh.breaker.OnSuccess()
+			return uploadAck{sh: sh, ok: true}
+		}
+		// The shard acked under a different ID (a pre-existing key
+		// mapping): its copy is not addressable at our ID.
+		sh.breaker.OnSuccess()
+		g.divergences.Add(1)
+		return uploadAck{sh: sh, repairable: true}
+	case resp.status >= 500 || resp.status == http.StatusTooManyRequests:
+		sh.failures.Add(1)
+		sh.breaker.OnFailure()
+		return uploadAck{sh: sh, repairable: true, resp: resp}
+	default:
+		sh.breaker.OnSuccess()
+		return uploadAck{sh: sh, resp: resp}
+	}
+}
+
+// handleProxy serves every GET /v1/images/{id}[...] route by trying the
+// replica set in ring order with hedged failover: a replica that errors,
+// 404s, or reports corruption moves the request to the next one, and a
+// replica that merely stalls past HedgeDelay gets raced against the next
+// without being abandoned. First usable answer wins; replicas seen missing
+// or corrupt are repaired asynchronously.
+func (g *Gateway) handleProxy(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	order := g.routeOrder(id)
+	if len(order) == 0 {
+		g.writeUnavailable(w, 0, "cluster: no shards")
+		return
+	}
+	pathQ := r.URL.Path
+	if r.URL.RawQuery != "" {
+		pathQ += "?" + r.URL.RawQuery
+	}
+	var hdr http.Header
+	if inm := r.Header.Get("If-None-Match"); inm != "" {
+		hdr = http.Header{"If-None-Match": {inm}}
+	}
+
+	type outcome struct {
+		sh   *shard
+		resp *shardResp
+		err  error
+	}
+	results := make(chan outcome, len(order))
+	next := 0
+	launch := func() {
+		sh := order[next]
+		next++
+		sh.requests.Add(1)
+		go func() {
+			resp, err := g.attempt(r.Context(), sh, http.MethodGet, pathQ, nil, hdr)
+			results <- outcome{sh: sh, resp: resp, err: err}
+		}()
+	}
+	launch()
+	outstanding := 1
+	hedge := time.NewTimer(g.hedgeDelay())
+	defer hedge.Stop()
+
+	var missing, corrupt []*shard
+	var corruptResp *shardResp
+	var retryAfter time.Duration
+	n404 := 0
+	for outstanding > 0 {
+		failover := false
+		select {
+		case res := <-results:
+			outstanding--
+			switch {
+			case res.err != nil:
+				res.sh.failures.Add(1)
+				res.sh.breaker.OnFailure()
+				failover = true
+			case res.resp.status == http.StatusOK || res.resp.status == http.StatusNotModified:
+				res.sh.breaker.OnSuccess()
+				g.serveProxied(w, r, id, res.sh, res.resp, missing, corrupt)
+				return
+			case res.resp.status == http.StatusNotFound:
+				res.sh.breaker.OnSuccess()
+				n404++
+				missing = append(missing, res.sh)
+				failover = true
+			case isCorrupt(res.resp):
+				// The shard is healthy; its stored copy is damaged.
+				res.sh.breaker.OnSuccess()
+				corrupt = append(corrupt, res.sh)
+				corruptResp = res.resp
+				failover = true
+			case res.resp.status >= 500 || res.resp.status == http.StatusTooManyRequests:
+				res.sh.failures.Add(1)
+				res.sh.breaker.OnFailure()
+				if ra := psp.ParseRetryAfter(res.resp.header); ra > retryAfter {
+					retryAfter = ra
+				}
+				failover = true
+			default:
+				// Deterministic client error (bad spec, …): every replica
+				// would say the same; pass it through.
+				res.sh.breaker.OnSuccess()
+				writeShardResp(w, res.resp)
+				return
+			}
+			if failover && next < len(order) {
+				g.failovers.Add(1)
+				launch()
+				outstanding++
+			}
+		case <-hedge.C:
+			if next < len(order) {
+				g.hedges.Add(1)
+				launch()
+				outstanding++
+				hedge.Reset(g.hedgeDelay())
+			}
+		}
+	}
+
+	// Every replica answered and none could serve. If all of them said
+	// 404, the record may still live on a non-replica member (a GET racing
+	// a rebalance): rescue from there and schedule the re-replication.
+	if n404 == len(order) {
+		for _, sh := range g.otherMembers(id) {
+			sh.requests.Add(1)
+			resp, err := g.attempt(r.Context(), sh, http.MethodGet, pathQ, nil, hdr)
+			if err == nil && (resp.status == http.StatusOK || resp.status == http.StatusNotModified) {
+				g.failovers.Add(1)
+				g.serveProxied(w, r, id, sh, resp, missing, corrupt)
+				return
+			}
+		}
+		http.Error(w, fmt.Sprintf("image %q not found on any replica", id), http.StatusNotFound)
+		return
+	}
+	if corruptResp != nil {
+		writeShardResp(w, corruptResp)
+		return
+	}
+	g.writeUnavailable(w, retryAfter, "cluster: all replicas failed")
+}
+
+// serveProxied writes the winning shard response and schedules the
+// asynchronous follow-ups: repair of replicas observed missing/corrupt
+// during failover and, for raw-image GETs, a one-shot quorum verification
+// of the remaining replicas against the served ETag.
+func (g *Gateway) serveProxied(w http.ResponseWriter, r *http.Request, id string, from *shard, resp *shardResp, missing, corrupt []*shard) {
+	for _, sh := range missing {
+		g.goRepair(id, sh)
+	}
+	for _, sh := range corrupt {
+		g.goRepair(id, sh)
+	}
+	if !g.cfg.DisableReadVerify && r.URL.Path == "/v1/images/"+id {
+		if etag := resp.header.Get("ETag"); etag != "" && g.markVerified(id) {
+			go g.verifyReplicas(id, etag, from)
+		}
+	}
+	writeShardResp(w, resp)
+}
+
+// markVerified reserves the one read verification this gateway runs per
+// image; clearVerified (on shard re-admission) re-arms all of them.
+func (g *Gateway) markVerified(id string) bool {
+	g.verifyMu.Lock()
+	defer g.verifyMu.Unlock()
+	if len(g.verified) > 1<<16 {
+		g.verified = make(map[string]bool)
+	}
+	if g.verified[id] {
+		return false
+	}
+	g.verified[id] = true
+	return true
+}
+
+func (g *Gateway) clearVerified() {
+	g.verifyMu.Lock()
+	g.verified = make(map[string]bool)
+	g.verifyMu.Unlock()
+}
+
+// verifyReplicas is the quorum read check: conditional-GET every other
+// replica with the served ETag. 304 means the replica agrees byte-for-byte
+// (strong validator), 404 triggers read repair, and a 200 with a different
+// validator is a divergence — counted, surfaced in statz, never silently
+// overwritten.
+func (g *Gateway) verifyReplicas(id, etag string, served *shard) {
+	ctx, cancel := context.WithTimeout(context.Background(), 4*g.shardTimeout())
+	defer cancel()
+	hdr := http.Header{"If-None-Match": {etag}}
+	for _, sh := range g.replicaShards(id) {
+		if sh == served {
+			continue
+		}
+		resp, err := g.attempt(ctx, sh, http.MethodGet, "/v1/images/"+id, nil, hdr)
+		if err != nil {
+			continue
+		}
+		switch {
+		case resp.status == http.StatusNotModified:
+			// Replica agrees.
+		case resp.status == http.StatusNotFound:
+			g.repairSync(ctx, id, sh)
+		case resp.status == http.StatusOK:
+			g.divergences.Add(1)
+		case isCorrupt(resp):
+			g.goRepair(id, sh)
+		}
+	}
+}
+
+func (g *Gateway) handleList(w http.ResponseWriter, r *http.Request) {
+	ids, reachable := g.mergedIDs(r.Context())
+	if reachable == 0 {
+		g.writeUnavailable(w, 0, "cluster: no shard reachable for listing")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(psp.ListResponse{IDs: ids})
+}
+
+// mergedIDs unions /v1/images across every member. With R-way replication
+// the union over reachable shards is complete as long as each image keeps
+// one live replica — the same condition reads need anyway.
+func (g *Gateway) mergedIDs(ctx context.Context) (ids []string, reachable int) {
+	g.mu.RLock()
+	members := make([]*shard, 0, len(g.shards))
+	for _, sh := range g.shards {
+		members = append(members, sh)
+	}
+	g.mu.RUnlock()
+	type listResult struct {
+		ids []string
+		ok  bool
+	}
+	results := make(chan listResult, len(members))
+	for _, sh := range members {
+		go func(sh *shard) {
+			resp, err := g.attempt(ctx, sh, http.MethodGet, "/v1/images", nil, nil)
+			if err != nil || resp.status != http.StatusOK {
+				results <- listResult{}
+				return
+			}
+			var lr psp.ListResponse
+			if json.Unmarshal(resp.body, &lr) != nil {
+				results <- listResult{}
+				return
+			}
+			results <- listResult{ids: lr.IDs, ok: true}
+		}(sh)
+	}
+	set := make(map[string]bool)
+	for range members {
+		res := <-results
+		if !res.ok {
+			continue
+		}
+		reachable++
+		for _, id := range res.ids {
+			set[id] = true
+		}
+	}
+	ids = make([]string, 0, len(set))
+	for id := range set {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids, reachable
+}

@@ -1,0 +1,130 @@
+// Package cluster turns N independent pspd shards into one fault-tolerant
+// PSP: a consistent-hash ring places every image on an ordered replica set,
+// a routing gateway fans uploads out to R replicas (quorum W acks) and fails
+// GETs over between replicas, per-shard circuit breakers eject unhealthy
+// shards, and read repair plus a rebalance walk restore full replication
+// after crashes and membership changes.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// DefaultVNodes is the virtual-node count per shard. 64 vnodes keep the
+// per-shard load imbalance within a few percent at single-digit shard
+// counts while the full ring stays tiny (N*64 points).
+const DefaultVNodes = 64
+
+// point is one virtual node: a position on the ring owned by a shard.
+type point struct {
+	hash  uint64
+	shard string
+}
+
+// Ring is a consistent-hash ring with virtual nodes. Placement is a pure
+// function of (membership, vnode count): points are derived by hashing
+// "shard\x00index" with SHA-256, so two Rings built from the same members —
+// in any insertion order, in any process — produce identical replica sets
+// for every key. Removing a shard only remaps keys that listed it, which is
+// the property that makes shard leave/join an O(K/N) data move.
+//
+// Ring is not goroutine-safe; the Gateway serializes access.
+type Ring struct {
+	vnodes  int
+	points  []point // sorted by (hash, shard)
+	members map[string]bool
+}
+
+// NewRing returns an empty ring with the given vnode count per shard
+// (<= 0 means DefaultVNodes).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	return &Ring{vnodes: vnodes, members: make(map[string]bool)}
+}
+
+// hash64 maps b to a ring position. SHA-256 (truncated) rather than a
+// cheaper hash: point placement must be uniform for the 1/N movement bound
+// to hold, and ring lookups hash only the key, never the whole ring.
+func hash64(b []byte) uint64 {
+	sum := sha256.Sum256(b)
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Add inserts shard with vnodes points. Re-adding a member is a no-op;
+// returns whether membership changed.
+func (r *Ring) Add(shard string) bool {
+	if r.members[shard] {
+		return false
+	}
+	r.members[shard] = true
+	for i := 0; i < r.vnodes; i++ {
+		h := hash64([]byte(shard + "\x00" + strconv.Itoa(i)))
+		r.points = append(r.points, point{hash: h, shard: shard})
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].shard < r.points[b].shard
+	})
+	return true
+}
+
+// Remove deletes shard's points; returns whether membership changed.
+func (r *Ring) Remove(shard string) bool {
+	if !r.members[shard] {
+		return false
+	}
+	delete(r.members, shard)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.shard != shard {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+	return true
+}
+
+// Members returns the sorted member list.
+func (r *Ring) Members() []string {
+	out := make([]string, 0, len(r.members))
+	for m := range r.members {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size reports the member count and Points the vnode count.
+func (r *Ring) Size() int   { return len(r.members) }
+func (r *Ring) Points() int { return len(r.points) }
+
+// Replicas returns the ordered replica set for key: walk the ring clockwise
+// from hash(key), collecting the first n distinct shards. The first entry
+// is the primary. Fewer than n members returns them all, ring order.
+func (r *Ring) Replicas(key string, n int) []string {
+	if n <= 0 || len(r.points) == 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	h := hash64([]byte(key))
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.shard] {
+			seen[p.shard] = true
+			out = append(out, p.shard)
+		}
+	}
+	return out
+}

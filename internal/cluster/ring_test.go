@@ -1,0 +1,176 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func ringOf(vnodes int, shards ...string) *Ring {
+	r := NewRing(vnodes)
+	for _, s := range shards {
+		r.Add(s)
+	}
+	return r
+}
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("img-%06d", i)
+	}
+	return keys
+}
+
+// TestRingDeterministicPlacement is the acceptance property: identical
+// membership yields identical placement regardless of construction order or
+// process. Placement is a pure function of (members, vnodes) — no RNG, no
+// map-iteration order, no process state — so two independently built rings
+// must agree on every replica set.
+func TestRingDeterministicPlacement(t *testing.T) {
+	shards := []string{"http://s1:1", "http://s2:1", "http://s3:1", "http://s4:1", "http://s5:1"}
+	a := ringOf(64, shards...)
+
+	shuffled := append([]string(nil), shards...)
+	rand.New(rand.NewSource(7)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	b := ringOf(64, shuffled...)
+
+	for _, key := range testKeys(2000) {
+		ra, rb := a.Replicas(key, 3), b.Replicas(key, 3)
+		if !reflect.DeepEqual(ra, rb) {
+			t.Fatalf("key %q: placement differs across construction orders: %v vs %v", key, ra, rb)
+		}
+	}
+}
+
+func TestRingReplicaSetShape(t *testing.T) {
+	r := ringOf(32, "http://a:1", "http://b:1", "http://c:1")
+	for _, key := range testKeys(500) {
+		reps := r.Replicas(key, 3)
+		if len(reps) != 3 {
+			t.Fatalf("key %q: %d replicas, want 3", key, len(reps))
+		}
+		seen := map[string]bool{}
+		for _, s := range reps {
+			if seen[s] {
+				t.Fatalf("key %q: duplicate replica %s in %v", key, s, reps)
+			}
+			seen[s] = true
+		}
+	}
+	// Asking for more replicas than members returns all members.
+	if got := r.Replicas("x", 10); len(got) != 3 {
+		t.Fatalf("over-asked replica set has %d entries, want 3", len(got))
+	}
+	// An empty ring places nothing.
+	if got := NewRing(8).Replicas("x", 2); got != nil {
+		t.Fatalf("empty ring returned %v", got)
+	}
+}
+
+// TestRingRemovalMovesOnlyOwnedKeys checks both halves of the consistent-
+// hashing contract on shard removal: (a) a key whose primary survives keeps
+// its primary — zero collateral movement; (b) the fraction of keys that do
+// move is ~1/N (property-tested within [1/3N, 3/N] bounds, loose enough for
+// hash noise, tight enough to catch a broken ring that remaps everything).
+func TestRingRemovalMovesOnlyOwnedKeys(t *testing.T) {
+	shards := []string{"http://s1:1", "http://s2:1", "http://s3:1", "http://s4:1", "http://s5:1"}
+	const n = 5
+	removed := shards[2]
+	before := ringOf(128, shards...)
+	after := ringOf(128, shards...)
+	after.Remove(removed)
+
+	keys := testKeys(4000)
+	moved := 0
+	for _, key := range keys {
+		pb := before.Replicas(key, 1)[0]
+		pa := after.Replicas(key, 1)[0]
+		if pb == removed {
+			moved++
+			if pa == removed {
+				t.Fatalf("key %q still maps to removed shard", key)
+			}
+			continue
+		}
+		if pa != pb {
+			t.Fatalf("key %q: primary moved %s -> %s though neither is the removed shard", key, pb, pa)
+		}
+	}
+	frac := float64(moved) / float64(len(keys))
+	if frac < 1.0/(3*n) || frac > 3.0/n {
+		t.Fatalf("removal moved %.1f%% of keys; want ~%.1f%% (bounds [%.1f%%, %.1f%%])",
+			100*frac, 100.0/n, 100.0/(3*n), 300.0/n)
+	}
+}
+
+// TestRingRemovalPreservesSurvivingReplicas checks the R-replica analogue:
+// after removing one shard, every key's new replica set still contains all
+// surviving members of its old set (the move is purely additive for them).
+func TestRingRemovalPreservesSurvivingReplicas(t *testing.T) {
+	shards := []string{"http://s1:1", "http://s2:1", "http://s3:1", "http://s4:1"}
+	removed := shards[0]
+	before := ringOf(64, shards...)
+	after := ringOf(64, shards...)
+	after.Remove(removed)
+
+	for _, key := range testKeys(1000) {
+		oldSet := before.Replicas(key, 3)
+		newSet := after.Replicas(key, 3)
+		inNew := map[string]bool{}
+		for _, s := range newSet {
+			inNew[s] = true
+		}
+		for _, s := range oldSet {
+			if s != removed && !inNew[s] {
+				t.Fatalf("key %q: surviving replica %s dropped from set %v -> %v", key, s, oldSet, newSet)
+			}
+		}
+	}
+}
+
+func TestRingMembership(t *testing.T) {
+	r := NewRing(16)
+	if !r.Add("http://a:1") || r.Add("http://a:1") {
+		t.Fatal("Add change-reporting wrong")
+	}
+	r.Add("http://b:1")
+	if got := r.Members(); !reflect.DeepEqual(got, []string{"http://a:1", "http://b:1"}) {
+		t.Fatalf("Members() = %v", got)
+	}
+	if r.Points() != 32 {
+		t.Fatalf("Points() = %d, want 32", r.Points())
+	}
+	if !r.Remove("http://a:1") || r.Remove("http://a:1") {
+		t.Fatal("Remove change-reporting wrong")
+	}
+	if r.Size() != 1 || r.Points() != 16 {
+		t.Fatalf("after removal: size=%d points=%d", r.Size(), r.Points())
+	}
+	for _, key := range testKeys(50) {
+		if reps := r.Replicas(key, 2); len(reps) != 1 || reps[0] != "http://b:1" {
+			t.Fatalf("single-member ring placed %q on %v", key, reps)
+		}
+	}
+}
+
+// TestRingLoadBalance sanity-checks vnode smoothing: with 64 vnodes per
+// shard no shard should own a grossly disproportionate share of keys.
+func TestRingLoadBalance(t *testing.T) {
+	shards := []string{"http://s1:1", "http://s2:1", "http://s3:1", "http://s4:1"}
+	r := ringOf(64, shards...)
+	counts := map[string]int{}
+	keys := testKeys(8000)
+	for _, key := range keys {
+		counts[r.Replicas(key, 1)[0]]++
+	}
+	ideal := float64(len(keys)) / float64(len(shards))
+	for s, c := range counts {
+		if ratio := float64(c) / ideal; ratio < 0.5 || ratio > 2.0 {
+			t.Errorf("shard %s owns %d keys (%.2fx ideal); vnode smoothing broken", s, c, ratio)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// twoHosts returns two live origin servers plus a client whose transport is
+// partitioned. Each origin counts the requests that actually reached it.
+func twoHosts(t *testing.T, p *Partition) (a, b *httptest.Server, hitsA, hitsB *atomic.Int64, client *http.Client) {
+	t.Helper()
+	hitsA, hitsB = new(atomic.Int64), new(atomic.Int64)
+	mk := func(hits *atomic.Int64) *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			hits.Add(1)
+			io.WriteString(w, "ok")
+		}))
+	}
+	a, b = mk(hitsA), mk(hitsB)
+	t.Cleanup(a.Close)
+	t.Cleanup(b.Close)
+	client = &http.Client{Transport: p.Transport(nil)}
+	return a, b, hitsA, hitsB, client
+}
+
+func hostOf(srv *httptest.Server) string {
+	return strings.TrimPrefix(srv.URL, "http://")
+}
+
+func TestPartitionSymmetricUnreachable(t *testing.T) {
+	p := NewPartition(1)
+	a, b, hitsA, hitsB, client := twoHosts(t, p)
+	p.Isolate(hostOf(a), LinkUnreachable)
+
+	if _, err := client.Get(a.URL); err == nil {
+		t.Fatal("request to isolated host succeeded")
+	} else if !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("isolated host error = %v, want connection reset", err)
+	}
+	if hitsA.Load() != 0 {
+		t.Fatalf("symmetric partition delivered %d requests to the server", hitsA.Load())
+	}
+	resp, err := client.Get(b.URL)
+	if err != nil {
+		t.Fatalf("healthy host failed: %v", err)
+	}
+	resp.Body.Close()
+	if hitsB.Load() != 1 {
+		t.Fatalf("healthy host hits = %d, want 1", hitsB.Load())
+	}
+	if p.Drops(hostOf(a)) != 1 || p.Drops(hostOf(b)) != 0 {
+		t.Fatalf("drops = (%d,%d), want (1,0)", p.Drops(hostOf(a)), p.Drops(hostOf(b)))
+	}
+
+	p.Heal(hostOf(a))
+	resp, err = client.Get(a.URL)
+	if err != nil {
+		t.Fatalf("healed host failed: %v", err)
+	}
+	resp.Body.Close()
+	if hitsA.Load() != 1 {
+		t.Fatalf("healed host hits = %d, want 1", hitsA.Load())
+	}
+}
+
+// TestPartitionAsymmetricDropReplies checks the one-way partition: the
+// server executes the request (side effects happen) but the caller sees a
+// reset — the divergence-producing failure.
+func TestPartitionAsymmetricDropReplies(t *testing.T) {
+	p := NewPartition(1)
+	a, _, hitsA, _, client := twoHosts(t, p)
+	p.Isolate(hostOf(a), LinkDropReplies)
+
+	if _, err := client.Get(a.URL); err == nil {
+		t.Fatal("drop-replies request reported success")
+	} else if !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("drop-replies error = %v, want connection reset", err)
+	}
+	if hitsA.Load() != 1 {
+		t.Fatalf("asymmetric partition: server hits = %d, want 1 (request must be delivered)", hitsA.Load())
+	}
+}
+
+// TestPartitionBlackholeHangsUntilContext checks the realistic symmetric
+// mode: the caller hangs and only its own deadline ends the request.
+func TestPartitionBlackholeHangsUntilContext(t *testing.T) {
+	p := NewPartition(1)
+	a, _, hitsA, _, client := twoHosts(t, p)
+	p.Isolate(hostOf(a), LinkBlackhole)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, a.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = client.Do(req)
+	if err == nil {
+		t.Fatal("blackholed request succeeded")
+	}
+	if d := time.Since(start); d < 40*time.Millisecond {
+		t.Fatalf("blackholed request failed after %v, want to hang until the ~50ms deadline", d)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("blackhole error = %v, want context.DeadlineExceeded in the chain", err)
+	}
+	if hitsA.Load() != 0 {
+		t.Fatalf("blackhole delivered %d requests", hitsA.Load())
+	}
+}
+
+// TestPartitionLossyDeterministicSeeding replays the same seeded lossy link
+// twice and requires the exact same drop pattern — the property that lets
+// cluster tests assert precise failover counts.
+func TestPartitionLossyDeterministicSeeding(t *testing.T) {
+	pattern := func(seed int64) []bool {
+		p := NewPartition(seed)
+		p.IsolateLossy("shard-x:1", LinkUnreachable, 0.5)
+		out := make([]bool, 40)
+		for i := range out {
+			out[i] = p.decide("shard-x:1") != LinkHealthy
+		}
+		return out
+	}
+	first, second := pattern(42), pattern(42)
+	drops := 0
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("request %d: drop decisions diverge across runs with the same seed", i)
+		}
+		if first[i] {
+			drops++
+		}
+	}
+	if drops == 0 || drops == len(first) {
+		t.Fatalf("lossy link dropped %d/%d requests; rate 0.5 should be mixed", drops, len(first))
+	}
+	other := pattern(43)
+	same := true
+	for i := range first {
+		if first[i] != other[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical drop patterns")
+	}
+}
+
+// TestPartitionHealAtTime drives the lazy heal against a stubbed clock: the
+// fault holds strictly before healAt and is gone at and after it.
+func TestPartitionHealAtTime(t *testing.T) {
+	now := time.Unix(1000, 0)
+	p := NewPartition(1)
+	p.SetClock(func() time.Time { return now })
+	healAt := now.Add(10 * time.Second)
+	p.IsolateUntil("h:1", LinkUnreachable, healAt)
+
+	if got := p.decide("h:1"); got != LinkUnreachable {
+		t.Fatalf("before heal: mode = %v, want unreachable", got)
+	}
+	now = healAt.Add(-time.Nanosecond)
+	if got := p.decide("h:1"); got != LinkUnreachable {
+		t.Fatalf("just before heal: mode = %v, want unreachable", got)
+	}
+	now = healAt
+	if got := p.decide("h:1"); got != LinkHealthy {
+		t.Fatalf("at heal instant: mode = %v, want healthy", got)
+	}
+	// The heal is permanent: moving the clock back cannot resurrect it.
+	now = time.Unix(1000, 0)
+	if got := p.decide("h:1"); got != LinkHealthy {
+		t.Fatalf("after heal: mode = %v, want healthy", got)
+	}
+	if p.Drops("h:1") != 2 {
+		t.Fatalf("drops = %d, want 2", p.Drops("h:1"))
+	}
+}

@@ -41,6 +41,19 @@ const (
 	errorClassCorrupt = "corrupt"
 )
 
+// Exported aliases of the error-class protocol, used by the cluster gateway
+// to pass shard classifications through to clients unchanged.
+const (
+	ErrorClassHeader  = errorClassHeader
+	ErrorClassCorrupt = errorClassCorrupt
+)
+
+// ParseRetryAfter exposes Retry-After parsing (delta seconds, fractional
+// accepted, or HTTP date) for the cluster gateway's passthrough logic.
+func ParseRetryAfter(h http.Header) time.Duration {
+	return parseRetryAfter(h)
+}
+
 // StatusError reports a non-2xx HTTP response from the PSP.
 type StatusError struct {
 	Method string

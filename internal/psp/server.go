@@ -17,8 +17,11 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"puppies/internal/jpegc"
 	"puppies/internal/transform"
@@ -49,12 +52,24 @@ type Server struct {
 	VariantCacheBytes int64
 	CoeffCacheBytes   int64
 
+	// DrainRetryAfter is the Retry-After hint healthz sends while
+	// draining. Zero means 1 second. Set before Handler is used.
+	DrainRetryAfter time.Duration
+
 	storeOnce sync.Once
 	store     Store
 
 	cacheOnce sync.Once
 	scache    *serveCache
+
+	draining atomic.Bool
 }
+
+// SetDraining flips the server into (or out of) draining mode: GET
+// /v1/healthz answers 503 with a Retry-After hint while every other route
+// keeps serving. Flipping this the moment shutdown begins lets routing
+// gateways stop sending new traffic before in-flight requests finish.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
 
 // NewServer returns a PSP over an ephemeral in-memory store.
 func NewServer() *Server {
@@ -133,6 +148,8 @@ type HealthResponse struct {
 //	GET  /v1/statz                       serving-cache statistics
 //	GET  /v1/images                      list stored image IDs
 //	POST /v1/images                      upload {image, params} -> {id}
+//	PUT  /v1/images/{id}                 store under a caller-chosen ID
+//	                                     (idempotent; 409 on byte conflict)
 //	GET  /v1/images/{id}                 stored JPEG bytes
 //	GET  /v1/images/{id}/params          public parameters
 //	GET  /v1/images/{id}/transformed?spec=J  transformed, re-encoded JPEG
@@ -153,6 +170,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/statz", s.handleStatz)
 	mux.HandleFunc("GET /v1/images", s.handleList)
 	mux.HandleFunc("POST /v1/images", s.handleUpload)
+	mux.HandleFunc("PUT /v1/images/{id}", s.handlePutImage)
 	mux.HandleFunc("GET /v1/images/{id}", s.handleGet)
 	mux.HandleFunc("GET /v1/images/{id}/params", s.handleParams)
 	mux.HandleFunc("GET /v1/images/{id}/transformed", s.handleTransformed)
@@ -166,6 +184,17 @@ func httpError(w http.ResponseWriter, code int, format string, args ...interface
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
+	if s.draining.Load() {
+		retry := s.DrainRetryAfter
+		if retry <= 0 {
+			retry = time.Second
+		}
+		secs := int64((retry + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(HealthResponse{Status: "draining", Images: s.Len()})
+		return
+	}
 	_ = json.NewEncoder(w).Encode(HealthResponse{Status: "ok", Images: s.Len()})
 }
 
@@ -242,6 +271,118 @@ func writeUploadResponse(w http.ResponseWriter, id string) {
 	if err := json.NewEncoder(w).Encode(UploadResponse{ID: id}); err != nil {
 		return
 	}
+}
+
+// validImageID bounds caller-chosen IDs for PUT /v1/images/{id} to names
+// every Store implementation accepts (blobstore uses IDs as file names).
+func validImageID(id string) error {
+	if id == "" || len(id) > 100 {
+		return fmt.Errorf("id length %d out of range [1,100]", len(id))
+	}
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+		default:
+			return fmt.Errorf("id contains unsafe character %q", r)
+		}
+	}
+	if strings.HasPrefix(id, ".") {
+		return errors.New("id may not start with a dot")
+	}
+	return nil
+}
+
+// paramsEqual compares two public-parameter documents, treating absent,
+// empty, and JSON null as the same thing (the /params route serves "null"
+// for an absent document, so replication round-trips through it).
+func paramsEqual(a, b json.RawMessage) bool {
+	norm := func(p json.RawMessage) []byte {
+		t := bytes.TrimSpace(p)
+		if len(t) == 0 || bytes.Equal(t, []byte("null")) {
+			return nil
+		}
+		return t
+	}
+	return bytes.Equal(norm(a), norm(b))
+}
+
+// handlePutImage stores an upload under a caller-chosen ID — the
+// replication primitive the cluster gateway builds on. Semantics are
+// compare-on-conflict idempotent: a PUT of bytes identical to the stored
+// record answers 200 with the ID (so retries, re-replication, and read
+// repair all converge), while a PUT of different bytes under an existing ID
+// answers 409 and never overwrites. An Idempotency-Key is honored exactly
+// like POST's.
+func (s *Server) handlePutImage(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := validImageID(id); err != nil {
+		httpError(w, http.StatusBadRequest, "bad image id: %v", err)
+		return
+	}
+	limit := s.maxUpload()
+	body, err := io.ReadAll(io.LimitReader(r.Body, limit+1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	if int64(len(body)) > limit {
+		httpError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", limit)
+		return
+	}
+	var req UploadRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	if len(req.Image) == 0 {
+		httpError(w, http.StatusBadRequest, "empty image")
+		return
+	}
+
+	key := strings.TrimSpace(r.Header.Get(idempotencyHeader))
+	if key != "" {
+		if prev, seen := s.st().IDForKey(key); seen {
+			writeUploadResponse(w, prev)
+			return
+		}
+	}
+
+	// An existing record under this ID decides the request without a
+	// store write: identical bytes are an idempotent success, different
+	// bytes are a conflict that must never be silently overwritten.
+	if jpeg, params, ok, err := s.st().Get(id); err != nil {
+		httpError(w, http.StatusInternalServerError, "store: %v", err)
+		return
+	} else if ok {
+		if bytes.Equal(jpeg, req.Image) && paramsEqual(params, req.Params) {
+			writeUploadResponse(w, id)
+			return
+		}
+		httpError(w, http.StatusConflict, "image %q already stored with different content", id)
+		return
+	}
+
+	if _, err := jpegc.Decode(bytes.NewReader(req.Image)); err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "not a decodable baseline JPEG: %v", err)
+		return
+	}
+	canonical, err := s.st().Put(id, req.Image, req.Params, key)
+	if err != nil {
+		// A concurrent PUT may have stored the ID between the check and
+		// the write (blobstore refuses duplicate IDs). Re-read and apply
+		// the same compare-on-conflict rule instead of failing the retry.
+		if jpeg, params, ok, gerr := s.st().Get(id); gerr == nil && ok {
+			if bytes.Equal(jpeg, req.Image) && paramsEqual(params, req.Params) {
+				writeUploadResponse(w, id)
+				return
+			}
+			httpError(w, http.StatusConflict, "image %q already stored with different content", id)
+			return
+		}
+		httpError(w, http.StatusInternalServerError, "store: %v", err)
+		return
+	}
+	writeUploadResponse(w, canonical)
 }
 
 func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *entry {
