@@ -9,7 +9,7 @@ GO ?= go
 # gates every benchmark common to OLD and NEW on >10% ns/op or allocs/op
 # regressions; set HOT_BENCHMARKS to restrict the gate to named benchmarks
 # (their absence from NEW then also fails).
-BENCH_OUT ?= BENCH_PR5.json
+BENCH_OUT ?= BENCH_PR7.json
 HOT_BENCHMARKS ?=
 
 # SERVE_BENCHMARKS are the PR 5 serving-path benchmarks; bench-compare
@@ -17,7 +17,17 @@ HOT_BENCHMARKS ?=
 # layer's hot path and collapse behavior).
 SERVE_BENCHMARKS ?= BenchmarkServeTransformedCold,BenchmarkServeTransformedHot,BenchmarkServeTransformedConcurrent,BenchmarkServeTransformedCollapse
 
-.PHONY: all build test check fmt race fuzz-smoke bench bench-compare cluster-e2e cluster-demo
+# BATCH_BENCHMARKS are the PR 7 batch-upload and native-subsampling
+# benchmarks: required in NEW (>10% ns/op or allocs/op regression fails once
+# they exist in the baseline), and PERF_RATIOS additionally asserts the two
+# headline guarantees on the new report itself — the streaming batch route
+# sustains at least 2x the sequential upload throughput per core, and the
+# native 4:2:0 decode carries at least 1.5x fewer coefficient bytes than the
+# 4:4:4-normalized pipeline.
+BATCH_BENCHMARKS ?= BenchmarkUploadSequential,BenchmarkUploadBatch,BenchmarkDecodeNative420,BenchmarkDecodeNormalized420
+PERF_RATIOS ?= BenchmarkUploadSequential/BenchmarkUploadBatch>=2:ns/op,BenchmarkDecodeNormalized420/BenchmarkDecodeNative420>=1.5:coeff-bytes/op
+
+.PHONY: all build test check fmt race fuzz-smoke bench bench-compare cluster-e2e cluster-demo profile
 
 all: build
 
@@ -82,11 +92,26 @@ bench:
 #   make bench-compare OLD=old.json NEW=new.json
 # The second pass gates the serving-path benchmarks: their absence from NEW
 # fails the build even when the baseline predates them.
-OLD ?= BENCH_PR4.json
+OLD ?= BENCH_PR5.json
 NEW ?= $(BENCH_OUT)
 bench-compare:
 	$(GO) run ./cmd/benchfmt -old $(OLD) -new $(NEW) $(if $(HOT_BENCHMARKS),-hot '$(HOT_BENCHMARKS)')
 	$(GO) run ./cmd/benchfmt -old $(OLD) -new $(NEW) -hot '$(SERVE_BENCHMARKS)'
+	$(GO) run ./cmd/benchfmt -old $(OLD) -new $(NEW) -hot '$(BATCH_BENCHMARKS)' -ratio '$(PERF_RATIOS)'
+
+# profile captures CPU and allocation pprof profiles of the two hot paths —
+# the protect/recover pipeline (paper Table 1 workload) and the streaming
+# batch upload route — and prints the CPU top for each. Inspect further with
+#   go tool pprof $(PROFILE_DIR)/protect.cpu.prof
+PROFILE_DIR ?= profiles
+profile:
+	mkdir -p $(PROFILE_DIR)
+	$(GO) test -run '^$$' -bench 'BenchmarkTable1Capabilities' -benchtime 2s \
+		-cpuprofile $(PROFILE_DIR)/protect.cpu.prof -memprofile $(PROFILE_DIR)/protect.mem.prof .
+	$(GO) test -run '^$$' -bench 'BenchmarkUploadBatch$$' -benchtime 2s \
+		-cpuprofile $(PROFILE_DIR)/batch.cpu.prof -memprofile $(PROFILE_DIR)/batch.mem.prof ./internal/psp/
+	$(GO) tool pprof -top -nodecount 15 $(PROFILE_DIR)/protect.cpu.prof
+	$(GO) tool pprof -top -nodecount 15 $(PROFILE_DIR)/batch.cpu.prof
 
 fmt:
 	@out="$$(gofmt -l .)"; \

@@ -136,17 +136,29 @@ func compare(oldPath, newPath string, hot []string, threshold float64, w io.Writ
 	}
 	names := hot
 	if len(names) == 0 {
+		var oldOnly, newOnly []string
 		for name := range oldR {
 			if _, ok := newR[name]; ok {
 				names = append(names, name)
 			} else {
-				fmt.Fprintf(w, "%-45s only in %s (skipped)\n", name, oldPath)
+				oldOnly = append(oldOnly, name)
 			}
 		}
 		for name := range newR {
 			if _, ok := oldR[name]; !ok {
-				fmt.Fprintf(w, "%-45s only in %s (skipped)\n", name, newPath)
+				newOnly = append(newOnly, name)
 			}
+		}
+		sort.Strings(oldOnly)
+		sort.Strings(newOnly)
+		for _, name := range oldOnly {
+			fmt.Fprintf(w, "%-45s only in %s (skipped)\n", name, oldPath)
+		}
+		// A benchmark only in the new report has no baseline to gate
+		// against; warn so it is added to HOT_BENCHMARKS (or the baseline
+		// regenerated) rather than silently riding along ungated.
+		for _, name := range newOnly {
+			fmt.Fprintf(w, "%-45s WARNING: new benchmark, no baseline in %s (not gated)\n", name, oldPath)
 		}
 		sort.Strings(names)
 	}
@@ -184,6 +196,87 @@ func compare(oldPath, newPath string, hot []string, threshold float64, w io.Writ
 	return failed, nil
 }
 
+// ratioExpr is one parsed -ratio assertion: value(num)/value(den) >= min,
+// where value is the named metric (default ns/op) from the NEW report.
+type ratioExpr struct {
+	num, den string
+	min      float64
+	unit     string
+}
+
+var ratioRE = regexp.MustCompile(`^([^/,]+)/([^>,]+)>=([0-9.]+)(?::(.+))?$`)
+
+func parseRatios(s string) ([]ratioExpr, error) {
+	var out []ratioExpr
+	for _, raw := range strings.Split(s, ",") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		m := ratioRE.FindStringSubmatch(raw)
+		if m == nil {
+			return nil, fmt.Errorf("benchfmt: bad -ratio expression %q (want NUM/DEN>=F[:unit])", raw)
+		}
+		min, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchfmt: bad -ratio bound in %q: %w", raw, err)
+		}
+		unit := m[4]
+		if unit == "" {
+			unit = "ns/op"
+		}
+		out = append(out, ratioExpr{num: strings.TrimSpace(m[1]), den: strings.TrimSpace(m[2]), min: min, unit: unit})
+	}
+	return out, nil
+}
+
+func (e ratioExpr) value(r Result) (float64, bool) {
+	switch e.unit {
+	case "ns/op":
+		return r.NsPerOp, r.NsPerOp > 0
+	case "MB/s":
+		return r.MBPerS, r.MBPerS > 0
+	case "B/op":
+		return r.BytesPerOp, r.BytesPerOp > 0
+	case "allocs/op":
+		return r.AllocsPerOp, r.AllocsPerOp > 0
+	default:
+		v, ok := r.Metrics[e.unit]
+		return v, ok && v > 0
+	}
+}
+
+// checkRatios enforces cross-benchmark assertions against the new report:
+// each expression requires value(num)/value(den) >= min. A missing
+// benchmark or metric fails — a perf guarantee that silently stops being
+// measured is a regression too.
+func checkRatios(newR map[string]Result, exprs []ratioExpr, w io.Writer) (failed bool) {
+	for _, e := range exprs {
+		num, okN := newR[e.num]
+		den, okD := newR[e.den]
+		if !okN || !okD {
+			fmt.Fprintf(w, "ratio %s/%s: MISSING benchmark (have %s=%v %s=%v)\n", e.num, e.den, e.num, okN, e.den, okD)
+			failed = true
+			continue
+		}
+		nv, okN := e.value(num)
+		dv, okD := e.value(den)
+		if !okN || !okD {
+			fmt.Fprintf(w, "ratio %s/%s: MISSING %s metric\n", e.num, e.den, e.unit)
+			failed = true
+			continue
+		}
+		got := nv / dv
+		status := "ok"
+		if got < e.min {
+			status = "RATIO BELOW BOUND"
+			failed = true
+		}
+		fmt.Fprintf(w, "ratio %s/%s = %.2fx (%s, want >= %.2fx)  %s\n", e.num, e.den, got, e.unit, e.min, status)
+	}
+	return failed
+}
+
 func main() {
 	var (
 		out       = flag.String("o", "", "write JSON report to this file (default stdout)")
@@ -192,8 +285,15 @@ func main() {
 		newPath   = flag.String("new", "", "candidate JSON report; with -old, enters compare mode")
 		hot       = flag.String("hot", "", "comma-separated benchmark names to gate on (default: all common)")
 		threshold = flag.Float64("threshold", 0.10, "allowed ns/op and allocs/op regression fraction in compare mode")
+		ratios    = flag.String("ratio", "", "comma-separated cross-benchmark assertions on the new report, e.g. 'BenchSeq/BenchBatch>=2:ns/op'")
 	)
 	flag.Parse()
+
+	ratioExprs, err := parseRatios(*ratios)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	var names []string
 	for _, n := range strings.Split(*hot, ",") {
@@ -211,6 +311,16 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
+		}
+		if len(ratioExprs) > 0 {
+			newR, err := readReport(*newPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			if checkRatios(newR, ratioExprs, os.Stdout) {
+				failed = true
+			}
 		}
 		if failed {
 			os.Exit(1)

@@ -142,6 +142,10 @@ func TestCompareAllCommon(t *testing.T) {
 			t.Errorf("output missing %s:\n%s", want, sb.String())
 		}
 	}
+	// A new-only benchmark warns explicitly that it is ungated.
+	if !strings.Contains(sb.String(), "WARNING: new benchmark") {
+		t.Errorf("new-only benchmark not flagged as ungated:\n%s", sb.String())
+	}
 
 	// An allocs/op regression beyond threshold fails even when ns/op improved.
 	newAllocs := writeReport(t, dir, "new_allocs.json",
@@ -157,5 +161,56 @@ func TestCompareAllCommon(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), "REGRESSION(allocs/op)") {
 		t.Errorf("output does not name the allocs/op regression:\n%s", sb.String())
+	}
+}
+
+func TestRatioGate(t *testing.T) {
+	newR := map[string]Result{
+		"BenchmarkSeq":   {Name: "BenchmarkSeq", NsPerOp: 2100},
+		"BenchmarkBatch": {Name: "BenchmarkBatch", NsPerOp: 1000},
+		"BenchmarkNorm":  {Name: "BenchmarkNorm", Metrics: map[string]float64{"coeff-bytes/op": 300}},
+		"BenchmarkNat":   {Name: "BenchmarkNat", Metrics: map[string]float64{"coeff-bytes/op": 150}},
+	}
+
+	exprs, err := parseRatios("BenchmarkSeq/BenchmarkBatch>=2, BenchmarkNorm/BenchmarkNat>=1.5:coeff-bytes/op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exprs) != 2 || exprs[0].unit != "ns/op" || exprs[1].unit != "coeff-bytes/op" {
+		t.Fatalf("parsed %+v", exprs)
+	}
+	var sb strings.Builder
+	if checkRatios(newR, exprs, &sb) {
+		t.Fatalf("satisfied ratios flagged as failure:\n%s", sb.String())
+	}
+
+	// A ratio below its bound fails.
+	exprs, err = parseRatios("BenchmarkSeq/BenchmarkBatch>=2.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if !checkRatios(newR, exprs, &sb) {
+		t.Fatalf("2.1x below a 2.5x bound not flagged:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "RATIO BELOW BOUND") {
+		t.Errorf("output does not name the violation:\n%s", sb.String())
+	}
+
+	// A missing benchmark or metric fails rather than silently passing.
+	exprs, _ = parseRatios("BenchmarkSeq/BenchmarkMissing>=2")
+	sb.Reset()
+	if !checkRatios(newR, exprs, &sb) {
+		t.Fatalf("missing denominator benchmark not flagged:\n%s", sb.String())
+	}
+	exprs, _ = parseRatios("BenchmarkSeq/BenchmarkBatch>=1:coeff-bytes/op")
+	sb.Reset()
+	if !checkRatios(newR, exprs, &sb) {
+		t.Fatalf("missing metric not flagged:\n%s", sb.String())
+	}
+
+	// Malformed expressions are rejected up front.
+	if _, err := parseRatios("BenchmarkSeq>=2"); err == nil {
+		t.Fatal("malformed ratio accepted")
 	}
 }

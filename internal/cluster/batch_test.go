@@ -1,0 +1,222 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"mime/multipart"
+	"net/http"
+	"net/textproto"
+	"testing"
+	"time"
+
+	"puppies/internal/psp"
+)
+
+// postBatch POSTs a hand-rolled multipart batch to the gateway and decodes
+// the per-part results. Each part is an UploadRequest body with an optional
+// Idempotency-Key part header (empty string omits it).
+func postBatch(t *testing.T, url string, bodies [][]byte, keys []string) (int, psp.BatchResponse) {
+	t.Helper()
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	for i, b := range bodies {
+		hdr := textproto.MIMEHeader{}
+		hdr.Set("Content-Disposition", `form-data; name="image"`)
+		hdr.Set("Content-Type", "application/json")
+		if keys[i] != "" {
+			hdr.Set("Idempotency-Key", keys[i])
+		}
+		pw, err := mw.CreatePart(hdr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := pw.Write(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := mw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/images:batch", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", mw.FormDataContentType())
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var br psp.BatchResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+			t.Fatalf("decode batch response: %v", err)
+		}
+	}
+	return resp.StatusCode, br
+}
+
+func uploadBody(t *testing.T, jpeg []byte) []byte {
+	t.Helper()
+	b, err := json.Marshal(psp.UploadRequest{Image: jpeg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestGatewayBatchUploadReplicatesAndReportsPerPart(t *testing.T) {
+	tc := newTestCluster(t, 3, nil)
+	jpeg := testJPEG(t)
+	good := uploadBody(t, jpeg)
+	bad := uploadBody(t, []byte("not a jpeg"))
+
+	status, br := postBatch(t, tc.srv.URL,
+		[][]byte{good, bad, good},
+		[]string{"batch-a", "", "batch-b"})
+	if status != http.StatusOK {
+		t.Fatalf("batch: HTTP %d", status)
+	}
+	if len(br.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(br.Results))
+	}
+
+	// Good parts get IDs; keys route through deriveID like single uploads.
+	for i, want := range map[int]string{0: deriveID("batch-a"), 2: deriveID("batch-b")} {
+		r := br.Results[i]
+		if r.Error != "" || r.ID != want {
+			t.Fatalf("part %d: id=%q err=%q (want id %q)", i, r.ID, r.Error, want)
+		}
+	}
+	// The bad part fails alone with the shard's client error passed through.
+	if r := br.Results[1]; r.ID != "" || r.Status != http.StatusUnprocessableEntity || r.Error == "" {
+		t.Fatalf("bad part: id=%q status=%d err=%q, want 422 with message", r.ID, r.Status, r.Error)
+	}
+
+	// Each stored part replicates to its full replica set and is readable
+	// back through the gateway byte-identically.
+	for _, id := range []string{br.Results[0].ID, br.Results[2].ID} {
+		order := tc.gw.ReplicaOrder(id)
+		waitFor(t, 3*time.Second, "batch part replication", func() bool {
+			for _, u := range order {
+				if !shardHas(t, u, id, jpeg) {
+					return false
+				}
+			}
+			return true
+		})
+		st, _, body := getBytes(t, tc.srv.URL+"/v1/images/"+id, nil)
+		if st != http.StatusOK || !bytes.Equal(body, jpeg) {
+			t.Fatalf("gateway GET %s: status %d, %d bytes", id, st, len(body))
+		}
+	}
+}
+
+func TestGatewayBatchDuplicateKeysConverge(t *testing.T) {
+	tc := newTestCluster(t, 3, nil)
+	jpeg := testJPEG(t)
+	body := uploadBody(t, jpeg)
+
+	status, br := postBatch(t, tc.srv.URL,
+		[][]byte{body, body},
+		[]string{"batch-dup", "batch-dup"})
+	if status != http.StatusOK {
+		t.Fatalf("batch: HTTP %d", status)
+	}
+	if len(br.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(br.Results))
+	}
+	if br.Results[0].Error != "" || br.Results[1].Error != "" {
+		t.Fatalf("unexpected errors: %+v", br.Results)
+	}
+	if br.Results[0].ID != br.Results[1].ID {
+		t.Fatalf("duplicate keys diverged: %q vs %q", br.Results[0].ID, br.Results[1].ID)
+	}
+	// A later single upload with the same key converges on the same ID too.
+	if id := tc.upload(t, jpeg, "batch-dup"); id != br.Results[0].ID {
+		t.Fatalf("single retry id %q, want %q", id, br.Results[0].ID)
+	}
+}
+
+func TestGatewayBatchEmpty(t *testing.T) {
+	tc := newTestCluster(t, 3, nil)
+	status, _ := postBatch(t, tc.srv.URL, nil, nil)
+	if status != http.StatusBadRequest {
+		t.Fatalf("empty batch: HTTP %d, want 400", status)
+	}
+}
+
+func TestGatewayBatchRawParts(t *testing.T) {
+	// Raw image/jpeg parts (with a paired params part) go through the
+	// gateway's fast path: it wraps them into UploadRequest bodies so every
+	// shard sees the same replicated PUT as a JSON item would produce.
+	tc := newTestCluster(t, 3, nil)
+	jpeg := testJPEG(t)
+	params := []byte(`{"v":1}`)
+
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	hdr := textproto.MIMEHeader{}
+	hdr.Set("Content-Disposition", `form-data; name="image"`)
+	hdr.Set("Content-Type", "image/jpeg")
+	hdr.Set("Idempotency-Key", "raw-batch")
+	pw, err := mw.CreatePart(hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pw.Write(jpeg); err != nil {
+		t.Fatal(err)
+	}
+	hdr = textproto.MIMEHeader{}
+	hdr.Set("Content-Disposition", `form-data; name="params"`)
+	hdr.Set("Content-Type", "application/json")
+	if pw, err = mw.CreatePart(hdr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pw.Write(params); err != nil {
+		t.Fatal(err)
+	}
+	if err := mw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, tc.srv.URL+"/v1/images:batch", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", mw.FormDataContentType())
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("raw batch: HTTP %d", resp.StatusCode)
+	}
+	var br psp.BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Results) != 1 || br.Results[0].Error != "" || br.Results[0].ID != deriveID("raw-batch") {
+		t.Fatalf("raw batch results: %+v", br.Results)
+	}
+	id := br.Results[0].ID
+
+	// Full replication, byte-identical image, params preserved.
+	order := tc.gw.ReplicaOrder(id)
+	waitFor(t, 3*time.Second, "raw batch replication", func() bool {
+		for _, u := range order {
+			if !shardHas(t, u, id, jpeg) {
+				return false
+			}
+		}
+		return true
+	})
+	st, _, body := getBytes(t, tc.srv.URL+"/v1/images/"+id, nil)
+	if st != http.StatusOK || !bytes.Equal(body, jpeg) {
+		t.Fatalf("gateway GET: status %d, %d bytes", st, len(body))
+	}
+	st, _, got := getBytes(t, tc.srv.URL+"/v1/images/"+id+"/params", nil)
+	if st != http.StatusOK || !bytes.Equal(bytes.TrimSpace(got), params) {
+		t.Fatalf("gateway params GET: status %d body %q, want %q", st, got, params)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -26,6 +27,17 @@ const (
 	DefaultHedgeDelay    = 100 * time.Millisecond
 	DefaultShardTimeout  = 15 * time.Second
 	DefaultProbeInterval = 1 * time.Second
+)
+
+// Batch route limits, mirroring internal/psp's: per-part bodies are bounded
+// by Config.MaxBody, the whole multipart envelope by batchBodyFactor times
+// that, and part count by batchMaxParts. batchReplicateConcurrency bounds
+// how many parts replicate to their quorums at once — each part already
+// fans out to R shards, so this multiplies into in-flight shard requests.
+const (
+	batchMaxParts             = 1024
+	batchBodyFactor           = 16
+	batchReplicateConcurrency = 8
 )
 
 // Config parameterizes a Gateway.
@@ -364,6 +376,7 @@ func isCorrupt(resp *shardResp) bool {
 //	GET  /v1/statz                        cluster + per-shard counters
 //	GET  /v1/images                       merged listing across shards
 //	POST /v1/images                       replicated upload (quorum W)
+//	POST /v1/images:batch                 multipart batch of replicated uploads
 //	GET  /v1/images/{id}[...]             failover proxy to replicas
 //	GET  /v1/admin/shards                 membership + breaker states
 //	POST /v1/admin/shards                 {"op":"join"|"leave","shard":URL}
@@ -377,6 +390,7 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/admin/repair", g.handleRepair)
 	mux.HandleFunc("GET /v1/images", g.handleList)
 	mux.HandleFunc("POST /v1/images", g.handleUpload)
+	mux.HandleFunc("POST /v1/images:batch", g.handleBatch)
 	mux.HandleFunc("GET /v1/images/{id}", g.handleProxy)
 	mux.HandleFunc("GET /v1/images/{id}/params", g.handleProxy)
 	mux.HandleFunc("GET /v1/images/{id}/transformed", g.handleProxy)
@@ -511,33 +525,35 @@ type uploadAck struct {
 	resp       *shardResp
 }
 
-func (g *Gateway) handleUpload(w http.ResponseWriter, r *http.Request) {
-	limit := g.maxBody()
-	body, err := io.ReadAll(io.LimitReader(r.Body, limit+1))
-	if err != nil {
-		http.Error(w, fmt.Sprintf("read body: %v", err), http.StatusBadRequest)
-		return
-	}
-	if int64(len(body)) > limit {
-		http.Error(w, fmt.Sprintf("body exceeds %d bytes", limit), http.StatusRequestEntityTooLarge)
-		return
-	}
-	key := strings.TrimSpace(r.Header.Get("Idempotency-Key"))
-	if key == "" {
-		key = newUploadKey()
-	}
+// uploadOutcome is a replicated upload's result, decoupled from the HTTP
+// response so the single and batch upload routes share one replication
+// path.
+type uploadOutcome struct {
+	// id is set on quorum success.
+	id string
+	// clientResp passes through a unanimous deterministic shard rejection.
+	clientResp *shardResp
+	// unavailable marks a quorum failure; msg and retryAfter shape the 503.
+	unavailable bool
+	retryAfter  time.Duration
+	msg         string
+}
+
+// replicateUpload fans one upload body out to the replica set of its
+// derived ID and waits for write quorum (the body of POST /v1/images,
+// shared with the batch route).
+func (g *Gateway) replicateUpload(body []byte, key, contentType string) uploadOutcome {
 	id := deriveID(key)
 	replicas := g.replicaShards(id)
 	if len(replicas) == 0 {
-		g.writeUnavailable(w, 0, "cluster: no shards")
-		return
+		return uploadOutcome{unavailable: true, msg: "cluster: no shards"}
 	}
 	hdr := http.Header{
 		"Content-Type":    {"application/json"},
 		"Idempotency-Key": {key},
 	}
-	if ct := r.Header.Get("Content-Type"); ct != "" {
-		hdr.Set("Content-Type", ct)
+	if contentType != "" {
+		hdr.Set("Content-Type", contentType)
 	}
 
 	// Fan out to every replica on a detached context: the client is
@@ -590,21 +606,218 @@ func (g *Gateway) handleUpload(w http.ResponseWriter, r *http.Request) {
 					g.goRepair(id, sh)
 				}
 			}()
-			w.Header().Set("Content-Type", "application/json")
-			_ = json.NewEncoder(w).Encode(psp.UploadResponse{ID: id})
-			return
+			return uploadOutcome{id: id}
 		}
 	}
 	// Quorum unreachable. A unanimous deterministic rejection (bad JSON,
 	// undecodable JPEG, key conflict) passes through as the shard said it;
 	// anything else is a retryable 503.
 	if clientErr != nil && ackCount == 0 && len(failed) == 0 {
-		writeShardResp(w, clientErr)
-		return
+		return uploadOutcome{clientResp: clientErr}
 	}
 	g.uploadQuorumFailures.Add(1)
-	g.writeUnavailable(w, retryAfter,
-		fmt.Sprintf("cluster: %d/%d replica acks, write quorum %d not met", ackCount, len(replicas), g.cfg.WriteQuorum))
+	return uploadOutcome{
+		unavailable: true,
+		retryAfter:  retryAfter,
+		msg:         fmt.Sprintf("cluster: %d/%d replica acks, write quorum %d not met", ackCount, len(replicas), g.cfg.WriteQuorum),
+	}
+}
+
+func (g *Gateway) handleUpload(w http.ResponseWriter, r *http.Request) {
+	limit := g.maxBody()
+	body, err := io.ReadAll(io.LimitReader(r.Body, limit+1))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("read body: %v", err), http.StatusBadRequest)
+		return
+	}
+	if int64(len(body)) > limit {
+		http.Error(w, fmt.Sprintf("body exceeds %d bytes", limit), http.StatusRequestEntityTooLarge)
+		return
+	}
+	key := strings.TrimSpace(r.Header.Get("Idempotency-Key"))
+	if key == "" {
+		key = newUploadKey()
+	}
+	out := g.replicateUpload(body, key, r.Header.Get("Content-Type"))
+	switch {
+	case out.id != "":
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(psp.UploadResponse{ID: out.id})
+	case out.clientResp != nil:
+		writeShardResp(w, out.clientResp)
+	default:
+		g.writeUnavailable(w, out.retryAfter, out.msg)
+	}
+}
+
+// gatewayBatchItem is one in-flight batch entry: the reader loop fills it,
+// a worker replicates it and writes *slot. Workers never touch the slot
+// slice itself, so the reader can keep appending without a lock.
+type gatewayBatchItem struct {
+	slot   *psp.BatchResult
+	key    string
+	raw    bool // body is raw JPEG bytes, not UploadRequest JSON
+	body   []byte
+	params []byte
+	failed bool
+}
+
+// handleBatch accepts the same multipart batch protocol as the PSP's
+// /v1/images:batch (JSON parts carrying an UploadRequest body, or raw
+// image/jpeg parts with an optional adjacent params part, each with an
+// optional per-part Idempotency-Key) and replicates every item through the
+// ring — items hash to different replica sets, so a batch spreads across
+// the cluster. Raw items are wrapped into an UploadRequest document before
+// replication, so shards see the same PUT body either way. Items replicate
+// with bounded concurrency while later parts are still streaming in;
+// results keep item order.
+func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
+	limit := g.maxBody()
+	r.Body = http.MaxBytesReader(w, r.Body, batchBodyFactor*limit)
+	mr, err := r.MultipartReader()
+	if err != nil {
+		http.Error(w, fmt.Sprintf("batch requires multipart/form-data: %v", err), http.StatusBadRequest)
+		return
+	}
+	var (
+		wg    sync.WaitGroup
+		slots []*psp.BatchResult
+	)
+	sem := make(chan struct{}, batchReplicateConcurrency)
+	dispatch := func(it *gatewayBatchItem) {
+		if it == nil || it.failed {
+			return
+		}
+		wg.Add(1)
+		// Acquire the slot inside the goroutine so the read loop never
+		// stops draining the socket (a paused reader closes the TCP window
+		// and the client stalls on the persist timer); buffered parts are
+		// bounded by the whole-batch body cap regardless.
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			body := it.body
+			if it.raw {
+				wrapped, err := json.Marshal(psp.UploadRequest{Image: it.body, Params: it.params})
+				if err != nil {
+					*it.slot = psp.BatchResult{Error: fmt.Sprintf("encode upload: %v", err), Status: http.StatusInternalServerError}
+					return
+				}
+				body = wrapped
+			}
+			out := g.replicateUpload(body, it.key, "application/json")
+			res := psp.BatchResult{ID: out.id}
+			switch {
+			case out.clientResp != nil:
+				res = psp.BatchResult{
+					Error:  string(bytes.TrimSpace(out.clientResp.body)),
+					Status: out.clientResp.status,
+				}
+			case out.unavailable:
+				res = psp.BatchResult{Error: out.msg, Status: http.StatusServiceUnavailable}
+			}
+			*it.slot = res
+		}()
+	}
+	var pending *gatewayBatchItem
+	fail := func(status int, format string, args ...any) {
+		dispatch(pending)
+		wg.Wait()
+		if status != 0 {
+			http.Error(w, fmt.Sprintf(format, args...), status)
+		}
+	}
+	for i := 0; ; i++ {
+		part, err := mr.NextPart()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				fail(http.StatusRequestEntityTooLarge, "batch body exceeds %d bytes", mbe.Limit)
+				return
+			}
+			fail(0, "") // stream died mid-batch: no one to answer
+			return
+		}
+		if i >= batchMaxParts {
+			fail(http.StatusBadRequest, "batch exceeds %d parts", batchMaxParts)
+			return
+		}
+
+		isParams := part.FormName() == psp.BatchParamsPart
+		if isParams && (pending == nil || !pending.raw) {
+			fail(http.StatusBadRequest, "params part without a preceding image part")
+			return
+		}
+
+		var buf bytes.Buffer
+		n, rerr := io.Copy(&buf, io.LimitReader(part, limit+1))
+		if rerr != nil {
+			var mbe *http.MaxBytesError
+			if errors.As(rerr, &mbe) {
+				fail(http.StatusRequestEntityTooLarge, "batch body exceeds %d bytes", mbe.Limit)
+				return
+			}
+			fail(0, "")
+			return
+		}
+
+		if isParams {
+			if n > limit {
+				pending.slot.Error = fmt.Sprintf("params part exceeds %d bytes", limit)
+				pending.slot.Status = http.StatusRequestEntityTooLarge
+				pending.failed = true
+			} else if !pending.failed {
+				pending.params = buf.Bytes()
+			}
+			dispatch(pending)
+			pending = nil
+			continue
+		}
+
+		dispatch(pending)
+		pending = nil
+
+		key := strings.TrimSpace(part.Header.Get("Idempotency-Key"))
+		if key == "" {
+			key = newUploadKey()
+		}
+		it := &gatewayBatchItem{
+			slot: new(psp.BatchResult),
+			key:  key,
+			raw:  strings.HasPrefix(part.Header.Get("Content-Type"), "image/"),
+			body: buf.Bytes(),
+		}
+		slots = append(slots, it.slot)
+		if n > limit {
+			it.body = nil
+			it.failed = true
+			*it.slot = psp.BatchResult{
+				Error:  fmt.Sprintf("part exceeds %d bytes", limit),
+				Status: http.StatusRequestEntityTooLarge,
+			}
+		}
+		if it.raw {
+			pending = it
+		} else if !it.failed {
+			dispatch(it)
+		}
+	}
+	dispatch(pending)
+	wg.Wait()
+	if len(slots) == 0 {
+		http.Error(w, "empty batch", http.StatusBadRequest)
+		return
+	}
+	results := make([]psp.BatchResult, len(slots))
+	for i, slot := range slots {
+		results[i] = *slot
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(psp.BatchResponse{Results: results})
 }
 
 // classifyUpload folds one PUT outcome into breaker state and an ack.

@@ -42,7 +42,7 @@ func decryptRegionBlocks(img *jpegc.Image, rp *RegionParams, getPair func(k int)
 		return err
 	}
 
-	bx0, by0, bw, bh := rp.ROI.Blocks()
+	_, _, bw, bh := rp.ROI.Blocks()
 	baseBW := rp.BaseBW
 	if baseBW == 0 {
 		baseBW = bw
@@ -53,19 +53,25 @@ func decryptRegionBlocks(img *jpegc.Image, rp *RegionParams, getPair func(k int)
 
 	// (channel, block-row) units mutate disjoint blocks in place; no output
 	// ordering is involved, so results are identical at any worker count.
-	parallel.For(len(img.Comps)*bh, regionRowGrain, func(lo, hi int) {
+	// Windows mirror the encrypt-side projection: subsampled chroma walks
+	// its native (smaller) block window, keyed by the co-located luma block.
+	wins := imageWindows(img, rp.ROI)
+	offs := rowOffsets(wins)
+	parallel.For(offs[len(wins)], regionRowGrain, func(lo, hi int) {
 		cache := newDeltaCache(sch)
 		for r := lo; r < hi; r++ {
-			ci, by := r/bh, r%bh
+			ci, wy := rowComp(offs, r)
+			w := &wins[ci]
 			comp := &img.Comps[ci]
-			for bx := 0; bx < bw; bx++ {
-				k := (rp.BaseBY+by)*baseBW + (rp.BaseBX + bx)
+			for wx := 0; wx < w.cbw; wx++ {
+				lbx, lby := w.lumaBlock(wx, wy)
+				k := (rp.BaseBY+lby)*baseBW + (rp.BaseBX + lbx)
 				pair := getPair(k)
 				if pair == nil {
 					continue
 				}
 				tbl := cache.table(pair)
-				b := comp.Block(bx0+bx, by0+by)
+				b := comp.Block(w.cbx0+wx, w.cby0+wy)
 
 				b[0] = wrapSub(b[0], sch.dcDelta(pair, k), dcOffset, dcModulus)
 
@@ -95,6 +101,9 @@ func DecryptImage(img *jpegc.Image, pd *PublicData, pairs map[string]*keys.Pair)
 	}
 	if img.W != pd.W || img.H != pd.H {
 		return 0, fmt.Errorf("core: image is %dx%d but public data says %dx%d", img.W, img.H, pd.W, pd.H)
+	}
+	if err := checkImageSampling(img, pd); err != nil {
+		return 0, err
 	}
 	n := 0
 	for i := range pd.Regions {
@@ -212,9 +221,21 @@ func CropPublicData(pd *PublicData, x, y, w, h int) (*PublicData, error) {
 	if w <= 0 || h <= 0 || x < 0 || y < 0 || x+w > pd.W || y+h > pd.H {
 		return nil, fmt.Errorf("core: crop (%d,%d,%d,%d) outside %dx%d", x, y, w, h, pd.W, pd.H)
 	}
+	if len(pd.Sampling) > 0 {
+		// A subsampled stored image can only be cropped on its MCU grid —
+		// anything finer would split chroma blocks, which has no
+		// coefficient-domain representation.
+		maxH, maxV := maxSampling(pd.Sampling)
+		crop := ROI{X: x, Y: y, W: w, H: h}
+		if !crop.AlignedToMCU(pd.W, pd.H, maxH, maxV) {
+			return nil, fmt.Errorf("core: crop (%d,%d,%d,%d) not aligned to the %dx%d-pixel MCU grid of this subsampled image",
+				x, y, w, h, dct.BlockSize*maxH, dct.BlockSize*maxV)
+		}
+	}
 	out := &PublicData{
 		W: w, H: h, Channels: pd.Channels,
 		LumQuant: pd.LumQuant, ChromQuant: pd.ChromQuant,
+		Sampling:  append([]CompSampling(nil), pd.Sampling...),
 		Transform: transform.Spec{Op: transform.OpNone},
 	}
 	window := ROI{X: x, Y: y, W: w, H: h}

@@ -121,9 +121,21 @@ func (s *Scheme) EncryptImage(img *jpegc.Image, regions []RegionAssignment) (*Pu
 	if len(regions) == 0 {
 		return nil, nil, fmt.Errorf("core: no regions to encrypt")
 	}
+	maxH, maxV := img.MaxSampling()
+	if hs, vs := img.Comps[0].Sampling(); hs != maxH || vs != maxV {
+		return nil, nil, fmt.Errorf("core: luma sampling %dx%d below image maximum %dx%d (unsupported layout)", hs, vs, maxH, maxV)
+	}
 	for i := range regions {
 		if err := regions[i].ROI.Validate(img.W, img.H); err != nil {
 			return nil, nil, err
+		}
+		// On subsampled images the region's chroma window rounds outward to
+		// whole chroma blocks; MCU alignment guarantees the windows of
+		// disjoint regions never share a chroma block (which would perturb
+		// it twice) and keeps the mapping stable under MCU-aligned crops.
+		if img.Subsampled() && !regions[i].ROI.AlignedToMCU(img.W, img.H, maxH, maxV) {
+			return nil, nil, fmt.Errorf("core: region %d ROI %+v not aligned to the %dx%d-pixel MCU grid of this subsampled image",
+				i, regions[i].ROI, dct.BlockSize*maxH, dct.BlockSize*maxV)
 		}
 		if regions[i].Pair != nil && len(regions[i].Pairs) > 0 {
 			return nil, nil, fmt.Errorf("core: region %d sets both Pair and Pairs", i)
@@ -152,6 +164,7 @@ func (s *Scheme) EncryptImage(img *jpegc.Image, regions []RegionAssignment) (*Pu
 		H:         img.H,
 		Channels:  img.Channels(),
 		LumQuant:  img.Comps[0].Quant,
+		Sampling:  samplingOf(img),
 		Transform: transform.Spec{Op: transform.OpNone},
 	}
 	if img.Channels() == 3 {
@@ -176,7 +189,7 @@ func (s *Scheme) EncryptImage(img *jpegc.Image, regions []RegionAssignment) (*Pu
 }
 
 func (s *Scheme) encryptRegion(img *jpegc.Image, roi ROI, pairs []*keys.Pair) (*RegionParams, *Stats, error) {
-	bx0, by0, bw, bh := roi.Blocks()
+	_, _, bw, _ := roi.Blocks()
 	rp := &RegionParams{
 		ROI:     roi,
 		Variant: s.params.Variant,
@@ -207,21 +220,31 @@ func (s *Scheme) encryptRegion(img *jpegc.Image, roi ROI, pairs []*keys.Pair) (*
 	// (channel, block-row) units are independent: each writes a disjoint set
 	// of blocks and collects its own stats and index lists. Chunk results are
 	// merged in chunk order below, reproducing the exact (ci, by, bx, zz)
-	// append order of the serial loop at any worker count.
+	// append order of the serial loop at any worker count. Subsampled chroma
+	// contributes its (smaller) window rows to the flattened range; on 4:4:4
+	// images every window equals the luma rect, so the chunking — and the
+	// output — is bit-identical to the legacy ci*bh+by walk.
+	wins := imageWindows(img, roi)
+	offs := rowOffsets(wins)
 	type rowOut struct {
 		st                  Stats
 		wInd, zInd, support PosList
 	}
-	parts := parallel.Map(len(img.Comps)*bh, regionRowGrain, func(lo, hi int) *rowOut {
+	parts := parallel.Map(offs[len(wins)], regionRowGrain, func(lo, hi int) *rowOut {
 		out := &rowOut{}
 		for r := lo; r < hi; r++ {
-			ci, by := r/bh, r%bh
+			ci, wy := rowComp(offs, r)
+			w := &wins[ci]
 			comp := &img.Comps[ci]
-			for bx := 0; bx < bw; bx++ {
-				k := by*bw + bx // original-grid region-local block index
+			for wx := 0; wx < w.cbw; wx++ {
+				// Key index k is the region-local index of the block's
+				// co-located luma block on the ORIGINAL region grid (for
+				// full-resolution components this is just by*bw+bx).
+				lbx, lby := w.lumaBlock(wx, wy)
+				k := lby*bw + lbx
 				pi := (k / keys.MatrixLen) % len(pairs)
 				pair, tbl := pairs[pi], &tables[pi]
-				b := comp.Block(bx0+bx, by0+by)
+				b := comp.Block(w.cbx0+wx, w.cby0+wy)
 				out.st.Blocks++
 
 				// DC (always perturbed, all variants).

@@ -221,6 +221,12 @@ type PublicData struct {
 	// receivers need them to build shadow ROIs and to replay recompression.
 	LumQuant   dct.QuantTable `json:"lumQuant"`
 	ChromQuant dct.QuantTable `json:"chromQuant"`
+	// Sampling lists per-channel JPEG sampling factors for natively
+	// subsampled images (4:2:0/4:2:2/4:4:0); empty means every channel is
+	// full resolution (the legacy 4:4:4/grayscale layout), keeping those
+	// documents byte-identical to earlier versions. Receivers need it to
+	// project region windows onto the chroma block grids.
+	Sampling []CompSampling `json:"sampling,omitempty"`
 	// Regions holds one entry per perturbed ROI.
 	Regions []RegionParams `json:"regions"`
 	// Transform records what the PSP did to the stored image (OpNone if
@@ -238,6 +244,9 @@ func (pd *PublicData) Validate() error {
 	}
 	if pd.Channels != 1 && pd.Channels != 3 {
 		return fmt.Errorf("core: public data has %d channels", pd.Channels)
+	}
+	if err := validateSampling(pd.Sampling, pd.Channels); err != nil {
+		return err
 	}
 	for i := range pd.Regions {
 		rp := &pd.Regions[i]

@@ -59,6 +59,51 @@ func (r ROI) AlignToBlocks(w, h int) (ROI, error) {
 	return ROI{X: x0, Y: y0, W: x1 - x0, H: y1 - y0}, nil
 }
 
+// AlignedToMCU reports whether the ROI sits on the MCU grid of a wxh image
+// with maximum sampling factors (maxH, maxV) — MCUs are 8*maxH x 8*maxV
+// pixels. Right/bottom edges may instead land on the last full block column
+// or row of the image (valid block-aligned ROIs cannot extend further).
+// MCU-aligned regions project onto chroma block grids without sharing any
+// chroma block with a neighboring region, which native subsampled
+// encryption requires.
+func (r ROI) AlignedToMCU(w, h, maxH, maxV int) bool {
+	gx := dct.BlockSize * maxH
+	gy := dct.BlockSize * maxV
+	edgeX := (w / dct.BlockSize) * dct.BlockSize
+	edgeY := (h / dct.BlockSize) * dct.BlockSize
+	return r.X%gx == 0 && r.Y%gy == 0 &&
+		((r.X+r.W)%gx == 0 || r.X+r.W == edgeX) &&
+		((r.Y+r.H)%gy == 0 || r.Y+r.H == edgeY)
+}
+
+// AlignToMCU expands the ROI outward to the MCU grid of a wxh image with
+// maximum sampling (maxH, maxV), clipping to the block-aligned image bounds
+// the same way AlignToBlocks does. The result satisfies AlignedToMCU.
+func (r ROI) AlignToMCU(w, h, maxH, maxV int) (ROI, error) {
+	gx := dct.BlockSize * maxH
+	gy := dct.BlockSize * maxV
+	x0 := (r.X / gx) * gx
+	y0 := (r.Y / gy) * gy
+	x1 := ((r.X + r.W + gx - 1) / gx) * gx
+	y1 := ((r.Y + r.H + gy - 1) / gy) * gy
+	if x0 < 0 {
+		x0 = 0
+	}
+	if y0 < 0 {
+		y0 = 0
+	}
+	if edgeX := (w / dct.BlockSize) * dct.BlockSize; x1 > edgeX {
+		x1 = edgeX
+	}
+	if edgeY := (h / dct.BlockSize) * dct.BlockSize; y1 > edgeY {
+		y1 = edgeY
+	}
+	if x1 <= x0 || y1 <= y0 {
+		return ROI{}, fmt.Errorf("core: ROI %+v aligns to an empty MCU region in %dx%d image", r, w, h)
+	}
+	return ROI{X: x0, Y: y0, W: x1 - x0, H: y1 - y0}, nil
+}
+
 // Blocks returns the ROI's block-grid origin and dimensions.
 func (r ROI) Blocks() (bx, by, bw, bh int) {
 	return r.X / dct.BlockSize, r.Y / dct.BlockSize, r.W / dct.BlockSize, r.H / dct.BlockSize

@@ -28,6 +28,25 @@ func ShadowImage(pd *PublicData, pairs map[string]*keys.Pair) (*imgplane.Image, 
 	if err != nil {
 		return nil, err
 	}
+	// Subsampled channels accumulate block IDCTs at native resolution and are
+	// upsampled once at the end with the same bilinear kernel the decoder's
+	// ToPlanar uses. Upsampling is linear, so
+	// up(native perturbed) - up(native shadow) = up(native original) exactly —
+	// the shadow cancels the served pixels with no resampling residue.
+	samp := normSampling(pd.Sampling, pd.Channels)
+	maxH, maxV := maxSampling(samp)
+	natives := make([]*imgplane.Plane, pd.Channels)
+	for ci := range natives {
+		if samp[ci].H == maxH && samp[ci].V == maxV {
+			natives[ci] = shadow.Planes[ci]
+			continue
+		}
+		pw := (pd.W*samp[ci].H + maxH - 1) / maxH
+		ph := (pd.H*samp[ci].V + maxV - 1) / maxV
+		p := imgplane.GetPlane(pw, ph)
+		clear(p.Pix)
+		natives[ci] = p
+	}
 	for i := range pd.Regions {
 		rp := &pd.Regions[i]
 		any := false
@@ -40,14 +59,20 @@ func ShadowImage(pd *PublicData, pairs map[string]*keys.Pair) (*imgplane.Image, 
 		if !any {
 			continue
 		}
-		if err := addRegionShadow(shadow, pd, rp, pairs); err != nil {
+		if err := addRegionShadow(natives, pd, rp, pairs); err != nil {
 			return nil, fmt.Errorf("core: region %d shadow: %w", i, err)
+		}
+	}
+	for ci, p := range natives {
+		if p != shadow.Planes[ci] {
+			imgplane.ResizeBilinearInto(p, shadow.Planes[ci])
+			imgplane.PutPlane(p)
 		}
 	}
 	return shadow, nil
 }
 
-func addRegionShadow(shadow *imgplane.Image, pd *PublicData, rp *RegionParams, pairs map[string]*keys.Pair) error {
+func addRegionShadow(natives []*imgplane.Plane, pd *PublicData, rp *RegionParams, pairs map[string]*keys.Pair) error {
 	sch, err := NewScheme(Params{Variant: rp.Variant, MR: rp.MR, K: rp.K, Wrap: rp.Wrap})
 	if err != nil {
 		return err
@@ -56,7 +81,7 @@ func addRegionShadow(shadow *imgplane.Image, pd *PublicData, rp *RegionParams, p
 		return fmt.Errorf("core: %s region has no support list; encrypt with TransformSupport for pixel-domain recovery", rp.Variant)
 	}
 
-	bx0, by0, bw, bh := rp.ROI.Blocks()
+	_, _, bw, bh := rp.ROI.Blocks()
 	baseBW := rp.BaseBW
 	if baseBW == 0 {
 		baseBW = bw
@@ -68,18 +93,24 @@ func addRegionShadow(shadow *imgplane.Image, pd *PublicData, rp *RegionParams, p
 	variantZ := rp.Variant == VariantZ
 
 	// Each (channel, block-row) unit writes a disjoint 8-pixel band of its
-	// plane, so the accumulation is race-free and order-independent.
-	parallel.For(pd.Channels*bh, regionRowGrain, func(lo, hi int) {
+	// channel's native plane, so the accumulation is race-free and
+	// order-independent. Subsampled channels walk their native block windows
+	// at chroma-grid pixel offsets, keyed by the co-located luma block.
+	wins := pdWindows(pd, rp.ROI)
+	offs := rowOffsets(wins)
+	parallel.For(offs[len(wins)], regionRowGrain, func(lo, hi int) {
 		cache := newDeltaCache(sch)
 		for r := lo; r < hi; r++ {
-			ci, by := r/bh, r%bh
+			ci, wy := rowComp(offs, r)
+			w := &wins[ci]
 			quant := &pd.LumQuant
 			if ci > 0 {
 				quant = &pd.ChromQuant
 			}
-			plane := shadow.Planes[ci]
-			for bx := 0; bx < bw; bx++ {
-				k := (rp.BaseBY+by)*baseBW + (rp.BaseBX + bx)
+			plane := natives[ci]
+			for wx := 0; wx < w.cbw; wx++ {
+				lbx, lby := w.lumaBlock(wx, wy)
+				k := (rp.BaseBY+lby)*baseBW + (rp.BaseBX + lbx)
 				pair := pairs[rp.KeyIDForBlock(k)]
 				if pair == nil {
 					continue // stripe key not held: block stays perturbed
@@ -110,9 +141,11 @@ func addRegionShadow(shadow *imgplane.Image, pd *PublicData, rp *RegionParams, p
 
 				spatial := dct.Inverse(&raw)
 				for y := 0; y < dct.BlockSize; y++ {
-					py := (by0+by)*dct.BlockSize + y
+					py := (w.cby0+wy)*dct.BlockSize + y
 					for x := 0; x < dct.BlockSize; x++ {
-						px := (bx0+bx)*dct.BlockSize + x
+						px := (w.cbx0+wx)*dct.BlockSize + x
+						// Set ignores writes past the native plane edge
+						// (partial edge blocks), matching the decoder's crop.
 						plane.Set(px, py, plane.At(px, py)+float32(spatial[y*dct.BlockSize+x]))
 					}
 				}

@@ -1,0 +1,82 @@
+package imgplane
+
+import (
+	"sync"
+
+	"puppies/internal/parallel"
+)
+
+// resizeRowGrain is the parallel chunk size for resize loops, in output rows.
+const resizeRowGrain = 32
+
+// ResizeBilinearInto resizes src into dst (whose dimensions select the
+// target size) with center-aligned bilinear interpolation. This is the one
+// chroma upsampling kernel in the codebase: jpegc uses it to present
+// subsampled chroma at full resolution, and core uses the identical kernel
+// when building shadow planes, so the two sides cancel exactly for linear
+// transforms (shadow reconstruction relies on U(c+d) - U(d) = U(c) for the
+// upsample U, which holds because the kernel is linear in the samples).
+//
+// Output rows are written disjointly, so the parallel loop is deterministic
+// at any worker count.
+func ResizeBilinearInto(src, dst *Plane) {
+	if src.W == dst.W && src.H == dst.H {
+		copy(dst.Pix, src.Pix)
+		return
+	}
+	w, h := dst.W, dst.H
+	fx := float64(w) / float64(src.W)
+	fy := float64(h) / float64(src.H)
+	parallel.For(h, resizeRowGrain, func(lo, hi int) {
+		for oy := lo; oy < hi; oy++ {
+			sy := (float64(oy)+0.5)/fy - 0.5
+			y0 := int(sy)
+			if sy < 0 {
+				y0 = -1
+			}
+			wy := float32(sy - float64(y0))
+			for ox := 0; ox < w; ox++ {
+				sx := (float64(ox)+0.5)/fx - 0.5
+				x0 := int(sx)
+				if sx < 0 {
+					x0 = -1
+				}
+				wx := float32(sx - float64(x0))
+				v := (1-wy)*((1-wx)*src.At(x0, y0)+wx*src.At(x0+1, y0)) +
+					wy*((1-wx)*src.At(x0, y0+1)+wx*src.At(x0+1, y0+1))
+				dst.Pix[oy*w+ox] = v
+			}
+		}
+	})
+}
+
+// planePool recycles Plane backing arrays for transient intermediates
+// (native-resolution chroma before upsampling, normalization scratch).
+// Pooled planes keep whatever capacity they grew to; GetPlane reslices and
+// zeroes nothing — callers overwrite every sample before reading.
+var planePool = sync.Pool{New: func() any { return &Plane{} }}
+
+// GetPlane returns a pooled plane resized to w x h. The contents are
+// unspecified; the caller must write every sample it reads back.
+func GetPlane(w, h int) *Plane {
+	if w <= 0 || h <= 0 {
+		panic("imgplane: invalid pooled plane size")
+	}
+	p := planePool.Get().(*Plane)
+	p.W, p.H = w, h
+	if cap(p.Pix) < w*h {
+		p.Pix = make([]float32, w*h)
+	} else {
+		p.Pix = p.Pix[:w*h]
+	}
+	return p
+}
+
+// PutPlane returns a plane obtained from GetPlane to the pool. The caller
+// must not use the plane afterwards.
+func PutPlane(p *Plane) {
+	if p == nil {
+		return
+	}
+	planePool.Put(p)
+}

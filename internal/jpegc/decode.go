@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"sync"
 
 	"puppies/internal/dct"
 	"puppies/internal/parallel"
@@ -14,16 +15,39 @@ import (
 // streams: 8-bit baseline sequential Huffman, grayscale or 3 components
 // with sampling factors up to 2x2 (4:4:4, 4:2:2, 4:4:0, 4:2:0 — i.e. this
 // package's own output plus standard encoder output such as Go's
-// image/jpeg). Subsampled chroma is normalized to 4:4:4 on import (see
-// normalizeSampling: luma is imported bit-exactly, chroma is upsampled and
-// re-quantized once). Progressive streams return an error.
+// image/jpeg). Components keep their native geometry: subsampled chroma is
+// NOT upsampled on import, so every coefficient of every component
+// survives decode→encode bit-exactly (see Image.Normalize444 for the
+// legacy 4:4:4 conversion). Progressive streams return an error.
 func Decode(r io.Reader) (*Image, error) {
-	d := &decoder{r: bufio.NewReader(r)}
-	if err := d.run(); err != nil {
+	br := decReaderPool.Get().(*bufio.Reader)
+	br.Reset(r)
+	d := &decoder{r: br}
+	err := d.run()
+	br.Reset(nil)
+	decReaderPool.Put(br)
+	// The Huffman tables never outlive the decode; recycle them. Each slot
+	// holds a pointer no other slot shares (redefined tables are simply
+	// dropped to the GC).
+	for i := range d.dcDec {
+		putDecTable(d.dcDec[i])
+		putDecTable(d.acDec[i])
+	}
+	if err != nil {
+		// A failed decode may have allocated its grids already; nothing
+		// escapes, so hand them straight back.
+		if d.img != nil {
+			d.img.Recycle()
+		}
 		return nil, err
 	}
 	return d.img, nil
 }
+
+// decReaderPool recycles the decoder's input buffer. Nothing returned from
+// Decode aliases it: segment bodies are copied out by readSegmentBody and
+// entropy data is appended into its own buffer.
+var decReaderPool = sync.Pool{New: func() any { return bufio.NewReaderSize(nil, 4096) }}
 
 // maxDecodePixels bounds decoded image area so crafted SOF headers cannot
 // trigger multi-gigabyte allocations (coefficient storage is 256 bytes per
@@ -240,7 +264,8 @@ func (d *decoder) parseDHT() error {
 		if len(body) < 17+total {
 			return fmt.Errorf("jpegc: truncated DHT values")
 		}
-		spec.Values = append([]byte(nil), body[17:17+total]...)
+		// newDecTable copies the values out, so the spec may alias body.
+		spec.Values = body[17 : 17+total]
 		body = body[17+total:]
 		tbl, err := newDecTable(&spec)
 		if err != nil {
@@ -323,8 +348,9 @@ func (d *decoder) parseSOF() error {
 	if nComp == 1 && (d.maxH != 1 || d.maxV != 1) {
 		return fmt.Errorf("jpegc: grayscale stream with sampling factors %dx%d", d.maxH, d.maxV)
 	}
-	// Allocate per-component grids padded to whole MCUs; normalizeSampling
-	// reshapes everything to a 4:4:4 layout after the scan.
+	// Allocate per-component grids padded to whole MCUs; finishSampling
+	// trims the padding back to each component's nominal grid after the
+	// scan.
 	mcusX := (w + 8*d.maxH - 1) / (8 * d.maxH)
 	mcusY := (h + 8*d.maxV - 1) / (8 * d.maxV)
 	d.img = &Image{W: w, H: h, Comps: make([]Component, nComp)}
@@ -334,7 +360,7 @@ func (d *decoder) parseSOF() error {
 		d.img.Comps[i] = Component{
 			BlocksW: bw,
 			BlocksH: bh,
-			Blocks:  make([]dct.Block, bw*bh),
+			Blocks:  getBlockSlab(bw * bh),
 		}
 	}
 	d.sawSOF = true
@@ -398,7 +424,7 @@ func (d *decoder) parseSOSAndScan() error {
 	if err := d.decodeScan(); err != nil {
 		return err
 	}
-	if err := d.normalizeSampling(); err != nil {
+	if err := d.finishSampling(); err != nil {
 		return err
 	}
 	d.sawScan = true

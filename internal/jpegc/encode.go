@@ -45,7 +45,11 @@ type tableSet struct {
 }
 
 // Encode writes the coefficient image as a baseline JFIF stream: grayscale
-// for 1 component, YUV 4:4:4 for 3 components.
+// for 1 component, YUV at the components' native sampling for 3 components
+// (4:4:4 when all components sample 1x1, MCU-interleaved 4:2:0/4:2:2/4:4:0
+// otherwise). Blocks in the MCU padding margin of subsampled layouts are
+// filled by edge-block replication, which round-trips: the decoder writes
+// them into the padded grid and trims them away.
 func (m *Image) Encode(w io.Writer, opts EncodeOptions) error {
 	if err := m.Validate(); err != nil {
 		return err
@@ -174,14 +178,15 @@ func writeMarkers(w io.Writer, m *Image, tables *tableSet, restartInterval int) 
 		return err
 	}
 
-	// SOF0: baseline, 8-bit precision, 4:4:4 sampling.
+	// SOF0: baseline, 8-bit precision, per-component sampling factors.
 	sof := []byte{8, byte(m.H >> 8), byte(m.H), byte(m.W >> 8), byte(m.W), byte(len(m.Comps))}
 	for ci := range m.Comps {
 		qid := byte(0)
 		if ci > 0 {
 			qid = 1
 		}
-		sof = append(sof, byte(ci+1), 0x11, qid)
+		hs, vs := m.Comps[ci].Sampling()
+		sof = append(sof, byte(ci+1), byte(hs<<4|vs), qid)
 	}
 	if err := writeSegment(w, markerSOF0, sof); err != nil {
 		return err
@@ -302,33 +307,63 @@ func countBlock(b *dct.Block, pred int32, dc, ac *[256]int64) int32 {
 // per-chunk histogram.
 const histGrain = 256
 
+// mcuGrid returns the scan's MCU counts: for 4:4:4 an MCU is one block per
+// component, for subsampled layouts it spans 8*maxH x 8*maxV pixels.
+func (m *Image) mcuGrid() (mcusX, mcusY int) {
+	maxH, maxV := m.MaxSampling()
+	mcusX = (m.W + dct.BlockSize*maxH - 1) / (dct.BlockSize * maxH)
+	mcusY = (m.H + dct.BlockSize*maxV - 1) / (dct.BlockSize * maxV)
+	return mcusX, mcusY
+}
+
+// clampedBlock returns the block at (bx, by), replicating the nearest edge
+// block for coordinates in the MCU padding margin outside the nominal grid
+// (the scan walks whole MCUs, the grid stores only nominal blocks).
+func (c *Component) clampedBlock(bx, by int) *dct.Block {
+	if bx >= c.BlocksW {
+		bx = c.BlocksW - 1
+	}
+	if by >= c.BlocksH {
+		by = c.BlocksH - 1
+	}
+	return &c.Blocks[by*c.BlocksW+bx]
+}
+
 func (m *Image) gatherOptimalTables() (tableSet, error) {
 	// The statistics pass is embarrassingly parallel: the DC symbol of MCU
 	// i depends only on the stored DC of MCU i-1 (the predictor is the
 	// previous block's coefficient, not an encoder-state value), so each
-	// chunk seeds its predictors from the MCU just before it. Histograms
-	// are integer counts, so merging per-chunk partials is exact and
-	// order-independent. The per-chunk histograms (8 KiB each) come from a
-	// pool and go back after the merge.
-	bw, bh := m.Comps[0].BlocksW, m.Comps[0].BlocksH
-	nMCU := bw * bh
+	// chunk seeds its predictors from the last block its component emits in
+	// the MCU just before it. Histograms are integer counts, so merging
+	// per-chunk partials is exact and order-independent. The per-chunk
+	// histograms (8 KiB each) come from a pool and go back after the merge.
+	// The walk must count the identical symbol stream writeScan emits,
+	// replicated MCU-padding blocks included.
+	mcusX, mcusY := m.mcuGrid()
+	nMCU := mcusX * mcusY
 	parts := parallel.Map(nMCU, histGrain, func(lo, hi int) *symbolHist {
 		h := getHist()
 		var pred [4]int32
 		if lo > 0 {
-			prevBX, prevBY := (lo-1)%bw, (lo-1)/bw
+			pmx, pmy := (lo-1)%mcusX, (lo-1)/mcusX
 			for ci := range m.Comps {
-				pred[ci] = m.Comps[ci].Block(prevBX, prevBY)[0]
+				hs, vs := m.Comps[ci].Sampling()
+				pred[ci] = m.Comps[ci].clampedBlock(pmx*hs+hs-1, pmy*vs+vs-1)[0]
 			}
 		}
 		for mcu := lo; mcu < hi; mcu++ {
-			bx, by := mcu%bw, mcu/bw
+			mx, my := mcu%mcusX, mcu/mcusX
 			for ci := range m.Comps {
 				ti := 0
 				if ci > 0 {
 					ti = 1
 				}
-				pred[ci] = countBlock(m.Comps[ci].Block(bx, by), pred[ci], &h.dc[ti], &h.ac[ti])
+				hs, vs := m.Comps[ci].Sampling()
+				for v := 0; v < vs; v++ {
+					for hh := 0; hh < hs; hh++ {
+						pred[ci] = countBlock(m.Comps[ci].clampedBlock(mx*hs+hh, my*vs+v), pred[ci], &h.dc[ti], &h.ac[ti])
+					}
+				}
 			}
 		}
 		return h
@@ -385,28 +420,34 @@ func (m *Image) writeScan(w io.Writer, tables *tableSet, restartInterval int) er
 	bw := newBitWriter(w)
 	defer bw.release()
 	var pred [4]int32
-	gridW, gridH := m.Comps[0].BlocksW, m.Comps[0].BlocksH
+	mcusX, mcusY := m.mcuGrid()
 	mcu, rstIndex := 0, 0
-	for by := 0; by < gridH; by++ {
-		for bx := 0; bx < gridW; bx++ {
+	for my := 0; my < mcusY; my++ {
+		for mx := 0; mx < mcusX; mx++ {
 			if restartInterval > 0 && mcu > 0 && mcu%restartInterval == 0 {
 				bw.WriteRestart(rstIndex) // pad, emit RSTn, reset DC prediction
 				rstIndex++
 				pred = [4]int32{}
 			}
 			mcu++
-			// In the 4:4:4 layout an MCU is one block per component.
+			// An MCU carries hs x vs blocks per component (one block each in
+			// the 4:4:4 layout); padding positions replicate the edge block.
 			for ci := range m.Comps {
 				ti := 0
 				if ci > 0 {
 					ti = 1
 				}
-				next, err := encodeBlock(bw, m.Comps[ci].Block(bx, by), pred[ci], dcEnc[ti], acEnc[ti])
-				if err != nil {
-					bw.setErr(err)
-					return bw.Flush()
+				hs, vs := m.Comps[ci].Sampling()
+				for v := 0; v < vs; v++ {
+					for h := 0; h < hs; h++ {
+						next, err := encodeBlock(bw, m.Comps[ci].clampedBlock(mx*hs+h, my*vs+v), pred[ci], dcEnc[ti], acEnc[ti])
+						if err != nil {
+							bw.setErr(err)
+							return bw.Flush()
+						}
+						pred[ci] = next
+					}
 				}
-				pred[ci] = next
 			}
 		}
 	}

@@ -2,6 +2,7 @@ package jpegc
 
 import (
 	"bytes"
+	"image"
 	"math/rand"
 	"testing"
 )
@@ -39,6 +40,22 @@ func FuzzDecode(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(obuf.Bytes())
+	// Native-subsampled seeds: 4:2:0 and 4:2:2 streams from the stdlib
+	// encoder reach the MCU-interleaved scan parser and the per-component
+	// geometry paths (odd dims exercise partial edge MCUs). Also re-encode
+	// the 4:2:0 stream with our own encoder so the fuzzer starts from our
+	// interleaved writer's output too.
+	f.Add(stdlibYCbCr(f, 67, 45, image.YCbCrSubsampleRatio420))
+	f.Add(stdlibYCbCr(f, 48, 33, image.YCbCrSubsampleRatio422))
+	sub, err := Decode(bytes.NewReader(stdlibYCbCr(f, 64, 48, image.YCbCrSubsampleRatio420)))
+	if err != nil {
+		f.Fatal(err)
+	}
+	var sbuf bytes.Buffer
+	if err := sub.Encode(&sbuf, EncodeOptions{RestartInterval: 1}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(sbuf.Bytes())
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		out, err := Decode(bytes.NewReader(data))

@@ -1,6 +1,9 @@
 package jpegc
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // maxCodeLength is the longest Huffman code baseline JPEG permits.
 const maxCodeLength = 16
@@ -87,13 +90,33 @@ type decTable struct {
 	maxcode [maxCodeLength + 1]int32 // -1 when no codes of this length
 	valptr  [maxCodeLength + 1]int
 	values  []byte
+	valbuf  [256]byte // backing storage for values
+}
+
+// decTablePool recycles decode tables between Decode calls. A reused table
+// only needs its LUT cleared and maxcode rewritten: the slow-path walk
+// guards every mincode/valptr read behind maxcode, which newDecTable sets
+// for every length.
+var decTablePool = sync.Pool{New: func() any { return new(decTable) }}
+
+// putDecTable hands a table back; the caller must hold the only reference.
+func putDecTable(t *decTable) {
+	if t == nil {
+		return
+	}
+	t.values = nil
+	decTablePool.Put(t)
 }
 
 func newDecTable(s *HuffmanSpec) (*decTable, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	t := &decTable{values: s.Values}
+	t := decTablePool.Get().(*decTable)
+	t.lut = [1 << lutBits]uint16{}
+	// Values are copied into the table's own backing array (at most 256 of
+	// them), so the spec may alias a transient segment body.
+	t.values = append(t.valbuf[:0], s.Values...)
 	code := int32(0)
 	vi := 0
 	for length := 1; length <= maxCodeLength; length++ {

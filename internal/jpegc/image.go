@@ -11,10 +11,13 @@
 //     or per-image optimized tables, mirroring libjpeg's optimize_coding),
 //   - a JFIF bit-stream writer and reader.
 //
-// The writer emits 4:4:4 baseline streams that Go's stdlib image/jpeg
-// decoder accepts (verified in tests); the reader accepts this package's
-// streams plus any 8-bit baseline 4:4:4 or grayscale stream (e.g. stdlib
-// grayscale output).
+// Components carry their own sampling factors, so 4:2:0 / 4:2:2 / 4:4:0
+// streams decode, protect, and re-encode in their native subsampled
+// geometry — chroma blocks are never upsampled to 4:4:4 on import. The
+// writer emits MCU-interleaved baseline streams at the image's native
+// sampling that Go's stdlib image/jpeg decoder accepts (verified in
+// tests); the reader accepts this package's streams plus any 8-bit
+// baseline stream with sampling factors up to 2x2 (e.g. stdlib output).
 //
 // Coefficient conventions: DC occupies [-1024, 1023]; AC occupies
 // [-1023, 1023] (baseline Huffman AC categories reach size 10 only, so
@@ -41,6 +44,24 @@ type Component struct {
 	Blocks []dct.Block
 	// Quant is the quantization table the blocks were quantized with.
 	Quant dct.QuantTable
+	// HSamp and VSamp are the JPEG sampling factors (1 or 2). The zero
+	// value means 1, so directly constructed 4:4:4 components need not set
+	// them. A component sampled below the image maximum covers
+	// ceil(W*HSamp/maxH) x ceil(H*VSamp/maxV) pixels.
+	HSamp, VSamp int
+}
+
+// Sampling returns the component's sampling factors, mapping the zero
+// value to 1x1.
+func (c *Component) Sampling() (h, v int) {
+	h, v = c.HSamp, c.VSamp
+	if h == 0 {
+		h = 1
+	}
+	if v == 0 {
+		v = 1
+	}
+	return h, v
 }
 
 // Block returns a pointer to the block at grid position (bx, by).
@@ -50,14 +71,17 @@ func (c *Component) Block(bx, by int) *dct.Block {
 
 // Clone returns a deep copy of the component.
 func (c *Component) Clone() Component {
-	out := Component{BlocksW: c.BlocksW, BlocksH: c.BlocksH, Quant: c.Quant}
+	out := Component{BlocksW: c.BlocksW, BlocksH: c.BlocksH, Quant: c.Quant,
+		HSamp: c.HSamp, VSamp: c.VSamp}
 	out.Blocks = make([]dct.Block, len(c.Blocks))
 	copy(out.Blocks, c.Blocks)
 	return out
 }
 
 // Image is a coefficient-domain JPEG image: pixel dimensions plus one
-// component per channel (1 = grayscale, 3 = YUV 4:4:4).
+// component per channel (1 = grayscale, 3 = YUV at the components' native
+// sampling — 4:4:4 when every component samples at 1x1, 4:2:0/4:2:2/4:4:0
+// when chroma is subsampled).
 type Image struct {
 	W, H  int
 	Comps []Component
@@ -65,6 +89,66 @@ type Image struct {
 
 // Channels returns the number of components.
 func (m *Image) Channels() int { return len(m.Comps) }
+
+// MaxSampling returns the maximum horizontal and vertical sampling factors
+// across components — the MCU geometry of the image.
+func (m *Image) MaxSampling() (maxH, maxV int) {
+	maxH, maxV = 1, 1
+	for i := range m.Comps {
+		h, v := m.Comps[i].Sampling()
+		if h > maxH {
+			maxH = h
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	return maxH, maxV
+}
+
+// Subsampled reports whether any component covers fewer pixels than the
+// image (i.e. the image is not 4:4:4 / grayscale).
+func (m *Image) Subsampled() bool {
+	maxH, maxV := m.MaxSampling()
+	for i := range m.Comps {
+		h, v := m.Comps[i].Sampling()
+		if h != maxH || v != maxV {
+			return true
+		}
+	}
+	return false
+}
+
+// CompDims returns the pixel dimensions component ci covers per the JPEG
+// standard: ceil(W*hs/maxH) x ceil(H*vs/maxV).
+func (m *Image) CompDims(ci int) (pw, ph int) {
+	maxH, maxV := m.MaxSampling()
+	h, v := m.Comps[ci].Sampling()
+	return (m.W*h + maxH - 1) / maxH, (m.H*v + maxV - 1) / maxV
+}
+
+// CoeffBytes returns the total coefficient storage across components
+// (the working-set size the caches and the protect loop operate on).
+func (m *Image) CoeffBytes() int {
+	n := 0
+	for i := range m.Comps {
+		n += len(m.Comps[i].Blocks)
+	}
+	return n * dct.BlockLen * 4
+}
+
+// Recycle returns the image's coefficient storage to the decode slab pool
+// and empties the image. Only for a caller that owns the image outright and
+// is done with it — typically a validation decode whose result is discarded;
+// nothing may alias any component's blocks. Using the image afterwards is a
+// bug.
+func (m *Image) Recycle() {
+	for i := range m.Comps {
+		putBlockSlab(m.Comps[i].Blocks)
+		m.Comps[i].Blocks = nil
+	}
+	m.Comps = nil
+}
 
 // Clone returns a deep copy of the image.
 func (m *Image) Clone() *Image {
@@ -83,12 +167,21 @@ func (m *Image) Validate() error {
 	if len(m.Comps) != 1 && len(m.Comps) != 3 {
 		return fmt.Errorf("jpegc: %d components, want 1 or 3", len(m.Comps))
 	}
-	wantBW, wantBH := blocksFor(m.W), blocksFor(m.H)
+	maxH, maxV := m.MaxSampling()
+	if len(m.Comps) == 1 && (maxH != 1 || maxV != 1) {
+		return fmt.Errorf("jpegc: grayscale image with %dx%d sampling", maxH, maxV)
+	}
 	for i := range m.Comps {
 		c := &m.Comps[i]
+		hs, vs := c.Sampling()
+		if hs > 2 || vs > 2 || hs < 1 || vs < 1 {
+			return fmt.Errorf("jpegc: component %d sampling %dx%d out of range [1,2]", i, hs, vs)
+		}
+		pw, ph := m.CompDims(i)
+		wantBW, wantBH := blocksFor(pw), blocksFor(ph)
 		if c.BlocksW != wantBW || c.BlocksH != wantBH {
-			return fmt.Errorf("jpegc: component %d grid %dx%d, want %dx%d",
-				i, c.BlocksW, c.BlocksH, wantBW, wantBH)
+			return fmt.Errorf("jpegc: component %d grid %dx%d, want %dx%d (%dx%d sampling)",
+				i, c.BlocksW, c.BlocksH, wantBW, wantBH, hs, vs)
 		}
 		if len(c.Blocks) != c.BlocksW*c.BlocksH {
 			return fmt.Errorf("jpegc: component %d has %d blocks, want %d",
@@ -211,7 +304,9 @@ func clampBaselineAC(b *dct.Block) {
 }
 
 // ToPlanar converts the coefficient image back to unclamped planar YUV
-// pixels (dequantize + inverse DCT + level unshift).
+// pixels (dequantize + inverse DCT + level unshift). Subsampled components
+// are reconstructed at their native resolution and bilinearly upsampled to
+// the full image size, so the planar model stays 4:4:4 for consumers.
 func (m *Image) ToPlanar() (*imgplane.Image, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
@@ -222,28 +317,43 @@ func (m *Image) ToPlanar() (*imgplane.Image, error) {
 	}
 	for ci := range m.Comps {
 		comp := &m.Comps[ci]
-		plane := out.Planes[ci]
-		// Each block row writes a disjoint horizontal band of the plane.
-		parallel.For(comp.BlocksH, blockRowGrain, func(lo, hi int) {
-			for by := lo; by < hi; by++ {
-				for bx := 0; bx < comp.BlocksW; bx++ {
-					spatial := dct.InverseQuantized(comp.Block(bx, by), &comp.Quant)
-					for y := 0; y < dct.BlockSize; y++ {
-						py := by*dct.BlockSize + y
-						if py >= m.H {
+		pw, ph := m.CompDims(ci)
+		if pw == m.W && ph == m.H {
+			fillPlaneFromComponent(comp, out.Planes[ci])
+			continue
+		}
+		native := imgplane.GetPlane(pw, ph)
+		fillPlaneFromComponent(comp, native)
+		imgplane.ResizeBilinearInto(native, out.Planes[ci])
+		imgplane.PutPlane(native)
+	}
+	return out, nil
+}
+
+// fillPlaneFromComponent dequantizes + inverse-transforms a component into
+// dst (whose dimensions must match the component's nominal pixel coverage;
+// partial edge blocks are cropped).
+func fillPlaneFromComponent(comp *Component, dst *imgplane.Plane) {
+	pw, ph := dst.W, dst.H
+	// Each block row writes a disjoint horizontal band of the plane.
+	parallel.For(comp.BlocksH, blockRowGrain, func(lo, hi int) {
+		for by := lo; by < hi; by++ {
+			for bx := 0; bx < comp.BlocksW; bx++ {
+				spatial := dct.InverseQuantized(comp.Block(bx, by), &comp.Quant)
+				for y := 0; y < dct.BlockSize; y++ {
+					py := by*dct.BlockSize + y
+					if py >= ph {
+						break
+					}
+					for x := 0; x < dct.BlockSize; x++ {
+						px := bx*dct.BlockSize + x
+						if px >= pw {
 							break
 						}
-						for x := 0; x < dct.BlockSize; x++ {
-							px := bx*dct.BlockSize + x
-							if px >= m.W {
-								break
-							}
-							plane.Pix[py*m.W+px] = float32(spatial[y*dct.BlockSize+x]) + 128
-						}
+						dst.Pix[py*pw+px] = float32(spatial[y*dct.BlockSize+x]) + 128
 					}
 				}
 			}
-		})
-	}
-	return out, nil
+		}
+	})
 }

@@ -1,6 +1,10 @@
 package jpegc
 
-import "sync"
+import (
+	"sync"
+
+	"puppies/internal/dct"
+)
 
 // Scratch pools for the entropy-coding hot path. Contract: everything a
 // Get returns is fully reset (zero counts, zero length), so callers never
@@ -31,6 +35,34 @@ func putByteBuf(b []byte) {
 	}
 	b = b[:0]
 	byteBufPool.Put(&b)
+}
+
+// blockSlabPool recycles whole coefficient grids (the dominant allocation
+// of a decode: one slab per component, sized in MCU multiples). Slabs are
+// pointer-free, so pooling them removes both the mallocs and the GC sweep
+// work of decode-heavy paths like upload validation.
+var blockSlabPool = sync.Pool{New: func() any { return new([]dct.Block) }}
+
+// getBlockSlab returns a zeroed slab of n blocks, reusing pooled storage
+// when a large enough slab is available.
+func getBlockSlab(n int) []dct.Block {
+	s := *blockSlabPool.Get().(*[]dct.Block)
+	if cap(s) < n {
+		return make([]dct.Block, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// putBlockSlab recycles a slab. The caller asserts sole ownership: nothing
+// may alias the slab afterwards.
+func putBlockSlab(s []dct.Block) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:0]
+	blockSlabPool.Put(&s)
 }
 
 // symbolHist accumulates DC and AC symbol frequencies for one table pair

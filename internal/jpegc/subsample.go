@@ -3,41 +3,21 @@ package jpegc
 import (
 	"fmt"
 
-	"puppies/internal/dct"
 	"puppies/internal/imgplane"
 )
 
-// normalizeSampling converts the freshly decoded, MCU-padded component
-// grids into this package's canonical 4:4:4 layout:
-//
-//   - full-resolution components are trimmed to the nominal block grid
-//     (decoding leaves whole-MCU padding rows/columns);
-//   - subsampled chroma components (4:2:0 / 4:2:2 / 4:4:0 streams) are
-//     dequantized, bilinearly upsampled in the pixel domain, and
-//     re-quantized at full resolution with their own quantization table.
-//
-// Luminance therefore survives import bit-exactly; chroma of subsampled
-// streams is re-encoded once (the unavoidable cost of normalizing to
-// 4:4:4), which matches what any 4:4:4 transcode does.
-func (d *decoder) normalizeSampling() error {
-	wantBW, wantBH := blocksFor(d.img.W), blocksFor(d.img.H)
+// finishSampling converts the freshly decoded, MCU-padded component grids
+// into the image's native per-component layout: each component is trimmed
+// to its nominal block grid (decoding leaves whole-MCU padding rows and
+// columns) and tagged with its sampling factors. Subsampled chroma stays at
+// native resolution — every coefficient survives import bit-exactly.
+func (d *decoder) finishSampling() error {
 	for ci := range d.img.Comps {
 		comp := &d.img.Comps[ci]
-		hs, vs := d.comps[ci].hSamp, d.comps[ci].vSamp
-		if hs == d.maxH && vs == d.maxV {
-			trimComponent(comp, wantBW, wantBH)
-			continue
-		}
-		// Subsampled component: pixel dimensions per the JPEG standard.
-		cw := (d.img.W*hs + d.maxH - 1) / d.maxH
-		ch := (d.img.H*vs + d.maxV - 1) / d.maxV
-		plane := planeFromComponent(comp, cw, ch)
-		up := upsampleBilinear(plane, d.img.W, d.img.H)
-		full, err := componentFromPlane(up, &comp.Quant)
-		if err != nil {
-			return fmt.Errorf("jpegc: upsample component %d: %w", ci, err)
-		}
-		*comp = full
+		comp.HSamp = d.comps[ci].hSamp
+		comp.VSamp = d.comps[ci].vSamp
+		pw, ph := d.img.CompDims(ci)
+		trimComponent(comp, blocksFor(pw), blocksFor(ph))
 	}
 	return nil
 }
@@ -48,64 +28,53 @@ func trimComponent(comp *Component, bw, bh int) {
 	if comp.BlocksW == bw && comp.BlocksH == bh {
 		return
 	}
-	blocks := make([]dct.Block, bw*bh)
+	blocks := getBlockSlab(bw * bh)
 	for by := 0; by < bh; by++ {
 		copy(blocks[by*bw:(by+1)*bw], comp.Blocks[by*comp.BlocksW:by*comp.BlocksW+bw])
 	}
+	putBlockSlab(comp.Blocks)
 	comp.BlocksW, comp.BlocksH = bw, bh
 	comp.Blocks = blocks
 }
 
-// planeFromComponent dequantizes + inverse-transforms a component into an
-// unclamped pixel plane of the given dimensions.
-func planeFromComponent(comp *Component, pw, ph int) *imgplane.Plane {
-	plane := imgplane.NewPlane(pw, ph)
-	for by := 0; by < comp.BlocksH; by++ {
-		for bx := 0; bx < comp.BlocksW; bx++ {
-			spatial := dct.InverseQuantized(comp.Block(bx, by), &comp.Quant)
-			for y := 0; y < dct.BlockSize; y++ {
-				py := by*dct.BlockSize + y
-				if py >= ph {
-					break
-				}
-				for x := 0; x < dct.BlockSize; x++ {
-					px := bx*dct.BlockSize + x
-					if px >= pw {
-						break
-					}
-					plane.Pix[py*pw+px] = float32(spatial[y*dct.BlockSize+x]) + 128
-				}
-			}
-		}
+// Normalize444 returns an equivalent image whose components all sample at
+// the image maximum (4:4:4 for color): subsampled chroma is dequantized,
+// bilinearly upsampled in the pixel domain, and re-quantized at full
+// resolution with its own quantization table. This is the compatibility
+// path for consumers that require equal component grids — it re-encodes
+// chroma once (the unavoidable cost of any 4:4:4 transcode), exactly what
+// the decoder used to do unconditionally on import. Already-4:4:4 images
+// are returned unchanged (same pointer).
+//
+// Intermediate planes come from the imgplane pool, so repeated
+// normalization does not allocate per-component scratch.
+func (m *Image) Normalize444() (*Image, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
 	}
-	return plane
-}
-
-// upsampleBilinear resizes a plane to (w, h) with center-aligned bilinear
-// interpolation (local copy of the transform package's kernel to avoid an
-// import cycle).
-func upsampleBilinear(p *imgplane.Plane, w, h int) *imgplane.Plane {
-	out := imgplane.NewPlane(w, h)
-	fx := float64(w) / float64(p.W)
-	fy := float64(h) / float64(p.H)
-	for oy := 0; oy < h; oy++ {
-		sy := (float64(oy)+0.5)/fy - 0.5
-		y0 := int(sy)
-		if sy < 0 {
-			y0 = -1
-		}
-		wy := float32(sy - float64(y0))
-		for ox := 0; ox < w; ox++ {
-			sx := (float64(ox)+0.5)/fx - 0.5
-			x0 := int(sx)
-			if sx < 0 {
-				x0 = -1
-			}
-			wx := float32(sx - float64(x0))
-			v := (1-wy)*((1-wx)*p.At(x0, y0)+wx*p.At(x0+1, y0)) +
-				wy*((1-wx)*p.At(x0, y0+1)+wx*p.At(x0+1, y0+1))
-			out.Pix[oy*w+ox] = v
-		}
+	if !m.Subsampled() {
+		return m, nil
 	}
-	return out
+	out := &Image{W: m.W, H: m.H, Comps: make([]Component, len(m.Comps))}
+	full := imgplane.GetPlane(m.W, m.H)
+	defer imgplane.PutPlane(full)
+	for ci := range m.Comps {
+		comp := &m.Comps[ci]
+		pw, ph := m.CompDims(ci)
+		if pw == m.W && ph == m.H {
+			out.Comps[ci] = comp.Clone()
+			out.Comps[ci].HSamp, out.Comps[ci].VSamp = 1, 1
+			continue
+		}
+		native := imgplane.GetPlane(pw, ph)
+		fillPlaneFromComponent(comp, native)
+		imgplane.ResizeBilinearInto(native, full)
+		imgplane.PutPlane(native)
+		up, err := componentFromPlane(full, &comp.Quant)
+		if err != nil {
+			return nil, fmt.Errorf("jpegc: upsample component %d: %w", ci, err)
+		}
+		out.Comps[ci] = up
+	}
+	return out, nil
 }

@@ -12,7 +12,7 @@ import (
 
 // stdlibYCbCr builds a textured YCbCr image at the given subsampling ratio
 // and encodes it with the stdlib encoder (which preserves the ratio).
-func stdlibYCbCr(t *testing.T, w, h int, ratio image.YCbCrSubsampleRatio) []byte {
+func stdlibYCbCr(t testing.TB, w, h int, ratio image.YCbCrSubsampleRatio) []byte {
 	t.Helper()
 	src := image.NewYCbCr(image.Rect(0, 0, w, h), ratio)
 	for y := 0; y < h; y++ {

@@ -1,0 +1,481 @@
+package psp
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime/multipart"
+	"net/http"
+	"strings"
+	"sync"
+
+	"puppies/internal/core"
+	"puppies/internal/jpegc"
+	"puppies/internal/parallel"
+)
+
+// Batch upload protocol (POST /v1/images:batch, DESIGN.md §14): the request
+// is multipart/form-data where each item is either
+//
+//   - one part with Content-Type image/jpeg whose body is the raw JPEG
+//     bytes, optionally followed by a part named "params" carrying the
+//     item's public-parameter JSON — the fast path: no JSON envelope, no
+//     base64, the part body goes pooled-buffer → validator → store; or
+//   - one part with Content-Type application/json whose body is an
+//     UploadRequest document — exactly the POST /v1/images body.
+//
+// Either kind of image part may carry its own Idempotency-Key part header.
+// Parts are read sequentially off the wire (multipart is inherently serial)
+// into pooled buffers and handed to a bounded worker pool, so JPEG
+// validation — the expensive step of an upload — overlaps the next part
+// still streaming in. The read loop never blocks on a worker slot: a paused
+// reader closes the TCP window and the client stalls on the ~200ms persist
+// timer.
+//
+// The response is a BatchResponse whose results array matches the item
+// order. Per-item failures (oversized part, undecodable JPEG, bad JSON) are
+// reported in that item's result entry with an HTTP-equivalent status; they
+// do not fail the batch. Only a malformed envelope (no parts, bad multipart
+// syntax, a params part with no preceding raw image part, too many parts,
+// total body over the batch cap) fails the whole request.
+const (
+	// batchMaxParts bounds how many parts one batch may carry.
+	batchMaxParts = 1024
+	// batchBodyFactor scales MaxUpload into the whole-batch body cap: each
+	// part is still individually bounded by MaxUpload, and the envelope by
+	// batchBodyFactor*MaxUpload.
+	batchBodyFactor = 16
+)
+
+// BatchParamsPart names the multipart part that attaches public parameters
+// to the immediately preceding raw image part.
+const BatchParamsPart = "params"
+
+// BatchResult is one item's outcome, in item order. Exactly one of ID or
+// Error is set; Status carries the HTTP-equivalent code for failed items.
+type BatchResult struct {
+	ID     string `json:"id,omitempty"`
+	Error  string `json:"error,omitempty"`
+	Status int    `json:"status,omitempty"`
+}
+
+// BatchResponse is the POST /v1/images:batch body.
+type BatchResponse struct {
+	Results []BatchResult `json:"results"`
+}
+
+// storeRaw validates and stores one image with optional public parameters,
+// reporting the outcome as a BatchResult. When owned is false the slices are
+// borrowed: they are copied before the store takes ownership, so callers may
+// recycle their buffers immediately. owned callers hand the slices over
+// outright and save the copies.
+func (s *Server) storeRaw(image, params []byte, key string, owned bool) BatchResult {
+	if len(image) == 0 {
+		return BatchResult{Error: "empty image", Status: http.StatusBadRequest}
+	}
+	if key != "" {
+		if id, seen := s.st().IDForKey(key); seen {
+			return BatchResult{ID: id}
+		}
+	}
+	// The PSP validates that the upload is a decodable JPEG (any PSP
+	// would), but learns nothing else from it — the decode is discarded, so
+	// its coefficient storage goes straight back to the slab pool.
+	img, err := jpegc.Decode(bytes.NewReader(image))
+	if err != nil {
+		return BatchResult{Error: fmt.Sprintf("not a decodable baseline JPEG: %v", err), Status: http.StatusUnprocessableEntity}
+	}
+	img.Recycle()
+	var idBytes [12]byte
+	if _, err := rand.Read(idBytes[:]); err != nil {
+		return BatchResult{Error: fmt.Sprintf("id generation: %v", err), Status: http.StatusInternalServerError}
+	}
+	var pb []byte
+	if len(params) > 0 {
+		pb = params
+		if !owned {
+			pb = bytes.Clone(params)
+		}
+	}
+	if !owned {
+		image = bytes.Clone(image)
+	}
+	// Put re-checks the key atomically, so concurrent parts (or retries)
+	// carrying the same key converge on one canonical ID.
+	canonical, err := s.st().Put(hex.EncodeToString(idBytes[:]), image, pb, key)
+	if err != nil {
+		return BatchResult{Error: fmt.Sprintf("store: %v", err), Status: http.StatusInternalServerError}
+	}
+	return BatchResult{ID: canonical}
+}
+
+// storeOne runs the single-upload pipeline (decode request, idempotency
+// lookup, JPEG validation, store) on an UploadRequest body. Both POST
+// /v1/images and the batch route's JSON parts reduce to it, so the two
+// paths cannot drift.
+func (s *Server) storeOne(body []byte, key string) BatchResult {
+	var req UploadRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return BatchResult{Error: fmt.Sprintf("decode request: %v", err), Status: http.StatusBadRequest}
+	}
+	return s.storeRaw(req.Image, req.Params, key, true)
+}
+
+// batchItem is one in-flight batch entry: the reader loop fills it, a
+// worker stores it and writes *slot. Workers never touch the slot slice
+// itself, so the reader can keep appending without a lock.
+type batchItem struct {
+	slot   *BatchResult
+	key    string
+	raw    bool          // body is raw JPEG bytes, not UploadRequest JSON
+	buf    *bytes.Buffer // pooled; the worker recycles it
+	params *bytes.Buffer // pooled; optional params for a raw item
+	failed bool          // slot already holds a per-item error; do not dispatch
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	limit := s.maxUpload()
+	r.Body = http.MaxBytesReader(w, r.Body, batchBodyFactor*limit)
+	mr, err := r.MultipartReader()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "batch requires multipart/form-data: %v", err)
+		return
+	}
+
+	var (
+		wg    sync.WaitGroup
+		slots []*BatchResult
+	)
+	sem := make(chan struct{}, parallel.Workers())
+	dispatch := func(it *batchItem) {
+		if it == nil || it.failed {
+			return
+		}
+		wg.Add(1)
+		// The semaphore is taken inside the goroutine, never in the read
+		// loop — see the protocol comment. Memory stays bounded anyway:
+		// buffered parts never exceed the whole-batch body cap enforced by
+		// MaxBytesReader above.
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			var res BatchResult
+			if it.raw {
+				var pb []byte
+				if it.params != nil {
+					pb = it.params.Bytes()
+				}
+				res = s.storeRaw(it.buf.Bytes(), pb, it.key, false)
+			} else {
+				res = s.storeOne(it.buf.Bytes(), it.key)
+			}
+			putBuf(it.buf)
+			if it.params != nil {
+				putBuf(it.params)
+			}
+			*it.slot = res
+		}()
+	}
+
+	// pending holds a raw image item that may still receive a params part;
+	// any other part (or EOF) flushes it to a worker first.
+	var pending *batchItem
+	fail := func(status int, format string, args ...any) {
+		dispatch(pending)
+		wg.Wait()
+		if status != 0 {
+			httpError(w, status, format, args...)
+		}
+	}
+	for i := 0; ; i++ {
+		part, err := mr.NextPart()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				fail(http.StatusRequestEntityTooLarge, "batch body exceeds %d bytes", mbe.Limit)
+				return
+			}
+			// The stream died mid-batch (client abort, network cut): there
+			// is no one to answer, and an incomplete result list must not
+			// masquerade as the batch outcome.
+			fail(0, "")
+			return
+		}
+		if i >= batchMaxParts {
+			fail(http.StatusBadRequest, "batch exceeds %d parts", batchMaxParts)
+			return
+		}
+
+		// Only a JSON-typed part can be a params part, so raw image parts —
+		// the fast path's bulk — skip the Content-Disposition media-type
+		// parse entirely.
+		raw := strings.HasPrefix(part.Header.Get("Content-Type"), "image/")
+		isParams := !raw && part.FormName() == BatchParamsPart
+		if isParams && (pending == nil || !pending.raw) {
+			fail(http.StatusBadRequest, "params part without a preceding image part")
+			return
+		}
+
+		buf := getBuf()
+		// Read one byte past the limit so oversized parts are detected
+		// rather than silently truncated.
+		n, rerr := io.Copy(buf, io.LimitReader(part, limit+1))
+		if rerr != nil {
+			putBuf(buf)
+			var mbe *http.MaxBytesError
+			if errors.As(rerr, &mbe) {
+				fail(http.StatusRequestEntityTooLarge, "batch body exceeds %d bytes", mbe.Limit)
+				return
+			}
+			fail(0, "")
+			return
+		}
+
+		if isParams {
+			// Attaches to the pending raw item; a failed pending item
+			// (oversized) just swallows its params.
+			if n > limit {
+				putBuf(buf)
+				pending.slot.Error = fmt.Sprintf("params part exceeds %d bytes", limit)
+				pending.slot.Status = http.StatusRequestEntityTooLarge
+				pending.failed = true
+			} else if pending.failed {
+				putBuf(buf)
+			} else {
+				pending.params = buf
+			}
+			dispatch(pending)
+			pending = nil
+			continue
+		}
+
+		// A new item: flush any raw item still waiting for params.
+		dispatch(pending)
+		pending = nil
+
+		it := &batchItem{
+			slot: new(BatchResult),
+			key:  strings.TrimSpace(part.Header.Get(idempotencyHeader)),
+			raw:  raw,
+			buf:  buf,
+		}
+		slots = append(slots, it.slot)
+		if n > limit {
+			putBuf(buf)
+			it.buf = nil
+			it.failed = true
+			// NextPart discards the rest of the part; the whole-body cap
+			// above bounds how much an oversized part can make us skip.
+			*it.slot = BatchResult{
+				Error:  fmt.Sprintf("part exceeds %d bytes", limit),
+				Status: http.StatusRequestEntityTooLarge,
+			}
+		}
+		if it.raw {
+			pending = it // may still receive a params part
+		} else if !it.failed {
+			dispatch(it)
+		}
+	}
+	dispatch(pending)
+	wg.Wait()
+	if len(slots) == 0 {
+		httpError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	results := make([]BatchResult, len(slots))
+	for i, slot := range slots {
+		results[i] = *slot
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(BatchResponse{Results: results})
+}
+
+// batchWriterPool recycles the client's multipart coalescing buffer.
+var batchWriterPool = sync.Pool{New: func() any { return bufio.NewWriterSize(nil, 32<<10) }}
+
+// BatchUpload is one item of Client.UploadBatch: encoded JPEG bytes plus
+// the opaque public-parameter document (either may come straight from
+// puppies.Protected).
+type BatchUpload struct {
+	Image  []byte
+	Params json.RawMessage
+}
+
+// UploadBatch streams every item to POST /v1/images:batch in one request
+// and returns per-item results in order. Items travel as raw image/jpeg
+// parts (plus a params part when set) multipart-streamed through an io.Pipe
+// — no JSON envelope, no base64, and the request body is produced while it
+// uploads, so batch memory stays at one item, not the whole batch. Each
+// item carries a per-item idempotency key generated once before the first
+// attempt; transient failures retry the whole batch and every
+// already-stored item deduplicates server-side to its original ID.
+//
+// A non-nil error means the batch envelope failed (transport, HTTP status,
+// undecodable response); per-item failures are reported in the returned
+// results, not as an error.
+func (c *Client) UploadBatch(ctx context.Context, items []BatchUpload) ([]BatchResult, error) {
+	if len(items) == 0 {
+		return nil, errors.New("psp: empty batch")
+	}
+	keys := make([]string, len(items))
+	for i := range items {
+		keys[i] = newIdempotencyKey()
+	}
+
+	attempts := c.maxRetries() + 1
+	var lastErr error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if attempt > 1 {
+			wait := c.backoff(attempt - 1)
+			var se *StatusError
+			if errors.As(lastErr, &se) && se.RetryAfter > 0 {
+				wait = se.RetryAfter
+			}
+			if err := c.sleepCtx(ctx, wait); err != nil {
+				return nil, fmt.Errorf("psp: giving up after %d attempts: %w (then %v)", attempt-1, lastErr, err)
+			}
+		}
+		results, err := c.uploadBatchOnce(ctx, items, keys)
+		if err == nil {
+			return results, nil
+		}
+		lastErr = err
+		if !errors.Is(err, ErrRetryable) || ctx.Err() != nil {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("psp: giving up after %d attempts: %w", attempts, lastErr)
+}
+
+// UploadBatchImages is the coefficient-image convenience form of
+// UploadBatch: each image is encoded with opts and paired with its encoded
+// public data.
+func (c *Client) UploadBatchImages(ctx context.Context, imgs []*jpegc.Image, pds []*core.PublicData, opts jpegc.EncodeOptions) ([]BatchResult, error) {
+	if len(imgs) != len(pds) {
+		return nil, fmt.Errorf("psp: %d images for %d parameter sets", len(imgs), len(pds))
+	}
+	items := make([]BatchUpload, len(imgs))
+	for i := range imgs {
+		var buf bytes.Buffer
+		if err := imgs[i].Encode(&buf, opts); err != nil {
+			return nil, fmt.Errorf("psp: encode image %d: %w", i, err)
+		}
+		params, err := pds[i].Encode()
+		if err != nil {
+			return nil, fmt.Errorf("psp: encode params %d: %w", i, err)
+		}
+		items[i] = BatchUpload{Image: buf.Bytes(), Params: params}
+	}
+	return c.UploadBatch(ctx, items)
+}
+
+// uploadBatchOnce performs one streaming attempt of the whole batch.
+func (c *Client) uploadBatchOnce(ctx context.Context, items []BatchUpload, keys []string) ([]BatchResult, error) {
+	attemptCtx := ctx
+	var cancel context.CancelFunc
+	if t := c.requestTimeout(); t > 0 {
+		attemptCtx, cancel = context.WithTimeout(ctx, t)
+		defer cancel()
+	}
+	pr, pw := io.Pipe()
+	// The pipe is unbuffered: every Write is a goroutine handoff and becomes
+	// its own chunked-transfer frame. Coalescing through a bufio.Writer turns
+	// a part's header lines plus small bodies into one frame. Part framing is
+	// written by hand against that writer — the format is fixed and tiny, and
+	// multipart.Writer's per-part MIMEHeader maps and sorted-key walks are
+	// pure overhead on this hot path (the boundary still comes from
+	// multipart.Writer so it stays RFC-compliant and unpredictable).
+	bw := batchWriterPool.Get().(*bufio.Writer)
+	bw.Reset(pw)
+	mw := multipart.NewWriter(bw)
+	boundary := mw.Boundary()
+	go func() {
+		defer func() {
+			bw.Reset(nil)
+			batchWriterPool.Put(bw)
+		}()
+		writeOne := func(item BatchUpload, key string) error {
+			bw.WriteString("--")
+			bw.WriteString(boundary)
+			bw.WriteString("\r\nContent-Disposition: form-data; name=\"image\"\r\nContent-Type: image/jpeg\r\n")
+			bw.WriteString(idempotencyHeader)
+			bw.WriteString(": ")
+			bw.WriteString(key)
+			bw.WriteString("\r\n\r\n")
+			bw.Write(item.Image)
+			if len(item.Params) > 0 {
+				bw.WriteString("\r\n--")
+				bw.WriteString(boundary)
+				bw.WriteString("\r\nContent-Disposition: form-data; name=\"" + BatchParamsPart + "\"\r\nContent-Type: application/json\r\n\r\n")
+				bw.Write(item.Params)
+			}
+			_, err := bw.WriteString("\r\n")
+			return err
+		}
+		for i, item := range items {
+			if err := writeOne(item, keys[i]); err != nil {
+				_ = pw.CloseWithError(err)
+				return
+			}
+		}
+		bw.WriteString("--")
+		bw.WriteString(boundary)
+		if _, err := bw.WriteString("--\r\n"); err != nil {
+			_ = pw.CloseWithError(err)
+			return
+		}
+		_ = pw.CloseWithError(bw.Flush())
+	}()
+
+	req, err := http.NewRequestWithContext(attemptCtx, http.MethodPost, c.BaseURL+"/v1/images:batch", pr)
+	if err != nil {
+		_ = pr.Close()
+		return nil, err
+	}
+	req.Header.Set("Content-Type", mw.FormDataContentType())
+	resp, err := c.http().Do(req)
+	if err != nil {
+		_ = pr.Close()
+		timedOut := attemptCtx.Err() != nil && ctx.Err() == nil
+		return nil, classifyTransport(err, timedOut)
+	}
+	defer resp.Body.Close()
+	limit := c.maxResponseBytes()
+	respBody, err := io.ReadAll(io.LimitReader(resp.Body, limit+1))
+	if err != nil {
+		timedOut := attemptCtx.Err() != nil && ctx.Err() == nil
+		return nil, classifyTransport(err, timedOut)
+	}
+	if int64(len(respBody)) > limit {
+		return nil, fmt.Errorf("%w: response exceeds %d bytes", ErrTooLarge, limit)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, &StatusError{
+			Method:     http.MethodPost,
+			Path:       req.URL.Path,
+			Code:       resp.StatusCode,
+			Body:       string(bytes.TrimSpace(respBody)),
+			RetryAfter: parseRetryAfter(resp.Header),
+			Class:      resp.Header.Get(errorClassHeader),
+		}
+	}
+	var br BatchResponse
+	if err := json.Unmarshal(respBody, &br); err != nil {
+		return nil, &corruptError{fmt.Errorf("decode batch response: %w", err)}
+	}
+	if len(br.Results) != len(items) {
+		return nil, &corruptError{fmt.Errorf("batch response has %d results for %d items", len(br.Results), len(items))}
+	}
+	return br.Results, nil
+}

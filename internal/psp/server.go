@@ -9,8 +9,6 @@ package psp
 
 import (
 	"bytes"
-	"crypto/rand"
-	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -148,6 +146,9 @@ type HealthResponse struct {
 //	GET  /v1/statz                       serving-cache statistics
 //	GET  /v1/images                      list stored image IDs
 //	POST /v1/images                      upload {image, params} -> {id}
+//	POST /v1/images:batch                multipart streaming batch upload;
+//	                                     each part is one upload body, parts
+//	                                     validate in parallel (see batch.go)
 //	PUT  /v1/images/{id}                 store under a caller-chosen ID
 //	                                     (idempotent; 409 on byte conflict)
 //	GET  /v1/images/{id}                 stored JPEG bytes
@@ -170,6 +171,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/statz", s.handleStatz)
 	mux.HandleFunc("GET /v1/images", s.handleList)
 	mux.HandleFunc("POST /v1/images", s.handleUpload)
+	mux.HandleFunc("POST /v1/images:batch", s.handleBatch)
 	mux.HandleFunc("PUT /v1/images/{id}", s.handlePutImage)
 	mux.HandleFunc("GET /v1/images/{id}", s.handleGet)
 	mux.HandleFunc("GET /v1/images/{id}/params", s.handleParams)
@@ -226,44 +228,12 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", limit)
 		return
 	}
-	var req UploadRequest
-	if err := json.Unmarshal(body, &req); err != nil {
-		httpError(w, http.StatusBadRequest, "decode request: %v", err)
+	res := s.storeOne(body, strings.TrimSpace(r.Header.Get(idempotencyHeader)))
+	if res.Error != "" {
+		httpError(w, res.Status, "%s", res.Error)
 		return
 	}
-	if len(req.Image) == 0 {
-		httpError(w, http.StatusBadRequest, "empty image")
-		return
-	}
-
-	key := strings.TrimSpace(r.Header.Get(idempotencyHeader))
-	if key != "" {
-		if id, seen := s.st().IDForKey(key); seen {
-			writeUploadResponse(w, id)
-			return
-		}
-	}
-
-	// The PSP validates that the upload is a decodable JPEG (any PSP
-	// would), but learns nothing else from it.
-	if _, err := jpegc.Decode(bytes.NewReader(req.Image)); err != nil {
-		httpError(w, http.StatusUnprocessableEntity, "not a decodable baseline JPEG: %v", err)
-		return
-	}
-	var idBytes [12]byte
-	if _, err := rand.Read(idBytes[:]); err != nil {
-		httpError(w, http.StatusInternalServerError, "id generation: %v", err)
-		return
-	}
-	id := hex.EncodeToString(idBytes[:])
-	// Put re-checks the key atomically so concurrent retries of the same
-	// upload cannot both store; the canonical ID wins.
-	canonical, err := s.st().Put(id, req.Image, req.Params, key)
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, "store: %v", err)
-		return
-	}
-	writeUploadResponse(w, canonical)
+	writeUploadResponse(w, res.ID)
 }
 
 func writeUploadResponse(w http.ResponseWriter, id string) {

@@ -35,9 +35,14 @@ func FlipVertical(img *jpegc.Image) (*jpegc.Image, error) {
 }
 
 func requireAligned(img *jpegc.Image) error {
-	if img.W%dct.BlockSize != 0 || img.H%dct.BlockSize != 0 {
-		return fmt.Errorf("transform: coefficient-domain op requires block-aligned dimensions, got %dx%d",
-			img.W, img.H)
+	// Subsampled images additionally need MCU-aligned dimensions: a partial
+	// MCU cannot be permuted losslessly (jpegtran has the same restriction —
+	// its "-trim" drops the edge instead).
+	maxH, maxV := img.MaxSampling()
+	gx, gy := dct.BlockSize*maxH, dct.BlockSize*maxV
+	if img.W%gx != 0 || img.H%gy != 0 {
+		return fmt.Errorf("transform: coefficient-domain op requires %dx%d-aligned dimensions, got %dx%d",
+			gx, gy, img.W, img.H)
 	}
 	return nil
 }
@@ -63,9 +68,14 @@ func rotateCoeff(img *jpegc.Image, quarter int) (*jpegc.Image, error) {
 		} else {
 			dstW, dstH = src.BlocksW, src.BlocksH
 		}
+		hs, vs := src.Sampling()
+		if quarter%2 == 1 {
+			hs, vs = vs, hs // quarter turns swap the sampling axes
+		}
 		dst := jpegc.Component{
 			BlocksW: dstW, BlocksH: dstH,
 			Blocks: make([]dct.Block, dstW*dstH),
+			HSamp:  hs, VSamp: vs,
 		}
 		switch quarter {
 		case 1: // 90 CW: block (bx,by) -> (BH-1-by, bx)
@@ -111,6 +121,7 @@ func flipCoeff(img *jpegc.Image, horizontal bool) (*jpegc.Image, error) {
 			BlocksW: src.BlocksW, BlocksH: src.BlocksH,
 			Blocks: make([]dct.Block, len(src.Blocks)),
 			Quant:  src.Quant,
+			HSamp:  src.HSamp, VSamp: src.VSamp,
 		}
 		for by := 0; by < src.BlocksH; by++ {
 			for bx := 0; bx < src.BlocksW; bx++ {
@@ -127,7 +138,9 @@ func flipCoeff(img *jpegc.Image, horizontal bool) (*jpegc.Image, error) {
 }
 
 // CropAligned extracts a block-aligned pixel rectangle losslessly in the
-// coefficient domain.
+// coefficient domain. On subsampled images the crop must additionally sit
+// on the MCU grid (origin and size, the latter relaxed at the image's own
+// right/bottom edge) so no chroma block is split.
 func CropAligned(img *jpegc.Image, x, y, w, h int) (*jpegc.Image, error) {
 	if err := img.Validate(); err != nil {
 		return nil, err
@@ -138,24 +151,49 @@ func CropAligned(img *jpegc.Image, x, y, w, h int) (*jpegc.Image, error) {
 	if w <= 0 || h <= 0 || x < 0 || y < 0 || x+w > img.W || y+h > img.H {
 		return nil, fmt.Errorf("transform: crop (%d,%d,%d,%d) outside %dx%d image", x, y, w, h, img.W, img.H)
 	}
-	bx0, by0 := x/8, y/8
-	bw, bh := w/8, h/8
+	maxH, maxV := img.MaxSampling()
+	if img.Subsampled() && !mcuAlignedCrop(img, x, y, w, h) {
+		return nil, fmt.Errorf("transform: crop (%d,%d,%d,%d) not aligned to the %dx%d-pixel MCU grid of this subsampled image",
+			x, y, w, h, dct.BlockSize*maxH, dct.BlockSize*maxV)
+	}
 	out := &jpegc.Image{W: w, H: h, Comps: make([]jpegc.Component, len(img.Comps))}
 	for ci := range img.Comps {
 		src := &img.Comps[ci]
+		hs, vs := src.Sampling()
+		rh, rv := maxH/hs, maxV/vs
+		// Component-grid window: the origin divides exactly (MCU alignment);
+		// the size rounds up to cover the component's partial edge blocks.
+		cbx0 := x / (dct.BlockSize * rh)
+		cby0 := y / (dct.BlockSize * rv)
+		cw := (w*hs + maxH - 1) / maxH
+		ch := (h*vs + maxV - 1) / maxV
+		bw := (cw + dct.BlockSize - 1) / dct.BlockSize
+		bh := (ch + dct.BlockSize - 1) / dct.BlockSize
 		dst := jpegc.Component{
 			BlocksW: bw, BlocksH: bh,
 			Blocks: make([]dct.Block, bw*bh),
 			Quant:  src.Quant,
+			HSamp:  src.HSamp, VSamp: src.VSamp,
 		}
 		for by := 0; by < bh; by++ {
 			for bx := 0; bx < bw; bx++ {
-				*dst.Block(bx, by) = *src.Block(bx0+bx, by0+by)
+				*dst.Block(bx, by) = *src.Block(cbx0+bx, cby0+by)
 			}
 		}
 		out.Comps[ci] = dst
 	}
 	return out, nil
+}
+
+// mcuAlignedCrop reports whether a block-aligned crop window also sits on
+// the image's MCU grid (right/bottom edges may coincide with the image's
+// own edges instead).
+func mcuAlignedCrop(img *jpegc.Image, x, y, w, h int) bool {
+	maxH, maxV := img.MaxSampling()
+	gx, gy := dct.BlockSize*maxH, dct.BlockSize*maxV
+	return x%gx == 0 && y%gy == 0 &&
+		((x+w)%gx == 0 || x+w == img.W) &&
+		((y+h)%gy == 0 || y+h == img.H)
 }
 
 // Recompress requantizes every block for the target quality, modelling JPEG
@@ -184,6 +222,7 @@ func Recompress(img *jpegc.Image, quality int) (*jpegc.Image, error) {
 			BlocksW: src.BlocksW, BlocksH: src.BlocksH,
 			Blocks: make([]dct.Block, len(src.Blocks)),
 			Quant:  *to,
+			HSamp:  src.HSamp, VSamp: src.VSamp,
 		}
 		for bi := range src.Blocks {
 			dst.Blocks[bi] = dct.Requantize(&src.Blocks[bi], &src.Quant, to)
@@ -217,7 +256,11 @@ func Apply(img *jpegc.Image, spec Spec) (*jpegc.Image, error) {
 	case OpCompress:
 		return Recompress(img, spec.Quality)
 	case OpCrop:
-		if spec.IsCoefficientDomain() {
+		// A block-aligned crop that splits a chroma block on a subsampled
+		// image has no coefficient-domain representation; serve it from
+		// pixels like any unaligned crop.
+		if spec.IsCoefficientDomain() &&
+			(!img.Subsampled() || mcuAlignedCrop(img, spec.X, spec.Y, spec.W, spec.H)) {
 			return CropAligned(img, spec.X, spec.Y, spec.W, spec.H)
 		}
 	}

@@ -1,0 +1,187 @@
+package puppies
+
+import (
+	"bytes"
+	"image"
+	"image/jpeg"
+	"math"
+	"math/rand"
+	"testing"
+
+	"puppies/internal/jpegc"
+)
+
+// ycbcrJPEG builds a textured YCbCr image at the given subsampling ratio and
+// encodes it with the stdlib encoder, which preserves the ratio — the only
+// way to obtain genuinely subsampled input from pure stdlib.
+func ycbcrJPEG(t testing.TB, w, h int, ratio image.YCbCrSubsampleRatio, phase float64) []byte {
+	t.Helper()
+	src := image.NewYCbCr(image.Rect(0, 0, w, h), ratio)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			src.Y[src.YOffset(x, y)] = uint8(128 + 80*math.Sin(phase+float64(x)/6)*math.Cos(float64(y)/8))
+		}
+	}
+	cw := src.CStride
+	ch := len(src.Cb) / cw
+	for y := 0; y < ch; y++ {
+		for x := 0; x < cw; x++ {
+			src.Cb[y*cw+x] = uint8(128 + 40*math.Sin(phase+float64(x)/5))
+			src.Cr[y*cw+x] = uint8(128 + 40*math.Cos(phase+float64(y)/4))
+		}
+	}
+	var buf bytes.Buffer
+	if err := jpeg.Encode(&buf, src, &jpeg.Options{Quality: 88}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// sameGeometry reports whether two coefficient images have identical
+// per-component grids and sampling factors.
+func sameGeometry(a, b *jpegc.Image) bool {
+	if a.W != b.W || a.H != b.H || len(a.Comps) != len(b.Comps) {
+		return false
+	}
+	for ci := range a.Comps {
+		ah, av := a.Comps[ci].Sampling()
+		bh, bv := b.Comps[ci].Sampling()
+		if ah != bh || av != bv ||
+			a.Comps[ci].BlocksW != b.Comps[ci].BlocksW ||
+			a.Comps[ci].BlocksH != b.Comps[ci].BlocksH {
+			return false
+		}
+	}
+	return true
+}
+
+// TestNativeProtectRecoverBitExact is the property test for the native
+// subsampled pipeline: for random 4:2:0/4:2:2/4:4:0 inputs and random
+// MCU-alignable regions, ProtectJPEG must (1) keep the input's native
+// geometry, (2) leave every coefficient block outside the expanded regions
+// bit-identical in every plane, and (3) recover the exact original
+// coefficients of every plane with the keys.
+func TestNativeProtectRecoverBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ratios := []image.YCbCrSubsampleRatio{
+		image.YCbCrSubsampleRatio420,
+		image.YCbCrSubsampleRatio422,
+		image.YCbCrSubsampleRatio440,
+	}
+	for trial := 0; trial < 8; trial++ {
+		ratio := ratios[trial%len(ratios)]
+		// MCU-multiple dims keep AlignToMCU trivially satisfiable; a couple
+		// of trials use ragged dims to exercise edge-block handling.
+		w := 48 + 16*rng.Intn(4)
+		h := 48 + 16*rng.Intn(4)
+		if trial >= 6 {
+			w += 1 + rng.Intn(7)
+			h += 1 + rng.Intn(7)
+		}
+		original := ycbcrJPEG(t, w, h, ratio, float64(trial))
+
+		// One random interior region, 8-aligned; ProtectJPEG expands it to
+		// the MCU grid itself.
+		rw := 16 + 8*rng.Intn(3)
+		rh := 16 + 8*rng.Intn(3)
+		rx := 8 * rng.Intn((w-rw)/8+1)
+		ry := 8 * rng.Intn((h-rh)/8+1)
+		region := Rect{X: rx, Y: ry, W: rw, H: rh}
+
+		prot, err := ProtectJPEG(original, ProtectOptions{Regions: []Rect{region}})
+		if err != nil {
+			t.Fatalf("trial %d (%v %dx%d region %+v): %v", trial, ratio, w, h, region, err)
+		}
+
+		origImg, err := jpegc.Decode(bytes.NewReader(original))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !origImg.Subsampled() {
+			t.Fatalf("trial %d: stdlib input not subsampled", trial)
+		}
+		protImg, err := jpegc.Decode(bytes.NewReader(prot.JPEG))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// (1) Native geometry survives protection: no 4:4:4 normalization.
+		if !sameGeometry(origImg, protImg) {
+			t.Fatalf("trial %d (%v): protected JPEG lost the native geometry", trial, ratio)
+		}
+
+		// (2) Per plane, blocks outside the expanded region are untouched.
+		maxH, maxV := origImg.MaxSampling()
+		r := prot.Regions[0]
+		for ci := range origImg.Comps {
+			comp := &origImg.Comps[ci]
+			hs, vs := comp.Sampling()
+			// The region is MCU-aligned, so its component-grid window has
+			// exact block corners.
+			cx0 := r.X * hs / (8 * maxH)
+			cy0 := r.Y * vs / (8 * maxV)
+			cx1 := ((r.X+r.W)*hs + 8*maxH - 1) / (8 * maxH)
+			cy1 := ((r.Y+r.H)*vs + 8*maxV - 1) / (8 * maxV)
+			for by := 0; by < comp.BlocksH; by++ {
+				for bx := 0; bx < comp.BlocksW; bx++ {
+					inROI := bx >= cx0 && bx < cx1 && by >= cy0 && by < cy1
+					same := *comp.Block(bx, by) == *protImg.Comps[ci].Block(bx, by)
+					if !inROI && !same {
+						t.Fatalf("trial %d: plane %d block (%d,%d) outside ROI changed", trial, ci, bx, by)
+					}
+				}
+			}
+		}
+
+		// (3) Recovery is bit-exact in every plane.
+		recovered, err := UnprotectJPEG(prot.JPEG, prot.Params, prot.Keys)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		recImg, err := jpegc.Decode(bytes.NewReader(recovered))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameGeometry(origImg, recImg) {
+			t.Fatalf("trial %d: recovery changed the geometry", trial)
+		}
+		for ci := range origImg.Comps {
+			for bi := range origImg.Comps[ci].Blocks {
+				if origImg.Comps[ci].Blocks[bi] != recImg.Comps[ci].Blocks[bi] {
+					t.Fatalf("trial %d: plane %d not bit-exact after recovery", trial, ci)
+				}
+			}
+		}
+	}
+}
+
+// TestNativeProtectFallsBackOnCollision: two regions whose MCU expansions
+// collide cannot be protected natively (they would share a chroma block);
+// ProtectJPEG must fall back to 4:4:4 normalization and still round-trip.
+func TestNativeProtectFallsBackOnCollision(t *testing.T) {
+	original := ycbcrJPEG(t, 96, 96, image.YCbCrSubsampleRatio420, 0)
+	// 8-aligned but not 16-aligned: both expand onto the MCU covering x=40.
+	regions := []Rect{
+		{X: 8, Y: 8, W: 32, H: 32},
+		{X: 40, Y: 8, W: 32, H: 32},
+	}
+	prot, err := ProtectJPEG(original, ProtectOptions{Regions: regions})
+	if err != nil {
+		t.Fatal(err)
+	}
+	protImg, err := jpegc.Decode(bytes.NewReader(prot.JPEG))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if protImg.Subsampled() {
+		t.Fatal("colliding MCU expansions kept the native path")
+	}
+	// The normalized stream still recovers losslessly against itself.
+	recovered, err := UnprotectJPEG(prot.JPEG, prot.Params, prot.Keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jpegc.Decode(bytes.NewReader(recovered)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -253,10 +253,13 @@ func Protect(src image.Image, opts ProtectOptions) (*Protected, error) {
 // ProtectJPEG protects regions of an existing baseline JPEG with minimal
 // generation loss: coefficients are carried over from the input instead of
 // being re-encoded from pixels. For 4:4:4 or grayscale inputs (including
-// this library's own output) unprotected areas are bit-exact; for common
-// subsampled inputs (4:2:0/4:2:2) luminance is bit-exact and chroma is
-// upsampled and re-quantized once on import. Regions cannot be
-// auto-detected on this path — pass them explicitly.
+// this library's own output) the whole image is bit-exact outside the
+// regions. Subsampled inputs (4:2:0/4:2:2/4:4:0) are carried in native
+// geometry — also fully bit-exact outside the regions — when every region
+// can be expanded to the input's MCU grid without colliding with a
+// neighbor; otherwise chroma is upsampled and re-quantized once
+// (Normalize444), the historical behavior. Regions cannot be auto-detected
+// on this path — pass them explicitly.
 func ProtectJPEG(jpegData []byte, opts ProtectOptions) (*Protected, error) {
 	if len(opts.Regions) == 0 {
 		return nil, fmt.Errorf("puppies: ProtectJPEG requires explicit Regions")
@@ -291,6 +294,18 @@ func ProtectJPEG(jpegData []byte, opts ProtectOptions) (*Protected, error) {
 		regions = append(regions, a)
 	}
 	regions = roi.AlignAll(regions, img.W, img.H)
+
+	// Native subsampled path: when every region expands to the input's MCU
+	// grid without colliding with a neighbor, protect chroma blocks at
+	// native resolution — no transcode at all. Otherwise normalize to
+	// 4:4:4 once, where the 8-pixel block grid is the MCU grid.
+	if img.Subsampled() {
+		if mcu, ok := alignRegionsToMCU(img, regions); ok {
+			regions = mcu
+		} else if img, err = img.Normalize444(); err != nil {
+			return nil, err
+		}
+	}
 
 	if opts.Keys != nil && len(opts.Keys) != len(regions) {
 		return nil, fmt.Errorf("puppies: %d keys for %d regions", len(opts.Keys), len(regions))
@@ -347,6 +362,28 @@ func UnprotectJPEG(jpegData, params []byte, pairs []*KeyPair) ([]byte, error) {
 		return nil, err
 	}
 	return buf.Bytes(), nil
+}
+
+// alignRegionsToMCU expands block-aligned regions outward to the MCU grid
+// of a subsampled image. It reports failure when any expansion fails or two
+// expanded regions collide; the caller then falls back to 4:4:4
+// normalization, where the 8-pixel block grid is the MCU grid.
+func alignRegionsToMCU(img *jpegc.Image, regions []Rect) ([]Rect, bool) {
+	maxH, maxV := img.MaxSampling()
+	out := make([]Rect, len(regions))
+	for i, r := range regions {
+		a, err := r.AlignToMCU(img.W, img.H, maxH, maxV)
+		if err != nil {
+			return nil, false
+		}
+		for j := 0; j < i; j++ {
+			if a.Overlaps(out[j]) {
+				return nil, false
+			}
+		}
+		out[i] = a
+	}
+	return out, true
 }
 
 // keyMap indexes pairs by ID.
