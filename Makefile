@@ -27,7 +27,7 @@ SERVE_BENCHMARKS ?= BenchmarkServeTransformedCold,BenchmarkServeTransformedHot,B
 BATCH_BENCHMARKS ?= BenchmarkUploadSequential,BenchmarkUploadBatch,BenchmarkDecodeNative420,BenchmarkDecodeNormalized420
 PERF_RATIOS ?= BenchmarkUploadSequential/BenchmarkUploadBatch>=2:ns/op,BenchmarkDecodeNormalized420/BenchmarkDecodeNative420>=1.5:coeff-bytes/op
 
-.PHONY: all build test check fmt race fuzz-smoke bench bench-compare cluster-e2e cluster-demo profile
+.PHONY: all build test check fmt race fuzz-smoke bench bench-compare cluster-e2e cluster-demo load-gate profile
 
 all: build
 
@@ -43,7 +43,7 @@ test:
 # matrix) with its daemon, the parallel-pipeline determinism suite, and the
 # restart-segment parallel scan decode under -race.
 race:
-	$(GO) test -race -count=1 ./internal/psp/... ./internal/servecache/... ./internal/faults/... ./internal/blobstore/... ./internal/cluster/... ./cmd/pspd/... ./cmd/pspgw/...
+	$(GO) test -race -count=1 ./internal/psp/... ./internal/servecache/... ./internal/faults/... ./internal/blobstore/... ./internal/cluster/... ./internal/admission/... ./internal/stats/... ./internal/loadgen/... ./cmd/pspd/... ./cmd/pspgw/...
 	$(GO) test -race -count=1 -run 'TestParallelDeterminism' .
 	$(GO) test -race -count=1 -run 'TestRestart' ./internal/jpegc
 
@@ -99,6 +99,29 @@ bench-compare:
 	$(GO) run ./cmd/benchfmt -old $(OLD) -new $(NEW) -hot '$(SERVE_BENCHMARKS)'
 	$(GO) run ./cmd/benchfmt -old $(OLD) -new $(NEW) -hot '$(BATCH_BENCHMARKS)' -ratio '$(PERF_RATIOS)'
 
+# load-gate is the PR 8 SLO gate: a seeded Zipf load run (cmd/loadgen)
+# against an in-process 3-shard cluster whose gateway admission capacity is
+# deliberately tiny, with the builtin chaos schedule (full 503 blackout on
+# shard 0, partial burst on shard 1, partition of shard 2) running
+# underneath. The run itself gates on zero unexpected client-visible
+# failures, 429+Retry-After shedding having been exercised, and every
+# breaker having tripped AND recovered; benchfmt then re-asserts from the
+# written report that hot transformed-GET p99 stayed under LOAD_SLO_P99 and
+# ok-per-op stayed at 1.0. The artifact is committed as $(LOAD_OUT).
+LOAD_OUT ?= BENCH_PR8.json
+LOAD_SEED ?= 42
+LOAD_DURATION ?= 8s
+LOAD_WORKERS ?= 12
+LOAD_SLO_P99 ?= 250ms
+LOAD_SLO_RATIOS ?= LoadSLOHotGet/LoadHotGet>=1:p99-ns,LoadOverall/LoadSLOHotGet>=1:ok-per-op
+load-gate:
+	$(GO) run ./cmd/loadgen -selfhost 3 -seed $(LOAD_SEED) -duration $(LOAD_DURATION) \
+		-workers $(LOAD_WORKERS) -corpus 16 -chaos gate \
+		-gw-max-inflight 4 -gw-admit-wait 10ms -gw-admit-queue 2 \
+		-slo-hotget-p99 $(LOAD_SLO_P99) -max-unexpected 0 -require-sheds -require-breaker-cycle \
+		-o $(LOAD_OUT)
+	$(GO) run ./cmd/benchfmt -new $(LOAD_OUT) -ratio '$(LOAD_SLO_RATIOS)'
+
 # profile captures CPU and allocation pprof profiles of the two hot paths —
 # the protect/recover pipeline (paper Table 1 workload) and the streaming
 # batch upload route — and prints the CPU top for each. Inspect further with
@@ -125,4 +148,5 @@ check: fmt
 	$(GO) test ./...
 	$(MAKE) race
 	$(MAKE) cluster-e2e
+	$(MAKE) load-gate
 	$(MAKE) fuzz-smoke

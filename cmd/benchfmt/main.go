@@ -282,7 +282,7 @@ func main() {
 		out       = flag.String("o", "", "write JSON report to this file (default stdout)")
 		doCompare = flag.Bool("compare", false, "compare two JSON reports: benchfmt -compare old.json new.json")
 		oldPath   = flag.String("old", "", "baseline JSON report; with -new, enters compare mode")
-		newPath   = flag.String("new", "", "candidate JSON report; with -old, enters compare mode")
+		newPath   = flag.String("new", "", "candidate JSON report; with -old enters compare mode, with only -ratio checks that report alone")
 		hot       = flag.String("hot", "", "comma-separated benchmark names to gate on (default: all common)")
 		threshold = flag.Float64("threshold", 0.10, "allowed ns/op and allocs/op regression fraction in compare mode")
 		ratios    = flag.String("ratio", "", "comma-separated cross-benchmark assertions on the new report, e.g. 'BenchSeq/BenchBatch>=2:ns/op'")
@@ -300,6 +300,26 @@ func main() {
 		if n = strings.TrimSpace(n); n != "" {
 			names = append(names, n)
 		}
+	}
+
+	// Ratio-only mode: -new + -ratio with no baseline asserts cross-
+	// benchmark (and, via synthetic SLO rows, absolute) bounds against a
+	// single report — what `make load-gate` runs against loadgen output,
+	// where there is no meaningful "old" report to diff.
+	if *newPath != "" && *oldPath == "" {
+		if len(ratioExprs) == 0 || flag.NArg() != 0 {
+			fmt.Fprintln(os.Stderr, "benchfmt: -new without -old needs -ratio assertions (and no positional files)")
+			os.Exit(2)
+		}
+		newR, err := readReport(*newPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if checkRatios(newR, ratioExprs, os.Stdout) {
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *oldPath != "" || *newPath != "" {

@@ -214,3 +214,48 @@ func TestRatioGate(t *testing.T) {
 		t.Fatal("malformed ratio accepted")
 	}
 }
+
+func TestRatioGateSingleLoadgenReport(t *testing.T) {
+	// The load-gate flow: loadgen writes rows including a synthetic
+	// LoadSLOHotGet row carrying the SLO bounds, and benchfmt asserts
+	// them as ratios against that single report — no baseline needed.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "load.json")
+	if err := os.WriteFile(path, []byte(`[
+		{"name":"LoadHotGet","iterations":5000,"ns_per_op":800000,
+		 "metrics":{"p99-ns":4000000,"ok-per-op":1}},
+		{"name":"LoadOverall","iterations":9000,"ns_per_op":900000,
+		 "metrics":{"ok-per-op":1,"shed-count":36}},
+		{"name":"LoadSLOHotGet","iterations":1,"ns_per_op":1,
+		 "metrics":{"p99-ns":250000000,"ok-per-op":1}}
+	]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := readReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exprs, err := parseRatios("LoadSLOHotGet/LoadHotGet>=1:p99-ns,LoadOverall/LoadSLOHotGet>=1:ok-per-op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if checkRatios(rep, exprs, &sb) {
+		t.Fatalf("SLO-satisfying report flagged:\n%s", sb.String())
+	}
+
+	// A p99 over the ceiling must fail the first expression.
+	rep["LoadHotGet"].Metrics["p99-ns"] = 400000000
+	sb.Reset()
+	if !checkRatios(rep, exprs, &sb) {
+		t.Fatalf("p99 over ceiling not flagged:\n%s", sb.String())
+	}
+
+	// Any unexpected failure drops ok-per-op below 1 and must fail too.
+	rep["LoadHotGet"].Metrics["p99-ns"] = 4000000
+	rep["LoadOverall"].Metrics["ok-per-op"] = 0.9998
+	sb.Reset()
+	if !checkRatios(rep, exprs, &sb) {
+		t.Fatalf("ok-per-op below 1 not flagged:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSelfhostWritesBenchRows(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "rows.json")
+	rep := filepath.Join(dir, "report.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-selfhost", "3", "-seed", "1", "-duration", "400ms", "-workers", "2",
+		"-corpus", "3", "-slo-hotget-p99", "30s", "-max-unexpected", "0",
+		"-o", out, "-report", rep,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []struct {
+		Name       string             `json:"name"`
+		Iterations int64              `json:"iterations"`
+		NsPerOp    float64            `json:"ns_per_op"`
+		Metrics    map[string]float64 `json:"metrics"`
+	}
+	if err := json.Unmarshal(data, &rows); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]map[string]float64{}
+	for _, r := range rows {
+		byName[r.Name] = r.Metrics
+	}
+	if _, ok := byName["LoadSLOHotGet"]; !ok {
+		t.Fatalf("rows missing SLO row: %s", data)
+	}
+	if m, ok := byName["LoadOverall"]; !ok || m["ok-per-op"] != 1 {
+		t.Fatalf("overall row bad: %v", byName)
+	}
+	if _, err := os.Stat(rep); err != nil {
+		t.Fatalf("full report not written: %v", err)
+	}
+	if !strings.Contains(stdout.String(), "loadgen: seed=1") {
+		t.Fatalf("summary missing from stdout: %s", stdout.String())
+	}
+}
+
+func TestRunGatesFailWithoutSheds(t *testing.T) {
+	// An uncontended run cannot shed; -require-sheds must turn that into a
+	// non-zero exit rather than silently passing an unexercised gate.
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-selfhost", "1", "-seed", "2", "-duration", "200ms", "-workers", "1",
+		"-corpus", "2", "-require-sheds",
+	}, &stdout, &stderr)
+	if code == 0 {
+		t.Fatalf("want gate failure, got exit 0; stderr: %s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "no 429 shedding") {
+		t.Fatalf("stderr: %s", stderr.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{}, // neither target nor selfhost
+		{"-target", "http://x", "-selfhost", "3"}, // both
+		{"-target", "http://x", "-chaos", "gate"}, // chaos without selfhost
+		{"-selfhost", "3", "-mix", "bogus=1"},     // bad mix
+	}
+	for i, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Fatalf("case %d (%v): exit %d, want 2; stderr: %s", i, args, code, stderr.String())
+		}
+	}
+}
+
+func TestRunLoadsChaosScheduleFromFile(t *testing.T) {
+	dir := t.TempDir()
+	sched := filepath.Join(dir, "chaos.json")
+	if err := os.WriteFile(sched, []byte(`{"events":[
+		{"at":"50ms","kind":"burst503","shard":0,"rate":1.0,"for":"100ms"}
+	]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-selfhost", "3", "-seed", "3", "-duration", "400ms", "-workers", "2",
+		"-corpus", "2", "-chaos", sched, "-max-unexpected", "0",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+
+	// A schedule referencing a shard that does not exist must be refused.
+	if err := os.WriteFile(sched, []byte(`{"events":[
+		{"at":"50ms","kind":"partition","shard":9,"for":"100ms"}
+	]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code = run([]string{
+		"-selfhost", "3", "-seed", "3", "-duration", "200ms", "-chaos", sched,
+	}, &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("invalid schedule: exit %d, want 2; stderr: %s", code, stderr.String())
+	}
+}

@@ -89,6 +89,10 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- stri
 	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 	drainGrace := fs.Duration("drain-grace", 250*time.Millisecond, "how long healthz advertises draining (503) before the listener closes")
 	reqTimeout := fs.Duration("request-timeout", 60*time.Second, "per-request handler timeout (0 disables)")
+	maxInflight := fs.Int("max-inflight", 0, "admission capacity in weighted units (0 = 16/proc default, negative disables shedding)")
+	admitWait := fs.Duration("admit-wait", 0, "max time a request may queue for admission before a 429 (0 = default)")
+	admitQueue := fs.Int("admit-queue", 0, "admission queue length beyond capacity (0 = default)")
+	admitRetryAfter := fs.Duration("admit-retry-after", 0, "base Retry-After hint on 429 responses (0 = default)")
 	faultSeed := fs.Int64("fault-seed", 0, "enable fault-injection middleware with this RNG seed (0 disables)")
 	faultRate := fs.Float64("fault-rate", 0, "probability of injecting the configured fault per request")
 	faultLatency := fs.Duration("fault-latency", 0, "injected latency; with zero latency the injected fault is a 503")
@@ -127,6 +131,10 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- stri
 	}
 	fmt.Fprintf(stdout, "pspd serve cache: variants=%s coeffs=%s\n",
 		cacheBudgetString(server.VariantCacheBytes), cacheBudgetString(server.CoeffCacheBytes))
+	server.MaxInflight = *maxInflight
+	server.AdmitWait = *admitWait
+	server.AdmitQueue = *admitQueue
+	server.AdmitRetryAfter = *admitRetryAfter
 	handler := server.Handler()
 	if *faultSeed != 0 {
 		fault := faults.Fault{Kind: faults.Status503}

@@ -66,6 +66,10 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- stri
 	hedgeDelay := fs.Duration("hedge-delay", cluster.DefaultHedgeDelay, "how long a read waits on one replica before hedging to the next")
 	shardTimeout := fs.Duration("shard-timeout", cluster.DefaultShardTimeout, "per-shard request timeout")
 	maxBody := fs.Int64("max-body", psp.DefaultMaxUpload, "request/response body byte cap")
+	maxInflight := fs.Int("max-inflight", 0, "admission capacity in weighted units (0 = 32/proc default, negative disables shedding)")
+	admitWait := fs.Duration("admit-wait", 0, "max time a request may queue for admission before a 429 (0 = default)")
+	admitQueue := fs.Int("admit-queue", 0, "admission queue length beyond capacity (0 = default)")
+	admitRetryAfter := fs.Duration("admit-retry-after", 0, "base Retry-After hint on 429 responses (0 = default)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 	drainGrace := fs.Duration("drain-grace", 250*time.Millisecond, "how long healthz advertises draining (503) before the listener closes")
 	if err := fs.Parse(args); err != nil {
@@ -93,6 +97,10 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- stri
 		BreakerCooldown:    *breakerCooldown,
 		BreakerCooldownMax: *breakerCooldownMax,
 		ProbeInterval:      *probeInterval,
+		MaxInflight:        *maxInflight,
+		AdmitWait:          *admitWait,
+		AdmitQueue:         *admitQueue,
+		AdmitRetryAfter:    *admitRetryAfter,
 	})
 	if err != nil {
 		return fmt.Errorf("pspgw: %w", err)

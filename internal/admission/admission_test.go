@@ -1,0 +1,275 @@
+package admission
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestNilControllerAdmitsEverything(t *testing.T) {
+	var c *Controller
+	rel, out := c.Acquire(context.Background(), 5)
+	if out != Admitted || rel == nil {
+		t.Fatalf("nil controller: outcome %v, release nil=%v", out, rel == nil)
+	}
+	rel()
+	c.SetDraining(true) // must not panic
+	if st := c.Stats(); st != (Stats{}) {
+		t.Fatalf("nil stats = %+v", st)
+	}
+	if c.RetryAfterHint() != 0 {
+		t.Fatal("nil hint should be zero")
+	}
+}
+
+func TestFastPathAndRelease(t *testing.T) {
+	c := New(Config{Capacity: 2, MaxWait: time.Second})
+	rel1, out := c.Acquire(context.Background(), 1)
+	if out != Admitted {
+		t.Fatalf("outcome %v", out)
+	}
+	rel2, out := c.Acquire(context.Background(), 1)
+	if out != Admitted {
+		t.Fatalf("outcome %v", out)
+	}
+	st := c.Stats()
+	if st.Inflight != 2 || st.Admitted != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	rel1()
+	rel1() // idempotent: double release must not over-credit
+	rel2()
+	if st := c.Stats(); st.Inflight != 0 {
+		t.Fatalf("after release: %+v", st)
+	}
+}
+
+func TestWeightClampedToCapacity(t *testing.T) {
+	c := New(Config{Capacity: 2})
+	rel, out := c.Acquire(context.Background(), 100)
+	if out != Admitted {
+		t.Fatalf("over-capacity weight must clamp and admit, got %v", out)
+	}
+	rel()
+	if st := c.Stats(); st.Inflight != 0 {
+		t.Fatalf("release after clamp leaked: %+v", st)
+	}
+}
+
+func TestQueueThenGrantFIFO(t *testing.T) {
+	c := New(Config{Capacity: 1, MaxWait: 5 * time.Second})
+	rel, out := c.Acquire(context.Background(), 1)
+	if out != Admitted {
+		t.Fatal(out)
+	}
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Stagger arrivals so FIFO order is well defined.
+			time.Sleep(time.Duration(i+1) * 30 * time.Millisecond)
+			r, out := c.Acquire(context.Background(), 1)
+			if out != Admitted {
+				t.Errorf("waiter %d: %v", i, out)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			r()
+		}(i)
+	}
+	time.Sleep(150 * time.Millisecond)
+	if st := c.Stats(); st.Queued != 3 {
+		t.Fatalf("queued = %d, want 3", st.Queued)
+	}
+	rel()
+	wg.Wait()
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("grant order %v, want [0 1 2]", order)
+	}
+}
+
+func TestShedTimeout(t *testing.T) {
+	c := New(Config{Capacity: 1, MaxWait: 30 * time.Millisecond})
+	rel, _ := c.Acquire(context.Background(), 1)
+	defer rel()
+	start := time.Now()
+	r, out := c.Acquire(context.Background(), 1)
+	if out != ShedTimeout || r != nil {
+		t.Fatalf("outcome %v", out)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond || d > 2*time.Second {
+		t.Fatalf("shed after %v, want ~30ms", d)
+	}
+	if st := c.Stats(); st.ShedTimeout != 1 || st.Queued != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestShedQueueFull(t *testing.T) {
+	c := New(Config{Capacity: 1, MaxQueue: 1, MaxWait: time.Second})
+	rel, _ := c.Acquire(context.Background(), 1)
+	defer rel()
+	go c.Acquire(context.Background(), 1) // fills the queue
+	deadline := time.Now().Add(time.Second)
+	for {
+		if c.Stats().Queued == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("queue never filled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	r, out := c.Acquire(context.Background(), 1)
+	if out != ShedQueueFull || r != nil {
+		t.Fatalf("outcome %v", out)
+	}
+	if st := c.Stats(); st.ShedQueueFull != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestShedDraining(t *testing.T) {
+	c := New(Config{Capacity: 1, MaxWait: time.Second})
+	rel, _ := c.Acquire(context.Background(), 1)
+	c.SetDraining(true)
+	r, out := c.Acquire(context.Background(), 1)
+	if out != ShedDraining || r != nil {
+		t.Fatalf("outcome %v", out)
+	}
+	// Free capacity still admits while draining: in-flight work finishes
+	// and cheap requests keep being served.
+	rel()
+	r, out = c.Acquire(context.Background(), 1)
+	if out != Admitted {
+		t.Fatalf("fast path while draining: %v", out)
+	}
+	r()
+	c.SetDraining(false)
+	if st := c.Stats(); st.ShedDraining != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestContextCancelShedsEarly(t *testing.T) {
+	c := New(Config{Capacity: 1, MaxWait: 10 * time.Second})
+	rel, _ := c.Acquire(context.Background(), 1)
+	defer rel()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, out := c.Acquire(ctx, 1)
+	if out != ShedTimeout {
+		t.Fatalf("outcome %v", out)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("cancel did not cut the wait")
+	}
+}
+
+func TestHeavyHeadRemovalUnblocksLighter(t *testing.T) {
+	c := New(Config{Capacity: 2, MaxWait: 80 * time.Millisecond})
+	relA, _ := c.Acquire(context.Background(), 1) // tokens: 1 left
+	// Heavy waiter (weight 2) queues at the head.
+	headDone := make(chan Outcome, 1)
+	go func() {
+		_, out := c.Acquire(context.Background(), 2)
+		headDone <- out
+	}()
+	deadline := time.Now().Add(time.Second)
+	for c.Stats().Queued != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("head never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Light waiter behind it: FIFO blocks it even though a token is free.
+	lightDone := make(chan Outcome, 1)
+	go func() {
+		r, out := c.Acquire(context.Background(), 1)
+		if r != nil {
+			defer r()
+		}
+		lightDone <- out
+	}()
+	// The head sheds at its deadline; the light waiter must then be granted
+	// the free token rather than timing out behind a ghost.
+	if out := <-headDone; out != ShedTimeout {
+		t.Fatalf("head outcome %v", out)
+	}
+	select {
+	case out := <-lightDone:
+		if out != Admitted {
+			t.Fatalf("light outcome %v", out)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("light waiter stuck after heavy head shed")
+	}
+	relA()
+}
+
+func TestRetryAfterHintScalesWithQueue(t *testing.T) {
+	c := New(Config{Capacity: 1, MaxQueue: 4, MaxWait: time.Second, RetryAfter: 100 * time.Millisecond})
+	base := c.RetryAfterHint()
+	if base != 100*time.Millisecond {
+		t.Fatalf("base hint %v", base)
+	}
+	rel, _ := c.Acquire(context.Background(), 1)
+	defer rel()
+	for i := 0; i < 4; i++ {
+		go c.Acquire(context.Background(), 1)
+	}
+	deadline := time.Now().Add(time.Second)
+	for c.Stats().Queued != 4 {
+		if time.Now().After(deadline) {
+			t.Fatal("queue never filled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if hint := c.RetryAfterHint(); hint <= base {
+		t.Fatalf("hint %v did not scale above base %v with a full queue", hint, base)
+	}
+}
+
+func TestConcurrentAcquireReleaseNoLeak(t *testing.T) {
+	c := New(Config{Capacity: 4, MaxWait: 50 * time.Millisecond, MaxQueue: 64})
+	var wg sync.WaitGroup
+	var admitted, shed atomic.Uint64
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				rel, out := c.Acquire(context.Background(), 1+i%3)
+				if out == Admitted {
+					admitted.Add(1)
+					rel()
+				} else {
+					shed.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Inflight != 0 || st.Queued != 0 {
+		t.Fatalf("leaked capacity: %+v", st)
+	}
+	if st.Admitted != admitted.Load() || st.Sheds() != shed.Load() {
+		t.Fatalf("counter mismatch: stats %+v vs local admitted=%d shed=%d",
+			st, admitted.Load(), shed.Load())
+	}
+	if admitted.Load() == 0 {
+		t.Fatal("nothing admitted")
+	}
+}

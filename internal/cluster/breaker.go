@@ -58,6 +58,7 @@ type Breaker struct {
 	openUntil   time.Time
 	probing     bool
 	opens       uint64
+	recoveries  uint64
 }
 
 // NewBreaker builds a closed breaker. Zero arguments take the package
@@ -120,6 +121,7 @@ func (b *Breaker) OnSuccess() {
 	if b.state != BreakerClosed {
 		b.state = BreakerClosed
 		b.cooldown = b.cooldownBase
+		b.recoveries++
 	}
 }
 
@@ -166,4 +168,12 @@ func (b *Breaker) Opens() uint64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.opens
+}
+
+// Recoveries reports how many times the breaker has closed again after
+// being open — the "and recovered" half of what a chaos run asserts.
+func (b *Breaker) Recoveries() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.recoveries
 }

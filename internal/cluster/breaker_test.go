@@ -164,3 +164,36 @@ func TestBreakerDefaults(t *testing.T) {
 		t.Fatal("breaker did not open at the default threshold")
 	}
 }
+
+func TestBreakerRecoveriesCountsCloseTransitions(t *testing.T) {
+	clk := newStubClock()
+	b := NewBreaker(1, 100*time.Millisecond, time.Second, clk.now)
+	if b.Recoveries() != 0 {
+		t.Fatalf("fresh breaker Recoveries()=%d", b.Recoveries())
+	}
+	// Success while already closed is not a recovery.
+	b.OnSuccess()
+	if b.Recoveries() != 0 {
+		t.Fatalf("closed-state success counted as recovery")
+	}
+	for round := 1; round <= 2; round++ {
+		b.OnFailure() // threshold 1: opens immediately
+		if b.State() != BreakerOpen {
+			t.Fatalf("round %d: state=%v, want open", round, b.State())
+		}
+		clk.advance(2 * time.Second)
+		if !b.Allow() {
+			t.Fatalf("round %d: cooldown elapsed but probe refused", round)
+		}
+		b.OnSuccess() // probe succeeds: open -> closed
+		if b.State() != BreakerClosed {
+			t.Fatalf("round %d: state=%v, want closed", round, b.State())
+		}
+		if got := b.Recoveries(); got != uint64(round) {
+			t.Fatalf("round %d: Recoveries()=%d", round, got)
+		}
+	}
+	if b.Opens() != 2 {
+		t.Fatalf("Opens()=%d, want 2", b.Opens())
+	}
+}

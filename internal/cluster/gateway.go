@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -18,7 +19,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"puppies/internal/admission"
 	"puppies/internal/psp"
+	"puppies/internal/stats"
 )
 
 // Gateway defaults; every knob is a Config field.
@@ -79,9 +82,24 @@ type Config struct {
 	// DisableReadVerify turns off the asynchronous quorum read
 	// verification that runs behind raw-image GETs.
 	DisableReadVerify bool
+	// MaxInflight caps concurrently served client requests in weighted
+	// units (transform proxies count double). Zero means
+	// DefaultGatewayInflightPerProc per GOMAXPROCS; negative disables
+	// admission control. AdmitWait, AdmitQueue, and AdmitRetryAfter shape
+	// the wait bound, queue cap, and shed Retry-After hint exactly as on
+	// psp.Server; zeros take the admission package defaults.
+	MaxInflight     int
+	AdmitWait       time.Duration
+	AdmitQueue      int
+	AdmitRetryAfter time.Duration
 	// Now is stubbed in tests (nil means time.Now).
 	Now func() time.Time
 }
+
+// DefaultGatewayInflightPerProc scales the gateway's default admission
+// capacity. Larger than the PSP's because gateway units are mostly I/O
+// (proxying, fan-out) rather than DCT work.
+const DefaultGatewayInflightPerProc = 32
 
 // shard is the gateway's live state for one member.
 type shard struct {
@@ -91,6 +109,9 @@ type shard struct {
 	requests    atomic.Uint64
 	failures    atomic.Uint64
 	readRepairs atomic.Uint64
+	// overloads counts 429 answers from this shard. A shedding shard is
+	// alive — its sheds feed failover, not the breaker.
+	overloads atomic.Uint64
 }
 
 // Gateway fronts N pspd shards as a single PSP endpoint: consistent-hash
@@ -109,6 +130,12 @@ type Gateway struct {
 	shards map[string]*shard
 
 	draining atomic.Bool
+
+	admitOnce sync.Once
+	admit     *admission.Controller
+
+	latOnce sync.Once
+	lat     map[string]*stats.Histogram
 
 	uploads              atomic.Uint64
 	uploadQuorumFailures atomic.Uint64
@@ -221,8 +248,87 @@ func (g *Gateway) maxBody() int64 {
 }
 
 // SetDraining flips the gateway's own healthz to 503 so an upstream load
-// balancer stops routing to it before shutdown.
-func (g *Gateway) SetDraining(v bool) { g.draining.Store(v) }
+// balancer stops routing to it before shutdown. Admission tightens too:
+// requests that would queue are shed immediately.
+func (g *Gateway) SetDraining(v bool) {
+	g.draining.Store(v)
+	g.admission().SetDraining(v)
+}
+
+// Route names for admission weights and latency histograms. The client-facing
+// surface mirrors internal/psp, so the names match the PSP's.
+var gatewayRouteWeights = map[string]int{
+	"upload":      1,
+	"batch":       0, // items pay per unit inside the worker pool
+	"list":        1,
+	"get":         1,
+	"params":      1,
+	"transformed": 2,
+	"pixels":      2,
+}
+
+// admission returns the gateway's admission controller, built on first use.
+// A negative MaxInflight yields nil, which admits everything.
+func (g *Gateway) admission() *admission.Controller {
+	g.admitOnce.Do(func() {
+		if g.cfg.MaxInflight < 0 {
+			return
+		}
+		capacity := g.cfg.MaxInflight
+		if capacity == 0 {
+			capacity = DefaultGatewayInflightPerProc * runtime.GOMAXPROCS(0)
+		}
+		g.admit = admission.New(admission.Config{
+			Capacity:   capacity,
+			MaxWait:    g.cfg.AdmitWait,
+			MaxQueue:   g.cfg.AdmitQueue,
+			RetryAfter: g.cfg.AdmitRetryAfter,
+		})
+		g.admit.SetDraining(g.draining.Load())
+	})
+	return g.admit
+}
+
+// latency returns the route's histogram from the fixed, read-only map.
+func (g *Gateway) latency(route string) *stats.Histogram {
+	g.latOnce.Do(func() {
+		g.lat = make(map[string]*stats.Histogram, len(gatewayRouteWeights))
+		for name := range gatewayRouteWeights {
+			g.lat[name] = &stats.Histogram{}
+		}
+	})
+	return g.lat[route]
+}
+
+// withAdmission fronts a client-facing route with admission control and
+// latency recording, mirroring the PSP server's behavior: sheds answer 429
+// with a fractional-seconds Retry-After and the overloaded error class.
+func (g *Gateway) withAdmission(route string, h http.HandlerFunc) http.HandlerFunc {
+	weight := gatewayRouteWeights[route]
+	hist := g.latency(route)
+	return func(w http.ResponseWriter, r *http.Request) {
+		if weight > 0 {
+			ctl := g.admission()
+			release, out := ctl.Acquire(r.Context(), weight)
+			if out != admission.Admitted {
+				writeGatewayOverloaded(w, ctl.RetryAfterHint(), out)
+				return
+			}
+			defer release()
+		}
+		start := time.Now()
+		h(w, r)
+		hist.Record(time.Since(start))
+	}
+}
+
+func writeGatewayOverloaded(w http.ResponseWriter, hint time.Duration, out admission.Outcome) {
+	if hint > 0 {
+		w.Header().Set("Retry-After", strconv.FormatFloat(hint.Seconds(), 'f', 3, 64))
+	}
+	w.Header().Set(psp.ErrorClassHeader, psp.ErrorClassOverloaded)
+	http.Error(w, fmt.Sprintf("overloaded (%s)", out), http.StatusTooManyRequests)
+}
 
 // replicaShards returns the shard structs for key's replica set, ring
 // order.
@@ -383,18 +489,20 @@ func isCorrupt(resp *shardResp) bool {
 //	POST /v1/admin/repair                 full verify/re-replicate walk
 func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
+	// healthz, statz, and admin routes bypass admission: they are how
+	// operators observe and repair an overloaded cluster.
 	mux.HandleFunc("GET /v1/healthz", g.handleHealthz)
 	mux.HandleFunc("GET /v1/statz", g.handleStatz)
 	mux.HandleFunc("GET /v1/admin/shards", g.handleShardsGet)
 	mux.HandleFunc("POST /v1/admin/shards", g.handleShardsPost)
 	mux.HandleFunc("POST /v1/admin/repair", g.handleRepair)
-	mux.HandleFunc("GET /v1/images", g.handleList)
-	mux.HandleFunc("POST /v1/images", g.handleUpload)
-	mux.HandleFunc("POST /v1/images:batch", g.handleBatch)
-	mux.HandleFunc("GET /v1/images/{id}", g.handleProxy)
-	mux.HandleFunc("GET /v1/images/{id}/params", g.handleProxy)
-	mux.HandleFunc("GET /v1/images/{id}/transformed", g.handleProxy)
-	mux.HandleFunc("GET /v1/images/{id}/pixels", g.handleProxy)
+	mux.HandleFunc("GET /v1/images", g.withAdmission("list", g.handleList))
+	mux.HandleFunc("POST /v1/images", g.withAdmission("upload", g.handleUpload))
+	mux.HandleFunc("POST /v1/images:batch", g.withAdmission("batch", g.handleBatch))
+	mux.HandleFunc("GET /v1/images/{id}", g.withAdmission("get", g.handleProxy))
+	mux.HandleFunc("GET /v1/images/{id}/params", g.withAdmission("params", g.handleProxy))
+	mux.HandleFunc("GET /v1/images/{id}/transformed", g.withAdmission("transformed", g.handleProxy))
+	mux.HandleFunc("GET /v1/images/{id}/pixels", g.withAdmission("pixels", g.handleProxy))
 	return mux
 }
 
@@ -434,13 +542,18 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	_ = json.NewEncoder(w).Encode(h)
 }
 
-// ShardStatz is the per-shard block of the statz body.
+// ShardStatz is the per-shard block of the statz body. BreakerState,
+// BreakerOpens, and BreakerRecoveries together let a chaos run assert the
+// full ejection lifecycle: the breaker tripped (opens > 0) AND recovered
+// (recoveries > 0, state back to closed).
 type ShardStatz struct {
-	Requests     uint64 `json:"requests"`
-	Failures     uint64 `json:"failures"`
-	ReadRepairs  uint64 `json:"readRepairs"`
-	BreakerState string `json:"breakerState"`
-	BreakerOpens uint64 `json:"breakerOpens"`
+	Requests          uint64 `json:"requests"`
+	Failures          uint64 `json:"failures"`
+	Overloads         uint64 `json:"overloads"`
+	ReadRepairs       uint64 `json:"readRepairs"`
+	BreakerState      string `json:"breakerState"`
+	BreakerOpens      uint64 `json:"breakerOpens"`
+	BreakerRecoveries uint64 `json:"breakerRecoveries"`
 }
 
 // Statz is the gateway's GET /v1/statz body.
@@ -457,6 +570,9 @@ type Statz struct {
 	Divergences          uint64                `json:"divergences"`
 	OpenBreakers         int                   `json:"openBreakers"`
 	Shards               map[string]ShardStatz `json:"shards"`
+
+	Admission admission.Stats                    `json:"admission"`
+	LatencyNs map[string]stats.HistogramSnapshot `json:"latencyNs"`
 }
 
 // Stats snapshots the cluster counters (the /v1/statz body).
@@ -482,11 +598,20 @@ func (g *Gateway) Stats() Statz {
 			out.OpenBreakers++
 		}
 		out.Shards[u] = ShardStatz{
-			Requests:     sh.requests.Load(),
-			Failures:     sh.failures.Load(),
-			ReadRepairs:  sh.readRepairs.Load(),
-			BreakerState: st.String(),
-			BreakerOpens: sh.breaker.Opens(),
+			Requests:          sh.requests.Load(),
+			Failures:          sh.failures.Load(),
+			Overloads:         sh.overloads.Load(),
+			ReadRepairs:       sh.readRepairs.Load(),
+			BreakerState:      st.String(),
+			BreakerOpens:      sh.breaker.Opens(),
+			BreakerRecoveries: sh.breaker.Recoveries(),
+		}
+	}
+	out.Admission = g.admission().Stats()
+	out.LatencyNs = make(map[string]stats.HistogramSnapshot, len(gatewayRouteWeights))
+	for name := range gatewayRouteWeights {
+		if h := g.latency(name); h.Count() > 0 {
+			out.LatencyNs[name] = h.Snapshot()
 		}
 	}
 	return out
@@ -697,6 +822,19 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			// Per-item admission, mirroring the PSP batch route: the
+			// envelope was free, each replicated item pays one unit, and a
+			// shed lands as a 429 in that item's result slot.
+			ctl := g.admission()
+			release, admitted := ctl.Acquire(r.Context(), 1)
+			if admitted != admission.Admitted {
+				*it.slot = psp.BatchResult{
+					Error:  fmt.Sprintf("overloaded (%s); retry after %.3fs", admitted, ctl.RetryAfterHint().Seconds()),
+					Status: http.StatusTooManyRequests,
+				}
+				return
+			}
+			defer release()
 			body := it.body
 			if it.raw {
 				wrapped, err := json.Marshal(psp.UploadRequest{Image: it.body, Params: it.params})
@@ -839,7 +977,16 @@ func (g *Gateway) classifyUpload(sh *shard, id string, resp *shardResp, err erro
 		sh.breaker.OnSuccess()
 		g.divergences.Add(1)
 		return uploadAck{sh: sh, repairable: true}
-	case resp.status >= 500 || resp.status == http.StatusTooManyRequests:
+	case resp.status == http.StatusTooManyRequests:
+		// The shard shed this write under admission control: it is alive
+		// and answering, so the breaker must not treat it as failing —
+		// ejecting a merely-busy shard shifts its load onto the others and
+		// cascades. The write still did not land, so it is repairable, and
+		// the shard's Retry-After propagates into the quorum-failure hint.
+		sh.overloads.Add(1)
+		sh.breaker.OnSuccess()
+		return uploadAck{sh: sh, repairable: true, resp: resp}
+	case resp.status >= 500:
 		sh.failures.Add(1)
 		sh.breaker.OnFailure()
 		return uploadAck{sh: sh, repairable: true, resp: resp}
@@ -921,7 +1068,16 @@ func (g *Gateway) handleProxy(w http.ResponseWriter, r *http.Request) {
 				corrupt = append(corrupt, res.sh)
 				corruptResp = res.resp
 				failover = true
-			case res.resp.status >= 500 || res.resp.status == http.StatusTooManyRequests:
+			case res.resp.status == http.StatusTooManyRequests:
+				// Shed by a live shard: fail over to a replica without
+				// charging the breaker — overload is not death.
+				res.sh.overloads.Add(1)
+				res.sh.breaker.OnSuccess()
+				if ra := psp.ParseRetryAfter(res.resp.header); ra > retryAfter {
+					retryAfter = ra
+				}
+				failover = true
+			case res.resp.status >= 500:
 				res.sh.failures.Add(1)
 				res.sh.breaker.OnFailure()
 				if ra := psp.ParseRetryAfter(res.resp.header); ra > retryAfter {

@@ -1,0 +1,194 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"puppies/internal/cluster"
+	"puppies/internal/psp"
+	"puppies/internal/stats"
+)
+
+// ClusterSource is anything that can produce gateway statz — the live
+// *cluster.Gateway in selfhost runs.
+type ClusterSource interface {
+	Stats() cluster.Statz
+}
+
+// RouteReport is one route's aggregated outcome.
+type RouteReport struct {
+	Ops        uint64                  `json:"ops"`
+	Errors     map[string]uint64       `json:"errors,omitempty"`
+	Unexpected uint64                  `json:"unexpected"`
+	Latency    stats.HistogramSnapshot `json:"latencyNs"`
+}
+
+// ClusterReport captures gateway-side evidence after a selfhost chaos run:
+// that overload shedding happened, and that breakers tripped AND came
+// back. The load gate asserts on these, not just on client-side numbers.
+type ClusterReport struct {
+	GatewaySheds      uint64 `json:"gatewaySheds"`
+	BreakerOpens      uint64 `json:"breakerOpens"`
+	BreakerRecoveries uint64 `json:"breakerRecoveries"`
+	OpenBreakers      int    `json:"openBreakers"`
+	Failovers         uint64 `json:"failovers"`
+	Hedges            uint64 `json:"hedges"`
+}
+
+// Report is a full load run's result, serializable for archiving next to
+// the benchfmt rows.
+type Report struct {
+	Seed              int64                  `json:"seed"`
+	DurationSec       float64                `json:"durationSec"`
+	Mode              string                 `json:"mode"`
+	Corpus            int                    `json:"corpus"`
+	Routes            map[string]RouteReport `json:"routes"`
+	Client            psp.ClientStats        `json:"client"`
+	ItemSheds         uint64                 `json:"itemSheds"`
+	Unexpected        uint64                 `json:"unexpected"`
+	UnexpectedSamples []string               `json:"unexpectedSamples,omitempty"`
+	Cluster           *ClusterReport         `json:"cluster,omitempty"`
+}
+
+// TotalOps sums ops across routes.
+func (r *Report) TotalOps() uint64 {
+	var n uint64
+	for _, rr := range r.Routes {
+		n += rr.Ops
+	}
+	return n
+}
+
+// Sheds reports how many client-visible 429s occurred (terminal or
+// retried), including per-item batch sheds — the number -require-sheds
+// gates on.
+func (r *Report) Sheds() uint64 { return r.Client.Overloaded + r.ItemSheds }
+
+// BenchRow is one benchfmt-compatible JSON result row; field names match
+// cmd/benchfmt's Result so `benchfmt -new BENCH_PR8.json -ratio ...` reads
+// loadgen output directly.
+type BenchRow struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// benchRouteNames maps report routes to benchfmt row names. Slash-free on
+// purpose: benchfmt's ratio grammar splits NUM/DEN on '/'.
+var benchRouteNames = map[string]string{
+	RouteHotGet:  "LoadHotGet",
+	RouteColdGet: "LoadColdGet",
+	RouteUpload:  "LoadUpload",
+	RouteBatch:   "LoadBatch",
+	RouteRecover: "LoadRecover",
+}
+
+// BenchRows renders the report as benchfmt rows. Each route row carries
+// its latency quantiles and ok/err fractions; LoadOverall aggregates the
+// run; LoadSLOHotGet is a synthetic row holding the SLO bounds so a plain
+// benchfmt ratio check becomes an absolute gate:
+//
+//	LoadSLOHotGet/LoadHotGet >= 1 : p99-ns   (hot GET p99 under ceiling)
+//	LoadOverall/LoadSLOHotGet >= 1 : ok-per-op (zero unexpected failures)
+func (r *Report) BenchRows(sloHotGetP99 time.Duration) []BenchRow {
+	rows := make([]BenchRow, 0, len(r.Routes)+2)
+	for _, route := range sortedRoutes(r.Routes) {
+		rr := r.Routes[route]
+		ok := float64(rr.Ops-rr.Unexpected) / float64(rr.Ops)
+		rows = append(rows, BenchRow{
+			Name:       benchRouteNames[route],
+			Iterations: int64(rr.Ops),
+			NsPerOp:    rr.Latency.MeanNs,
+			Metrics: map[string]float64{
+				"p50-ns":     float64(rr.Latency.P50Ns),
+				"p90-ns":     float64(rr.Latency.P90Ns),
+				"p99-ns":     float64(rr.Latency.P99Ns),
+				"ok-per-op":  ok,
+				"err-per-op": float64(rr.Unexpected) / float64(rr.Ops),
+			},
+		})
+	}
+	total := r.TotalOps()
+	if total > 0 {
+		var meanNs float64
+		for _, rr := range r.Routes {
+			meanNs += rr.Latency.MeanNs * float64(rr.Ops)
+		}
+		rows = append(rows, BenchRow{
+			Name:       "LoadOverall",
+			Iterations: int64(total),
+			NsPerOp:    meanNs / float64(total),
+			Metrics: map[string]float64{
+				"ok-per-op":  float64(total-r.Unexpected) / float64(total),
+				"err-per-op": float64(r.Unexpected) / float64(total),
+				"shed-count": float64(r.Sheds()),
+				"retries":    float64(r.Client.Retries),
+			},
+		})
+	}
+	if sloHotGetP99 > 0 {
+		rows = append(rows, BenchRow{
+			Name:       "LoadSLOHotGet",
+			Iterations: 1,
+			NsPerOp:    1,
+			Metrics: map[string]float64{
+				"p99-ns":    float64(sloHotGetP99.Nanoseconds()),
+				"ok-per-op": 1,
+			},
+		})
+	}
+	return rows
+}
+
+// WriteBenchJSON writes the rows as indented JSON (the BENCH_PR8.json
+// artifact).
+func (r *Report) WriteBenchJSON(w io.Writer, sloHotGetP99 time.Duration) error {
+	data, err := json.MarshalIndent(r.BenchRows(sloHotGetP99), "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// Summary renders a human-readable digest for the CLI.
+func (r *Report) Summary(w io.Writer) {
+	fmt.Fprintf(w, "loadgen: seed=%d mode=%s duration=%.2fs ops=%d unexpected=%d sheds=%d retries=%d\n",
+		r.Seed, r.Mode, r.DurationSec, r.TotalOps(), r.Unexpected, r.Sheds(), r.Client.Retries)
+	for _, route := range sortedRoutes(r.Routes) {
+		rr := r.Routes[route]
+		fmt.Fprintf(w, "  %-8s ops=%-6d p50=%-10v p99=%-10v errs=%v\n",
+			route, rr.Ops,
+			time.Duration(rr.Latency.P50Ns).Round(time.Microsecond),
+			time.Duration(rr.Latency.P99Ns).Round(time.Microsecond),
+			rr.Errors)
+	}
+	if r.Cluster != nil {
+		fmt.Fprintf(w, "  cluster  gatewaySheds=%d breakerOpens=%d breakerRecoveries=%d openBreakers=%d failovers=%d hedges=%d\n",
+			r.Cluster.GatewaySheds, r.Cluster.BreakerOpens, r.Cluster.BreakerRecoveries,
+			r.Cluster.OpenBreakers, r.Cluster.Failovers, r.Cluster.Hedges)
+	}
+	for _, s := range r.UnexpectedSamples {
+		fmt.Fprintf(w, "  UNEXPECTED: %s\n", s)
+	}
+}
+
+// FillCluster folds gateway statz into the report.
+func (r *Report) FillCluster(st ClusterSource) {
+	s := st.Stats()
+	cr := &ClusterReport{
+		GatewaySheds: s.Admission.Sheds(),
+		OpenBreakers: s.OpenBreakers,
+		Failovers:    s.Failovers,
+		Hedges:       s.Hedges,
+	}
+	for _, sh := range s.Shards {
+		cr.BreakerOpens += sh.BreakerOpens
+		cr.BreakerRecoveries += sh.BreakerRecoveries
+	}
+	r.Cluster = cr
+}

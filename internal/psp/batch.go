@@ -15,6 +15,7 @@ import (
 	"strings"
 	"sync"
 
+	"puppies/internal/admission"
 	"puppies/internal/core"
 	"puppies/internal/jpegc"
 	"puppies/internal/parallel"
@@ -166,6 +167,25 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			// Each item pays its own admission unit — the envelope was free
+			// (weight 0), so under overload a batch sheds per item with a
+			// 429 in that item's result slot rather than failing the whole
+			// envelope. The client re-uploads only the shed items; stored
+			// ones deduplicate by idempotency key.
+			ctl := s.admission()
+			release, out := ctl.Acquire(r.Context(), 1)
+			if out != admission.Admitted {
+				putBuf(it.buf)
+				if it.params != nil {
+					putBuf(it.params)
+				}
+				*it.slot = BatchResult{
+					Error:  fmt.Sprintf("overloaded (%s); retry after %.3fs", out, ctl.RetryAfterHint().Seconds()),
+					Status: http.StatusTooManyRequests,
+				}
+				return
+			}
+			defer release()
 			var res BatchResult
 			if it.raw {
 				var pb []byte
@@ -337,12 +357,15 @@ func (c *Client) UploadBatch(ctx context.Context, items []BatchUpload) ([]BatchR
 	var lastErr error
 	for attempt := 1; attempt <= attempts; attempt++ {
 		if attempt > 1 {
+			c.statRetries.Add(1)
 			wait := c.backoff(attempt - 1)
 			var se *StatusError
 			if errors.As(lastErr, &se) && se.RetryAfter > 0 {
 				wait = se.RetryAfter
+				c.statRetryAfterHonored.Add(1)
 			}
 			if err := c.sleepCtx(ctx, wait); err != nil {
+				c.statExhausted.Add(1)
 				return nil, fmt.Errorf("psp: giving up after %d attempts: %w (then %v)", attempt-1, lastErr, err)
 			}
 		}
@@ -355,6 +378,7 @@ func (c *Client) UploadBatch(ctx context.Context, items []BatchUpload) ([]BatchR
 			return nil, err
 		}
 	}
+	c.statExhausted.Add(1)
 	return nil, fmt.Errorf("psp: giving up after %d attempts: %w", attempts, lastErr)
 }
 
@@ -382,6 +406,7 @@ func (c *Client) UploadBatchImages(ctx context.Context, imgs []*jpegc.Image, pds
 
 // uploadBatchOnce performs one streaming attempt of the whole batch.
 func (c *Client) uploadBatchOnce(ctx context.Context, items []BatchUpload, keys []string) ([]BatchResult, error) {
+	c.statAttempts.Add(1)
 	attemptCtx := ctx
 	var cancel context.CancelFunc
 	if t := c.requestTimeout(); t > 0 {
@@ -461,6 +486,9 @@ func (c *Client) uploadBatchOnce(ctx context.Context, items []BatchUpload, keys 
 		return nil, fmt.Errorf("%w: response exceeds %d bytes", ErrTooLarge, limit)
 	}
 	if resp.StatusCode != http.StatusOK {
+		if resp.StatusCode == http.StatusTooManyRequests {
+			c.statOverloaded.Add(1)
+		}
 		return nil, &StatusError{
 			Method:     http.MethodPost,
 			Path:       req.URL.Path,

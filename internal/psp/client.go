@@ -13,6 +13,7 @@ import (
 	"net/http"
 	"net/url"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"puppies/internal/core"
@@ -87,6 +88,41 @@ type Client struct {
 	rngOnce sync.Once
 	rngMu   sync.Mutex
 	rng     *mrand.Rand
+
+	// Lifetime counters behind Stats(); load harnesses read them to build
+	// their error taxonomy (how often the client was shed, how hard it had
+	// to retry) without scraping logs.
+	statAttempts          atomic.Uint64
+	statRetries           atomic.Uint64
+	statOverloaded        atomic.Uint64
+	statRetryAfterHonored atomic.Uint64
+	statExhausted         atomic.Uint64
+}
+
+// ClientStats is a snapshot of the client's lifetime resilience counters.
+type ClientStats struct {
+	// Attempts counts individual HTTP attempts, including retries.
+	Attempts uint64 `json:"attempts"`
+	// Retries counts attempts beyond the first per logical request.
+	Retries uint64 `json:"retries"`
+	// Overloaded counts HTTP 429 responses (server-side admission sheds).
+	Overloaded uint64 `json:"overloaded"`
+	// RetryAfterHonored counts backoff waits that used the server's exact
+	// Retry-After value instead of the jittered exponential schedule.
+	RetryAfterHonored uint64 `json:"retryAfterHonored"`
+	// Exhausted counts logical requests that failed after all retries.
+	Exhausted uint64 `json:"exhausted"`
+}
+
+// Stats snapshots the client's resilience counters.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		Attempts:          c.statAttempts.Load(),
+		Retries:           c.statRetries.Load(),
+		Overloaded:        c.statOverloaded.Load(),
+		RetryAfterHonored: c.statRetryAfterHonored.Load(),
+		Exhausted:         c.statExhausted.Load(),
+	}
 }
 
 func (c *Client) http() *http.Client {
@@ -173,6 +209,7 @@ func (c *Client) sleepCtx(ctx context.Context, d time.Duration) error {
 // one byte past MaxResponseBytes so oversized responses surface as
 // ErrTooLarge instead of silently truncated bytes.
 func (c *Client) doOnce(ctx context.Context, method, rawURL string, body []byte, header http.Header) ([]byte, error) {
+	c.statAttempts.Add(1)
 	attemptCtx := ctx
 	var cancel context.CancelFunc
 	if t := c.requestTimeout(); t > 0 {
@@ -217,6 +254,9 @@ func (c *Client) doOnce(ctx context.Context, method, rawURL string, body []byte,
 		return cached.Body, nil
 	}
 	if resp.StatusCode != http.StatusOK {
+		if resp.StatusCode == http.StatusTooManyRequests {
+			c.statOverloaded.Add(1)
+		}
 		return nil, &StatusError{
 			Method:     method,
 			Path:       req.URL.Path,
@@ -242,12 +282,18 @@ func (c *Client) do(ctx context.Context, method, rawURL string, body []byte, hea
 	var lastErr error
 	for attempt := 1; attempt <= attempts; attempt++ {
 		if attempt > 1 {
+			c.statRetries.Add(1)
+			// A server-named Retry-After is honored exactly: the server
+			// knows when capacity frees up, so adding jitter on top would
+			// only delay the retry past the window it was promised.
 			wait := c.backoff(attempt - 1)
 			var se *StatusError
 			if errors.As(lastErr, &se) && se.RetryAfter > 0 {
 				wait = se.RetryAfter
+				c.statRetryAfterHonored.Add(1)
 			}
 			if err := c.sleepCtx(ctx, wait); err != nil {
+				c.statExhausted.Add(1)
 				return nil, fmt.Errorf("psp: giving up after %d attempts: %w (then %v)", attempt-1, lastErr, err)
 			}
 		}
@@ -260,6 +306,7 @@ func (c *Client) do(ctx context.Context, method, rawURL string, body []byte, hea
 			return nil, err
 		}
 	}
+	c.statExhausted.Add(1)
 	return nil, fmt.Errorf("psp: giving up after %d attempts: %w", attempts, lastErr)
 }
 

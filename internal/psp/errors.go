@@ -26,26 +26,33 @@ import (
 //     help; the /pixels fallback might (see FetchTransformedGraceful).
 //   - ErrTooLarge: a request or response exceeded the configured byte
 //     limit (HTTP 413 on upload, client-side cap on download). Terminal.
+//   - ErrOverloaded: the server shed the request under admission control
+//     (HTTP 429). Always also ErrRetryable — the server is healthy, just
+//     saturated — and always carries a Retry-After the client honors
+//     exactly.
 var (
-	ErrRetryable = errors.New("psp: retryable failure")
-	ErrNotFound  = errors.New("psp: image not found")
-	ErrCorrupt   = errors.New("psp: corrupt payload")
-	ErrTooLarge  = errors.New("psp: payload too large")
+	ErrRetryable  = errors.New("psp: retryable failure")
+	ErrNotFound   = errors.New("psp: image not found")
+	ErrCorrupt    = errors.New("psp: corrupt payload")
+	ErrTooLarge   = errors.New("psp: payload too large")
+	ErrOverloaded = errors.New("psp: server overloaded")
 )
 
 // errorClassHeader lets the server refine how clients classify a status
 // code: a 500 carrying class "corrupt" means the *stored data* is damaged,
 // which no amount of retrying the same route will fix.
 const (
-	errorClassHeader  = "X-PSP-Error-Class"
-	errorClassCorrupt = "corrupt"
+	errorClassHeader     = "X-PSP-Error-Class"
+	errorClassCorrupt    = "corrupt"
+	errorClassOverloaded = "overloaded"
 )
 
 // Exported aliases of the error-class protocol, used by the cluster gateway
 // to pass shard classifications through to clients unchanged.
 const (
-	ErrorClassHeader  = errorClassHeader
-	ErrorClassCorrupt = errorClassCorrupt
+	ErrorClassHeader     = errorClassHeader
+	ErrorClassCorrupt    = errorClassCorrupt
+	ErrorClassOverloaded = errorClassOverloaded
 )
 
 // ParseRetryAfter exposes Retry-After parsing (delta seconds, fractional
@@ -91,6 +98,8 @@ func (e *StatusError) Is(target error) bool {
 		return e.Class == errorClassCorrupt
 	case ErrTooLarge:
 		return e.Code == http.StatusRequestEntityTooLarge
+	case ErrOverloaded:
+		return e.Code == http.StatusTooManyRequests
 	}
 	return false
 }

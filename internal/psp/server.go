@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -21,7 +22,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"puppies/internal/admission"
 	"puppies/internal/jpegc"
+	"puppies/internal/stats"
 	"puppies/internal/transform"
 )
 
@@ -54,20 +57,151 @@ type Server struct {
 	// draining. Zero means 1 second. Set before Handler is used.
 	DrainRetryAfter time.Duration
 
+	// MaxInflight caps concurrently served requests in weighted units
+	// (transform routes count double — see routeWeights). Requests beyond
+	// it queue briefly and are then shed with 429 + Retry-After. Zero means
+	// DefaultInflightPerProc per GOMAXPROCS; negative disables admission
+	// control. Set before Handler is used.
+	MaxInflight int
+	// AdmitWait bounds how long a request may queue for admission before
+	// being shed. Zero means admission.DefaultMaxWait.
+	AdmitWait time.Duration
+	// AdmitQueue bounds the admission wait queue; arrivals beyond it shed
+	// instantly. Zero means admission.DefaultQueueFactor times capacity.
+	AdmitQueue int
+	// AdmitRetryAfter is the base Retry-After hint on shed responses (the
+	// effective hint scales with queue depth). Zero means
+	// admission.DefaultRetryAfter.
+	AdmitRetryAfter time.Duration
+
 	storeOnce sync.Once
 	store     Store
 
 	cacheOnce sync.Once
 	scache    *serveCache
 
+	admitOnce sync.Once
+	admit     *admission.Controller
+
+	latOnce sync.Once
+	lat     map[string]*stats.Histogram
+
 	draining atomic.Bool
+}
+
+// DefaultInflightPerProc scales the default admission capacity: weighted
+// units of concurrently served requests per GOMAXPROCS. Generous on purpose
+// — admission control exists to stop queue collapse under extreme overload,
+// not to throttle ordinary bursts.
+const DefaultInflightPerProc = 16
+
+// Route names used for admission weights and latency histograms.
+const (
+	routeUpload      = "upload"
+	routeBatch       = "batch"
+	routePut         = "put"
+	routeList        = "list"
+	routeGet         = "get"
+	routeParams      = "params"
+	routeTransformed = "transformed"
+	routePixels      = "pixels"
+)
+
+// routeWeights prices each route in admission units: transform routes do
+// decode + DCT-domain work and are roughly twice the cost of a store
+// read/write. The batch envelope is free (weight 0) — each batch item
+// acquires its own unit inside the worker pool, so a batch sheds per item
+// instead of all-or-nothing.
+var routeWeights = map[string]int{
+	routeUpload:      1,
+	routeBatch:       0,
+	routePut:         1,
+	routeList:        1,
+	routeGet:         1,
+	routeParams:      1,
+	routeTransformed: 2,
+	routePixels:      2,
+}
+
+// admission returns the admission controller, built on first use from the
+// configured knobs. A negative MaxInflight yields nil, which admits
+// everything.
+func (s *Server) admission() *admission.Controller {
+	s.admitOnce.Do(func() {
+		if s.MaxInflight < 0 {
+			return
+		}
+		capacity := s.MaxInflight
+		if capacity == 0 {
+			capacity = DefaultInflightPerProc * runtime.GOMAXPROCS(0)
+		}
+		s.admit = admission.New(admission.Config{
+			Capacity:   capacity,
+			MaxWait:    s.AdmitWait,
+			MaxQueue:   s.AdmitQueue,
+			RetryAfter: s.AdmitRetryAfter,
+		})
+		s.admit.SetDraining(s.draining.Load())
+	})
+	return s.admit
+}
+
+// latency returns the route's histogram; routes are fixed so the map is
+// built once and only ever read afterwards.
+func (s *Server) latency(route string) *stats.Histogram {
+	s.latOnce.Do(func() {
+		s.lat = make(map[string]*stats.Histogram, len(routeWeights))
+		for name := range routeWeights {
+			s.lat[name] = &stats.Histogram{}
+		}
+	})
+	return s.lat[route]
+}
+
+// withAdmission fronts a handler with admission control and latency
+// recording. Shed requests answer 429 with a Retry-After hint and the
+// overloaded error class; admitted requests release their units when the
+// handler returns and record wall time into the route histogram.
+func (s *Server) withAdmission(route string, h http.HandlerFunc) http.HandlerFunc {
+	weight := routeWeights[route]
+	hist := s.latency(route)
+	return func(w http.ResponseWriter, r *http.Request) {
+		if weight > 0 {
+			ctl := s.admission()
+			release, out := ctl.Acquire(r.Context(), weight)
+			if out != admission.Admitted {
+				writeOverloaded(w, ctl.RetryAfterHint(), out)
+				return
+			}
+			defer release()
+		}
+		start := time.Now()
+		h(w, r)
+		hist.Record(time.Since(start))
+	}
+}
+
+// writeOverloaded is the one shed response shape: 429, a fractional-seconds
+// Retry-After the client honors exactly, and the overloaded error class so
+// StatusError maps it to ErrOverloaded.
+func writeOverloaded(w http.ResponseWriter, hint time.Duration, out admission.Outcome) {
+	if hint > 0 {
+		w.Header().Set("Retry-After", strconv.FormatFloat(hint.Seconds(), 'f', 3, 64))
+	}
+	w.Header().Set(errorClassHeader, errorClassOverloaded)
+	httpError(w, http.StatusTooManyRequests, "overloaded (%s)", out)
 }
 
 // SetDraining flips the server into (or out of) draining mode: GET
 // /v1/healthz answers 503 with a Retry-After hint while every other route
 // keeps serving. Flipping this the moment shutdown begins lets routing
 // gateways stop sending new traffic before in-flight requests finish.
-func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+// Admission tightens too: requests that would have to queue are shed
+// immediately, so shutdown never grows a backlog it is about to abandon.
+func (s *Server) SetDraining(v bool) {
+	s.draining.Store(v)
+	s.admission().SetDraining(v)
+}
 
 // NewServer returns a PSP over an ephemeral in-memory store.
 func NewServer() *Server {
@@ -167,16 +301,19 @@ type HealthResponse struct {
 // concurrent identical requests collapsed into one computation.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	// healthz and statz bypass admission: they are how operators and
+	// gateways observe an overloaded server, so they must answer even when
+	// everything else sheds.
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/statz", s.handleStatz)
-	mux.HandleFunc("GET /v1/images", s.handleList)
-	mux.HandleFunc("POST /v1/images", s.handleUpload)
-	mux.HandleFunc("POST /v1/images:batch", s.handleBatch)
-	mux.HandleFunc("PUT /v1/images/{id}", s.handlePutImage)
-	mux.HandleFunc("GET /v1/images/{id}", s.handleGet)
-	mux.HandleFunc("GET /v1/images/{id}/params", s.handleParams)
-	mux.HandleFunc("GET /v1/images/{id}/transformed", s.handleTransformed)
-	mux.HandleFunc("GET /v1/images/{id}/pixels", s.handlePixels)
+	mux.HandleFunc("GET /v1/images", s.withAdmission(routeList, s.handleList))
+	mux.HandleFunc("POST /v1/images", s.withAdmission(routeUpload, s.handleUpload))
+	mux.HandleFunc("POST /v1/images:batch", s.withAdmission(routeBatch, s.handleBatch))
+	mux.HandleFunc("PUT /v1/images/{id}", s.withAdmission(routePut, s.handlePutImage))
+	mux.HandleFunc("GET /v1/images/{id}", s.withAdmission(routeGet, s.handleGet))
+	mux.HandleFunc("GET /v1/images/{id}/params", s.withAdmission(routeParams, s.handleParams))
+	mux.HandleFunc("GET /v1/images/{id}/transformed", s.withAdmission(routeTransformed, s.handleTransformed))
+	mux.HandleFunc("GET /v1/images/{id}/pixels", s.withAdmission(routePixels, s.handlePixels))
 	return mux
 }
 
@@ -200,9 +337,32 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	_ = json.NewEncoder(w).Encode(HealthResponse{Status: "ok", Images: s.Len()})
 }
 
+// StatzResponse is the GET /v1/statz body: cache statistics plus admission
+// counters and per-route latency quantiles.
+type StatzResponse struct {
+	CacheStatsResponse
+	Admission admission.Stats                    `json:"admission"`
+	LatencyNs map[string]stats.HistogramSnapshot `json:"latencyNs"`
+}
+
+// Statz snapshots the full server statistics (the /v1/statz body).
+func (s *Server) Statz() StatzResponse {
+	lat := make(map[string]stats.HistogramSnapshot, len(routeWeights))
+	for name := range routeWeights {
+		if h := s.latency(name); h.Count() > 0 {
+			lat[name] = h.Snapshot()
+		}
+	}
+	return StatzResponse{
+		CacheStatsResponse: s.CacheStats(),
+		Admission:          s.admission().Stats(),
+		LatencyNs:          lat,
+	}
+}
+
 func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(s.CacheStats())
+	_ = json.NewEncoder(w).Encode(s.Statz())
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {

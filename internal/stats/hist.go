@@ -1,0 +1,176 @@
+package stats
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is an HDR-style log-linear latency histogram: values are bucketed
+// by power-of-two magnitude with histSubCount linear sub-buckets per
+// magnitude, bounding the relative quantile error to 1/histSubCount (~3%)
+// across the whole nanosecond range. Recording is lock-free (one atomic add
+// per sample plus min/max maintenance), so request paths can record on every
+// call; Snapshot walks the bucket array and derives the quantiles the
+// serving-path SLOs gate on.
+//
+// The zero value is ready to use.
+type Histogram struct {
+	counts [histBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64
+	max    atomic.Int64
+	// min holds the minimum sample plus one, so the zero value means "no
+	// samples yet" and a genuine 0ns minimum stays representable.
+	min atomic.Int64
+}
+
+const (
+	// histSubBits is the per-magnitude linear resolution: 2^histSubBits
+	// sub-buckets per power of two.
+	histSubBits  = 5
+	histSubCount = 1 << histSubBits
+	// histBuckets covers int64 nanoseconds: magnitudes 0..63 less the
+	// histSubBits folded into the linear region, each histSubCount wide.
+	histBuckets = histSubCount * (64 - histSubBits)
+)
+
+// histBucket maps a non-negative value to its bucket index.
+func histBucket(v int64) int {
+	if v < histSubCount {
+		return int(v)
+	}
+	e := bits.Len64(uint64(v)) - 1 - histSubBits
+	i := e*histSubCount + int(v>>uint(e))
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// histValue returns a representative (midpoint) value for a bucket index —
+// the inverse of histBucket up to sub-bucket width.
+func histValue(i int) int64 {
+	if i < 2*histSubCount {
+		return int64(i)
+	}
+	e := i/histSubCount - 1
+	m := int64(i - e*histSubCount)
+	return m<<uint(e) + 1<<uint(e)/2
+}
+
+// Record adds one duration sample. Negative durations clamp to zero.
+func (h *Histogram) Record(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.counts[histBucket(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(uint64(v))
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.min.Load()
+		if cur != 0 && cur <= v+1 {
+			break
+		}
+		if h.min.CompareAndSwap(cur, v+1) {
+			break
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time summary of a Histogram, shaped for
+// JSON statz bodies and loadgen reports. All values are nanoseconds.
+type HistogramSnapshot struct {
+	Count  uint64  `json:"count"`
+	MeanNs float64 `json:"meanNs"`
+	MinNs  int64   `json:"minNs"`
+	MaxNs  int64   `json:"maxNs"`
+	P50Ns  int64   `json:"p50Ns"`
+	P90Ns  int64   `json:"p90Ns"`
+	P99Ns  int64   `json:"p99Ns"`
+	P999Ns int64   `json:"p999Ns"`
+}
+
+// Snapshot summarizes the samples recorded so far. Concurrent Records may or
+// may not be included; the snapshot is internally consistent enough for
+// monitoring (quantiles are derived from one walk over the bucket counts).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var counts [histBuckets]uint64
+	var total uint64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		counts[i] = c
+		total += c
+	}
+	if total == 0 {
+		return HistogramSnapshot{}
+	}
+	snap := HistogramSnapshot{
+		Count:  total,
+		MeanNs: float64(h.sum.Load()) / float64(total),
+		MinNs:  h.min.Load() - 1,
+		MaxNs:  h.max.Load(),
+	}
+	qs := [4]float64{0.50, 0.90, 0.99, 0.999}
+	out := [4]*int64{&snap.P50Ns, &snap.P90Ns, &snap.P99Ns, &snap.P999Ns}
+	qi := 0
+	var seen uint64
+	for i := 0; i < histBuckets && qi < len(qs); i++ {
+		seen += counts[i]
+		for qi < len(qs) && float64(seen) >= qs[qi]*float64(total) {
+			v := histValue(i)
+			if v > snap.MaxNs {
+				v = snap.MaxNs
+			}
+			if v < snap.MinNs {
+				v = snap.MinNs
+			}
+			*out[qi] = v
+			qi++
+		}
+	}
+	return snap
+}
+
+// Quantile returns the value at quantile q in [0,1] (nanoseconds), 0 when
+// empty.
+func (h *Histogram) Quantile(q float64) int64 {
+	var counts [histBuckets]uint64
+	var total uint64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		counts[i] = c
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	var seen uint64
+	for i := 0; i < histBuckets; i++ {
+		seen += counts[i]
+		if float64(seen) >= q*float64(total) {
+			v := histValue(i)
+			if mx := h.max.Load(); v > mx {
+				v = mx
+			}
+			return v
+		}
+	}
+	return h.max.Load()
+}
+
+// Count reports how many samples have been recorded.
+func (h *Histogram) Count() uint64 { return h.count.Load() }

@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"math"
+	mrand "math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistBucketRoundTrip(t *testing.T) {
+	// Every value's bucket midpoint must be within the log-linear relative
+	// error bound (1/histSubCount) of the value itself.
+	for _, v := range []int64{0, 1, 31, 32, 33, 63, 64, 100, 1023, 1024, 4097,
+		1e6, 5e6, 123456789, 1e9, 7e10, 1e12} {
+		i := histBucket(v)
+		got := histValue(i)
+		if v < histSubCount {
+			if got != v {
+				t.Fatalf("histValue(histBucket(%d)) = %d, want exact", v, got)
+			}
+			continue
+		}
+		rel := math.Abs(float64(got-v)) / float64(v)
+		if rel > 1.0/histSubCount {
+			t.Fatalf("histValue(histBucket(%d)) = %d, relative error %.4f > %.4f",
+				v, got, rel, 1.0/histSubCount)
+		}
+	}
+}
+
+func TestHistBucketMonotone(t *testing.T) {
+	prev := -1
+	for v := int64(0); v < 1<<20; v += 7 {
+		i := histBucket(v)
+		if i < prev {
+			t.Fatalf("bucket index decreased at v=%d: %d < %d", v, i, prev)
+		}
+		prev = i
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 1..1000 microseconds, uniformly.
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	snap := h.Snapshot()
+	if snap.Count != 1000 {
+		t.Fatalf("count = %d", snap.Count)
+	}
+	if snap.MinNs != 1000 {
+		t.Errorf("min = %dns, want 1000", snap.MinNs)
+	}
+	if snap.MaxNs != 1000000 {
+		t.Errorf("max = %dns, want 1000000", snap.MaxNs)
+	}
+	check := func(name string, got int64, want float64) {
+		t.Helper()
+		if rel := math.Abs(float64(got)-want) / want; rel > 0.05 {
+			t.Errorf("%s = %dns, want ~%.0fns (rel err %.3f)", name, got, want, rel)
+		}
+	}
+	check("p50", snap.P50Ns, 500e3)
+	check("p90", snap.P90Ns, 900e3)
+	check("p99", snap.P99Ns, 990e3)
+	if snap.P50Ns > snap.P90Ns || snap.P90Ns > snap.P99Ns || snap.P99Ns > snap.MaxNs {
+		t.Errorf("quantiles not monotone: %+v", snap)
+	}
+	if math.Abs(snap.MeanNs-500500) > 1 {
+		t.Errorf("mean = %f, want 500500 (sum is exact)", snap.MeanNs)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if snap := h.Snapshot(); snap != (HistogramSnapshot{}) {
+		t.Fatalf("empty snapshot = %+v", snap)
+	}
+	if q := h.Quantile(0.99); q != 0 {
+		t.Fatalf("empty quantile = %d", q)
+	}
+}
+
+func TestHistogramZeroAndNegative(t *testing.T) {
+	var h Histogram
+	h.Record(0)
+	h.Record(-time.Second) // clamps to 0
+	snap := h.Snapshot()
+	if snap.Count != 2 || snap.MinNs != 0 || snap.MaxNs != 0 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	var h Histogram
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := mrand.New(mrand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Record(time.Duration(rng.Int63n(int64(time.Second))))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	snap := h.Snapshot()
+	if snap.Count != workers*per {
+		t.Fatalf("count = %d, want %d", snap.Count, workers*per)
+	}
+	// Uniform over [0,1s): p50 within 5% of 500ms.
+	if rel := math.Abs(float64(snap.P50Ns)-500e6) / 500e6; rel > 0.05 {
+		t.Errorf("p50 = %dns, want ~500ms", snap.P50Ns)
+	}
+}
