@@ -27,7 +27,7 @@ SERVE_BENCHMARKS ?= BenchmarkServeTransformedCold,BenchmarkServeTransformedHot,B
 BATCH_BENCHMARKS ?= BenchmarkUploadSequential,BenchmarkUploadBatch,BenchmarkDecodeNative420,BenchmarkDecodeNormalized420
 PERF_RATIOS ?= BenchmarkUploadSequential/BenchmarkUploadBatch>=2:ns/op,BenchmarkDecodeNormalized420/BenchmarkDecodeNative420>=1.5:coeff-bytes/op
 
-.PHONY: all build test check fmt race fuzz-smoke bench bench-compare cluster-e2e cluster-demo load-gate profile
+.PHONY: all build test check fmt race fuzz-smoke bench bench-compare cluster-e2e cluster-demo load-gate search-gate profile
 
 all: build
 
@@ -43,7 +43,7 @@ test:
 # matrix) with its daemon, the parallel-pipeline determinism suite, and the
 # restart-segment parallel scan decode under -race.
 race:
-	$(GO) test -race -count=1 ./internal/psp/... ./internal/servecache/... ./internal/faults/... ./internal/blobstore/... ./internal/cluster/... ./internal/admission/... ./internal/stats/... ./internal/loadgen/... ./cmd/pspd/... ./cmd/pspgw/...
+	$(GO) test -race -count=1 ./internal/psp/... ./internal/servecache/... ./internal/faults/... ./internal/blobstore/... ./internal/cluster/... ./internal/admission/... ./internal/stats/... ./internal/loadgen/... ./internal/searchidx/... ./cmd/pspd/... ./cmd/pspgw/...
 	$(GO) test -race -count=1 -run 'TestParallelDeterminism' .
 	$(GO) test -race -count=1 -run 'TestRestart' ./internal/jpegc
 
@@ -76,6 +76,8 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodePublicData$$' -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run '^$$' -fuzz '^FuzzEnvelope$$' -fuzztime $(FUZZTIME) ./internal/blobstore
 	$(GO) test -run '^$$' -fuzz '^FuzzSpecKey$$' -fuzztime $(FUZZTIME) ./internal/transform
+	$(GO) test -run '^$$' -fuzz '^FuzzSignature$$' -fuzztime $(FUZZTIME) ./internal/searchidx
+	$(GO) test -run '^$$' -fuzz '^FuzzIndexSnapshot$$' -fuzztime $(FUZZTIME) ./internal/searchidx
 
 # bench runs every benchmark (paper tables/figures plus the kernel and
 # pipeline micro-benchmarks) and writes a JSON report to $(BENCH_OUT).
@@ -122,6 +124,21 @@ load-gate:
 		-o $(LOAD_OUT)
 	$(GO) run ./cmd/benchfmt -new $(LOAD_OUT) -ratio '$(LOAD_SLO_RATIOS)'
 
+# search-gate is the PR 9 catalog-search gate: the searchidx benchmarks run
+# at 10^4/10^5/10^6 signatures (clustered near-duplicate corpus, the regime
+# the signature was designed for) and the report is committed as
+# $(SEARCH_OUT). benchfmt then asserts the headline guarantees from the
+# report itself: the indexed lookup beats the brute-force scan by at least
+# 50x at 10^5, recall@10 holds at >= 0.9, and lookup p99 stays under the
+# 1ms SLO row emitted by BenchmarkSearchSLO. SEARCH_BENCH_COUNT is best-of-N
+# per benchmark (the corpus is built once per process and reused).
+SEARCH_OUT ?= BENCH_PR9.json
+SEARCH_BENCH_COUNT ?= 3
+SEARCH_RATIOS ?= BenchmarkSearchScan100k/BenchmarkSearchLookup100k>=50:ns/op,BenchmarkSearchLookup100k/BenchmarkSearchSLO>=1:recall-k10,BenchmarkSearchSLO/BenchmarkSearchLookup100k>=1:p99-ns
+search-gate:
+	$(GO) test -run '^$$' -bench 'BenchmarkS(earch|AD)' -benchmem -count $(SEARCH_BENCH_COUNT) -timeout 30m ./internal/searchidx | tee /dev/stderr | $(GO) run ./cmd/benchfmt -o $(SEARCH_OUT)
+	$(GO) run ./cmd/benchfmt -new $(SEARCH_OUT) -ratio '$(SEARCH_RATIOS)'
+
 # profile captures CPU and allocation pprof profiles of the two hot paths —
 # the protect/recover pipeline (paper Table 1 workload) and the streaming
 # batch upload route — and prints the CPU top for each. Inspect further with
@@ -149,4 +166,5 @@ check: fmt
 	$(MAKE) race
 	$(MAKE) cluster-e2e
 	$(MAKE) load-gate
+	$(MAKE) search-gate
 	$(MAKE) fuzz-smoke

@@ -51,7 +51,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		duration = fs.Duration("duration", 5*time.Second, "how long to drive load")
 		workers  = fs.Int("workers", 8, "closed-loop concurrency")
 		qps      = fs.Float64("qps", 0, "open-loop arrival rate (0 = closed loop)")
-		mixFlag  = fs.String("mix", "", "op mix, e.g. hotget=55,coldget=15,upload=10,batch=5,recover=15")
+		mixFlag  = fs.String("mix", "", "op mix, e.g. hotget=50,coldget=15,upload=10,batch=5,recover=15,search=5")
 		corpus   = fs.Int("corpus", 24, "distinct images uploaded before the run")
 		zipfS    = fs.Float64("zipf", 1.2, "Zipf skew for hot GET ranks")
 		chaos    = fs.String("chaos", "", `chaos schedule: "gate" for the builtin, or a JSON file (needs -selfhost)`)

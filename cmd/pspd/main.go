@@ -39,6 +39,12 @@
 //	GET  /v1/images/{id}/params              public parameters
 //	GET  /v1/images/{id}/transformed?spec=J  transformed JPEG
 //	GET  /v1/images/{id}/pixels?spec=J       transformed lossless pixels
+//	GET  /v1/search?id=X&k=K                 k nearest stored images to image X
+//	POST /v1/search?k=K                      k nearest stored images to the posted image
+//
+// Every accepted upload is also signature-indexed for /v1/search; with
+// -data-dir (or an explicit -search-dir) the index persists via snapshot +
+// journal and reloads on restart.
 package main
 
 import (
@@ -52,12 +58,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"puppies/internal/blobstore"
 	"puppies/internal/faults"
 	"puppies/internal/psp"
+	"puppies/internal/searchidx"
 )
 
 func cacheBudgetString(v int64) string {
@@ -82,6 +90,7 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- stri
 	fs := flag.NewFlagSet("pspd", flag.ContinueOnError)
 	addr := fs.String("addr", ":8754", "listen address")
 	dataDir := fs.String("data-dir", "", "durable storage directory; empty keeps images in memory only")
+	searchDir := fs.String("search-dir", "", "persistent search-index directory (default <data-dir>/searchidx when -data-dir is set; empty with no -data-dir keeps the index in memory)")
 	idemCap := fs.Int("idempotency-cap", psp.DefaultMaxKeys, "max idempotency keys remembered (LRU eviction beyond)")
 	idemTTL := fs.Duration("idempotency-ttl", psp.DefaultKeyTTL, "idempotency key lifetime (memory store; 0 disables expiry)")
 	cacheBytes := fs.Int64("cache-bytes", psp.DefaultVariantCacheBytes, "encoded transform-output cache budget in bytes (0 disables)")
@@ -120,6 +129,21 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- stri
 		store = psp.NewMemStoreBounded(*idemCap, *idemTTL, nil)
 	}
 	server := psp.NewServerWith(store)
+	// The search index persists next to the blobs by default: a restarted
+	// daemon answers /v1/search without rescanning and re-decoding the store.
+	sixDir := *searchDir
+	if sixDir == "" && *dataDir != "" {
+		sixDir = filepath.Join(*dataDir, "searchidx")
+	}
+	if sixDir != "" {
+		six, err := searchidx.OpenDir(sixDir)
+		if err != nil {
+			return fmt.Errorf("pspd: open search index %s: %w", sixDir, err)
+		}
+		defer six.Close()
+		server.SearchIndex = six
+		fmt.Fprintf(stdout, "pspd search index: %d signatures loaded from %s\n", six.Len(), sixDir)
+	}
 	// Flag semantics: 0 disables a cache; the Server field spells that -1.
 	server.VariantCacheBytes = *cacheBytes
 	if *cacheBytes <= 0 {

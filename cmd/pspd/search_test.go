@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// startDaemonInProc runs the pspd body in-process with the given extra flags and returns its base
+// URL plus a shutdown func that waits for a clean exit.
+func startDaemonInProc(t *testing.T, extra ...string) (string, func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	runErr := make(chan error, 1)
+	var out bytes.Buffer
+	args := append([]string{"-addr", "127.0.0.1:0", "-drain-grace", "0"}, extra...)
+	go func() { runErr <- run(ctx, args, &out, ready) }()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-runErr:
+		t.Fatalf("run exited before ready: %v (output: %s)", err, out.String())
+	case <-time.After(5 * time.Second):
+		t.Fatal("run never became ready")
+	}
+	return "http://" + addr, func() {
+		cancel()
+		select {
+		case err := <-runErr:
+			if err != nil {
+				t.Fatalf("shutdown: %v (output: %s)", err, out.String())
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("run did not return after shutdown")
+		}
+	}
+}
+
+func postJSON(t *testing.T, url string, payload interface{}, out interface{}) {
+	t.Helper()
+	body, err := json.Marshal(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s: HTTP %d: %s", url, resp.StatusCode, raw)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func searchIndexed(t *testing.T, base string) int {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/statz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Search struct {
+			Indexed int `json:"indexed"`
+		} `json:"search"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st.Search.Indexed
+}
+
+// TestSearchIndexPersistsAcrossRestart uploads through a durable daemon,
+// restarts it, and checks the restarted daemon answers /v1/search from the
+// reloaded snapshot — the statz indexed count is non-zero before any query
+// could have lazily backfilled it.
+func TestSearchIndexPersistsAcrossRestart(t *testing.T) {
+	work := t.TempDir()
+	base, shutdown := startDaemonInProc(t, "-data-dir", work)
+
+	var up struct {
+		ID string `json:"id"`
+	}
+	postJSON(t, base+"/v1/images", map[string]interface{}{
+		"image": base64.StdEncoding.EncodeToString(testJPEG(t)),
+	}, &up)
+	if up.ID == "" {
+		t.Fatal("upload returned no id")
+	}
+	if got := searchIndexed(t, base); got != 1 {
+		t.Fatalf("indexed = %d after upload, want 1", got)
+	}
+	shutdown()
+
+	base, shutdown = startDaemonInProc(t, "-data-dir", work)
+	defer shutdown()
+	if got := searchIndexed(t, base); got != 1 {
+		t.Fatalf("indexed = %d after restart, want 1 (index not reloaded)", got)
+	}
+	resp, err := http.Get(base + "/v1/search?id=" + up.ID + "&k=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr struct {
+		Results []struct {
+			ID       string `json:"id"`
+			Distance uint32 `json:"distance"`
+		} `json:"results"`
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("search after restart: HTTP %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Results) == 0 || sr.Results[0].ID != up.ID || sr.Results[0].Distance != 0 {
+		t.Fatalf("search after restart = %+v, want %s at distance 0", sr.Results, up.ID)
+	}
+}

@@ -61,6 +61,16 @@ type Record struct {
 	Key    string
 }
 
+// EncodeRecord serializes the record into the checksummed v1 envelope.
+// Exported so sibling subsystems (the search-index snapshot) persist
+// through the same self-verifying framing instead of inventing their own.
+func EncodeRecord(rec *Record) ([]byte, error) { return encodeEnvelope(rec) }
+
+// DecodeRecord parses and verifies an envelope produced by EncodeRecord.
+// Framing or checksum damage yields ErrCorrupt; a valid header from a newer
+// format yields ErrUnsupportedVersion. The returned slices alias data.
+func DecodeRecord(data []byte) (*Record, error) { return decodeEnvelope(data) }
+
 // encodeEnvelope serializes the record into the v1 envelope.
 func encodeEnvelope(rec *Record) ([]byte, error) {
 	if len(rec.ID) == 0 || len(rec.ID) > maxIDLen {

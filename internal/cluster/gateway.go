@@ -265,6 +265,7 @@ var gatewayRouteWeights = map[string]int{
 	"params":      1,
 	"transformed": 2,
 	"pixels":      2,
+	"search":      2, // fans out to every shard, so it pays the heavy weight
 }
 
 // admission returns the gateway's admission controller, built on first use.
@@ -503,6 +504,8 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/images/{id}/params", g.withAdmission("params", g.handleProxy))
 	mux.HandleFunc("GET /v1/images/{id}/transformed", g.withAdmission("transformed", g.handleProxy))
 	mux.HandleFunc("GET /v1/images/{id}/pixels", g.withAdmission("pixels", g.handleProxy))
+	mux.HandleFunc("GET /v1/search", g.withAdmission("search", g.handleSearch))
+	mux.HandleFunc("POST /v1/search", g.withAdmission("search", g.handleSearch))
 	return mux
 }
 

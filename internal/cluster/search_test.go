@@ -1,0 +1,250 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"puppies/internal/dataset"
+	"puppies/internal/faults"
+	"puppies/internal/jpegc"
+	"puppies/internal/psp"
+	"puppies/internal/transform"
+)
+
+// searchJPEGs renders n distinct JPEG byte streams (same generator family as
+// the searchidx invariance tests, so inter-image signature separation is
+// known to be far above the dedup threshold).
+func searchJPEGs(t *testing.T, n int) ([][]byte, []*jpegc.Image) {
+	t.Helper()
+	profile := dataset.PASCAL
+	profile.W, profile.H = 336, 224
+	gen, err := dataset.NewGenerator(profile, 7)
+	if err != nil {
+		t.Fatalf("dataset: %v", err)
+	}
+	raw := make([][]byte, n)
+	imgs := make([]*jpegc.Image, n)
+	for i := range raw {
+		imgs[i], err = jpegc.FromPlanar(gen.Item(i).Image, jpegc.Options{Quality: 85})
+		if err != nil {
+			t.Fatalf("FromPlanar %d: %v", i, err)
+		}
+		var buf bytes.Buffer
+		if err := imgs[i].Encode(&buf, jpegc.EncodeOptions{Tables: jpegc.TablesOptimized}); err != nil {
+			t.Fatal(err)
+		}
+		raw[i] = buf.Bytes()
+	}
+	return raw, imgs
+}
+
+// gwSearch runs a search through the gateway: GET by id when id != "", else
+// POST of the raw JPEG body.
+func (tc *testCluster) gwSearch(t *testing.T, id string, body []byte, k int) (int, psp.SearchResponse) {
+	t.Helper()
+	var (
+		resp *http.Response
+		err  error
+	)
+	if id != "" {
+		resp, err = http.Get(tc.srv.URL + "/v1/search?id=" + id + "&k=" + itoa(k))
+	} else {
+		resp, err = http.Post(tc.srv.URL+"/v1/search?k="+itoa(k), "image/jpeg", bytes.NewReader(body))
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr psp.SearchResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			t.Fatalf("decode search response: %v", err)
+		}
+	}
+	return resp.StatusCode, sr
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// shardsHolding returns the shard indices that serve id directly.
+func (tc *testCluster) shardsHolding(t *testing.T, id string) []int {
+	t.Helper()
+	var hold []int
+	for i, s := range tc.shards {
+		status, _, _ := getBytes(t, s.URL+"/v1/images/"+id, nil)
+		if status == http.StatusOK {
+			hold = append(hold, i)
+		}
+	}
+	return hold
+}
+
+// TestGatewaySearchMergesShards spreads an unreplicated corpus across three
+// shards and checks that a by-bytes query merges every shard's k-NN answer:
+// the gateway's result set must span images that no single shard holds.
+func TestGatewaySearchMergesShards(t *testing.T) {
+	tc := newTestCluster(t, 3, func(c *Config) { c.Replicas, c.WriteQuorum = 1, 1 })
+	raw, imgs := searchJPEGs(t, 6)
+	ids := make([]string, len(raw))
+	for i, jp := range raw {
+		ids[i] = tc.upload(t, jp, "")
+	}
+
+	// By-ID: the queried image answers for itself at distance zero.
+	status, sr := tc.gwSearch(t, ids[3], nil, 3)
+	if status != http.StatusOK {
+		t.Fatalf("search by id: HTTP %d", status)
+	}
+	if len(sr.Results) == 0 || sr.Results[0].ID != ids[3] || sr.Results[0].Distance != 0 {
+		t.Fatalf("top-1 = %+v, want %s at distance 0", sr.Results, ids[3])
+	}
+	if sr.Partial {
+		t.Fatal("healthy cluster flagged partial")
+	}
+
+	// By-bytes with a recompressed copy: top-1 is the stored original even
+	// though the query bytes differ from every stored stream.
+	recomp, err := transform.Apply(imgs[1], transform.Spec{Op: transform.OpCompress, Quality: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := recomp.Encode(&buf, jpegc.EncodeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	status, sr = tc.gwSearch(t, "", buf.Bytes(), len(ids))
+	if status != http.StatusOK {
+		t.Fatalf("search by bytes: HTTP %d", status)
+	}
+	if len(sr.Results) == 0 || sr.Results[0].ID != ids[1] {
+		t.Fatalf("top-1 = %+v, want %s", sr.Results, ids[1])
+	}
+
+	// With Replicas=1 and k covering the whole corpus, a full merge must pull
+	// ids held by more than one shard — proof the answer isn't one shard's.
+	got := make(map[string]bool, len(sr.Results))
+	for _, hit := range sr.Results {
+		got[hit.ID] = true
+	}
+	shardSpan := make(map[int]bool)
+	for _, id := range ids {
+		if !got[id] {
+			continue
+		}
+		for _, si := range tc.shardsHolding(t, id) {
+			shardSpan[si] = true
+		}
+	}
+	if len(shardSpan) < 2 {
+		t.Fatalf("merged results span %d shard(s), want >= 2 (results %v)", len(shardSpan), sr.Results)
+	}
+}
+
+// TestGatewaySearchPartialUnderPartition is the degradation e2e: with one of
+// three unreplicated shards unreachable, searches still answer from the
+// surviving shards but carry partial=true; a by-ID query whose only replica
+// is behind the partition comes back 503, not a lying 404.
+func TestGatewaySearchPartialUnderPartition(t *testing.T) {
+	tc := newTestCluster(t, 3, func(c *Config) { c.Replicas, c.WriteQuorum = 1, 1 })
+	raw, _ := searchJPEGs(t, 6)
+	ids := make([]string, len(raw))
+	for i, jp := range raw {
+		ids[i] = tc.upload(t, jp, "")
+	}
+
+	// Pick a victim shard that holds at least one image, and a survivor id
+	// held elsewhere.
+	victim, victimID, survivorID := -1, "", ""
+	for _, id := range ids {
+		hold := tc.shardsHolding(t, id)
+		if len(hold) != 1 {
+			t.Fatalf("id %s on %d shards, want exactly 1 with Replicas=1", id, len(hold))
+		}
+		if victim == -1 {
+			victim, victimID = hold[0], id
+		} else if hold[0] != victim && survivorID == "" {
+			survivorID = id
+		}
+	}
+	if victimID == "" || survivorID == "" {
+		t.Fatalf("corpus did not spread across shards: %v", ids)
+	}
+	tc.part.Isolate(tc.hosts[victim], faults.LinkUnreachable)
+
+	status, sr := tc.gwSearch(t, survivorID, nil, 3)
+	if status != http.StatusOK {
+		t.Fatalf("degraded search: HTTP %d", status)
+	}
+	if len(sr.Results) == 0 || sr.Results[0].ID != survivorID {
+		t.Fatalf("top-1 = %+v, want %s", sr.Results, survivorID)
+	}
+	if !sr.Partial {
+		t.Fatal("search with an unreachable shard not flagged partial")
+	}
+
+	// The partitioned image's signature is unreachable: unavailable, not 404.
+	status, _ = tc.gwSearch(t, victimID, nil, 3)
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("search for partitioned image: HTTP %d, want 503", status)
+	}
+
+	// Heal: the flag clears and the victim answers again.
+	tc.part.HealAll()
+	status, sr = tc.gwSearch(t, victimID, nil, 3)
+	if status != http.StatusOK || sr.Partial {
+		t.Fatalf("healed search: HTTP %d partial=%v, want 200 partial=false", status, sr.Partial)
+	}
+	if len(sr.Results) == 0 || sr.Results[0].ID != victimID {
+		t.Fatalf("healed top-1 = %+v, want %s", sr.Results, victimID)
+	}
+}
+
+func TestGatewaySearchUnknownID(t *testing.T) {
+	tc := newTestCluster(t, 3, nil)
+	raw, _ := searchJPEGs(t, 1)
+	tc.upload(t, raw[0], "")
+	status, _ := tc.gwSearch(t, "no-such-image", nil, 3)
+	if status != http.StatusNotFound {
+		t.Fatalf("unknown id: HTTP %d, want 404 (every shard answered)", status)
+	}
+}
+
+func TestGatewaySearchAllShardsDown(t *testing.T) {
+	tc := newTestCluster(t, 3, nil)
+	for _, h := range tc.hosts {
+		tc.part.Isolate(h, faults.LinkUnreachable)
+	}
+	status, _ := tc.gwSearch(t, "anything", nil, 3)
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("all shards down: HTTP %d, want 503", status)
+	}
+}
+
+// TestGatewaySearchStatz checks the new route shows up in the gateway's own
+// telemetry, weighted like the other fan-out routes.
+func TestGatewaySearchStatz(t *testing.T) {
+	tc := newTestCluster(t, 3, nil)
+	raw, _ := searchJPEGs(t, 1)
+	id := tc.upload(t, raw[0], "")
+	if status, _ := tc.gwSearch(t, id, nil, 1); status != http.StatusOK {
+		t.Fatalf("search: HTTP %d", status)
+	}
+	st := tc.gw.Stats()
+	if _, ok := st.LatencyNs["search"]; !ok {
+		t.Fatalf("gateway statz has no search latency histogram: %v", st.LatencyNs)
+	}
+}

@@ -30,6 +30,7 @@ const (
 	RouteUpload  = "upload"
 	RouteBatch   = "batch"
 	RouteRecover = "recover"
+	RouteSearch  = "search"
 )
 
 // Mix is the op mix in integer shares (not required to sum to 100).
@@ -39,16 +40,19 @@ type Mix struct {
 	Upload  int `json:"upload"`  // single image upload
 	Batch   int `json:"batch"`   // 3-item streaming batch upload
 	Recover int `json:"recover"` // raw image + params fetch (the PUPPIES recovery path)
+	Search  int `json:"search"`  // by-ID k-NN signature search, answer integrity-checked
 }
 
 // DefaultMix is a read-heavy photo-sharing shape: most traffic is hot
 // transformed views, with a cache-hostile tail and a write trickle.
 func DefaultMix() Mix {
-	return Mix{HotGet: 55, ColdGet: 15, Upload: 10, Batch: 5, Recover: 15}
+	return Mix{HotGet: 50, ColdGet: 15, Upload: 10, Batch: 5, Recover: 15, Search: 5}
 }
 
 // Total sums the shares.
-func (m Mix) Total() int { return m.HotGet + m.ColdGet + m.Upload + m.Batch + m.Recover }
+func (m Mix) Total() int {
+	return m.HotGet + m.ColdGet + m.Upload + m.Batch + m.Recover + m.Search
+}
 
 // ParseMix reads "hotget=55,coldget=15,upload=10,batch=5,recover=15".
 // Omitted routes get share 0; at least one share must be positive.
@@ -78,6 +82,8 @@ func ParseMix(s string) (Mix, error) {
 			m.Batch = n
 		case RouteRecover:
 			m.Recover = n
+		case RouteSearch:
+			m.Search = n
 		default:
 			return Mix{}, fmt.Errorf("loadgen: unknown route %q in mix", k)
 		}
@@ -100,6 +106,7 @@ func (m Mix) pick(rng *rand.Rand) string {
 		{RouteUpload, m.Upload},
 		{RouteBatch, m.Batch},
 		{RouteRecover, m.Recover},
+		{RouteSearch, m.Search},
 	} {
 		if n < e.share {
 			return e.route
@@ -239,7 +246,7 @@ func New(cfg Config) (*Runner, error) {
 		},
 		routes: make(map[string]*routeStats),
 	}
-	for _, route := range []string{RouteHotGet, RouteColdGet, RouteUpload, RouteBatch, RouteRecover} {
+	for _, route := range []string{RouteHotGet, RouteColdGet, RouteUpload, RouteBatch, RouteRecover, RouteSearch} {
 		r.routes[route] = &routeStats{hist: &stats.Histogram{}, errs: make(map[string]uint64)}
 	}
 	return r, nil
@@ -248,18 +255,24 @@ func New(cfg Config) (*Runner, error) {
 // Client exposes the runner's PSP client (for stats after a run).
 func (r *Runner) Client() *psp.Client { return r.client }
 
-// synthImage renders a seeded sinusoidal test card; distinct phases give
-// distinct JPEG bytes and therefore distinct content IDs.
+// synthImage renders a seeded sinusoidal test card. Phases AND spatial
+// frequencies are randomized per image: phase alone shifts the pattern
+// without changing its coarse luminance layout, which made every corpus
+// image collapse to the same search signature; distinct frequencies give
+// distinct layouts and therefore distinct signatures as well as distinct
+// content IDs.
 func synthImage(rng *rand.Rand, w, h int) (*jpegc.Image, error) {
 	pl, err := imgplane.New(w, h, 3)
 	if err != nil {
 		return nil, err
 	}
 	p0, p1, p2 := rng.Float64()*6, rng.Float64()*6, rng.Float64()*6
+	fx := 3 + rng.Float64()*9
+	fy := 3 + rng.Float64()*9
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {
 			i := y*w + x
-			pl.Planes[0].Pix[i] = float32(100 + 80*math.Sin(p0+float64(x)/6)*math.Cos(float64(y)/8))
+			pl.Planes[0].Pix[i] = float32(100 + 80*math.Sin(p0+float64(x)/fx)*math.Cos(float64(y)/fy))
 			pl.Planes[1].Pix[i] = float32(128 + 25*math.Sin(p1+float64(x+y)/9))
 			pl.Planes[2].Pix[i] = float32(128 + 25*math.Cos(p2+float64(x-y)/7))
 		}
@@ -374,6 +387,33 @@ func (r *Runner) runOp(ctx context.Context, route string, rng *rand.Rand, zipf *
 		}
 		_, err := r.client.FetchParams(ctx, id)
 		return err
+	case RouteSearch:
+		// A stored image must come back among its own nearest neighbors at
+		// distance 0 — anything else is an integrity failure, not a latency
+		// blip. (Exact top-1 is not required: the small synthetic corpus can
+		// contain signature ties at distance 0.)
+		id := r.ids[int(zipf.Uint64())]
+		k := len(r.ids)
+		if k > 100 {
+			k = 100 // server-side cap
+		}
+		resp, err := r.client.SearchByID(ctx, id, k)
+		if err != nil {
+			return err
+		}
+		for _, hit := range resp.Results {
+			if hit.ID == id && hit.Distance == 0 {
+				return nil
+			}
+		}
+		// A result list full of distance-0 ties can legitimately tie-break
+		// the query image itself out; only an unsaturated list missing it is
+		// a real integrity failure.
+		if len(resp.Results) >= k && resp.Results[len(resp.Results)-1].Distance == 0 {
+			return nil
+		}
+		return fmt.Errorf("loadgen: search for %s did not return itself at distance 0: %+v: %w",
+			id, resp.Results, psp.ErrCorrupt)
 	}
 	return fmt.Errorf("loadgen: unknown route %q", route)
 }

@@ -19,6 +19,7 @@ import (
 	"puppies/internal/core"
 	"puppies/internal/jpegc"
 	"puppies/internal/parallel"
+	"puppies/internal/searchidx"
 )
 
 // Batch upload protocol (POST /v1/images:batch, DESIGN.md §14): the request
@@ -60,10 +61,14 @@ const BatchParamsPart = "params"
 
 // BatchResult is one item's outcome, in item order. Exactly one of ID or
 // Error is set; Status carries the HTTP-equivalent code for failed items.
+// DuplicateOf/Distance carry the near-duplicate hint when the signature
+// index already held a close match for a stored item (see UploadResponse).
 type BatchResult struct {
-	ID     string `json:"id,omitempty"`
-	Error  string `json:"error,omitempty"`
-	Status int    `json:"status,omitempty"`
+	ID          string `json:"id,omitempty"`
+	Error       string `json:"error,omitempty"`
+	Status      int    `json:"status,omitempty"`
+	DuplicateOf string `json:"duplicateOf,omitempty"`
+	Distance    uint32 `json:"distance,omitempty"`
 }
 
 // BatchResponse is the POST /v1/images:batch body.
@@ -86,12 +91,14 @@ func (s *Server) storeRaw(image, params []byte, key string, owned bool) BatchRes
 		}
 	}
 	// The PSP validates that the upload is a decodable JPEG (any PSP
-	// would), but learns nothing else from it — the decode is discarded, so
-	// its coefficient storage goes straight back to the slab pool.
+	// would), and derives the search signature from the same decode before
+	// the coefficient storage goes back to the slab pool — the signature's
+	// coarse luminance layout is all the PSP retains of the image content.
 	img, err := jpegc.Decode(bytes.NewReader(image))
 	if err != nil {
 		return BatchResult{Error: fmt.Sprintf("not a decodable baseline JPEG: %v", err), Status: http.StatusUnprocessableEntity}
 	}
+	sig := searchidx.Compute(img, params)
 	img.Recycle()
 	var idBytes [12]byte
 	if _, err := rand.Read(idBytes[:]); err != nil {
@@ -113,7 +120,12 @@ func (s *Server) storeRaw(image, params []byte, key string, owned bool) BatchRes
 	if err != nil {
 		return BatchResult{Error: fmt.Sprintf("store: %v", err), Status: http.StatusInternalServerError}
 	}
-	return BatchResult{ID: canonical}
+	res := BatchResult{ID: canonical}
+	if near, ok := s.indexImage(canonical, sig); ok {
+		res.DuplicateOf = near.ID
+		res.Distance = near.Distance
+	}
+	return res
 }
 
 // storeOne runs the single-upload pipeline (decode request, idempotency

@@ -12,6 +12,7 @@ import (
 	mrand "math/rand"
 	"net/http"
 	"net/url"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -492,4 +493,40 @@ func (c *Client) FetchTransformedGraceful(ctx context.Context, id string, spec t
 		return nil, fmt.Errorf("psp: transformed JPEG corrupt (%v); pixels fallback: %w", err, perr)
 	}
 	return &TransformedImage{Pixels: pix, Degraded: true}, nil
+}
+
+// SearchByID runs k-NN search for a stored image: GET /v1/search?id=X&k=K.
+// The stored image itself is normally rank 1 at distance 0.
+func (c *Client) SearchByID(ctx context.Context, id string, k int) (*SearchResponse, error) {
+	u := c.BaseURL + "/v1/search?id=" + url.QueryEscape(id) + "&k=" + strconv.Itoa(k)
+	body, err := c.do(ctx, http.MethodGet, u, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	return decodeSearchResponse(body)
+}
+
+// Search runs k-NN search by image bytes: POST /v1/search with an
+// UploadRequest document, so the query's public parameters shape the
+// signature exactly as they would at upload. params may be nil.
+func (c *Client) Search(ctx context.Context, image []byte, params json.RawMessage, k int) (*SearchResponse, error) {
+	body, err := json.Marshal(UploadRequest{Image: image, Params: params})
+	if err != nil {
+		return nil, err
+	}
+	u := c.BaseURL + "/v1/search?k=" + strconv.Itoa(k)
+	header := http.Header{"Content-Type": {"application/json"}}
+	respBody, err := c.do(ctx, http.MethodPost, u, body, header)
+	if err != nil {
+		return nil, err
+	}
+	return decodeSearchResponse(respBody)
+}
+
+func decodeSearchResponse(body []byte) (*SearchResponse, error) {
+	var resp SearchResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return nil, &corruptError{fmt.Errorf("decode search response: %w", err)}
+	}
+	return &resp, nil
 }

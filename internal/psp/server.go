@@ -24,6 +24,7 @@ import (
 
 	"puppies/internal/admission"
 	"puppies/internal/jpegc"
+	"puppies/internal/searchidx"
 	"puppies/internal/stats"
 	"puppies/internal/transform"
 )
@@ -74,6 +75,15 @@ type Server struct {
 	// admission.DefaultRetryAfter.
 	AdmitRetryAfter time.Duration
 
+	// SearchIndex, when set before the first request, backs /v1/search —
+	// e.g. a durable searchidx.OpenDir index that pspd snapshots across
+	// restarts. Nil means a fresh in-memory index.
+	SearchIndex *searchidx.Index
+
+	searchOnce    sync.Once
+	searchQueries atomic.Uint64
+	searchHits    atomic.Uint64
+
 	storeOnce sync.Once
 	store     Store
 
@@ -105,6 +115,7 @@ const (
 	routeParams      = "params"
 	routeTransformed = "transformed"
 	routePixels      = "pixels"
+	routeSearch      = "search"
 )
 
 // routeWeights prices each route in admission units: transform routes do
@@ -121,6 +132,9 @@ var routeWeights = map[string]int{
 	routeParams:      1,
 	routeTransformed: 2,
 	routePixels:      2,
+	// Search by image bytes decodes a JPEG like the transform routes do;
+	// the by-ID form is cheaper but shares the route.
+	routeSearch: 2,
 }
 
 // admission returns the admission controller, built on first use from the
@@ -258,9 +272,14 @@ type UploadRequest struct {
 	Params json.RawMessage `json:"params"`
 }
 
-// UploadResponse carries the assigned image ID.
+// UploadResponse carries the assigned image ID, plus the near-duplicate
+// hint when the signature index already held a close match: DuplicateOf
+// names the earlier image and Distance its signature distance. The upload
+// is stored either way — deduplication is the caller's decision.
 type UploadResponse struct {
-	ID string `json:"id"`
+	ID          string `json:"id"`
+	DuplicateOf string `json:"duplicateOf,omitempty"`
+	Distance    uint32 `json:"distance,omitempty"`
 }
 
 // ListResponse is the GET /v1/images body.
@@ -289,6 +308,10 @@ type HealthResponse struct {
 //	GET  /v1/images/{id}/params          public parameters
 //	GET  /v1/images/{id}/transformed?spec=J  transformed, re-encoded JPEG
 //	GET  /v1/images/{id}/pixels?spec=J   transformed pixels, lossless PLNR
+//	GET  /v1/search?id=X&k=K             k-NN over the signature index
+//	POST /v1/search?k=K                  same, querying by image bytes
+//	                                     (raw image/jpeg body or an
+//	                                     UploadRequest JSON document)
 //
 // where J is a URL-encoded transform.Spec JSON document. Uploads may carry
 // an Idempotency-Key header; repeats with the same key return the
@@ -314,6 +337,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/images/{id}/params", s.withAdmission(routeParams, s.handleParams))
 	mux.HandleFunc("GET /v1/images/{id}/transformed", s.withAdmission(routeTransformed, s.handleTransformed))
 	mux.HandleFunc("GET /v1/images/{id}/pixels", s.withAdmission(routePixels, s.handlePixels))
+	mux.HandleFunc("GET /v1/search", s.withAdmission(routeSearch, s.handleSearch))
+	mux.HandleFunc("POST /v1/search", s.withAdmission(routeSearch, s.handleSearch))
 	return mux
 }
 
@@ -342,6 +367,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 type StatzResponse struct {
 	CacheStatsResponse
 	Admission admission.Stats                    `json:"admission"`
+	Search    SearchStats                        `json:"search"`
 	LatencyNs map[string]stats.HistogramSnapshot `json:"latencyNs"`
 }
 
@@ -356,6 +382,7 @@ func (s *Server) Statz() StatzResponse {
 	return StatzResponse{
 		CacheStatsResponse: s.CacheStats(),
 		Admission:          s.admission().Stats(),
+		Search:             s.searchStats(),
 		LatencyNs:          lat,
 	}
 }
@@ -393,12 +420,12 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		httpError(w, res.Status, "%s", res.Error)
 		return
 	}
-	writeUploadResponse(w, res.ID)
+	writeUploadResponse(w, res)
 }
 
-func writeUploadResponse(w http.ResponseWriter, id string) {
+func writeUploadResponse(w http.ResponseWriter, res BatchResult) {
 	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(UploadResponse{ID: id}); err != nil {
+	if err := json.NewEncoder(w).Encode(UploadResponse{ID: res.ID, DuplicateOf: res.DuplicateOf, Distance: res.Distance}); err != nil {
 		return
 	}
 }
@@ -472,7 +499,7 @@ func (s *Server) handlePutImage(w http.ResponseWriter, r *http.Request) {
 	key := strings.TrimSpace(r.Header.Get(idempotencyHeader))
 	if key != "" {
 		if prev, seen := s.st().IDForKey(key); seen {
-			writeUploadResponse(w, prev)
+			writeUploadResponse(w, BatchResult{ID: prev})
 			return
 		}
 	}
@@ -485,17 +512,22 @@ func (s *Server) handlePutImage(w http.ResponseWriter, r *http.Request) {
 		return
 	} else if ok {
 		if bytes.Equal(jpeg, req.Image) && paramsEqual(params, req.Params) {
-			writeUploadResponse(w, id)
+			writeUploadResponse(w, BatchResult{ID: id})
 			return
 		}
 		httpError(w, http.StatusConflict, "image %q already stored with different content", id)
 		return
 	}
 
-	if _, err := jpegc.Decode(bytes.NewReader(req.Image)); err != nil {
+	img, err := jpegc.Decode(bytes.NewReader(req.Image))
+	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, "not a decodable baseline JPEG: %v", err)
 		return
 	}
+	// Replicas index too: the gateway's scatter-gather search only degrades
+	// gracefully if every shard holding a copy can answer for it.
+	sig := searchidx.Compute(img, req.Params)
+	img.Recycle()
 	canonical, err := s.st().Put(id, req.Image, req.Params, key)
 	if err != nil {
 		// A concurrent PUT may have stored the ID between the check and
@@ -503,7 +535,7 @@ func (s *Server) handlePutImage(w http.ResponseWriter, r *http.Request) {
 		// the same compare-on-conflict rule instead of failing the retry.
 		if jpeg, params, ok, gerr := s.st().Get(id); gerr == nil && ok {
 			if bytes.Equal(jpeg, req.Image) && paramsEqual(params, req.Params) {
-				writeUploadResponse(w, id)
+				writeUploadResponse(w, BatchResult{ID: id})
 				return
 			}
 			httpError(w, http.StatusConflict, "image %q already stored with different content", id)
@@ -512,7 +544,8 @@ func (s *Server) handlePutImage(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "store: %v", err)
 		return
 	}
-	writeUploadResponse(w, canonical)
+	s.searchIdx().Add(canonical, sig)
+	writeUploadResponse(w, BatchResult{ID: canonical})
 }
 
 func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *entry {

@@ -12,12 +12,19 @@
 package retrieval
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 
 	"puppies/internal/imgplane"
 )
+
+// ErrPlaneGeometry reports an image whose planes disagree on geometry —
+// typically chroma planes handed over still subsampled instead of being
+// upsampled to the luma grid. Callers branch on it with errors.Is to tell
+// "fix the input" apart from other descriptor failures.
+var ErrPlaneGeometry = errors.New("retrieval: mismatched plane geometry")
 
 // Descriptor dimensions: a 2x2 spatial grid, each cell holding an
 // 8x4x4-bin YUV histogram.
@@ -35,9 +42,19 @@ const (
 type Descriptor [DescriptorLen]float32
 
 // Describe computes the descriptor of an image (any size, 1 or 3 channels;
-// monochrome images use neutral chroma).
+// monochrome images use neutral chroma). Planes that disagree on geometry
+// yield ErrPlaneGeometry.
 func Describe(img *imgplane.Image) (Descriptor, error) {
 	var d Descriptor
+	if len(img.Planes) > 0 {
+		pw, ph := img.Planes[0].W, img.Planes[0].H
+		for i, p := range img.Planes {
+			if p.W != pw || p.H != ph || len(p.Pix) != p.W*p.H {
+				return d, fmt.Errorf("%w: plane %d is %dx%d with %d samples, want %dx%d",
+					ErrPlaneGeometry, i, p.W, p.H, len(p.Pix), pw, ph)
+			}
+		}
+	}
 	if err := img.Validate(); err != nil {
 		return d, err
 	}

@@ -1,6 +1,7 @@
 package retrieval
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"testing"
@@ -158,5 +159,45 @@ func BenchmarkQuery(b *testing.B) {
 		if _, err := ix.Query(q, 10); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func TestDescribeMismatchedPlaneGeometry(t *testing.T) {
+	// A half-resolution U plane (chroma still subsampled) must surface the
+	// typed geometry error, from Describe and through Add/Query alike.
+	img, err := imgplane.New(16, 16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := imgplane.New(8, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img.Planes[1] = half.Planes[0]
+	if _, err := Describe(img); !errors.Is(err, ErrPlaneGeometry) {
+		t.Fatalf("Describe err = %v, want ErrPlaneGeometry", err)
+	}
+	ix := NewIndex()
+	if err := ix.Add("bad", img); !errors.Is(err, ErrPlaneGeometry) {
+		t.Fatalf("Add err = %v, want ErrPlaneGeometry", err)
+	}
+	good, err := imgplane.New(16, 16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Add("good", good); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Query(img, 1); !errors.Is(err, ErrPlaneGeometry) {
+		t.Fatalf("Query err = %v, want ErrPlaneGeometry", err)
+	}
+	// A short pixel buffer (right W/H, wrong sample count) is geometry too.
+	trunc, err := imgplane.New(16, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc.Planes[0].Pix = trunc.Planes[0].Pix[:100]
+	if _, err := Describe(trunc); !errors.Is(err, ErrPlaneGeometry) {
+		t.Fatalf("Describe truncated err = %v, want ErrPlaneGeometry", err)
 	}
 }

@@ -1,0 +1,76 @@
+package searchidx
+
+// The inner distance kernel. Re-ranking touches a few hundred candidates
+// per lookup and the exact scanner touches every stored signature, so the
+// 64-byte SAD is the hottest loop in the subsystem. sad64 amortizes bounds
+// checks to one per signature, unrolls by eight, and computes |a-b|
+// branchlessly; sadNaive is the obvious loop it is benchmarked against
+// (BenchmarkSADKernel vs BenchmarkSADNaive).
+
+// sad64 returns the L1 distance between the 64-byte signature at a[off:]
+// and q. The flat []byte layout (one contiguous slab per segment, 64-byte
+// strides) keeps candidate re-ranking inside a handful of cache lines.
+func sad64(a []byte, off int, q *Signature) uint32 {
+	a = a[off : off+SigBytes : off+SigBytes]
+	var s uint32
+	for i := 0; i < SigBytes; i += 8 {
+		s += absDiff(a[i], q[i]) +
+			absDiff(a[i+1], q[i+1]) +
+			absDiff(a[i+2], q[i+2]) +
+			absDiff(a[i+3], q[i+3]) +
+			absDiff(a[i+4], q[i+4]) +
+			absDiff(a[i+5], q[i+5]) +
+			absDiff(a[i+6], q[i+6]) +
+			absDiff(a[i+7], q[i+7])
+	}
+	return s
+}
+
+// sad64Early is sad64 with an early exit: once the partial sum exceeds
+// limit the candidate cannot enter the current top-k, so the remaining
+// strides are skipped. Checked once per 16 bytes to keep the fast path
+// branch-light.
+func sad64Early(a []byte, off int, q *Signature, limit uint32) uint32 {
+	a = a[off : off+SigBytes : off+SigBytes]
+	var s uint32
+	for i := 0; i < SigBytes; i += 16 {
+		for j := i; j < i+16; j += 8 {
+			s += absDiff(a[j], q[j]) +
+				absDiff(a[j+1], q[j+1]) +
+				absDiff(a[j+2], q[j+2]) +
+				absDiff(a[j+3], q[j+3]) +
+				absDiff(a[j+4], q[j+4]) +
+				absDiff(a[j+5], q[j+5]) +
+				absDiff(a[j+6], q[j+6]) +
+				absDiff(a[j+7], q[j+7])
+		}
+		if s > limit {
+			return s
+		}
+	}
+	return s
+}
+
+// absDiff is branchless |a-b| for bytes: the sign of the 32-bit difference
+// selects between d and -d with shifts and xors only.
+func absDiff(a, b byte) uint32 {
+	d := int32(a) - int32(b)
+	m := d >> 31
+	return uint32((d ^ m) - m)
+}
+
+// sadNaive is the reference kernel: per-byte branchy loop with a bounds
+// check per access. Kept for differential tests and as the benchmark
+// baseline the optimized kernel must beat.
+func sadNaive(a []byte, off int, q *Signature) uint32 {
+	var s uint32
+	for i := 0; i < SigBytes; i++ {
+		av, qv := a[off+i], q[i]
+		if av > qv {
+			s += uint32(av - qv)
+		} else {
+			s += uint32(qv - av)
+		}
+	}
+	return s
+}

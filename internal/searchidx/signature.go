@@ -1,0 +1,423 @@
+// Package searchidx is the catalog-scale encrypted-image search subsystem:
+// compact coefficient-domain signatures, an in-memory bucketed/multi-probe
+// ANN index with exact re-rank, and envelope-framed snapshot persistence.
+//
+// The PSP stores perturbed JPEGs it cannot view, yet the paper's usability
+// argument rests on those images still being findable: PuPPIeS perturbs only
+// the protected ROIs, so the unprotected background dominates the visual
+// signature (mirroring Iida & Kiya's identification scheme for encrypted
+// JPEGs). Signatures here are computed straight from entropy-decoded
+// quantized DCT coefficients — no inverse transform, no pixel
+// reconstruction — which makes upload-path indexing nearly free: the upload
+// validator has already paid for the coefficient decode.
+package searchidx
+
+import (
+	"encoding/json"
+	"math"
+	"sort"
+
+	"puppies/internal/dct"
+	"puppies/internal/jpegc"
+)
+
+// SigBytes is the signature size. 64 bytes = an 8x8 spatial grid of
+// contrast-normalized luma statistics, one byte per cell — a million
+// signatures occupy 64 MB flat, and the distance kernel runs over exactly
+// one cache line.
+const SigBytes = 64
+
+// gridDim is the side of the spatial signature grid.
+const gridDim = 8
+
+// Signature is a compact perceptual signature of one stored image.
+// Distances between signatures are L1 (sum of absolute differences).
+type Signature [SigBytes]byte
+
+// protectedWeight down-weights protected blocks in the grid accumulation:
+// their features are DC-invariant but coarser, so the unprotected
+// background should dominate ties — which is exactly the paper's Fig. 2
+// argument for why partially protected images remain recognizable.
+const protectedWeight = 0.25
+
+// Border-fill taper thresholds: DC is coded level-shifted, so a flat black
+// block dequantizes to -1024. Blocks whose mean sits below fillDCStart
+// (mean luma < ~53) have their vote tapered linearly toward fillWeight at
+// pure black.
+const (
+	fillDCStart = -600.0
+	fillDCBlack = -1024.0
+	fillWeight  = 0.0
+)
+
+// Rect is a pixel-space rectangle (matching core.ROI's JSON shape).
+type Rect struct {
+	X int `json:"x"`
+	Y int `json:"y"`
+	W int `json:"w"`
+	H int `json:"h"`
+}
+
+// publicRegions is the lenient projection of a core.PublicData document:
+// signature computation needs only the protected rectangles, and must keep
+// working on documents from schemes (or format versions) it has never seen,
+// so it deliberately avoids core's strict validation.
+type publicRegions struct {
+	Regions []struct {
+		ROI Rect `json:"roi"`
+	} `json:"regions"`
+}
+
+// ProtectedRects extracts the protected ROIs from an opaque public-parameter
+// document. Undecodable or empty documents yield nil — every block is then
+// treated as unprotected, which degrades matching between differently
+// protected copies but never breaks self-matching (a stored image's own
+// coefficients are stable whatever they encode).
+func ProtectedRects(params []byte) []Rect {
+	if len(params) == 0 {
+		return nil
+	}
+	var pd publicRegions
+	if err := json.Unmarshal(params, &pd); err != nil {
+		return nil
+	}
+	out := make([]Rect, 0, len(pd.Regions))
+	for _, r := range pd.Regions {
+		if r.ROI.W > 0 && r.ROI.H > 0 {
+			out = append(out, r.ROI)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// Compute derives the signature from entropy-decoded coefficients. Only the
+// luma component is read (chroma subsampling therefore cannot perturb the
+// signature), and only O(1) coefficients per block:
+//
+//   - Unprotected blocks contribute their dequantized DC — the block's mean
+//     luma, i.e. an 8x-downsampled grayscale thumbnail read directly from
+//     the coefficient stream.
+//   - Protected blocks (inside a params ROI) contribute the energy of the
+//     low-frequency AC band instead: PuPPIeS perturbs DC hardest, while
+//     low-AC structure survives several variants, so this feature is
+//     DC-perturbation-invariant and lets two differently protected copies
+//     of the same photo still meet. They are also down-weighted so the
+//     unprotected background dominates.
+//
+// Each block's value is integrated into an 8x8 grid addressed in
+// *normalized* image coordinates: the block's true pixel footprint (clipped
+// to the visible W x H, so right/bottom padding blocks carry only the weight
+// of their visible sliver) is intersected exactly with the grid-cell
+// rectangles, and the value accumulates into every overlapped cell weighted
+// by overlap area. Area integration — rather than point-splatting block
+// centers — makes the grid a true box filter of the DC plane, so it is
+// consistent across block-grid resolutions: scaling changes nothing,
+// cropping only shifts mass smoothly between neighboring cells. The grid is
+// then contrast-normalized (per-image z-score, quantized to bytes), which
+// cancels recompression, quantization-table and brightness drift. Rotations
+// and flips permute the grid; Lookup probes all eight dihedral orientations
+// rather than trying to canonicalize (canonicalization is unstable for
+// near-symmetric images).
+func Compute(img *jpegc.Image, params []byte) Signature {
+	var acc, wsum [SigBytes]float64
+	if img == nil || len(img.Comps) == 0 {
+		return quantize(&acc, &wsum)
+	}
+	computeComponent(img, 0, ProtectedRects(params), &acc, &wsum)
+	return quantize(&acc, &wsum)
+}
+
+// computeComponent folds one component's DC plane into the grid
+// accumulators. Only luma is folded in: chroma DC was measured to be a
+// net loss — its per-image spread is tiny, so the contrast normalization
+// amplifies it, and the extreme-saturation fill that pixel-domain
+// transforms leave in chroma planes (zero samples, where neutral chroma
+// is mid-scale) then swamps the border cells even under the darkness
+// taper.
+func computeComponent(img *jpegc.Image, ci int, rois []Rect, acc, wsum *[SigBytes]float64) {
+	comp := &img.Comps[ci]
+	bw, bh := comp.BlocksW, comp.BlocksH
+	if bw <= 0 || bh <= 0 || len(comp.Blocks) < bw*bh {
+		return
+	}
+	qdc := float64(comp.Quant[0])
+	if qdc <= 0 {
+		qdc = 1
+	}
+	// Grid cells per visible pixel of *this component's* plane: a
+	// subsampled chroma plane covers the same normalized frame with fewer
+	// blocks, and right/bottom padding blocks carry only the weight of
+	// their visible sliver.
+	pw, ph := comp.BlocksW*dct.BlockSize, comp.BlocksH*dct.BlockSize
+	if img.W > 0 && img.H > 0 {
+		cw, ch := img.CompDims(ci)
+		if cw > 0 && cw < pw {
+			pw = cw
+		}
+		if ch > 0 && ch < ph {
+			ph = ch
+		}
+	}
+	prot := protectedMask(scaleRects(rois, pw, ph, img.W, img.H), bw, bh)
+	sx := gridDim / float64(pw)
+	sy := gridDim / float64(ph)
+	for by := 0; by < bh; by++ {
+		y0 := float64(by*dct.BlockSize) * sy
+		y1 := float64((by+1)*dct.BlockSize) * sy
+		if lim := float64(ph) * sy; y1 > lim {
+			y1 = lim
+		}
+		if y1 <= y0 {
+			continue
+		}
+		for bx := 0; bx < bw; bx++ {
+			x0 := float64(bx*dct.BlockSize) * sx
+			x1 := float64((bx+1)*dct.BlockSize) * sx
+			if lim := float64(pw) * sx; x1 > lim {
+				x1 = lim
+			}
+			if x1 <= x0 {
+				continue
+			}
+			b := &comp.Blocks[by*bw+bx]
+			v := float64(b[0]) * qdc
+			wt := 1.0
+			switch {
+			case prot != nil && prot[by*bw+bx]:
+				v = lowACEnergy(b, &comp.Quant)
+				wt = protectedWeight
+			case v <= fillDCStart:
+				// Border-fill taper (the letterbox heuristic of
+				// perceptual-hash systems): blocks approaching pure black
+				// are overwhelmingly synthetic fill — the zero wedges an
+				// arbitrary-angle rotation leaves at the corners, partial
+				// wedge blocks included — and letting them vote at full
+				// strength would drag the border cells and the global
+				// normalization. The weight ramps linearly from 1 at
+				// fillDCStart down to fillWeight at pure black, so genuine
+				// shadow detail keeps most of its vote.
+				f := (v - fillDCBlack) / (fillDCStart - fillDCBlack)
+				if f < fillWeight {
+					f = fillWeight
+				}
+				wt = f
+			}
+			accumulate(acc, wsum, x0, y0, x1, y1, v, wt)
+		}
+	}
+}
+
+// scaleRects maps pixel-space ROIs from image coordinates onto a
+// component plane's coordinates (identity when dimensions are unknown).
+// Bounds are rounded outward so a partially covered block counts as
+// protected.
+func scaleRects(rois []Rect, pw, ph, iw, ih int) []Rect {
+	if len(rois) == 0 || iw <= 0 || ih <= 0 || (pw == iw && ph == ih) {
+		return rois
+	}
+	out := make([]Rect, len(rois))
+	for i, r := range rois {
+		x0 := r.X * pw / iw
+		y0 := r.Y * ph / ih
+		x1 := ((r.X+r.W)*pw + iw - 1) / iw
+		y1 := ((r.Y+r.H)*ph + ih - 1) / ih
+		out[i] = Rect{X: x0, Y: y0, W: x1 - x0, H: y1 - y0}
+	}
+	return out
+}
+
+// protectedMask rasterizes pixel-space ROIs onto the luma block grid.
+// Returns nil when nothing is protected so the hot loop skips the lookup.
+func protectedMask(rois []Rect, bw, bh int) []bool {
+	if len(rois) == 0 {
+		return nil
+	}
+	mask := make([]bool, bw*bh)
+	any := false
+	for _, r := range rois {
+		bx0 := r.X / dct.BlockSize
+		by0 := r.Y / dct.BlockSize
+		bx1 := (r.X + r.W + dct.BlockSize - 1) / dct.BlockSize
+		by1 := (r.Y + r.H + dct.BlockSize - 1) / dct.BlockSize
+		if bx0 < 0 {
+			bx0 = 0
+		}
+		if by0 < 0 {
+			by0 = 0
+		}
+		if bx1 > bw {
+			bx1 = bw
+		}
+		if by1 > bh {
+			by1 = bh
+		}
+		for by := by0; by < by1; by++ {
+			for bx := bx0; bx < bx1; bx++ {
+				mask[by*bw+bx] = true
+				any = true
+			}
+		}
+	}
+	if !any {
+		return nil
+	}
+	return mask
+}
+
+// lowACEnergy is the protected-block feature: RMS magnitude of the
+// dequantized low-frequency AC band. The band is the 3x3 corner of the
+// block minus DC — a set symmetric under transpose and sign-pattern flips,
+// so the feature commutes with the lossless rotate/flip transforms (which
+// permute and negate coefficients within that band).
+func lowACEnergy(b *dct.Block, q *dct.QuantTable) float64 {
+	var e float64
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			if r == 0 && c == 0 {
+				continue
+			}
+			i := r*dct.BlockSize + c
+			d := float64(b[i]) * float64(q[i])
+			e += d * d
+		}
+	}
+	return math.Sqrt(e / 8)
+}
+
+// accumulate integrates one block's value over its grid-space footprint
+// [x0,x1) x [y0,y1): every overlapped cell receives the value weighted by
+// the exact overlap area (times wt). The soft area binning is what buys
+// crop tolerance — shifting content by a fraction of a cell moves mass
+// proportionally instead of flipping whole cells — and the exactness is what
+// buys scale tolerance: any block-grid resolution integrates to the same
+// box-filtered DC plane.
+func accumulate(acc, wsum *[SigBytes]float64, x0, y0, x1, y1, v, wt float64) {
+	cy0, cy1 := int(y0), int(math.Ceil(y1))
+	cx0, cx1 := int(x0), int(math.Ceil(x1))
+	if cy0 < 0 {
+		cy0 = 0
+	}
+	if cx0 < 0 {
+		cx0 = 0
+	}
+	if cy1 > gridDim {
+		cy1 = gridDim
+	}
+	if cx1 > gridDim {
+		cx1 = gridDim
+	}
+	for cy := cy0; cy < cy1; cy++ {
+		oy := math.Min(y1, float64(cy+1)) - math.Max(y0, float64(cy))
+		if oy <= 0 {
+			continue
+		}
+		for cx := cx0; cx < cx1; cx++ {
+			ox := math.Min(x1, float64(cx+1)) - math.Max(x0, float64(cx))
+			if ox <= 0 {
+				continue
+			}
+			w := ox * oy * wt
+			acc[cy*gridDim+cx] += w * v
+			wsum[cy*gridDim+cx] += w
+		}
+	}
+}
+
+// sigMean and sigDev place the z-scored cell values on the byte scale:
+// byte = 128 + 40z clamped to [0,255], so ±3.2 sigma spans the range.
+const (
+	sigMean = 128
+	sigDev  = 40
+)
+
+// quantize turns the grid accumulators into the final byte signature via
+// per-image contrast normalization: center the cell values on their median
+// and scale by their interquartile range (Gaussian-consistent: IQR/1.349
+// estimates sigma), then quantize to bytes. Any per-image affine drift of
+// the underlying values — brightness shifts, quantization-table rescaling
+// under recompression — cancels exactly, and the *robust* location/scale
+// pair keeps a handful of damaged cells (rotation fill, content a crop
+// pushed out of frame) from rescaling the 60 cells that did not change,
+// which plain mean/stddev normalization does.
+func quantize(acc, wsum *[SigBytes]float64) Signature {
+	var cells [SigBytes]float64
+	live := make([]float64, 0, SigBytes)
+	for i := range cells {
+		if wsum[i] > 0 {
+			cells[i] = acc[i] / wsum[i]
+			live = append(live, cells[i])
+		}
+	}
+	var sig Signature
+	if len(live) == 0 {
+		for i := range sig {
+			sig[i] = sigMean
+		}
+		return sig
+	}
+	sort.Float64s(live)
+	n := len(live)
+	mean := live[n/2]
+	dev := (live[(3*n)/4] - live[n/4]) / 1.349
+	if dev < 1e-9 {
+		for i := range sig {
+			sig[i] = sigMean
+		}
+		return sig
+	}
+	for i := range cells {
+		v := float64(sigMean)
+		if wsum[i] > 0 {
+			v = sigMean + sigDev*(cells[i]-mean)/dev
+		}
+		switch {
+		case v < 0:
+			sig[i] = 0
+		case v > 255:
+			sig[i] = 255
+		default:
+			sig[i] = byte(v + 0.5)
+		}
+	}
+	return sig
+}
+
+// dihedral returns the k-th of the signature's eight dihedral variants
+// (k in [0,8)): four rotations, then the four rotations of the horizontal
+// mirror. Variant 0 is the identity. Querying all eight makes Lookup
+// invariant to the lossless rotate90/180/270 and flip transforms without
+// storing anything extra per image.
+func (s *Signature) dihedral(k int) Signature {
+	var out Signature
+	for y := 0; y < gridDim; y++ {
+		for x := 0; x < gridDim; x++ {
+			sx, sy := x, y
+			if k >= 4 {
+				sx = gridDim - 1 - sx // horizontal mirror
+			}
+			switch k % 4 {
+			case 1: // rotate 90° CW: source = rotate 90° CCW of dest
+				sx, sy = sy, gridDim-1-sx
+			case 2:
+				sx, sy = gridDim-1-sx, gridDim-1-sy
+			case 3:
+				sx, sy = gridDim-1-sy, sx
+			}
+			out[y*gridDim+x] = s[sy*gridDim+sx]
+		}
+	}
+	return out
+}
+
+// Variants returns all eight dihedral orientations of the signature,
+// identity first.
+func (s *Signature) Variants() [8]Signature {
+	var out [8]Signature
+	for k := 0; k < 8; k++ {
+		out[k] = s.dihedral(k)
+	}
+	return out
+}

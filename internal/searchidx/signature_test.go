@@ -1,0 +1,204 @@
+package searchidx
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"puppies/internal/dataset"
+	"puppies/internal/dct"
+	"puppies/internal/jpegc"
+	"puppies/internal/parallel"
+	"puppies/internal/transform"
+)
+
+// corpusSize satisfies the acceptance bar: the transform property test
+// runs on a >= 500-image corpus.
+const corpusSize = 500
+
+// testCorpus generates corpusSize distinct coefficient images (small
+// resolution keeps the full transform sweep fast; the signature is
+// resolution-normalized so the size is immaterial to what is being tested).
+func testCorpus(t testing.TB) []*jpegc.Image {
+	t.Helper()
+	profile := dataset.PASCAL
+	profile.W, profile.H = 336, 224
+	gen, err := dataset.NewGenerator(profile, 99)
+	if err != nil {
+		t.Fatalf("dataset: %v", err)
+	}
+	imgs := make([]*jpegc.Image, corpusSize)
+	parallel.For(corpusSize, 8, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			item := gen.Item(i)
+			img, err := jpegc.FromPlanar(item.Image, jpegc.Options{Quality: 85})
+			if err != nil {
+				panic(fmt.Sprintf("FromPlanar item %d: %v", i, err))
+			}
+			imgs[i] = img
+		}
+	})
+	return imgs
+}
+
+// corpusID names image i in the index.
+func corpusID(i int) string { return fmt.Sprintf("corpus-%04d", i) }
+
+// transformSweep is every operation in the transform library with
+// representative parameters: the invariance set the signature is designed
+// for. Crop is modest (the paper's PSPs crop for layout, not to excise the
+// subject); rotate covers both the lossless right angles and a small
+// arbitrary angle.
+func transformSweep() []transform.Spec {
+	return []transform.Spec{
+		{Op: transform.OpNone},
+		{Op: transform.OpScale, FactorX: 0.5, FactorY: 0.5},
+		{Op: transform.OpCrop, X: 24, Y: 12, W: 288, H: 200},
+		{Op: transform.OpRotate90},
+		{Op: transform.OpRotate180},
+		{Op: transform.OpRotate270},
+		{Op: transform.OpFlipH},
+		{Op: transform.OpFlipV},
+		{Op: transform.OpRotate, Angle: 3},
+		{Op: transform.OpFilter, Kernel: "gaussian3"},
+		{Op: transform.OpCompress, Quality: 60},
+	}
+}
+
+// TestSignatureTransformInvariance is the acceptance property: for every
+// transform in the library, the transformed image's signature must retrieve
+// the original as top-1 out of the 500-image corpus.
+func TestSignatureTransformInvariance(t *testing.T) {
+	imgs := testCorpus(t)
+	ix := New()
+	for i, img := range imgs {
+		ix.Add(corpusID(i), Compute(img, nil))
+	}
+	specs := transformSweep()
+	type miss struct {
+		img  int
+		spec transform.Spec
+		got  []Result
+	}
+	misses := parallel.Map(len(imgs), 8, func(lo, hi int) []miss {
+		var out []miss
+		for i := lo; i < hi; i++ {
+			for _, spec := range specs {
+				timg, err := transform.Apply(imgs[i], spec)
+				if err != nil {
+					panic(fmt.Sprintf("transform %s on image %d: %v", spec.Op, i, err))
+				}
+				res := ix.Lookup(Compute(timg, nil), 1)
+				if len(res) != 1 || res[0].ID != corpusID(i) {
+					out = append(out, miss{img: i, spec: spec, got: res})
+				}
+			}
+		}
+		return out
+	})
+	total := 0
+	for _, chunk := range misses {
+		for _, m := range chunk {
+			total++
+			if total <= 10 {
+				t.Errorf("image %d under %s%+v: top-1 = %+v, want %s",
+					m.img, m.spec.Op, m.spec, m.got, corpusID(m.img))
+			}
+		}
+	}
+	if total > 0 {
+		t.Fatalf("%d/%d transform queries missed top-1", total, len(imgs)*len(specs))
+	}
+}
+
+// TestSignatureRecompressionRoundTrip checks stability across a full
+// encode/decode cycle (entropy coding plus fresh optimized tables), not
+// just the coefficient-domain requantization op.
+func TestSignatureRecompressionRoundTrip(t *testing.T) {
+	imgs := testCorpus(t)
+	ix := New()
+	for i, img := range imgs {
+		ix.Add(corpusID(i), Compute(img, nil))
+	}
+	for i := 0; i < len(imgs); i += 7 {
+		var buf bytes.Buffer
+		if err := imgs[i].Encode(&buf, jpegc.EncodeOptions{Tables: jpegc.TablesOptimized}); err != nil {
+			t.Fatalf("encode %d: %v", i, err)
+		}
+		dec, err := jpegc.Decode(&buf)
+		if err != nil {
+			t.Fatalf("decode %d: %v", i, err)
+		}
+		res := ix.Lookup(Compute(dec, nil), 1)
+		if len(res) != 1 || res[0].ID != corpusID(i) {
+			t.Fatalf("round-tripped image %d: top-1 = %+v", i, res)
+		}
+	}
+}
+
+// protectDC simulates a PuPPIeS-style protection pass: DC coefficients
+// inside the ROI's luma blocks are replaced with seeded random values (the
+// dominant effect of the paper's DC perturbation). Two different seeds
+// model the same photo protected under two different keys.
+func protectDC(img *jpegc.Image, roi Rect, seed int64) *jpegc.Image {
+	out := &jpegc.Image{W: img.W, H: img.H, Comps: make([]jpegc.Component, len(img.Comps))}
+	for i := range img.Comps {
+		out.Comps[i] = img.Comps[i].Clone()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	comp := &out.Comps[0]
+	bx0, by0 := roi.X/dct.BlockSize, roi.Y/dct.BlockSize
+	bx1 := (roi.X + roi.W + dct.BlockSize - 1) / dct.BlockSize
+	by1 := (roi.Y + roi.H + dct.BlockSize - 1) / dct.BlockSize
+	for by := by0; by < by1 && by < comp.BlocksH; by++ {
+		for bx := bx0; bx < bx1 && bx < comp.BlocksW; bx++ {
+			comp.Block(bx, by)[0] = int32(rng.Intn(1024) - 512)
+		}
+	}
+	return out
+}
+
+// TestSignatureProtectedInvariance: two copies of the same photo protected
+// under different keys (different DC garbage in the ROI) must still match
+// each other top-1, because protected blocks contribute only DC-invariant
+// low-AC features. Without the params-aware weighting the perturbed DC
+// would dominate the ROI cells and the copies would drift apart.
+func TestSignatureProtectedInvariance(t *testing.T) {
+	imgs := testCorpus(t)
+	roi := Rect{X: 96, Y: 48, W: 128, H: 128}
+	params, err := json.Marshal(map[string]interface{}{
+		"regions": []map[string]interface{}{{"roi": roi}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := New()
+	for i, img := range imgs {
+		// Index the key-A protected copy of every image.
+		ix.Add(corpusID(i), Compute(protectDC(img, roi, int64(1000+i)), params))
+	}
+	for i := 0; i < len(imgs); i += 11 {
+		// Query with the key-B protected copy.
+		q := Compute(protectDC(imgs[i], roi, int64(2000+i)), params)
+		res := ix.Lookup(q, 1)
+		if len(res) != 1 || res[0].ID != corpusID(i) {
+			t.Fatalf("protected copy of image %d: top-1 = %+v", i, res)
+		}
+	}
+}
+
+func TestProtectedRects(t *testing.T) {
+	if got := ProtectedRects(nil); got != nil {
+		t.Fatalf("nil params -> %v", got)
+	}
+	if got := ProtectedRects([]byte("not json")); got != nil {
+		t.Fatalf("bad params -> %v", got)
+	}
+	doc := []byte(`{"w":100,"h":80,"regions":[{"roi":{"x":8,"y":8,"w":16,"h":24}},{"roi":{"x":0,"y":0,"w":0,"h":0}}]}`)
+	got := ProtectedRects(doc)
+	if len(got) != 1 || got[0] != (Rect{X: 8, Y: 8, W: 16, H: 24}) {
+		t.Fatalf("ProtectedRects = %+v", got)
+	}
+}

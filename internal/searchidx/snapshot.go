@@ -1,0 +1,335 @@
+package searchidx
+
+import (
+	"bufio"
+	"encoding/base64"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"puppies/internal/blobstore"
+)
+
+// Persistence: the index snapshots into a single blobstore-envelope file
+// (magic, header CRC32C, payload CRC32C — the same self-verifying framing
+// the durable image store uses) plus a line-oriented add journal for the
+// increments between snapshots. Boot loads the snapshot, replays the
+// journal's intact prefix (a torn tail from a crash is dropped, exactly
+// like the blob store's journal), and re-attaches the journal for future
+// adds. Every compactEvery journaled adds the journal is folded into a
+// fresh snapshot written atomically (temp + fsync + rename + dir sync).
+
+const (
+	snapshotFile = "searchidx.snap"
+	journalFile  = "searchidx.journal"
+
+	// snapshotRecordID names the envelope record holding the snapshot.
+	snapshotRecordID = "searchidx-snapshot"
+
+	// snapVersion versions the snapshot payload inside the envelope.
+	snapVersion = 1
+
+	// compactEvery bounds journal growth: after this many journaled adds
+	// the journal is folded into the snapshot.
+	compactEvery = 4096
+
+	// maxSnapIDLen bounds decoded ID lengths so a corrupt count or length
+	// field cannot demand absurd allocations (the envelope CRC already
+	// makes this vanishingly unlikely; the bound makes it impossible).
+	maxSnapIDLen = 1 << 10
+)
+
+// ErrSnapshotCorrupt marks a snapshot payload that fails structural
+// validation after the envelope checksums passed.
+var ErrSnapshotCorrupt = errors.New("searchidx: corrupt snapshot")
+
+var snapCRC = crc32.MakeTable(crc32.Castagnoli)
+
+type snapEntry struct {
+	id  string
+	sig Signature
+}
+
+// persister is the journal attachment: an append handle plus the count of
+// journaled adds since the last snapshot.
+type persister struct {
+	mu      sync.Mutex
+	dir     string
+	f       *os.File
+	pending int
+	ix      *Index
+}
+
+// OpenDir loads (or initializes) a persistent index rooted at dir: the
+// snapshot is decoded, the journal's intact prefix replayed, and the
+// journal attached so subsequent Adds survive a crash. A missing dir or
+// files mean an empty index; a corrupt snapshot is an error (the caller
+// decides whether to rebuild).
+func OpenDir(dir string) (*Index, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("searchidx: create dir: %w", err)
+	}
+	ix := New()
+	snapPath := filepath.Join(dir, snapshotFile)
+	if data, err := os.ReadFile(snapPath); err == nil {
+		entries, derr := decodeSnapshot(data)
+		if derr != nil {
+			return nil, fmt.Errorf("searchidx: snapshot %s: %w", snapPath, derr)
+		}
+		ids := make([]string, len(entries))
+		sigs := make([]Signature, len(entries))
+		for i, e := range entries {
+			ids[i] = e.id
+			sigs[i] = e.sig
+		}
+		ix.AddBatch(ids, sigs)
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("searchidx: read snapshot: %w", err)
+	}
+	replayed := replayJournal(ix, filepath.Join(dir, journalFile))
+	f, err := os.OpenFile(filepath.Join(dir, journalFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("searchidx: open journal: %w", err)
+	}
+	ix.persist = &persister{dir: dir, f: f, pending: replayed, ix: ix}
+	return ix, nil
+}
+
+// Save forces a snapshot of the current contents and truncates the journal.
+// No-op (nil) on a purely in-memory index.
+func (ix *Index) Save() error {
+	if ix.persist == nil {
+		return nil
+	}
+	ix.persist.mu.Lock()
+	defer ix.persist.mu.Unlock()
+	return ix.persist.compactLocked()
+}
+
+// Close releases the journal handle after a final snapshot.
+func (ix *Index) Close() error {
+	if ix.persist == nil {
+		return nil
+	}
+	ix.persist.mu.Lock()
+	defer ix.persist.mu.Unlock()
+	err := ix.persist.compactLocked()
+	cerr := ix.persist.f.Close()
+	ix.persist = nil
+	if err != nil {
+		return err
+	}
+	return cerr
+}
+
+// record journals one add and compacts when the journal has grown enough.
+// Called outside any segment lock.
+func (p *persister) record(id string, sig Signature) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	line := journalLine(id, sig)
+	if _, err := p.f.WriteString(line); err != nil {
+		return // journal is best-effort between snapshots
+	}
+	p.pending++
+	if p.pending >= compactEvery {
+		_ = p.compactLocked()
+	}
+}
+
+// compactLocked writes a full snapshot atomically and truncates the
+// journal. Caller holds p.mu.
+func (p *persister) compactLocked() error {
+	data, err := encodeSnapshot(p.ix.entries())
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(p.dir, snapshotFile)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("searchidx: snapshot temp: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("searchidx: snapshot write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("searchidx: snapshot sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("searchidx: snapshot rename: %w", err)
+	}
+	syncDir(p.dir)
+	if err := p.f.Truncate(0); err != nil {
+		return fmt.Errorf("searchidx: truncate journal: %w", err)
+	}
+	if _, err := p.f.Seek(0, 0); err != nil {
+		return err
+	}
+	p.pending = 0
+	return nil
+}
+
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+}
+
+// entries snapshots the full index contents, sorted by ID so snapshots of
+// equal contents are byte-identical regardless of insertion order.
+func (ix *Index) entries() []snapEntry {
+	var out []snapEntry
+	for i := range ix.segs {
+		sg := &ix.segs[i]
+		sg.mu.RLock()
+		for p := range sg.ids {
+			out = append(out, snapEntry{id: sg.ids[p], sig: *posSig(sg.sigs, p)})
+		}
+		sg.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// encodeSnapshot serializes entries into an envelope-framed snapshot:
+//
+//	payload: u8 version, u32 count, then per entry u16 idLen, id, 64B sig
+//
+// wrapped in the blobstore v1 envelope (header + payload CRC32C).
+func encodeSnapshot(entries []snapEntry) ([]byte, error) {
+	size := 5
+	for _, e := range entries {
+		if len(e.id) == 0 || len(e.id) > maxSnapIDLen {
+			return nil, fmt.Errorf("searchidx: id length %d out of range", len(e.id))
+		}
+		size += 2 + len(e.id) + SigBytes
+	}
+	payload := make([]byte, 0, size)
+	payload = append(payload, snapVersion)
+	payload = binary.BigEndian.AppendUint32(payload, uint32(len(entries)))
+	for _, e := range entries {
+		payload = binary.BigEndian.AppendUint16(payload, uint16(len(e.id)))
+		payload = append(payload, e.id...)
+		payload = append(payload, e.sig[:]...)
+	}
+	return blobstore.EncodeRecord(&blobstore.Record{ID: snapshotRecordID, JPEG: payload})
+}
+
+// decodeSnapshot parses and validates an envelope-framed snapshot. It never
+// panics on arbitrary input (fuzzed by FuzzIndexSnapshot) and never
+// allocates more than the input length implies.
+func decodeSnapshot(data []byte) ([]snapEntry, error) {
+	rec, err := blobstore.DecodeRecord(data)
+	if err != nil {
+		return nil, err
+	}
+	if rec.ID != snapshotRecordID {
+		return nil, fmt.Errorf("%w: envelope record %q, want %q", ErrSnapshotCorrupt, rec.ID, snapshotRecordID)
+	}
+	payload := rec.JPEG
+	if len(payload) < 5 {
+		return nil, fmt.Errorf("%w: %d-byte payload", ErrSnapshotCorrupt, len(payload))
+	}
+	if payload[0] != snapVersion {
+		return nil, fmt.Errorf("%w: payload version %d (this build reads %d)", ErrSnapshotCorrupt, payload[0], snapVersion)
+	}
+	count := int(binary.BigEndian.Uint32(payload[1:5]))
+	// Each entry occupies at least 2+1+SigBytes bytes, so an honest count
+	// is bounded by the payload size.
+	if count < 0 || count > len(payload)/(3+SigBytes) {
+		return nil, fmt.Errorf("%w: implausible entry count %d for %d bytes", ErrSnapshotCorrupt, count, len(payload))
+	}
+	off := 5
+	out := make([]snapEntry, 0, count)
+	for i := 0; i < count; i++ {
+		if off+2 > len(payload) {
+			return nil, fmt.Errorf("%w: truncated at entry %d", ErrSnapshotCorrupt, i)
+		}
+		idLen := int(binary.BigEndian.Uint16(payload[off : off+2]))
+		off += 2
+		if idLen == 0 || idLen > maxSnapIDLen || off+idLen+SigBytes > len(payload) {
+			return nil, fmt.Errorf("%w: entry %d id length %d", ErrSnapshotCorrupt, i, idLen)
+		}
+		var e snapEntry
+		e.id = string(payload[off : off+idLen])
+		off += idLen
+		copy(e.sig[:], payload[off:off+SigBytes])
+		off += SigBytes
+		out = append(out, e)
+	}
+	if off != len(payload) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrSnapshotCorrupt, len(payload)-off)
+	}
+	return out, nil
+}
+
+// journalLine formats one add: CRC32C over "id sig", then the fields.
+// IDs never contain spaces (the server validates them), so the line is
+// splittable; the CRC catches torn or bit-flipped tails on replay.
+func journalLine(id string, sig Signature) string {
+	b64 := base64.RawStdEncoding.EncodeToString(sig[:])
+	sum := crc32.Checksum([]byte(id+" "+b64), snapCRC)
+	return fmt.Sprintf("%08x %s %s\n", sum, id, b64)
+}
+
+// parseJournalLine inverts journalLine, rejecting any damage.
+func parseJournalLine(line string) (string, Signature, bool) {
+	var sig Signature
+	parts := strings.Split(line, " ")
+	if len(parts) != 3 || len(parts[0]) != 8 {
+		return "", sig, false
+	}
+	var sum uint32
+	if _, err := fmt.Sscanf(parts[0], "%08x", &sum); err != nil {
+		return "", sig, false
+	}
+	if crc32.Checksum([]byte(parts[1]+" "+parts[2]), snapCRC) != sum {
+		return "", sig, false
+	}
+	raw, err := base64.RawStdEncoding.DecodeString(parts[2])
+	if err != nil || len(raw) != SigBytes || len(parts[1]) == 0 {
+		return "", sig, false
+	}
+	copy(sig[:], raw)
+	return parts[1], sig, true
+}
+
+// replayJournal applies the journal's intact prefix and reports how many
+// entries it held. A corrupt line ends replay: everything after a torn
+// write is untrusted, mirroring the blob store's recovery rule.
+func replayJournal(ix *Index, path string) int {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	n := 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 4096), 1<<20)
+	for sc.Scan() {
+		id, sig, ok := parseJournalLine(sc.Text())
+		if !ok {
+			break
+		}
+		ix.add(segIdx(id), id, sig)
+		n++
+	}
+	return n
+}

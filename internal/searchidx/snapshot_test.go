@@ -1,0 +1,177 @@
+package searchidx
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// knn collects k-NN answers for a set of queries — the unit of comparison
+// for the restart tests: a reloaded index must answer bit-identically.
+func knn(ix *Index, queries []Signature, k int) [][]Result {
+	out := make([][]Result, len(queries))
+	for i, q := range queries {
+		out[i] = ix.Lookup(q, k)
+	}
+	return out
+}
+
+func TestSnapshotRestartBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(21))
+	ix, err := OpenDir(dir)
+	if err != nil {
+		t.Fatalf("OpenDir: %v", err)
+	}
+	var queries []Signature
+	for i := 0; i < 300; i++ {
+		sig := randomSig(rng)
+		ix.Add(fmt.Sprintf("id-%04d", i), sig)
+		if i%30 == 0 {
+			queries = append(queries, noisySig(rng, sig, 4))
+		}
+	}
+	if err := ix.Save(); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	// Post-snapshot adds land only in the journal.
+	for i := 300; i < 350; i++ {
+		ix.Add(fmt.Sprintf("id-%04d", i), randomSig(rng))
+	}
+	want := knn(ix, queries, 10)
+	if err := ix.persist.f.Close(); err != nil {
+		t.Fatalf("close journal: %v", err)
+	}
+
+	re, err := OpenDir(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if re.Len() != 350 {
+		t.Fatalf("reloaded Len = %d, want 350", re.Len())
+	}
+	got := knn(re, queries, 10)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("reloaded k-NN differs:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestSnapshotTornJournalTail(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(22))
+	ix, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigs := make([]Signature, 5)
+	for i := range sigs {
+		sigs[i] = randomSig(rng)
+		ix.Add(fmt.Sprintf("id-%d", i), sigs[i])
+	}
+	ix.persist.f.Close()
+	// Simulate a crash mid-append: garbage after the valid prefix.
+	jp := filepath.Join(dir, journalFile)
+	f, err := os.OpenFile(jp, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("deadbeef torn-line-without-valid-")
+	f.Close()
+
+	re, err := OpenDir(dir)
+	if err != nil {
+		t.Fatalf("reopen after torn tail: %v", err)
+	}
+	if re.Len() != 5 {
+		t.Fatalf("Len = %d after torn tail, want the 5 intact entries", re.Len())
+	}
+	for i := range sigs {
+		if got, ok := re.Get(fmt.Sprintf("id-%d", i)); !ok || got != sigs[i] {
+			t.Fatalf("entry id-%d lost or damaged after torn-tail recovery", i)
+		}
+	}
+}
+
+func TestSnapshotCorruptIsError(t *testing.T) {
+	dir := t.TempDir()
+	ix, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(23))
+	ix.Add("only", randomSig(rng))
+	if err := ix.Save(); err != nil {
+		t.Fatal(err)
+	}
+	ix.persist.f.Close()
+	sp := filepath.Join(dir, snapshotFile)
+	data, err := os.ReadFile(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(sp, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDir(dir); err == nil {
+		t.Fatal("OpenDir accepted a corrupt snapshot")
+	}
+}
+
+func TestSnapshotRoundTripEmptyAndOrder(t *testing.T) {
+	// Empty index round-trips.
+	data, err := encodeSnapshot(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := decodeSnapshot(data)
+	if err != nil || len(entries) != 0 {
+		t.Fatalf("empty snapshot round-trip: %v, %d entries", err, len(entries))
+	}
+	// Snapshots are byte-identical regardless of insertion order.
+	rng := rand.New(rand.NewSource(24))
+	sigs := []Signature{randomSig(rng), randomSig(rng), randomSig(rng)}
+	a, b := New(), New()
+	for i, s := range sigs {
+		a.Add(fmt.Sprintf("id-%d", i), s)
+	}
+	for i := len(sigs) - 1; i >= 0; i-- {
+		b.Add(fmt.Sprintf("id-%d", i), sigs[i])
+	}
+	ea, _ := encodeSnapshot(a.entries())
+	eb, _ := encodeSnapshot(b.entries())
+	if string(ea) != string(eb) {
+		t.Fatal("snapshot bytes depend on insertion order")
+	}
+}
+
+func TestJournalCompaction(t *testing.T) {
+	dir := t.TempDir()
+	ix, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(25))
+	n := compactEvery + 10
+	for i := 0; i < n; i++ {
+		ix.Add(fmt.Sprintf("id-%05d", i), randomSig(rng))
+	}
+	// Compaction must have folded the journal into the snapshot.
+	if ix.persist.pending >= compactEvery {
+		t.Fatalf("journal holds %d entries, compaction never ran", ix.persist.pending)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotFile)); err != nil {
+		t.Fatalf("snapshot missing after compaction: %v", err)
+	}
+	ix.persist.f.Close()
+	re, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != n {
+		t.Fatalf("reloaded Len = %d, want %d", re.Len(), n)
+	}
+}
