@@ -25,9 +25,9 @@ SERVE_BENCHMARKS ?= BenchmarkServeTransformedCold,BenchmarkServeTransformedHot,B
 # native 4:2:0 decode carries at least 1.5x fewer coefficient bytes than the
 # 4:4:4-normalized pipeline.
 BATCH_BENCHMARKS ?= BenchmarkUploadSequential,BenchmarkUploadBatch,BenchmarkDecodeNative420,BenchmarkDecodeNormalized420
-PERF_RATIOS ?= BenchmarkUploadSequential/BenchmarkUploadBatch>=2:ns/op,BenchmarkDecodeNormalized420/BenchmarkDecodeNative420>=1.5:coeff-bytes/op
+PERF_RATIOS ?= BenchmarkUploadSequential/BenchmarkUploadBatch>=2:ns/op,BenchmarkDecodeNormalized420/BenchmarkDecodeNative420>=1.5:coeff-bytes/op,BenchmarkProtectRecoverAllocSLO/BenchmarkProtectRecoverPerMP>=1:allocs/op
 
-.PHONY: all build test check fmt race fuzz-smoke bench bench-compare cluster-e2e cluster-demo load-gate search-gate profile
+.PHONY: all build test check fmt race fuzz-smoke bench bench-compare cluster-e2e cluster-demo load-gate search-gate thumb-gate profile
 
 all: build
 
@@ -40,12 +40,14 @@ test:
 # race runs the PSP pipeline tests (client retries, fault injection,
 # concurrent clients, pspd graceful shutdown), the durable-store crash
 # matrix, the cluster gateway (ring, breakers, quorum replication, fault
-# matrix) with its daemon, the parallel-pipeline determinism suite, and the
-# restart-segment parallel scan decode under -race.
+# matrix) with its daemon, the parallel-pipeline determinism suite, the
+# reduced-IDCT kernels and transform planner (parallel scaled decode +
+# worker-count determinism), and the restart-segment and scaled-decode
+# parallel plane fills under -race.
 race:
-	$(GO) test -race -count=1 ./internal/psp/... ./internal/servecache/... ./internal/faults/... ./internal/blobstore/... ./internal/cluster/... ./internal/admission/... ./internal/stats/... ./internal/loadgen/... ./internal/searchidx/... ./cmd/pspd/... ./cmd/pspgw/...
+	$(GO) test -race -count=1 ./internal/psp/... ./internal/servecache/... ./internal/faults/... ./internal/blobstore/... ./internal/cluster/... ./internal/admission/... ./internal/stats/... ./internal/loadgen/... ./internal/searchidx/... ./internal/dct/... ./internal/transform/... ./cmd/pspd/... ./cmd/pspgw/...
 	$(GO) test -race -count=1 -run 'TestParallelDeterminism' .
-	$(GO) test -race -count=1 -run 'TestRestart' ./internal/jpegc
+	$(GO) test -race -count=1 -run 'TestRestart|TestToPlanarScaled' ./internal/jpegc
 
 # cluster-e2e runs the full crash/partition e2e on its own: a real 3-shard
 # cluster behind the gateway, one shard SIGKILLed mid-traffic, an asymmetric
@@ -76,6 +78,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodePublicData$$' -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run '^$$' -fuzz '^FuzzEnvelope$$' -fuzztime $(FUZZTIME) ./internal/blobstore
 	$(GO) test -run '^$$' -fuzz '^FuzzSpecKey$$' -fuzztime $(FUZZTIME) ./internal/transform
+	$(GO) test -run '^$$' -fuzz '^FuzzPlan$$' -fuzztime $(FUZZTIME) ./internal/transform
 	$(GO) test -run '^$$' -fuzz '^FuzzSignature$$' -fuzztime $(FUZZTIME) ./internal/searchidx
 	$(GO) test -run '^$$' -fuzz '^FuzzIndexSnapshot$$' -fuzztime $(FUZZTIME) ./internal/searchidx
 
@@ -115,12 +118,14 @@ LOAD_SEED ?= 42
 LOAD_DURATION ?= 8s
 LOAD_WORKERS ?= 12
 LOAD_SLO_P99 ?= 250ms
-LOAD_SLO_RATIOS ?= LoadSLOHotGet/LoadHotGet>=1:p99-ns,LoadOverall/LoadSLOHotGet>=1:ok-per-op
+LOAD_SLO_THUMB_P99 ?= 250ms
+LOAD_SLO_RATIOS ?= LoadSLOHotGet/LoadHotGet>=1:p99-ns,LoadSLOThumbnail/LoadThumbnail>=1:p99-ns,LoadOverall/LoadSLOHotGet>=1:ok-per-op
 load-gate:
 	$(GO) run ./cmd/loadgen -selfhost 3 -seed $(LOAD_SEED) -duration $(LOAD_DURATION) \
 		-workers $(LOAD_WORKERS) -corpus 16 -chaos gate \
 		-gw-max-inflight 4 -gw-admit-wait 10ms -gw-admit-queue 2 \
-		-slo-hotget-p99 $(LOAD_SLO_P99) -max-unexpected 0 -require-sheds -require-breaker-cycle \
+		-slo-hotget-p99 $(LOAD_SLO_P99) -slo-thumb-p99 $(LOAD_SLO_THUMB_P99) \
+		-max-unexpected 0 -require-sheds -require-breaker-cycle \
 		-o $(LOAD_OUT)
 	$(GO) run ./cmd/benchfmt -new $(LOAD_OUT) -ratio '$(LOAD_SLO_RATIOS)'
 
@@ -138,6 +143,22 @@ SEARCH_RATIOS ?= BenchmarkSearchScan100k/BenchmarkSearchLookup100k>=50:ns/op,Ben
 search-gate:
 	$(GO) test -run '^$$' -bench 'BenchmarkS(earch|AD)' -benchmem -count $(SEARCH_BENCH_COUNT) -timeout 30m ./internal/searchidx | tee /dev/stderr | $(GO) run ./cmd/benchfmt -o $(SEARCH_OUT)
 	$(GO) run ./cmd/benchfmt -new $(SEARCH_OUT) -ratio '$(SEARCH_RATIOS)'
+
+# thumb-gate is the PR 10 scaled-decode gate: the psp thumbnail serving
+# benchmarks (cold full path vs the coefficient-warm scaled-decode fast
+# path, both at the canonical 1/8-scale thumbnail spec) plus the
+# protect/recover allocation rows run best-of-N, and the report is
+# committed as $(THUMB_OUT). benchfmt then asserts the headline guarantees
+# from the report itself: the scaled-decode path serves thumbnails at
+# least 5x faster than the pre-scaled-decode full path, and the megapixel
+# protect+recover pipeline stays inside the allocation budget published by
+# BenchmarkProtectRecoverAllocSLO.
+THUMB_OUT ?= BENCH_PR10.json
+THUMB_BENCH_COUNT ?= 3
+THUMB_RATIOS ?= BenchmarkServeTransformedCold/BenchmarkServeThumbnailCold>=5:ns/op,BenchmarkProtectRecoverAllocSLO/BenchmarkProtectRecoverPerMP>=1:allocs/op
+thumb-gate:
+	$(GO) test -run '^$$' -bench 'BenchmarkServe(TransformedCold|ThumbnailCold)$$|BenchmarkServeThumbnailColdFullPath$$|BenchmarkProtectRecover' -benchmem -count $(THUMB_BENCH_COUNT) -timeout 30m . ./internal/psp | tee /dev/stderr | $(GO) run ./cmd/benchfmt -o $(THUMB_OUT)
+	$(GO) run ./cmd/benchfmt -new $(THUMB_OUT) -ratio '$(THUMB_RATIOS)'
 
 # profile captures CPU and allocation pprof profiles of the two hot paths —
 # the protect/recover pipeline (paper Table 1 workload) and the streaming
@@ -167,4 +188,5 @@ check: fmt
 	$(MAKE) cluster-e2e
 	$(MAKE) load-gate
 	$(MAKE) search-gate
+	$(MAKE) thumb-gate
 	$(MAKE) fuzz-smoke

@@ -313,6 +313,20 @@ func BenchmarkProtectRecoverPerMP(b *testing.B) {
 	}
 }
 
+// BenchmarkProtectRecoverAllocSLO is a constants row: it performs no work
+// and only publishes the allocation budget for the protect + recover
+// pipeline, so benchfmt ratio gates can assert measured-vs-budget from a
+// single report (AllocSLO/PerMP >= 1 in allocs/op). The megapixel pipeline
+// runs in the high hundreds of allocations once image conversion stays on
+// the typed Pix-slice paths; the budget's headroom is for worker-count and
+// Go-version variance, while the per-pixel color.Color regression this
+// guards against is a six-order-of-magnitude jump.
+func BenchmarkProtectRecoverAllocSLO(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+	}
+	b.ReportMetric(2500, "allocs/op")
+}
+
 // BenchmarkPSPRecompress drives the full entropy path end-to-end the way a
 // PSP does on every shared image: decode the protected JPEG, requantize,
 // and re-encode with per-image optimized tables. This is the path the

@@ -19,8 +19,9 @@
 //	-require-sheds            at least one 429 shed must have occurred
 //	-require-breaker-cycle    some breaker must have tripped AND recovered
 //
-// -o writes benchfmt rows (with a synthetic LoadSLOHotGet row holding the
-// -slo-hotget-p99 ceiling) so `benchfmt -new rows.json -ratio ...` gates
+// -o writes benchfmt rows (with synthetic LoadSLOHotGet/LoadSLOThumbnail
+// rows holding the -slo-hotget-p99 and -slo-thumb-p99 ceilings) so
+// `benchfmt -new rows.json -ratio ...` gates
 // absolute SLOs with the existing ratio machinery.
 package main
 
@@ -57,6 +58,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		chaos    = fs.String("chaos", "", `chaos schedule: "gate" for the builtin, or a JSON file (needs -selfhost)`)
 
 		sloHotP99     = fs.Duration("slo-hotget-p99", 0, "hot GET p99 ceiling encoded into the benchfmt SLO row")
+		sloThumbP99   = fs.Duration("slo-thumb-p99", 0, "1/8-scale thumbnail GET p99 ceiling encoded into the benchfmt SLO row")
 		maxUnexpected = fs.Int("max-unexpected", -1, "fail if unexpected client-visible failures exceed this (-1 = no gate)")
 		requireSheds  = fs.Bool("require-sheds", false, "fail unless 429 shedding was exercised")
 		requireCycle  = fs.Bool("require-breaker-cycle", false, "fail unless a breaker tripped AND recovered (selfhost only)")
@@ -195,7 +197,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, err)
 			return 1
 		}
-		err = rep.WriteBenchJSON(f, *sloHotP99)
+		err = rep.WriteBenchJSON(f, *sloHotP99, *sloThumbP99)
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}

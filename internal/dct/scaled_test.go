@@ -1,0 +1,173 @@
+package dct
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomQuant draws a valid quantization table with entries in [1, 255].
+func randomQuant(rng *rand.Rand) QuantTable {
+	var q QuantTable
+	for i := range q {
+		q[i] = uint16(1 + rng.Intn(255))
+	}
+	return q
+}
+
+// randomCoeffBlock draws coefficients across the full baseline range.
+func randomCoeffBlock(rng *rand.Rand) Block {
+	var b Block
+	for i := range b {
+		b[i] = int32(rng.Intn(CoeffMax-CoeffMin+1)) + CoeffMin
+	}
+	return b
+}
+
+// TestScaledKernelBitExactVsReference is the tentpole exactness property:
+// for every per-axis size pair and a large random sweep of coefficient
+// blocks and quantization tables, the fast separable kernel equals the
+// naive reference of the same mathematical definition bit for bit.
+func TestScaledKernelBitExactVsReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	var got, want [BlockLen]float64
+	for _, nh := range ScaledNums {
+		for _, nv := range ScaledNums {
+			for trial := 0; trial < 200; trial++ {
+				b := randomCoeffBlock(rng)
+				q := randomQuant(rng)
+				InverseQuantizedScaledInto(&b, &q, nh, nv, got[:nh*nv])
+				InverseQuantizedScaledReference(&b, &q, nh, nv, want[:nh*nv])
+				for i := 0; i < nh*nv; i++ {
+					if got[i] != want[i] {
+						t.Fatalf("kernel %dx%d trial %d sample %d: fast %v != reference %v (diff %g)",
+							nh, nv, trial, i, got[i], want[i], got[i]-want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestScaledKernelDCOnly pins the 1x1 kernel's meaning: a DC-only block
+// inverse-transforms to a flat 8x8 surface, so every reduced size must
+// reproduce that flat value exactly (bilinear sampling of a constant).
+func TestScaledKernelDCOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	var out [BlockLen]float64
+	for trial := 0; trial < 50; trial++ {
+		var b Block
+		b[0] = int32(rng.Intn(2048)) - 1024
+		q := randomQuant(rng)
+		full := InverseQuantized(&b, &q)
+		for _, nh := range ScaledNums {
+			for _, nv := range ScaledNums {
+				InverseQuantizedScaledInto(&b, &q, nh, nv, out[:nh*nv])
+				for i := 0; i < nh*nv; i++ {
+					if diff := math.Abs(out[i] - full[0]); diff > 1e-9 {
+						t.Fatalf("DC-only %dx%d sample %d: got %v, want flat %v", nh, nv, i, out[i], full[0])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestScaledKernelFullSizeMatchesInverse checks that the 8x8 "reduced"
+// kernel is the plain inverse DCT: it must agree with the production AAN
+// InverseQuantized path within float rounding (the two use different
+// factorizations, so equality is to tolerance, unlike the bit-exact
+// reference check above).
+func TestScaledKernelFullSizeMatchesInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	var out [BlockLen]float64
+	for trial := 0; trial < 100; trial++ {
+		b := randomCoeffBlock(rng)
+		q := randomQuant(rng)
+		InverseQuantizedScaledInto(&b, &q, 8, 8, out[:])
+		full := InverseQuantized(&b, &q)
+		for i := range full {
+			if diff := math.Abs(out[i] - full[i]); diff > 1e-6 {
+				t.Fatalf("8x8 kernel sample %d: got %v, want %v (diff %g)", i, out[i], full[i], diff)
+			}
+		}
+	}
+}
+
+// TestScaledKernelIsTruncatedDownsample verifies the definition end to
+// end against first principles: reduced output must equal the full naive
+// inverse DCT of the truncated coefficient block, downsampled with the
+// center-aligned 2-tap average the matrix folds in.
+func TestScaledKernelIsTruncatedDownsample(t *testing.T) {
+	rng := rand.New(rand.NewSource(104))
+	var out [BlockLen]float64
+	for trial := 0; trial < 100; trial++ {
+		b := randomCoeffBlock(rng)
+		q := randomQuant(rng)
+		for _, nh := range []int{1, 2, 4} {
+			for _, nv := range []int{1, 2, 4} {
+				// Truncate, dequantize, full inverse.
+				var trunc Block
+				for u := 0; u < nv; u++ {
+					for v := 0; v < nh; v++ {
+						trunc[u*BlockSize+v] = b[u*BlockSize+v]
+					}
+				}
+				full := InverseQuantizedReference(&trunc, &q)
+				// Center-aligned 2-tap downsample per axis.
+				stepX, stepY := BlockSize/nh, BlockSize/nv
+				InverseQuantizedScaledInto(&b, &q, nh, nv, out[:nh*nv])
+				for i := 0; i < nv; i++ {
+					y0 := stepY*i + stepY/2 - 1
+					for j := 0; j < nh; j++ {
+						x0 := stepX*j + stepX/2 - 1
+						want := (full[y0*BlockSize+x0] + full[y0*BlockSize+x0+1] +
+							full[(y0+1)*BlockSize+x0] + full[(y0+1)*BlockSize+x0+1]) / 4
+						if diff := math.Abs(out[i*nh+j] - want); diff > 1e-6 {
+							t.Fatalf("%dx%d sample (%d,%d): got %v, want truncated+downsampled %v (diff %g)",
+								nh, nv, j, i, out[i*nh+j], want, diff)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestScaledKernelRejectsBadAxis pins the panic on invalid sizes.
+func TestScaledKernelRejectsBadAxis(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for invalid axis size")
+		}
+	}()
+	var b Block
+	var q QuantTable
+	for i := range q {
+		q[i] = 1
+	}
+	var out [9]float64
+	InverseQuantizedScaledInto(&b, &q, 3, 3, out[:])
+}
+
+func BenchmarkInverseQuantizedScaled2x2(b *testing.B) {
+	rng := rand.New(rand.NewSource(105))
+	blk := randomCoeffBlock(rng)
+	q := randomQuant(rng)
+	var out [4]float64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		InverseQuantizedScaledInto(&blk, &q, 2, 2, out[:])
+	}
+}
+
+func BenchmarkInverseQuantizedScaled4x4(b *testing.B) {
+	rng := rand.New(rand.NewSource(106))
+	blk := randomCoeffBlock(rng)
+	q := randomQuant(rng)
+	var out [16]float64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		InverseQuantizedScaledInto(&blk, &q, 4, 4, out[:])
+	}
+}

@@ -240,19 +240,67 @@ func FromStdImage(src image.Image) (*Image, error) {
 		return nil, err
 	}
 	w := img.W()
-	// Rows write disjoint plane indices; src is only read.
-	parallel.For(b.Dy(), rowGrain, func(lo, hi int) {
-		for y := lo; y < hi; y++ {
-			for x := 0; x < b.Dx(); x++ {
-				r16, g16, b16, _ := src.At(b.Min.X+x, b.Min.Y+y).RGBA()
-				yy, uu, vv := RGBToYUV(float32(r16>>8), float32(g16>>8), float32(b16>>8))
-				i := y*w + x
-				img.Planes[ChannelY].Pix[i] = yy
-				img.Planes[ChannelU].Pix[i] = uu
-				img.Planes[ChannelV].Pix[i] = vv
+	pY := img.Planes[ChannelY].Pix
+	pU := img.Planes[ChannelU].Pix
+	pV := img.Planes[ChannelV].Pix
+	put := func(i int, r8, g8, b8 float32) {
+		yy, uu, vv := RGBToYUV(r8, g8, b8)
+		pY[i], pU[i], pV[i] = yy, uu, vv
+	}
+	// The common stdlib formats get direct Pix-slice readers: the generic
+	// At(x, y).RGBA() route boxes a color.Color per pixel, which turns a
+	// megapixel conversion into a million allocations. Each fast path
+	// produces the exact 8-bit channel values the interface route's
+	// 16-bit-to-8-bit shift yields (NRGBA premultiplies with the stdlib's
+	// own *0x101 * alpha / 0xff arithmetic), so results are bit-identical.
+	var rows func(lo, hi int)
+	switch s := src.(type) {
+	case *image.RGBA:
+		rows = func(lo, hi int) {
+			for y := lo; y < hi; y++ {
+				o := s.PixOffset(b.Min.X, b.Min.Y+y)
+				for x := 0; x < w; x, o = x+1, o+4 {
+					put(y*w+x, float32(s.Pix[o]), float32(s.Pix[o+1]), float32(s.Pix[o+2]))
+				}
 			}
 		}
-	})
+	case *image.NRGBA:
+		prem := func(v, a uint8) float32 {
+			r32 := uint32(v) * 0x101
+			r32 = r32 * uint32(a) / 0xff
+			return float32(r32 >> 8)
+		}
+		rows = func(lo, hi int) {
+			for y := lo; y < hi; y++ {
+				o := s.PixOffset(b.Min.X, b.Min.Y+y)
+				for x := 0; x < w; x, o = x+1, o+4 {
+					a := s.Pix[o+3]
+					put(y*w+x, prem(s.Pix[o], a), prem(s.Pix[o+1], a), prem(s.Pix[o+2], a))
+				}
+			}
+		}
+	case *image.Gray:
+		rows = func(lo, hi int) {
+			for y := lo; y < hi; y++ {
+				o := s.PixOffset(b.Min.X, b.Min.Y+y)
+				for x := 0; x < w; x, o = x+1, o+1 {
+					g := float32(s.Pix[o])
+					put(y*w+x, g, g, g)
+				}
+			}
+		}
+	default:
+		rows = func(lo, hi int) {
+			for y := lo; y < hi; y++ {
+				for x := 0; x < w; x++ {
+					r16, g16, b16, _ := src.At(b.Min.X+x, b.Min.Y+y).RGBA()
+					put(y*w+x, float32(r16>>8), float32(g16>>8), float32(b16>>8))
+				}
+			}
+		}
+	}
+	// Rows write disjoint plane indices; src is only read.
+	parallel.For(b.Dy(), rowGrain, rows)
 	return img, nil
 }
 

@@ -225,3 +225,64 @@ func TestSSIM(t *testing.T) {
 		t.Error("SSIM on tiny planes should error")
 	}
 }
+
+// opaqueImage hides the concrete type of an image so FromStdImage takes
+// its generic At-based path.
+type opaqueImage struct{ image.Image }
+
+// TestFromStdImageFastPathsMatchGeneric pins that the typed Pix-slice
+// readers in FromStdImage produce bit-identical planes to the generic
+// color.Color route they replace, including non-opaque NRGBA pixels and
+// a non-zero bounds origin.
+func TestFromStdImageFastPathsMatchGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	bounds := image.Rect(3, 5, 3+37, 5+23)
+
+	rgba := image.NewRGBA(bounds)
+	nrgba := image.NewNRGBA(bounds)
+	gray := image.NewGray(bounds)
+	for i := range rgba.Pix {
+		rgba.Pix[i] = uint8(rng.Intn(256))
+	}
+	// Premultiplied storage requires channel <= alpha per pixel.
+	for i := 0; i < len(rgba.Pix); i += 4 {
+		a := rgba.Pix[i+3]
+		for c := 0; c < 3; c++ {
+			if rgba.Pix[i+c] > a {
+				rgba.Pix[i+c] = a
+			}
+		}
+	}
+	for i := range nrgba.Pix {
+		nrgba.Pix[i] = uint8(rng.Intn(256))
+	}
+	for i := range gray.Pix {
+		gray.Pix[i] = uint8(rng.Intn(256))
+	}
+
+	for _, tc := range []struct {
+		name string
+		src  image.Image
+	}{
+		{"rgba", rgba},
+		{"nrgba", nrgba},
+		{"gray", gray},
+	} {
+		fast, err := FromStdImage(tc.src)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		ref, err := FromStdImage(opaqueImage{tc.src})
+		if err != nil {
+			t.Fatalf("%s generic: %v", tc.name, err)
+		}
+		for ch := 0; ch < 3; ch++ {
+			for i, v := range ref.Planes[ch].Pix {
+				if fast.Planes[ch].Pix[i] != v {
+					t.Fatalf("%s: channel %d sample %d: fast %v != generic %v",
+						tc.name, ch, i, fast.Planes[ch].Pix[i], v)
+				}
+			}
+		}
+	}
+}

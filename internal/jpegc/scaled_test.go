@@ -1,0 +1,143 @@
+package jpegc
+
+import (
+	"bytes"
+	"image"
+	"math"
+	"testing"
+
+	"puppies/internal/imgplane"
+	"puppies/internal/parallel"
+)
+
+// planePSNR computes PSNR in dB between two equal-size planar images over
+// all channels, with the conventional 255 peak.
+func planePSNR(t testing.TB, a, b *imgplane.Image) float64 {
+	t.Helper()
+	if a.W() != b.W() || a.H() != b.H() || a.Channels() != b.Channels() {
+		t.Fatalf("psnr size mismatch: %dx%d/%d vs %dx%d/%d", a.W(), a.H(), a.Channels(), b.W(), b.H(), b.Channels())
+	}
+	var sum float64
+	var n int
+	for ci := range a.Planes {
+		for i, v := range a.Planes[ci].Pix {
+			d := float64(v - b.Planes[ci].Pix[i])
+			sum += d * d
+			n++
+		}
+	}
+	if sum == 0 {
+		return math.Inf(1)
+	}
+	return 10 * math.Log10(255*255/(sum/float64(n)))
+}
+
+// scaledReference is the full-resolution path at the same target: full
+// decode, then the shared bilinear kernel down to the reduced dimensions.
+func scaledReference(t testing.TB, img *Image, num int) *imgplane.Image {
+	t.Helper()
+	full, err := img.ToPlanar()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := imgplane.New(ScaledDim(img.W, num), ScaledDim(img.H, num), len(img.Comps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci, p := range full.Planes {
+		imgplane.ResizeBilinearInto(p, out.Planes[ci])
+	}
+	return out
+}
+
+func TestToPlanarScaledGeometry(t *testing.T) {
+	for _, tc := range []struct{ w, h int }{
+		{8, 8}, {64, 48}, {67, 45}, {100, 75}, {513, 385}, {16, 1024},
+	} {
+		img, err := FromPlanar(gradientPlanar(tc.w, tc.h), Options{Quality: 85})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, num := range []int{1, 2, 4} {
+			small, err := img.ToPlanarScaled(num)
+			if err != nil {
+				t.Fatalf("%dx%d num=%d: %v", tc.w, tc.h, num, err)
+			}
+			if err := small.Validate(); err != nil {
+				t.Fatalf("%dx%d num=%d: %v", tc.w, tc.h, num, err)
+			}
+			wantW, wantH := ScaledDim(tc.w, num), ScaledDim(tc.h, num)
+			if small.W() != wantW || small.H() != wantH {
+				t.Fatalf("%dx%d num=%d: got %dx%d, want %dx%d", tc.w, tc.h, num, small.W(), small.H(), wantW, wantH)
+			}
+		}
+	}
+	img, _ := FromPlanar(gradientPlanar(32, 32), Options{})
+	if _, err := img.ToPlanarScaled(3); err == nil {
+		t.Fatal("num=3 accepted")
+	}
+	if _, err := img.ToPlanarScaled(8); err == nil {
+		t.Fatal("num=8 accepted (full decode is ToPlanar)")
+	}
+}
+
+// TestToPlanarScaledMatchesFullPath bounds the scaled decode's deviation
+// from the full-resolution path: the only difference is the truncated
+// high-frequency residue, which on JPEG-quantized content stays far above
+// the 40 dB planner-equivalence bar for the supersampled scales the
+// planner uses (see transform.PlanSpec) and is reported for all of them.
+func TestToPlanarScaledMatchesFullPath(t *testing.T) {
+	for _, sub := range []struct {
+		name  string
+		ratio image.YCbCrSubsampleRatio
+	}{
+		{"444", image.YCbCrSubsampleRatio444},
+		{"420", image.YCbCrSubsampleRatio420},
+		{"422", image.YCbCrSubsampleRatio422},
+	} {
+		img, err := Decode(bytes.NewReader(stdlibYCbCr(t, 200, 120, sub.ratio)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, num := range []int{1, 2, 4} {
+			small, err := img.ToPlanarScaled(num)
+			if err != nil {
+				t.Fatal(err)
+			}
+			psnr := planePSNR(t, small, scaledReference(t, img, num))
+			t.Logf("%s num=%d: %.1f dB", sub.name, num, psnr)
+			if psnr < 30 {
+				t.Fatalf("%s num=%d: scaled decode diverges from full path: %.1f dB", sub.name, num, psnr)
+			}
+		}
+	}
+}
+
+// TestToPlanarScaledDeterminism pins byte-identical output at any worker
+// count — the property the serving cache's same-spec-same-bytes ETag
+// contract rests on.
+func TestToPlanarScaledDeterminism(t *testing.T) {
+	img, err := Decode(bytes.NewReader(stdlibYCbCr(t, 137, 91, image.YCbCrSubsampleRatio420)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := img.ToPlanarScaled(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 3, 8} {
+		prev := parallel.SetWorkers(workers)
+		got, err := img.ToPlanarScaled(2)
+		parallel.SetWorkers(prev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ci := range base.Planes {
+			for i, v := range base.Planes[ci].Pix {
+				if got.Planes[ci].Pix[i] != v {
+					t.Fatalf("workers=%d: plane %d sample %d differs", workers, ci, i)
+				}
+			}
+		}
+	}
+}

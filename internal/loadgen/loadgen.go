@@ -31,27 +31,30 @@ const (
 	RouteBatch   = "batch"
 	RouteRecover = "recover"
 	RouteSearch  = "search"
+	RouteThumb   = "thumbnail"
 )
 
 // Mix is the op mix in integer shares (not required to sum to 100).
 type Mix struct {
-	HotGet  int `json:"hotget"`  // Zipf-ranked transformed GET, small spec set (cache-friendly)
-	ColdGet int `json:"coldget"` // uniform-ranked GET with a never-repeating spec (cache-hostile tail)
-	Upload  int `json:"upload"`  // single image upload
-	Batch   int `json:"batch"`   // 3-item streaming batch upload
-	Recover int `json:"recover"` // raw image + params fetch (the PUPPIES recovery path)
-	Search  int `json:"search"`  // by-ID k-NN signature search, answer integrity-checked
+	HotGet  int `json:"hotget"`    // Zipf-ranked transformed GET, small spec set (cache-friendly)
+	ColdGet int `json:"coldget"`   // uniform-ranked GET with a never-repeating spec (cache-hostile tail)
+	Upload  int `json:"upload"`    // single image upload
+	Batch   int `json:"batch"`     // 3-item streaming batch upload
+	Recover int `json:"recover"`   // raw image + params fetch (the PUPPIES recovery path)
+	Search  int `json:"search"`    // by-ID k-NN signature search, answer integrity-checked
+	Thumb   int `json:"thumbnail"` // Zipf-ranked 1/8-scale GET (the grid-view scaled-decode path)
 }
 
 // DefaultMix is a read-heavy photo-sharing shape: most traffic is hot
-// transformed views, with a cache-hostile tail and a write trickle.
+// transformed views, with a grid-view thumbnail share, a cache-hostile
+// tail, and a write trickle.
 func DefaultMix() Mix {
-	return Mix{HotGet: 50, ColdGet: 15, Upload: 10, Batch: 5, Recover: 15, Search: 5}
+	return Mix{HotGet: 40, ColdGet: 15, Upload: 10, Batch: 5, Recover: 15, Search: 5, Thumb: 10}
 }
 
 // Total sums the shares.
 func (m Mix) Total() int {
-	return m.HotGet + m.ColdGet + m.Upload + m.Batch + m.Recover + m.Search
+	return m.HotGet + m.ColdGet + m.Upload + m.Batch + m.Recover + m.Search + m.Thumb
 }
 
 // ParseMix reads "hotget=55,coldget=15,upload=10,batch=5,recover=15".
@@ -84,6 +87,8 @@ func ParseMix(s string) (Mix, error) {
 			m.Recover = n
 		case RouteSearch:
 			m.Search = n
+		case RouteThumb:
+			m.Thumb = n
 		default:
 			return Mix{}, fmt.Errorf("loadgen: unknown route %q in mix", k)
 		}
@@ -107,6 +112,7 @@ func (m Mix) pick(rng *rand.Rand) string {
 		{RouteBatch, m.Batch},
 		{RouteRecover, m.Recover},
 		{RouteSearch, m.Search},
+		{RouteThumb, m.Thumb},
 	} {
 		if n < e.share {
 			return e.route
@@ -246,7 +252,7 @@ func New(cfg Config) (*Runner, error) {
 		},
 		routes: make(map[string]*routeStats),
 	}
-	for _, route := range []string{RouteHotGet, RouteColdGet, RouteUpload, RouteBatch, RouteRecover, RouteSearch} {
+	for _, route := range []string{RouteHotGet, RouteColdGet, RouteUpload, RouteBatch, RouteRecover, RouteSearch, RouteThumb} {
 		r.routes[route] = &routeStats{hist: &stats.Histogram{}, errs: make(map[string]uint64)}
 	}
 	return r, nil
@@ -332,6 +338,11 @@ var hotSpecs = []transform.Spec{
 	{Op: transform.OpFlipH},
 }
 
+// thumbSpec is the single 1/8-scale spec the thumbnail route hammers —
+// the grid-view shape the scaled-decode planner serves, and the same spec
+// the psp ServeThumbnail benchmarks gate.
+var thumbSpec = transform.Spec{Op: transform.OpScale, FactorX: 0.125, FactorY: 0.125}
+
 // coldSpec returns a spec that has never been requested before in this
 // run, defeating the transform cache on purpose.
 func (r *Runner) coldSpec() transform.Spec {
@@ -350,6 +361,10 @@ func (r *Runner) runOp(ctx context.Context, route string, rng *rand.Rand, zipf *
 	case RouteColdGet:
 		id := r.ids[rng.Intn(len(r.ids))]
 		_, err := r.client.FetchTransformed(ctx, id, r.coldSpec())
+		return err
+	case RouteThumb:
+		id := r.ids[int(zipf.Uint64())]
+		_, err := r.client.FetchTransformed(ctx, id, thumbSpec)
 		return err
 	case RouteUpload:
 		img := r.imgs[rng.Intn(len(r.imgs))]

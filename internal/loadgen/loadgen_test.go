@@ -45,7 +45,7 @@ func TestMixPickCoversAllRoutes(t *testing.T) {
 	for i := 0; i < 10000; i++ {
 		seen[m.pick(rng)]++
 	}
-	for _, route := range []string{RouteHotGet, RouteColdGet, RouteUpload, RouteBatch, RouteRecover} {
+	for _, route := range []string{RouteHotGet, RouteColdGet, RouteUpload, RouteBatch, RouteRecover, RouteSearch, RouteThumb} {
 		if seen[route] == 0 {
 			t.Fatalf("route %s never picked: %v", route, seen)
 		}
@@ -220,10 +220,13 @@ func TestClassifyTaxonomy(t *testing.T) {
 
 func TestBenchRowsEncodeSLO(t *testing.T) {
 	rep := &Report{
-		Seed:   1,
-		Routes: map[string]RouteReport{RouteHotGet: {Ops: 100, Latency: fakeSnapshot(100)}},
+		Seed: 1,
+		Routes: map[string]RouteReport{
+			RouteHotGet: {Ops: 100, Latency: fakeSnapshot(100)},
+			RouteThumb:  {Ops: 40, Latency: fakeSnapshot(40)},
+		},
 	}
-	rows := rep.BenchRows(250 * time.Millisecond)
+	rows := rep.BenchRows(250*time.Millisecond, 250*time.Millisecond)
 	byName := map[string]BenchRow{}
 	for _, row := range rows {
 		byName[row.Name] = row
@@ -238,6 +241,16 @@ func TestBenchRowsEncodeSLO(t *testing.T) {
 	hot := byName["LoadHotGet"]
 	if hot.Iterations != 100 || hot.Metrics["ok-per-op"] != 1 {
 		t.Fatalf("hot row %+v", hot)
+	}
+	tslo, ok := byName["LoadSLOThumbnail"]
+	if !ok {
+		t.Fatalf("rows missing thumbnail SLO: %v", rows)
+	}
+	if tslo.Metrics["p99-ns"] != float64(250*time.Millisecond) || tslo.Metrics["ok-per-op"] != 1 {
+		t.Fatalf("thumbnail slo row %+v", tslo)
+	}
+	if thumb := byName["LoadThumbnail"]; thumb.Iterations != 40 {
+		t.Fatalf("thumbnail row %+v", thumb)
 	}
 	// The gate ratio must hold exactly when p99 is under the ceiling.
 	if slo.Metrics["p99-ns"]/hot.Metrics["p99-ns"] < 1 {

@@ -84,16 +84,19 @@ var benchRouteNames = map[string]string{
 	RouteUpload:  "LoadUpload",
 	RouteBatch:   "LoadBatch",
 	RouteRecover: "LoadRecover",
+	RouteSearch:  "LoadSearch",
+	RouteThumb:   "LoadThumbnail",
 }
 
 // BenchRows renders the report as benchfmt rows. Each route row carries
 // its latency quantiles and ok/err fractions; LoadOverall aggregates the
-// run; LoadSLOHotGet is a synthetic row holding the SLO bounds so a plain
-// benchfmt ratio check becomes an absolute gate:
+// run; LoadSLOHotGet and LoadSLOThumbnail are synthetic rows holding the
+// SLO bounds so a plain benchfmt ratio check becomes an absolute gate:
 //
-//	LoadSLOHotGet/LoadHotGet >= 1 : p99-ns   (hot GET p99 under ceiling)
-//	LoadOverall/LoadSLOHotGet >= 1 : ok-per-op (zero unexpected failures)
-func (r *Report) BenchRows(sloHotGetP99 time.Duration) []BenchRow {
+//	LoadSLOHotGet/LoadHotGet       >= 1 : p99-ns   (hot GET p99 under ceiling)
+//	LoadSLOThumbnail/LoadThumbnail >= 1 : p99-ns   (1/8-scale GET p99 under ceiling)
+//	LoadOverall/LoadSLOHotGet      >= 1 : ok-per-op (zero unexpected failures)
+func (r *Report) BenchRows(sloHotGetP99, sloThumbP99 time.Duration) []BenchRow {
 	rows := make([]BenchRow, 0, len(r.Routes)+2)
 	for _, route := range sortedRoutes(r.Routes) {
 		rr := r.Routes[route]
@@ -140,13 +143,24 @@ func (r *Report) BenchRows(sloHotGetP99 time.Duration) []BenchRow {
 			},
 		})
 	}
+	if sloThumbP99 > 0 {
+		rows = append(rows, BenchRow{
+			Name:       "LoadSLOThumbnail",
+			Iterations: 1,
+			NsPerOp:    1,
+			Metrics: map[string]float64{
+				"p99-ns":    float64(sloThumbP99.Nanoseconds()),
+				"ok-per-op": 1,
+			},
+		})
+	}
 	return rows
 }
 
 // WriteBenchJSON writes the rows as indented JSON (the BENCH_PR8.json
 // artifact).
-func (r *Report) WriteBenchJSON(w io.Writer, sloHotGetP99 time.Duration) error {
-	data, err := json.MarshalIndent(r.BenchRows(sloHotGetP99), "", "  ")
+func (r *Report) WriteBenchJSON(w io.Writer, sloHotGetP99, sloThumbP99 time.Duration) error {
+	data, err := json.MarshalIndent(r.BenchRows(sloHotGetP99, sloThumbP99), "", "  ")
 	if err != nil {
 		return err
 	}

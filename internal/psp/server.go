@@ -80,6 +80,13 @@ type Server struct {
 	// restarts. Nil means a fresh in-memory index.
 	SearchIndex *searchidx.Index
 
+	// DisableScaledDecode forces every /transformed compute down the
+	// full-resolution path, bypassing the scaled-decode planner
+	// (transform.ApplyPlanned). Serving stays correct either way — the knob
+	// exists for benchmarking the pre-planner baseline and as an
+	// operational escape hatch. Set before Handler is used.
+	DisableScaledDecode bool
+
 	searchOnce    sync.Once
 	searchQueries atomic.Uint64
 	searchHits    atomic.Uint64
@@ -700,7 +707,7 @@ func (s *Server) handleTransformed(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, corruptStoredError(err)
 		}
-		out, err := transform.Apply(img, spec)
+		out, err := s.applyTransform(e, img, spec)
 		if err != nil {
 			return nil, &handlerError{code: http.StatusBadRequest, msg: fmt.Sprintf("transform: %v", err)}
 		}
@@ -713,6 +720,21 @@ func (s *Server) handleTransformed(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// applyTransform executes a /transformed compute, routing eligible
+// downscales of unprotected images through the scaled-decode planner.
+// Protected images (those stored with public parameters) always take the
+// full path: authorized receivers run shadow-ROI recovery against the
+// transformed bytes we serve, and that arithmetic needs the exact
+// full-resolution transform definition, not a planner-equivalent image.
+// The path choice depends only on immutable per-image state and the spec,
+// so a given variant cache key always computes the same bytes.
+func (s *Server) applyTransform(e *entry, img *jpegc.Image, spec transform.Spec) (*jpegc.Image, error) {
+	if s.DisableScaledDecode || !paramsEqual(e.params, nil) {
+		return transform.Apply(img, spec)
+	}
+	return transform.ApplyPlanned(img, spec)
+}
+
 func (s *Server) handlePixels(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	s.serveVariant(w, r, "P", "application/octet-stream", func(e *entry, spec transform.Spec) ([]byte, error) {
@@ -720,6 +742,9 @@ func (s *Server) handlePixels(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, corruptStoredError(err)
 		}
+		// Recovery-grade route: receivers subtract shadow planes computed
+		// with the full-resolution ApplyPlanar, so this path never takes
+		// the scaled-decode planner.
 		pix, err := img.ToPlanar()
 		if err != nil {
 			return nil, &handlerError{code: http.StatusInternalServerError, msg: fmt.Sprintf("decode: %v", err)}

@@ -60,8 +60,18 @@ var Kernels = map[string]Kernel{
 	}(), Sep: []float32{1.0 / 16, 4.0 / 16, 6.0 / 16, 4.0 / 16, 1.0 / 16}},
 }
 
-// ScaleBilinear resizes a plane by the given factors using bilinear
-// interpolation. The operation is a linear map of input samples.
+// ScaleBilinear resizes a plane by the given factors. Upscales and mild
+// downscales (both factors ≥ 1/2) use center-aligned bilinear
+// interpolation. When either axis shrinks below half size, that axis is
+// resampled with an exact fractional box (area average) instead: a 2-tap
+// bilinear at decimation > 2 skips most source samples and aliases
+// high-frequency content into the thumbnail, whereas the box integrates
+// every source sample once, which is both the correct antialiased result
+// and the reference the scaled-decode planner is held to (truncating the
+// DCT spectrum approximates a box low-pass, not an aliasing point-sampler;
+// see TestApplyPlannedMatchesApplyOnCorpus). Either way the operation is a
+// linear map of input samples, so shadow-ROI recovery arithmetic is
+// unaffected, and output is deterministic at any worker count.
 func ScaleBilinear(p *imgplane.Plane, fx, fy float64) (*imgplane.Plane, error) {
 	if fx <= 0 || fy <= 0 {
 		return nil, fmt.Errorf("transform: scale factors must be positive, got %g, %g", fx, fy)
@@ -73,6 +83,9 @@ func ScaleBilinear(p *imgplane.Plane, fx, fy float64) (*imgplane.Plane, error) {
 	}
 	if oh < 1 {
 		oh = 1
+	}
+	if fx < 0.5 || fy < 0.5 {
+		return scaleAntialiased(p, fx, fy, ow, oh), nil
 	}
 	out := imgplane.NewPlane(ow, oh)
 	parallel.For(oh, pixelRowGrain, func(lo, hi int) {
@@ -92,6 +105,132 @@ func ScaleBilinear(p *imgplane.Plane, fx, fy float64) (*imgplane.Plane, error) {
 		}
 	})
 	return out, nil
+}
+
+// scaleAntialiased is the strong-downscale path of ScaleBilinear: separable
+// horizontal-then-vertical resampling where each axis independently uses an
+// area average when it shrinks below half size and center-aligned linear
+// interpolation otherwise (so an anisotropic 0.8 x 0.1 scale filters only
+// the collapsing axis). Both passes parallelize over disjoint output rows
+// and sum source samples in ascending order, keeping output independent of
+// the worker count.
+func scaleAntialiased(p *imgplane.Plane, fx, fy float64, ow, oh int) *imgplane.Plane {
+	tmp := imgplane.NewPlane(ow, p.H)
+	if fx < 0.5 {
+		seg := boxSegments(p.W, ow)
+		parallel.For(p.H, pixelRowGrain, func(lo, hi int) {
+			for y := lo; y < hi; y++ {
+				src := p.Pix[y*p.W : (y+1)*p.W]
+				dst := tmp.Pix[y*ow : (y+1)*ow]
+				for i, s := range seg {
+					var sum float64
+					for x := s.x0; x <= s.x1; x++ {
+						sum += float64(src[x]) * s.weight(x)
+					}
+					dst[i] = float32(sum * s.inv)
+				}
+			}
+		})
+	} else {
+		parallel.For(p.H, pixelRowGrain, func(lo, hi int) {
+			for y := lo; y < hi; y++ {
+				src := p.Pix[y*p.W : (y+1)*p.W]
+				dst := tmp.Pix[y*ow : (y+1)*ow]
+				for ox := 0; ox < ow; ox++ {
+					sx := (float64(ox)+0.5)/fx - 0.5
+					x0 := int(math.Floor(sx))
+					wx := float32(sx - float64(x0))
+					dst[ox] = (1-wx)*clampedRowAt(src, x0) + wx*clampedRowAt(src, x0+1)
+				}
+			}
+		})
+	}
+	out := imgplane.NewPlane(ow, oh)
+	if fy < 0.5 {
+		seg := boxSegments(p.H, oh)
+		parallel.For(oh, pixelRowGrain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				s := seg[i]
+				dst := out.Pix[i*ow : (i+1)*ow]
+				for x := 0; x < ow; x++ {
+					var sum float64
+					for y := s.x0; y <= s.x1; y++ {
+						sum += float64(tmp.Pix[y*ow+x]) * s.weight(y)
+					}
+					dst[x] = float32(sum * s.inv)
+				}
+			}
+		})
+	} else {
+		parallel.For(oh, pixelRowGrain, func(lo, hi int) {
+			for oy := lo; oy < hi; oy++ {
+				sy := (float64(oy)+0.5)/fy - 0.5
+				y0 := int(math.Floor(sy))
+				wy := float32(sy - float64(y0))
+				r0, r1 := clampRow(y0, p.H), clampRow(y0+1, p.H)
+				dst := out.Pix[oy*ow : (oy+1)*ow]
+				a := tmp.Pix[r0*ow : (r0+1)*ow]
+				b := tmp.Pix[r1*ow : (r1+1)*ow]
+				for x := 0; x < ow; x++ {
+					dst[x] = (1-wy)*a[x] + wy*b[x]
+				}
+			}
+		})
+	}
+	return out
+}
+
+// boxSegment is one output sample's source interval [lo, hi) in an area
+// average: full-weight interior samples plus fractional end overlaps.
+type boxSegment struct {
+	x0, x1 int // first and last source index touched (inclusive, clamped)
+	lo, hi float64
+	inv    float64 // 1 / (hi - lo)
+}
+
+// weight is the overlap of source cell [x, x+1) with the segment.
+func (s *boxSegment) weight(x int) float64 {
+	l, r := float64(x), float64(x)+1
+	if l < s.lo {
+		l = s.lo
+	}
+	if r > s.hi {
+		r = s.hi
+	}
+	return r - l
+}
+
+// boxSegments tiles the source axis [0, srcN) into dstN equal intervals so
+// every source sample contributes exactly once across the output (the
+// intervals come from the dimension ratio, not the requested factor, so
+// they always cover the axis exactly).
+func boxSegments(srcN, dstN int) []boxSegment {
+	s := float64(srcN) / float64(dstN)
+	out := make([]boxSegment, dstN)
+	for i := range out {
+		lo, hi := float64(i)*s, (float64(i)+1)*s
+		x0, x1 := int(lo), int(math.Ceil(hi))-1
+		if x1 > srcN-1 {
+			x1 = srcN - 1
+		}
+		out[i] = boxSegment{x0: x0, x1: x1, lo: lo, hi: hi, inv: 1 / (hi - lo)}
+	}
+	return out
+}
+
+// clampedRowAt samples a row with edge replication, like Plane.At.
+func clampedRowAt(row []float32, x int) float32 {
+	return row[clampRow(x, len(row))]
+}
+
+func clampRow(x, n int) int {
+	if x < 0 {
+		return 0
+	}
+	if x >= n {
+		return n - 1
+	}
+	return x
 }
 
 // CropPlane extracts the rectangle (x, y, w, h) from the plane.

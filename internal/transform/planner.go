@@ -1,0 +1,125 @@
+package transform
+
+import (
+	"fmt"
+	"math"
+
+	"puppies/internal/imgplane"
+	"puppies/internal/jpegc"
+)
+
+// Plan is an execution plan for a spec: either the full-resolution path
+// (decode every sample, transform, re-encode) or the scaled-decode fast
+// path (reduced inverse DCT straight to a Num/8-size image, residual
+// resample on the small planes, FDCT over the small result).
+type Plan struct {
+	// Scaled selects the reduced-IDCT fast path.
+	Scaled bool
+	// Num is the reduced decode numerator (the decode runs at Num/8 scale)
+	// when Scaled: 2 for targets at or below 1/8 scale, 4 otherwise. The
+	// choice is calibrated against the 40 dB full-path equivalence bar on
+	// the dataset corpus: a 2/8 decode keeps too little spectrum to track
+	// the area-averaged full path above 1/8 scale (it dips to ~34 dB on
+	// text-heavy content and fails outright inside encrypted ROI), while 4/8
+	// holds 42+ dB everywhere — including protected images — and still cuts
+	// the decoded plane area 4x.
+	Num int
+	// OutW, OutH are the final pixel dimensions the transformed image must
+	// have — identical to what the full path's ScaleBilinear would produce.
+	OutW, OutH int
+}
+
+// PlanSpec decides how to execute spec on a w x h image. The scaled path is
+// chosen only for pure downscales that end at or below half size: there the
+// pixel-domain stage is a plain resample, so decoding at a reduced scale ≥
+// the target and resampling the small image is equivalent to the full path
+// up to quantization-noise-level residue. Everything else — upscales,
+// identity-size ops, coefficient-domain ops, crops, rotations, filters —
+// keeps the current full path unchanged.
+//
+// recoveryGrade must be set by callers on the PuPPIeS recovery route
+// (shadow-ROI arithmetic, e.g. /pixels serving): receivers subtract shadow
+// planes computed from the full-resolution transform definition, so the
+// serve side must execute that exact definition. PlanSpec then always
+// returns the full path.
+func PlanSpec(w, h int, spec Spec, recoveryGrade bool) Plan {
+	full := Plan{}
+	if recoveryGrade || w < 1 || h < 1 {
+		return full
+	}
+	if spec.Op != OpScale || spec.Validate() != nil {
+		return full
+	}
+	fx, fy := spec.FactorX, spec.FactorY
+	if fx > 0.5 || fy > 0.5 {
+		return full
+	}
+	num := 4
+	if math.Max(fx, fy) <= 0.125 {
+		num = 2
+	}
+	return Plan{Scaled: true, Num: num, OutW: scaleDim(w, fx), OutH: scaleDim(h, fy)}
+}
+
+// scaleDim mirrors ScaleBilinear's output sizing exactly, so planned and
+// full executions of the same spec always agree on dimensions.
+func scaleDim(px int, f float64) int {
+	d := int(math.Round(float64(px) * f))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// ApplyPlanned executes the spec like Apply, routing eligible downscales
+// through the scaled-decode fast path. The output is a drop-in replacement
+// for Apply's: same dimensions, same quantization tables, and equivalent
+// samples (≥ 40 dB against the full path on the test corpus, enforced by
+// TestApplyPlannedMatchesApplyOnCorpus). It is NOT bit-identical to Apply,
+// so a given serve route must pick one path and stick to it — mixing the
+// two behind one cache key would make cached bytes depend on timing.
+//
+// Recovery-grade callers (shadow-ROI subtraction) must keep calling Apply:
+// recovery needs the full path's exact sample arithmetic, not an
+// equivalent image. ApplyPlanned is for presentation serving.
+func ApplyPlanned(img *jpegc.Image, spec Spec) (*jpegc.Image, error) {
+	plan := PlanSpec(img.W, img.H, spec, false)
+	if !plan.Scaled {
+		return Apply(img, spec)
+	}
+	small, err := img.ToPlanarScaled(plan.Num)
+	if err != nil {
+		return nil, err
+	}
+	out := small
+	if small.W() != plan.OutW || small.H() != plan.OutH {
+		// Residual resample from the decoded Num/8 grid to the exact target,
+		// on planes up to 16x smaller than the full path would touch. Runs
+		// through ScaleBilinear (with dimension-derived factors) so the
+		// residual step applies the same area-average antialiasing rule the
+		// full path does when the remaining shrink is below half size.
+		rfx := float64(plan.OutW) / float64(small.W())
+		rfy := float64(plan.OutH) / float64(small.H())
+		out, err = imgplane.New(plan.OutW, plan.OutH, small.Channels())
+		if err != nil {
+			return nil, err
+		}
+		for ci, p := range small.Planes {
+			q, err := ScaleBilinear(p, rfx, rfy)
+			if err != nil {
+				return nil, err
+			}
+			if q.W != plan.OutW || q.H != plan.OutH {
+				// Dimension-derived factors always round back to the target.
+				return nil, fmt.Errorf("transform: residual resample produced %dx%d, want %dx%d", q.W, q.H, plan.OutW, plan.OutH)
+			}
+			out.Planes[ci] = q
+		}
+	}
+	lum := img.Comps[0].Quant
+	chrom := lum
+	if len(img.Comps) == 3 {
+		chrom = img.Comps[1].Quant
+	}
+	return jpegc.FromPlanarWithQuant(out, &lum, &chrom)
+}

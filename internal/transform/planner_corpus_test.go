@@ -1,0 +1,158 @@
+package transform_test
+
+import (
+	"bytes"
+	"image"
+	"image/jpeg"
+	"math"
+	"testing"
+
+	puppies "puppies"
+	"puppies/internal/dataset"
+	"puppies/internal/jpegc"
+	"puppies/internal/transform"
+)
+
+// corpusPSNR decodes two same-size coefficient images and returns the PSNR
+// between their pixel reconstructions.
+func corpusPSNR(t testing.TB, a, b *jpegc.Image) float64 {
+	t.Helper()
+	pa, err := a.ToPlanar()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := b.ToPlanar()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa.W() != pb.W() || pa.H() != pb.H() || pa.Channels() != pb.Channels() {
+		t.Fatalf("psnr size mismatch: %dx%d vs %dx%d", pa.W(), pa.H(), pb.W(), pb.H())
+	}
+	var sum float64
+	var n int
+	for ci := range pa.Planes {
+		for i, v := range pa.Planes[ci].Pix {
+			d := float64(v - pb.Planes[ci].Pix[i])
+			sum += d * d
+			n++
+		}
+	}
+	if sum == 0 {
+		return math.Inf(1)
+	}
+	return 10 * math.Log10(255*255/(sum/float64(n)))
+}
+
+func requirePlannedEquivalence(t *testing.T, name string, img *jpegc.Image) {
+	t.Helper()
+	for _, f := range []float64{0.5, 0.25, 0.125} {
+		spec := transform.Spec{Op: transform.OpScale, FactorX: f, FactorY: f}
+		full, err := transform.Apply(img, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		planned, err := transform.ApplyPlanned(img, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		psnr := corpusPSNR(t, planned, full)
+		t.Logf("%s f=%g: %.1f dB", name, f, psnr)
+		if psnr < 40 {
+			t.Errorf("%s f=%g: planned path diverges from full path: %.1f dB < 40 dB", name, f, psnr)
+		}
+	}
+}
+
+// TestApplyPlannedMatchesApplyOnCorpus is the planner-equivalence gate the
+// ISSUE requires: over the dataset corpus (all four profile styles), the
+// scaled-decode path must stay within 40 dB PSNR of the full-resolution
+// path at every eligible scale.
+func TestApplyPlannedMatchesApplyOnCorpus(t *testing.T) {
+	for _, p := range []dataset.Profile{dataset.Caltech, dataset.FERET, dataset.INRIA, dataset.PASCAL} {
+		gen, err := dataset.NewGenerator(p, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2; i++ {
+			item := gen.Item(i)
+			img, err := jpegc.FromPlanar(item.Image, jpegc.Options{Quality: 85})
+			if err != nil {
+				t.Fatal(err)
+			}
+			requirePlannedEquivalence(t, item.Name, img)
+		}
+	}
+}
+
+// TestApplyPlannedMatchesApplyOnSubsampled covers native 4:2:0 and 4:2:2
+// geometry: chroma planes enter the scaled path at half resolution on one
+// or both axes, exercising the rectangular reduced kernels.
+func TestApplyPlannedMatchesApplyOnSubsampled(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		ratio image.YCbCrSubsampleRatio
+	}{
+		{"420", image.YCbCrSubsampleRatio420},
+		{"422", image.YCbCrSubsampleRatio422},
+	} {
+		const w, h = 320, 208
+		ycc := image.NewYCbCr(image.Rect(0, 0, w, h), tc.ratio)
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				ycc.Y[ycc.YOffset(x, y)] = uint8(128 + 80*math.Sin(float64(x)/6)*math.Cos(float64(y)/8))
+			}
+		}
+		cb := ycc.Bounds()
+		for y := cb.Min.Y; y < cb.Max.Y; y++ {
+			for x := cb.Min.X; x < cb.Max.X; x++ {
+				if ci := ycc.COffset(x, y); ci < len(ycc.Cb) {
+					ycc.Cb[ci] = uint8(128 + 60*math.Sin(float64(x)/11))
+					ycc.Cr[ci] = uint8(128 + 60*math.Cos(float64(y)/13))
+				}
+			}
+		}
+		var buf bytes.Buffer
+		if err := jpeg.Encode(&buf, ycc, &jpeg.Options{Quality: 90}); err != nil {
+			t.Fatal(err)
+		}
+		img, err := jpegc.Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !img.Subsampled() {
+			t.Fatalf("%s fixture not subsampled", tc.name)
+		}
+		requirePlannedEquivalence(t, tc.name, img)
+	}
+}
+
+// TestApplyPlannedMatchesApplyOnProtected runs the equivalence over
+// PuPPIeS-protected images: the perturbed ROI coefficients ride through the
+// reduced decode like any others, and the presentation-grade planned output
+// must still track the full path. (Recovery still uses the full path by
+// contract — see PlanSpec's recoveryGrade.)
+func TestApplyPlannedMatchesApplyOnProtected(t *testing.T) {
+	gen, err := dataset.NewGenerator(dataset.FERET, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	item := gen.Item(0)
+	std := item.Image.ToStdImage()
+	var regions []puppies.Rect
+	for _, a := range item.Annotations {
+		regions = append(regions, puppies.Rect{X: a.X, Y: a.Y, W: a.W, H: a.H})
+	}
+	for _, variant := range []puppies.Variant{puppies.VariantZ, puppies.VariantC} {
+		prot, err := puppies.Protect(std, puppies.ProtectOptions{
+			Variant: variant, Regions: regions, Quality: 85,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		img, err := jpegc.Decode(bytes.NewReader(prot.JPEG))
+		if err != nil {
+			t.Fatal(err)
+		}
+		requirePlannedEquivalence(t, "protected-"+string(variant), img)
+	}
+}

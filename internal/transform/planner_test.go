@@ -1,0 +1,209 @@
+package transform
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"puppies/internal/jpegc"
+	"puppies/internal/parallel"
+)
+
+func TestPlanSpecRules(t *testing.T) {
+	const w, h = 640, 400
+	for _, tc := range []struct {
+		name     string
+		spec     Spec
+		recovery bool
+		want     Plan
+	}{
+		{"half", Spec{Op: OpScale, FactorX: 0.5, FactorY: 0.5}, false,
+			Plan{Scaled: true, Num: 4, OutW: 320, OutH: 200}},
+		{"third", Spec{Op: OpScale, FactorX: 1.0 / 3, FactorY: 1.0 / 3}, false,
+			Plan{Scaled: true, Num: 4, OutW: 213, OutH: 133}},
+		{"quarter", Spec{Op: OpScale, FactorX: 0.25, FactorY: 0.25}, false,
+			Plan{Scaled: true, Num: 4, OutW: 160, OutH: 100}},
+		{"eighth", Spec{Op: OpScale, FactorX: 0.125, FactorY: 0.125}, false,
+			Plan{Scaled: true, Num: 2, OutW: 80, OutH: 50}},
+		{"tiny", Spec{Op: OpScale, FactorX: 0.01, FactorY: 0.01}, false,
+			Plan{Scaled: true, Num: 2, OutW: 6, OutH: 4}},
+		{"anisotropic picks max", Spec{Op: OpScale, FactorX: 0.5, FactorY: 0.125}, false,
+			Plan{Scaled: true, Num: 4, OutW: 320, OutH: 50}},
+		{"barely above half", Spec{Op: OpScale, FactorX: 0.51, FactorY: 0.25}, false, Plan{}},
+		{"identity scale", Spec{Op: OpScale, FactorX: 1, FactorY: 1}, false, Plan{}},
+		{"upscale", Spec{Op: OpScale, FactorX: 2, FactorY: 2}, false, Plan{}},
+		{"invalid factors", Spec{Op: OpScale, FactorX: -1, FactorY: 0.25}, false, Plan{}},
+		{"crop", Spec{Op: OpCrop, X: 0, Y: 0, W: 64, H: 64}, false, Plan{}},
+		{"rotate90", Spec{Op: OpRotate90}, false, Plan{}},
+		{"filter", Spec{Op: OpFilter, Kernel: "gaussian3"}, false, Plan{}},
+		{"none", Spec{Op: OpNone}, false, Plan{}},
+		{"recovery grade forces full", Spec{Op: OpScale, FactorX: 0.25, FactorY: 0.25}, true, Plan{}},
+	} {
+		if got := PlanSpec(w, h, tc.spec, tc.recovery); got != tc.want {
+			t.Errorf("%s: got %+v, want %+v", tc.name, got, tc.want)
+		}
+	}
+	if got := PlanSpec(0, 0, Spec{Op: OpScale, FactorX: 0.25, FactorY: 0.25}, false); got.Scaled {
+		t.Errorf("degenerate image: got %+v, want full path", got)
+	}
+}
+
+// TestPlanSpecDimsMatchScaleBilinear cross-checks the plan's output sizing
+// against the actual full-path resampler over a sweep of sizes and factors.
+func TestPlanSpecDimsMatchScaleBilinear(t *testing.T) {
+	for _, dims := range []struct{ w, h int }{{8, 8}, {17, 9}, {100, 75}, {641, 399}} {
+		for _, f := range []float64{0.5, 0.25, 0.125, 0.3, 0.07} {
+			plan := PlanSpec(dims.w, dims.h, Spec{Op: OpScale, FactorX: f, FactorY: f}, false)
+			if !plan.Scaled {
+				t.Fatalf("%dx%d f=%g: expected scaled plan", dims.w, dims.h, f)
+			}
+			p := randomPlane(rand.New(rand.NewSource(1)), dims.w, dims.h)
+			ref, err := ScaleBilinear(p, f, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plan.OutW != ref.W || plan.OutH != ref.H {
+				t.Fatalf("%dx%d f=%g: plan %dx%d, ScaleBilinear %dx%d",
+					dims.w, dims.h, f, plan.OutW, plan.OutH, ref.W, ref.H)
+			}
+		}
+	}
+}
+
+// TestApplyPlannedFallback pins that every spec the planner rejects takes
+// the identical code path: ApplyPlanned output deep-equals Apply output.
+func TestApplyPlannedFallback(t *testing.T) {
+	img, err := jpegc.FromPlanar(smoothPlanar(96, 64), jpegc.Options{Quality: 85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range []Spec{
+		{Op: OpNone},
+		{Op: OpRotate90},
+		{Op: OpFlipH},
+		{Op: OpScale, FactorX: 2, FactorY: 2},
+		{Op: OpScale, FactorX: 0.75, FactorY: 0.75},
+		{Op: OpCrop, X: 8, Y: 8, W: 48, H: 32},
+		{Op: OpCompress, Quality: 60},
+		{Op: OpFilter, Kernel: "box3"},
+	} {
+		want, err := Apply(img, spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Op, err)
+		}
+		got, err := ApplyPlanned(img, spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Op, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: planned fallback differs from Apply", spec.Op)
+		}
+	}
+}
+
+// TestApplyPlannedDims pins the drop-in contract: the planned output has
+// exactly the dimensions and quantization tables of the full path's.
+func TestApplyPlannedDims(t *testing.T) {
+	img, err := jpegc.FromPlanar(smoothPlanar(100, 75), jpegc.Options{Quality: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []float64{0.5, 0.25, 0.125} {
+		spec := Spec{Op: OpScale, FactorX: f, FactorY: f}
+		want, err := Apply(img, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ApplyPlanned(img, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.W != want.W || got.H != want.H {
+			t.Fatalf("f=%g: planned %dx%d, full %dx%d", f, got.W, got.H, want.W, want.H)
+		}
+		for ci := range want.Comps {
+			if got.Comps[ci].Quant != want.Comps[ci].Quant {
+				t.Fatalf("f=%g comp %d: quant tables differ", f, ci)
+			}
+		}
+	}
+}
+
+// TestApplyPlannedDeterminism encodes the planned result at several worker
+// counts and requires byte-identical streams — the invariant the serving
+// cache's same-spec-same-bytes ETag contract needs from this path.
+func TestApplyPlannedDeterminism(t *testing.T) {
+	img, err := jpegc.FromPlanar(smoothPlanar(137, 91), jpegc.Options{Quality: 85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{Op: OpScale, FactorX: 0.25, FactorY: 0.25}
+	var base []byte
+	for _, workers := range []int{1, 2, 3, 8} {
+		prev := parallel.SetWorkers(workers)
+		out, err := ApplyPlanned(img, spec)
+		parallel.SetWorkers(prev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := out.Encode(&buf, jpegc.EncodeOptions{Tables: jpegc.TablesOptimized}); err != nil {
+			t.Fatal(err)
+		}
+		if base == nil {
+			base = append([]byte(nil), buf.Bytes()...)
+		} else if !bytes.Equal(base, buf.Bytes()) {
+			t.Fatalf("workers=%d: encoded bytes differ from workers=1", workers)
+		}
+	}
+}
+
+// FuzzPlan drives PlanSpec with arbitrary geometry and spec fields and
+// checks its invariants: no panic, scaled plans only for valid ≤1/2-scale
+// downscales, decode scale always at or above the target with one
+// supersampling step in hand, and output dims matching the resampler's.
+func FuzzPlan(f *testing.F) {
+	f.Add(640, 400, 0.25, 0.25, uint8(1), false)
+	f.Add(640, 400, 0.125, 0.125, uint8(1), false)
+	f.Add(17, 9, 0.5, 0.07, uint8(1), false)
+	f.Add(1, 1, 0.5, 0.5, uint8(1), true)
+	f.Add(0, -3, 0.9, 1.1, uint8(0), false)
+	f.Add(4096, 4096, 2.0, 0.001, uint8(3), false)
+	ops := []Op{OpNone, OpScale, OpCrop, OpRotate90, OpRotate, OpFilter, OpCompress}
+	f.Fuzz(func(t *testing.T, w, h int, fx, fy float64, opIdx uint8, recovery bool) {
+		spec := Spec{Op: ops[int(opIdx)%len(ops)], FactorX: fx, FactorY: fy,
+			W: 64, H: 64, Quality: 60, Kernel: "box3", Angle: 15}
+		plan := PlanSpec(w, h, spec, recovery)
+		if !plan.Scaled {
+			if plan != (Plan{}) {
+				t.Fatalf("full plan carries scaled fields: %+v", plan)
+			}
+			return
+		}
+		if recovery {
+			t.Fatal("scaled plan on recovery-grade request")
+		}
+		if spec.Op != OpScale || spec.Validate() != nil {
+			t.Fatalf("scaled plan for ineligible spec %+v", spec)
+		}
+		if fx > 0.5 || fy > 0.5 {
+			t.Fatalf("scaled plan above half scale: %g, %g", fx, fy)
+		}
+		wantNum := 4
+		if math.Max(fx, fy) <= 0.125 {
+			wantNum = 2
+		}
+		if plan.Num != wantNum {
+			t.Fatalf("decode numerator %d for target %g, want %d", plan.Num, math.Max(fx, fy), wantNum)
+		}
+		if float64(plan.Num)/8 < math.Max(fx, fy) {
+			t.Fatalf("decode scale %d/8 below target %g", plan.Num, math.Max(fx, fy))
+		}
+		if plan.OutW != scaleDim(w, fx) || plan.OutH != scaleDim(h, fy) ||
+			plan.OutW < 1 || plan.OutH < 1 {
+			t.Fatalf("bad output dims %dx%d for %dx%d * (%g, %g)", plan.OutW, plan.OutH, w, h, fx, fy)
+		}
+	})
+}
